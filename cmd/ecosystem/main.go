@@ -1,0 +1,76 @@
+// Command ecosystem generates a synthetic web ecosystem, prints its ground
+// truth, and optionally serves it on loopback for manual exploration with
+// curl or a browser configured to resolve through it.
+//
+// Usage:
+//
+//	ecosystem [-scale 0.02] [-seed 2019] [-serve] [-hosts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+
+	"pornweb/internal/webgen"
+	"pornweb/internal/webserver"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "corpus scale (1.0 = paper size)")
+	seed := flag.Uint64("seed", 2019, "generation seed")
+	serve := flag.Bool("serve", false, "start the loopback server and wait")
+	hosts := flag.Bool("hosts", false, "list every served hostname")
+	flag.Parse()
+
+	eco := webgen.Generate(webgen.Params{Seed: *seed, Scale: *scale})
+	fmt.Print(eco.GroundTruthSummary())
+
+	fmt.Println("\nowner clusters (ground truth):")
+	byOwner := map[string]int{}
+	for _, s := range eco.PornSites {
+		if s.Owner != nil {
+			byOwner[s.Owner.Name]++
+		}
+	}
+	type oc struct {
+		name string
+		n    int
+	}
+	var clusters []oc
+	for name, n := range byOwner {
+		clusters = append(clusters, oc{name, n})
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].n != clusters[j].n {
+			return clusters[i].n > clusters[j].n
+		}
+		return clusters[i].name < clusters[j].name
+	})
+	for _, c := range clusters {
+		fmt.Printf("  %-32s %4d sites\n", c.name, c.n)
+	}
+
+	if *hosts {
+		fmt.Println("\nhosts:")
+		for _, h := range eco.AllHosts() {
+			fmt.Println(" ", h)
+		}
+	}
+
+	if *serve {
+		srv, err := webserver.Start(eco)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecosystem:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("\nserving: http=%s https=%s\n", srv.HTTPAddr(), srv.HTTPSAddr())
+		fmt.Printf("example: curl -H 'Host: pornhub.com' http://%s/\n", srv.HTTPAddr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+}

@@ -1,0 +1,3 @@
+module pornweb
+
+go 1.22

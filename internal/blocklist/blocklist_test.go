@@ -1,0 +1,206 @@
+package blocklist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func list(lines ...string) *List { return Parse("test", lines) }
+
+func TestDomainAnchor(t *testing.T) {
+	l := list("||doubleclick.net^")
+	if !l.MatchURL("https://ad.doubleclick.net/ddm/activity", "news.example") {
+		t.Error("subdomain of anchored domain should match")
+	}
+	if !l.MatchURL("http://doubleclick.net/", "news.example") {
+		t.Error("exact anchored domain should match")
+	}
+	if l.MatchURL("https://notdoubleclick.net/x", "news.example") {
+		t.Error("suffix-similar host must not match")
+	}
+}
+
+func TestPathRuleOnDomain(t *testing.T) {
+	// The paper's example: bbc.co.uk is not blacklisted, but
+	// bbc.co.uk/analytics is.
+	l := list("||bbc.co.uk/analytics")
+	if l.MatchURL("https://bbc.co.uk/news", "other.example") {
+		t.Error("plain page must not match")
+	}
+	if !l.MatchURL("https://bbc.co.uk/analytics?id=1", "other.example") {
+		t.Error("analytics path should match")
+	}
+}
+
+func TestSubstringRule(t *testing.T) {
+	l := list("/pixel.gif?")
+	if !l.MatchURL("http://x.example/pixel.gif?uid=2", "site.example") {
+		t.Error("substring should match")
+	}
+	if l.MatchURL("http://x.example/pixel.gift", "site.example") {
+		t.Error("must not match without ?")
+	}
+}
+
+func TestWildcardRule(t *testing.T) {
+	l := list("/ads/*/banner")
+	if !l.MatchURL("http://x.example/ads/v2/banner.png", "s.example") {
+		t.Error("wildcard should match")
+	}
+	if l.MatchURL("http://x.example/ads/banner", "s.example") {
+		t.Error("wildcard needs middle segment")
+	}
+}
+
+func TestSeparatorSemantics(t *testing.T) {
+	l := list("||ads.example.com^")
+	if !l.MatchURL("http://ads.example.com/x", "s.example") {
+		t.Error("separator ^ should accept /")
+	}
+	// Separator in substring rule.
+	l2 := list("track^")
+	if !l2.MatchURL("http://x.example/track?id=1", "s.example") {
+		t.Error("^ should match ? boundary")
+	}
+	if l2.MatchURL("http://x.example/tracker", "s.example") {
+		t.Error("^ must reject word char continuation")
+	}
+}
+
+func TestStartAnchor(t *testing.T) {
+	l := list("|http://banner.")
+	if !l.MatchURL("http://banner.example/x", "s.example") {
+		t.Error("start anchor should match")
+	}
+	if l.MatchURL("https://banner.example/x", "s.example") {
+		t.Error("start anchor must not match https")
+	}
+}
+
+func TestEndAnchor(t *testing.T) {
+	l := list("swf|")
+	if !l.MatchURL("http://x.example/movie.swf", "s.example") {
+		t.Error("end anchor should match at end")
+	}
+	if l.MatchURL("http://x.example/movie.swf?x=1", "s.example") {
+		t.Error("end anchor must not match mid-URL")
+	}
+}
+
+func TestExceptionRule(t *testing.T) {
+	l := list("||tracker.example^", "@@||tracker.example/required.js")
+	if l.MatchURL("https://tracker.example/required.js", "s.example") {
+		t.Error("exception should unblock")
+	}
+	if !l.MatchURL("https://tracker.example/spy.js", "s.example") {
+		t.Error("non-excepted URL should stay blocked")
+	}
+}
+
+func TestThirdPartyOption(t *testing.T) {
+	l := list("||widgets.example^$third-party")
+	blocked, _ := l.Match(Request{URL: "https://widgets.example/w.js", Host: "widgets.example", SiteHost: "news.example", ThirdParty: true})
+	if !blocked {
+		t.Error("third-party request should match")
+	}
+	blocked, _ = l.Match(Request{URL: "https://widgets.example/w.js", Host: "widgets.example", SiteHost: "widgets.example", ThirdParty: false})
+	if blocked {
+		t.Error("first-party request must not match $third-party rule")
+	}
+}
+
+func TestTypeOptions(t *testing.T) {
+	l := list("||cdn.example^$script")
+	blocked, _ := l.Match(Request{URL: "https://cdn.example/a.js", Host: "cdn.example", SiteHost: "s.example", ThirdParty: true, Type: TypeScript})
+	if !blocked {
+		t.Error("script should match $script rule")
+	}
+	blocked, _ = l.Match(Request{URL: "https://cdn.example/a.png", Host: "cdn.example", SiteHost: "s.example", ThirdParty: true, Type: TypeImage})
+	if blocked {
+		t.Error("image must not match $script rule")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	l := list("/ad.js$domain=porn.example|~sub.porn.example")
+	blocked, _ := l.Match(Request{URL: "http://x.example/ad.js", SiteHost: "porn.example", ThirdParty: true})
+	if !blocked {
+		t.Error("listed domain should match")
+	}
+	blocked, _ = l.Match(Request{URL: "http://x.example/ad.js", SiteHost: "sub.porn.example", ThirdParty: true})
+	if blocked {
+		t.Error("negated domain must not match")
+	}
+	blocked, _ = l.Match(Request{URL: "http://x.example/ad.js", SiteHost: "unrelated.example", ThirdParty: true})
+	if blocked {
+		t.Error("unlisted domain must not match")
+	}
+}
+
+func TestCommentsAndHeaders(t *testing.T) {
+	l := list("[Adblock Plus 2.0]", "! comment", "", "##.ad-banner", "||real.example^")
+	if l.Len() != 1 {
+		t.Errorf("rules = %d, want 1", l.Len())
+	}
+}
+
+func TestCoversHost(t *testing.T) {
+	l := list("||exoclick.com^", "||bbc.co.uk/analytics", "@@||good.example^")
+	if !l.CoversHost("main.exoclick.com") {
+		t.Error("subdomain should be covered")
+	}
+	if l.CoversHost("bbc.co.uk") {
+		t.Error("path rule must not cover whole host")
+	}
+	if l.CoversHost("good.example") {
+		t.Error("exception rule must not count as coverage")
+	}
+	if l.CoversHost("other.example") {
+		t.Error("unlisted host must not be covered")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := list("||a.example^")
+	b := list("||b.example^")
+	m := Merge("combined", a, b)
+	if m.Len() != 2 {
+		t.Fatalf("merged len = %d, want 2", m.Len())
+	}
+	if !m.MatchURL("http://a.example/", "s.example") || !m.MatchURL("http://b.example/", "s.example") {
+		t.Error("merged list should match both")
+	}
+}
+
+func TestMatchReturnsRule(t *testing.T) {
+	l := list("||spy.example^")
+	blocked, by := l.Match(Request{URL: "http://spy.example/x", Host: "spy.example", SiteHost: "s.example", ThirdParty: true})
+	if !blocked || by != "||spy.example^" {
+		t.Errorf("Match = %v, %q", blocked, by)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(line string) bool {
+		l := Parse("fuzz", []string{line})
+		l.MatchURL("http://x.example/path?q=1", "s.example")
+		l.CoversHost("x.example")
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, s := range []string{"||", "|", "@@", "^", "*", "$", "a$domain=", "||^", "@@$third-party"} {
+		Parse("edge", []string{s})
+	}
+}
+
+func TestUnknownOptionKept(t *testing.T) {
+	l := list("||popup.example^$popup")
+	if l.Len() != 1 {
+		t.Error("rule with unknown option should be kept")
+	}
+	if !l.MatchURL("http://popup.example/x", "s.example") {
+		t.Error("rule should match, ignoring the unknown option")
+	}
+}

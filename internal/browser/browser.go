@@ -1,0 +1,251 @@
+// Package browser is the page-loading engine on top of the instrumented
+// HTTP session: it fetches a landing page, parses the DOM, loads every
+// embedded subresource (scripts, images, iframes — recursively, bounded),
+// executes JavaScript through the jsvm interpreter and issues the network
+// requests those scripts trigger. This is the OpenWPM-analog "browser" of
+// the study. A second, interactive mode reproduces the paper's
+// Selenium-based crawler: it detects and clicks through age-verification
+// interstitials and harvests privacy policies (Section 3.1).
+package browser
+
+import (
+	"context"
+	"net/url"
+	"strings"
+
+	"pornweb/internal/consent"
+	"pornweb/internal/crawler"
+	"pornweb/internal/htmlx"
+	"pornweb/internal/jsvm"
+)
+
+// maxIframeDepth bounds recursive iframe loading (RTB chains nest ads in
+// ads).
+const maxIframeDepth = 3
+
+// Browser drives page loads over one crawl session.
+type Browser struct {
+	Session *crawler.Session
+	// Env is the ambient state scripts can observe.
+	Env jsvm.Env
+}
+
+// New builds a browser with a Firefox-52-like environment, matching the
+// paper's OpenWPM build.
+func New(session *crawler.Session) *Browser {
+	return &Browser{
+		Session: session,
+		Env: jsvm.Env{
+			UserAgent: "Mozilla/5.0 (X11; Linux x86_64; rv:52.0) Gecko/20100101 Firefox/52.0",
+			ScreenW:   1920,
+			ScreenH:   1080,
+			Language:  "en-US",
+		},
+	}
+}
+
+// ScriptTrace pairs an executed script with its instrumentation trace.
+type ScriptTrace struct {
+	URL      string // "" for inline scripts
+	Host     string // host serving the script ("" for inline)
+	SiteHost string
+	Trace    *jsvm.Trace
+}
+
+// PageVisit is the outcome of one instrumented page load.
+type PageVisit struct {
+	SiteHost string
+	FinalURL string
+	HTTPS    bool // the site itself answered over TLS
+	OK       bool
+	Err      string
+	HTML     string
+	DOM      *htmlx.Node
+	Traces   []ScriptTrace
+	// Subresources counts fetched embeds by initiator kind.
+	Subresources map[crawler.Initiator]int
+}
+
+// Visit loads a site's landing page with full instrumentation.
+func (b *Browser) Visit(ctx context.Context, host string) *PageVisit {
+	pv := &PageVisit{SiteHost: host, Subresources: map[crawler.Initiator]int{}}
+	res, https, err := b.Session.FetchPage(ctx, host, "/")
+	if err != nil {
+		pv.Err = err.Error()
+		return pv
+	}
+	pv.OK = true
+	pv.HTTPS = https
+	pv.FinalURL = res.FinalURL
+	pv.HTML = res.Body
+	pv.DOM = htmlx.Parse(res.Body)
+	b.loadDocument(ctx, pv, pv.DOM, res.FinalURL, 0)
+	return pv
+}
+
+// loadDocument fetches a parsed document's subresources and executes its
+// scripts. depth tracks iframe nesting.
+func (b *Browser) loadDocument(ctx context.Context, pv *PageVisit, doc *htmlx.Node, baseURL string, depth int) {
+	base, err := url.Parse(baseURL)
+	if err != nil {
+		return
+	}
+	resolve := func(ref string) string {
+		u, err := url.Parse(strings.TrimSpace(ref))
+		if err != nil {
+			return ""
+		}
+		return base.ResolveReference(u).String()
+	}
+	for _, r := range doc.Resources() {
+		target := resolve(r.URL)
+		if target == "" {
+			continue
+		}
+		switch r.Tag {
+		case "script":
+			pv.Subresources[crawler.InitScript]++
+			res, err := b.Session.Fetch(ctx, target, pv.SiteHost, crawler.InitScript, baseURL)
+			if err != nil {
+				continue
+			}
+			b.executeScript(ctx, pv, target, res.Body, baseURL)
+		case "img":
+			pv.Subresources[crawler.InitImage]++
+			b.Session.Fetch(ctx, target, pv.SiteHost, crawler.InitImage, baseURL)
+		case "iframe":
+			pv.Subresources[crawler.InitIframe]++
+			res, err := b.Session.Fetch(ctx, target, pv.SiteHost, crawler.InitIframe, baseURL)
+			if err != nil || depth+1 >= maxIframeDepth {
+				continue
+			}
+			if strings.Contains(res.ContentType, "html") {
+				b.loadDocument(ctx, pv, htmlx.Parse(res.Body), res.FinalURL, depth+1)
+			}
+		case "link":
+			pv.Subresources[crawler.InitCSS]++
+			b.Session.Fetch(ctx, target, pv.SiteHost, crawler.InitCSS, baseURL)
+		}
+	}
+	// Inline scripts execute in document order after external ones (a
+	// simplification: generated pages put inline analytics last anyway).
+	for _, src := range doc.InlineScripts() {
+		b.runTrace(ctx, pv, "", src, baseURL)
+	}
+}
+
+// executeScript runs external script content and fetches what it requests.
+func (b *Browser) executeScript(ctx context.Context, pv *PageVisit, scriptURL, src, docURL string) {
+	b.runTrace(ctx, pv, scriptURL, src, docURL)
+}
+
+func (b *Browser) runTrace(ctx context.Context, pv *PageVisit, scriptURL, src, docURL string) {
+	tr := jsvm.Execute(scriptURL, src, b.Env)
+	host := ""
+	if scriptURL != "" {
+		if u, err := url.Parse(scriptURL); err == nil {
+			host = strings.ToLower(u.Hostname())
+		}
+	}
+	pv.Traces = append(pv.Traces, ScriptTrace{URL: scriptURL, Host: host, SiteHost: pv.SiteHost, Trace: tr})
+	parent := scriptURL
+	if parent == "" {
+		parent = docURL
+	}
+	baseRef, _ := url.Parse(docURL)
+	for _, req := range tr.Requests {
+		target := req
+		if baseRef != nil {
+			if u, err := url.Parse(req); err == nil {
+				target = baseRef.ResolveReference(u).String()
+			}
+		}
+		pv.Subresources[crawler.InitJS]++
+		b.Session.Fetch(ctx, target, pv.SiteHost, crawler.InitJS, parent)
+	}
+}
+
+// InteractiveVisit is the Selenium-analog crawl of one site: detect the
+// age gate, click through when bypassable, then locate and download the
+// privacy policy. It uses the same session (a dedicated interactive
+// session in the full study, to avoid instrumentation bias).
+type InteractiveVisit struct {
+	SiteHost string
+	OK       bool
+	Err      string
+
+	GateDetected   bool
+	GateBypassable bool
+	GateBypassed   bool
+
+	Banner       consent.BannerType
+	HasBanner    bool
+	Monetization consent.Monetization
+
+	PolicyFound bool
+	PolicyURL   string
+	PolicyText  string
+}
+
+// VisitInteractive performs the interactive crawl for one site.
+func (b *Browser) VisitInteractive(ctx context.Context, host string) *InteractiveVisit {
+	iv := &InteractiveVisit{SiteHost: host}
+	res, _, err := b.Session.FetchPage(ctx, host, "/")
+	if err != nil {
+		iv.Err = err.Error()
+		return iv
+	}
+	iv.OK = true
+	doc := htmlx.Parse(res.Body)
+	base, _ := url.Parse(res.FinalURL)
+
+	// Age gate.
+	if info, found := consent.DetectAgeGate(doc); found {
+		iv.GateDetected = true
+		iv.GateBypassable = info.Bypassable
+		if info.Bypassable && base != nil {
+			if u, err := url.Parse(info.EnterURL); err == nil {
+				enterRes, err := b.Session.Fetch(ctx, base.ResolveReference(u).String(), host, crawler.InitDocument, res.FinalURL)
+				if err == nil && enterRes.Status < 400 {
+					// Re-load the landing page; the gate cookie is in the jar.
+					if res2, _, err := b.Session.FetchPage(ctx, host, "/"); err == nil {
+						doc2 := htmlx.Parse(res2.Body)
+						if _, still := consent.DetectAgeGate(doc2); !still {
+							iv.GateBypassed = true
+							doc = doc2
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Banner and monetization signals on the (possibly post-gate) page.
+	if bt, ok := consent.DetectBanner(doc); ok {
+		iv.HasBanner = true
+		iv.Banner = bt
+	}
+	iv.Monetization = consent.DetectMonetization(doc)
+
+	// Privacy policy.
+	for _, link := range consent.FindPolicyLinks(doc) {
+		u, err := url.Parse(link)
+		if err != nil || base == nil {
+			continue
+		}
+		target := base.ResolveReference(u).String()
+		pres, err := b.Session.Fetch(ctx, target, host, crawler.InitDocument, res.FinalURL)
+		if err != nil || pres.Status >= 400 {
+			continue // HTTP-error policies are the paper's 44 false positives
+		}
+		text := consent.ExtractPolicyText(htmlx.Parse(pres.Body))
+		if len(strings.Fields(text)) < 50 {
+			continue // abnormally short: sanitized away like the paper's manual check
+		}
+		iv.PolicyFound = true
+		iv.PolicyURL = target
+		iv.PolicyText = text
+		break
+	}
+	return iv
+}

@@ -1,0 +1,326 @@
+// Package consent implements the regulatory-compliance detectors of
+// Section 7: cookie-consent banner detection and classification under the
+// Degeling et al. taxonomy, age-verification interstitial detection (with
+// the parent/grandparent text verification the paper's Selenium crawler
+// performs), privacy-policy link discovery, and policy-text analysis. All
+// keyword matching covers the paper's eight languages via internal/lingo.
+package consent
+
+import (
+	"sort"
+	"strings"
+
+	"pornweb/internal/htmlx"
+	"pornweb/internal/lingo"
+)
+
+// BannerType mirrors the Degeling taxonomy as the paper applies it
+// (Slider/Checkbox merged into Other because classifying them needs
+// interaction).
+type BannerType int
+
+// Banner classifications.
+const (
+	BannerNone BannerType = iota
+	BannerNoOption
+	BannerConfirmation
+	BannerBinary
+	BannerOther
+)
+
+// String renders the classification as Table 8 prints it.
+func (b BannerType) String() string {
+	switch b {
+	case BannerNoOption:
+		return "No Option"
+	case BannerConfirmation:
+		return "Confirmation"
+	case BannerBinary:
+		return "Binary"
+	case BannerOther:
+		return "Others"
+	default:
+		return "None"
+	}
+}
+
+var (
+	bannerPhrases  = lingo.AllLanguageWords(lingo.CookieBannerPhrases)
+	acceptWords    = lingo.AllLanguageWords(lingo.AgeConfirmWords)
+	rejectWords    = lingo.AllLanguageWords(lingo.BannerRejectWords)
+	settingsWords  = lingo.AllLanguageWords(lingo.BannerSettingsWords)
+	warningPhrases = lingo.AllLanguageWords(lingo.AgeWarningPhrases)
+	privacyWords   = lingo.AllLanguageWords(lingo.PrivacyLinkWords)
+	signupWords    = lingo.AllLanguageWords(lingo.SignupWords)
+	premiumWords   = lingo.AllLanguageWords(lingo.PremiumWords)
+	paywallWords   = lingo.AllLanguageWords(lingo.PaywallWords)
+)
+
+// isFloating approximates the paper's "floating element" test: fixed or
+// absolute positioning in the style attribute, or banner-ish id/class.
+func isFloating(n *htmlx.Node) bool {
+	style := strings.ToLower(n.Attr("style"))
+	if strings.Contains(style, "position:fixed") || strings.Contains(style, "position: fixed") ||
+		strings.Contains(style, "position:absolute") || strings.Contains(style, "position: absolute") {
+		return true
+	}
+	idcls := strings.ToLower(n.Attr("id") + " " + n.Attr("class"))
+	for _, m := range []string{"banner", "overlay", "modal", "consent", "gdpr", "notice", "popup"} {
+		if strings.Contains(idcls, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectBanner finds a cookie-consent banner in the document and classifies
+// it. Classification follows the paper's automatable subset: the banner's
+// own text plus its buttons decide the type.
+func DetectBanner(doc *htmlx.Node) (BannerType, bool) {
+	var banner *htmlx.Node
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode || !isFloating(n) {
+			return true
+		}
+		if _, ok := lingo.ContainsAny(n.InnerText(), bannerPhrases); ok {
+			banner = n
+			return false
+		}
+		return true
+	})
+	if banner == nil {
+		return BannerNone, false
+	}
+	return classifyBanner(banner), true
+}
+
+func classifyBanner(banner *htmlx.Node) BannerType {
+	var hasAccept, hasReject, hasSettings, hasSlider, hasCheckbox bool
+	banner.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		switch n.Tag {
+		case "button", "a":
+			text := strings.ToLower(n.InnerText())
+			if _, ok := lingo.ContainsAny(text, settingsWords); ok {
+				hasSettings = true
+			} else if _, ok := lingo.ContainsAny(text, rejectWords); ok {
+				hasReject = true
+			} else if _, ok := lingo.ContainsAny(text, acceptWords); ok {
+				hasAccept = true
+			}
+		case "input":
+			switch strings.ToLower(n.Attr("type")) {
+			case "range":
+				hasSlider = true
+			case "checkbox":
+				hasCheckbox = true
+			}
+		}
+		return true
+	})
+	switch {
+	case hasSlider || hasCheckbox || hasSettings:
+		return BannerOther
+	case hasAccept && hasReject:
+		return BannerBinary
+	case hasAccept:
+		return BannerConfirmation
+	default:
+		return BannerNoOption
+	}
+}
+
+// GateInfo describes a detected age-verification mechanism.
+type GateInfo struct {
+	// EnterURL is the link/button target that bypasses the gate; empty when
+	// the gate is not bypassable by clicking (e.g. the Russian social-login
+	// wall).
+	EnterURL   string
+	Bypassable bool
+	// MatchedWord is the keyword that triggered detection (diagnostics).
+	MatchedWord string
+}
+
+// DetectAgeGate searches the landing page for an age-verification
+// interstitial: an element whose text matches one of the confirm keywords
+// in any of the eight languages, whose parent or grandparent carries an
+// adult-content warning (the false-positive filter from Section 3.1).
+func DetectAgeGate(doc *htmlx.Node) (*GateInfo, bool) {
+	var info *GateInfo
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		if n.Tag != "a" && n.Tag != "button" {
+			return true
+		}
+		word, ok := lingo.ContainsAny(n.InnerText(), acceptWords)
+		if !ok {
+			return true
+		}
+		// Verify the parent or grandparent mentions an adult warning (the
+		// paper's false-positive filter). Whole-page containers do not
+		// count: a cookie-banner button must not match just because an
+		// age warning exists elsewhere on the page.
+		for level := 1; level <= 2; level++ {
+			anc := n.Ancestor(level)
+			if anc == nil || anc.Tag == "body" || anc.Tag == "html" || anc.Type != htmlx.ElementNode {
+				break
+			}
+			if _, warn := lingo.ContainsAny(anc.InnerText(), warningPhrases); warn {
+				info = &GateInfo{MatchedWord: word}
+				if n.Tag == "a" {
+					if href := n.Attr("href"); href != "" {
+						info.EnterURL = href
+						info.Bypassable = true
+					}
+				}
+				return false
+			}
+		}
+		return true
+	})
+	if info != nil {
+		return info, true
+	}
+	// Social-login walls: a form inside an overlay with no bypass link.
+	var social bool
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type == htmlx.ElementNode && n.Tag == "form" {
+			anc := n.Ancestor(1)
+			for level := 1; level <= 3 && anc != nil; level++ {
+				if isFloating(anc) {
+					action := strings.ToLower(n.Attr("action"))
+					if strings.Contains(action, "login") || strings.Contains(action, "social") {
+						social = true
+						return false
+					}
+				}
+				anc = anc.Ancestor(1)
+			}
+		}
+		return true
+	})
+	if social {
+		return &GateInfo{Bypassable: false}, true
+	}
+	return nil, false
+}
+
+// FindPolicyLinks returns the hrefs of links whose anchor text or href
+// matches the privacy keywords, deduplicated in document order.
+func FindPolicyLinks(doc *htmlx.Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode || n.Tag != "a" {
+			return true
+		}
+		href := n.Attr("href")
+		if href == "" || seen[href] {
+			return true
+		}
+		text := strings.ToLower(n.InnerText() + " " + href)
+		if _, ok := lingo.ContainsAny(text, privacyWords); ok {
+			seen[href] = true
+			out = append(out, href)
+		}
+		return true
+	})
+	return out
+}
+
+// PolicyAnalysis summarizes one privacy-policy text (Section 7.3).
+type PolicyAnalysis struct {
+	Letters              int
+	Words                int
+	MentionsGDPR         bool
+	DisclosesCookies     bool
+	DisclosesThirdParty  bool
+	ListedThirdParties   []string // hosts enumerated in the policy, if any
+	HasControllerContact bool     // names a controller or reachable contact
+}
+
+// AnalyzePolicy inspects extracted policy text.
+func AnalyzePolicy(text string) PolicyAnalysis {
+	lower := strings.ToLower(text)
+	pa := PolicyAnalysis{
+		Letters: len([]rune(text)),
+		Words:   len(strings.Fields(text)),
+	}
+	for _, m := range lingo.GDPRMarkers {
+		if strings.Contains(text, m) {
+			pa.MentionsGDPR = true
+			break
+		}
+	}
+	pa.DisclosesCookies = strings.Contains(lower, "cookie")
+	pa.DisclosesThirdParty = strings.Contains(lower, "third part") || strings.Contains(lower, "third-part")
+	pa.HasControllerContact = strings.Contains(lower, "data controller")
+	pa.ListedThirdParties = extractListedHosts(text)
+	return pa
+}
+
+// extractListedHosts pulls hostnames from the "complete list of third-party
+// services" enumeration, when present.
+func extractListedHosts(text string) []string {
+	marker := "complete list of third-party services"
+	idx := strings.Index(strings.ToLower(text), marker)
+	if idx < 0 {
+		return nil
+	}
+	rest := text[idx:]
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return nil
+	}
+	segment := rest[colon+1:]
+	if nl := strings.IndexByte(segment, '\n'); nl >= 0 {
+		segment = segment[:nl]
+	}
+	var hosts []string
+	for _, f := range strings.Split(segment, ",") {
+		f = strings.TrimSuffix(strings.TrimSpace(f), ".")
+		if strings.Contains(f, ".") && !strings.ContainsAny(f, " \t") {
+			hosts = append(hosts, strings.ToLower(f))
+		}
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Monetization is the Section 4.1 business-model classification.
+type Monetization struct {
+	HasAccounts bool // Log In / Sign Up keywords present
+	HasPremium  bool // Premium offers present
+	Paid        bool // payment-wall markers present
+}
+
+// DetectMonetization classifies a landing page's monetization signals.
+func DetectMonetization(doc *htmlx.Node) Monetization {
+	text := strings.ToLower(doc.InnerText())
+	var m Monetization
+	if _, ok := lingo.ContainsAny(text, signupWords); ok {
+		m.HasAccounts = true
+	}
+	if _, ok := lingo.ContainsAny(text, premiumWords); ok {
+		m.HasPremium = true
+	}
+	if _, ok := lingo.ContainsAny(text, paywallWords); ok {
+		m.Paid = true
+	}
+	return m
+}
+
+// ExtractPolicyText pulls the readable text out of a policy page document.
+func ExtractPolicyText(doc *htmlx.Node) string {
+	if article := doc.First("article"); article != nil {
+		return article.InnerText()
+	}
+	if body := doc.First("body"); body != nil {
+		return body.InnerText()
+	}
+	return doc.InnerText()
+}

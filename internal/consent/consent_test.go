@@ -1,0 +1,241 @@
+package consent
+
+import (
+	"strings"
+	"testing"
+
+	"pornweb/internal/htmlx"
+	"pornweb/internal/webgen"
+)
+
+func TestDetectBannerTypesFromGenerator(t *testing.T) {
+	// The generator's banner markup must round-trip through the detector
+	// for every type and language.
+	eco := webgen.Generate(webgen.Params{Seed: 9, Scale: 0.05})
+	want := map[webgen.BannerType]BannerType{
+		webgen.BannerNoOption:     BannerNoOption,
+		webgen.BannerConfirmation: BannerConfirmation,
+		webgen.BannerBinary:       BannerBinary,
+		webgen.BannerOther:        BannerOther,
+	}
+	seen := map[webgen.BannerType]bool{}
+	for _, s := range eco.PornSites {
+		if s.BannerEU == webgen.BannerNone || seen[s.BannerEU] {
+			continue
+		}
+		html := eco.RenderLanding(s, webgen.PageContext{Country: "ES", Scheme: "http"})
+		got, ok := DetectBanner(htmlx.Parse(html))
+		if !ok {
+			t.Errorf("site %s (lang %s): banner %v not detected", s.Host, s.Language, s.BannerEU)
+			continue
+		}
+		if got != want[s.BannerEU] {
+			t.Errorf("site %s: banner %v classified as %v", s.Host, s.BannerEU, got)
+		}
+		seen[s.BannerEU] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d banner types exercised at this scale", len(seen))
+	}
+}
+
+func TestNoBannerNoDetection(t *testing.T) {
+	doc := htmlx.Parse(`<html><body><p>We use cookies to improve the dough of our biscuits.</p></body></html>`)
+	if _, ok := DetectBanner(doc); ok {
+		t.Error("non-floating text must not be detected as banner")
+	}
+}
+
+func TestBannerClassificationManual(t *testing.T) {
+	cases := []struct {
+		html string
+		want BannerType
+	}{
+		{`<div style="position:fixed"><p>This website uses cookies.</p></div>`, BannerNoOption},
+		{`<div class="cookie-banner"><p>We use cookies.</p><button>Accept</button></div>`, BannerConfirmation},
+		{`<div class="consent"><p>We use cookies.</p><button>Accept</button><button>Decline</button></div>`, BannerBinary},
+		{`<div class="consent"><p>We use cookies.</p><button>Accept</button><a href="/s">Cookie settings</a></div>`, BannerOther},
+		{`<div class="notice"><p>Этот сайт использует файлы cookie.</p><button>Принять</button></div>`, BannerConfirmation},
+	}
+	for i, c := range cases {
+		got, ok := DetectBanner(htmlx.Parse(c.html))
+		if !ok {
+			t.Errorf("case %d: banner not detected", i)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDetectAgeGateFromGenerator(t *testing.T) {
+	eco := webgen.Generate(webgen.Params{Seed: 9, Scale: 0.05})
+	var tested int
+	for _, s := range eco.PornSites {
+		g := s.GateFor("ES")
+		if g != webgen.GateSimple {
+			continue
+		}
+		html := eco.RenderLanding(s, webgen.PageContext{Country: "ES", Scheme: "http"})
+		info, ok := DetectAgeGate(htmlx.Parse(html))
+		if !ok {
+			t.Errorf("site %s (lang %s): gate not detected", s.Host, s.AgeGateLang)
+			continue
+		}
+		if !info.Bypassable || info.EnterURL == "" {
+			t.Errorf("site %s: simple gate should be bypassable: %+v", s.Host, info)
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no gated sites at this scale")
+	}
+}
+
+func TestDetectSocialLoginGate(t *testing.T) {
+	eco := webgen.Generate(webgen.Params{Seed: 9, Scale: 0.05})
+	ph := eco.SiteByHost["pornhub.com"]
+	if ph == nil {
+		t.Fatal("pornhub missing")
+	}
+	html := eco.RenderLanding(ph, webgen.PageContext{Country: "RU", Scheme: "https"})
+	info, ok := DetectAgeGate(htmlx.Parse(html))
+	if !ok {
+		t.Fatal("social gate not detected")
+	}
+	if info.Bypassable {
+		t.Error("social-login gate must not be bypassable")
+	}
+}
+
+func TestAgeGateFalsePositiveFilter(t *testing.T) {
+	// A "Continue" button without an adult warning in its ancestry must
+	// not count (the paper's parent/grandparent verification).
+	doc := htmlx.Parse(`<html><body><div class="pager"><a href="/page2">Continue</a></div></body></html>`)
+	if _, ok := DetectAgeGate(doc); ok {
+		t.Error("pagination link misdetected as age gate")
+	}
+}
+
+func TestFindPolicyLinks(t *testing.T) {
+	doc := htmlx.Parse(`<nav>
+<a href="/about">About</a>
+<a href="/privacy">Privacy Policy</a>
+<a href="/datenschutz">Datenschutz</a>
+<a href="/terms">Terms</a>
+</nav>`)
+	links := FindPolicyLinks(doc)
+	if len(links) != 2 || links[0] != "/privacy" || links[1] != "/datenschutz" {
+		t.Errorf("links = %v", links)
+	}
+}
+
+func TestFindPolicyLinksGeneratedLocalized(t *testing.T) {
+	eco := webgen.Generate(webgen.Params{Seed: 9, Scale: 0.05})
+	var tested int
+	for _, s := range eco.PornSites {
+		if !s.HasPolicy || s.Language == "en" {
+			continue
+		}
+		html := eco.RenderLanding(s, webgen.PageContext{Country: "ES", Scheme: "http"})
+		if len(FindPolicyLinks(htmlx.Parse(html))) == 0 {
+			t.Errorf("site %s (lang %s): policy link not found", s.Host, s.Language)
+		}
+		tested++
+		if tested > 20 {
+			break
+		}
+	}
+	if tested == 0 {
+		t.Skip("no localized policied sites at this scale")
+	}
+}
+
+func TestAnalyzePolicy(t *testing.T) {
+	text := `Privacy Policy. We use cookies and similar technologies.
+Certain features are provided by third parties.
+We comply with the General Data Protection Regulation (GDPR).
+The data controller for x.com is Acme Media.
+The complete list of third-party services embedded on this website is: ads.example.com, track.example.net.`
+	pa := AnalyzePolicy(text)
+	if !pa.MentionsGDPR || !pa.DisclosesCookies || !pa.DisclosesThirdParty || !pa.HasControllerContact {
+		t.Errorf("analysis = %+v", pa)
+	}
+	if len(pa.ListedThirdParties) != 2 || pa.ListedThirdParties[0] != "ads.example.com" {
+		t.Errorf("listed = %v", pa.ListedThirdParties)
+	}
+	if pa.Letters == 0 || pa.Words == 0 {
+		t.Error("length stats missing")
+	}
+}
+
+func TestAnalyzePolicyNegative(t *testing.T) {
+	pa := AnalyzePolicy("We sell shoes. Nothing to see here.")
+	if pa.MentionsGDPR || pa.DisclosesCookies || pa.DisclosesThirdParty || len(pa.ListedThirdParties) != 0 {
+		t.Errorf("analysis = %+v", pa)
+	}
+}
+
+func TestDetectMonetization(t *testing.T) {
+	doc := htmlx.Parse(`<nav><a href="/account">Sign Up</a><a href="/premium">Premium</a></nav>
+<p class="paywall">Subscribe now for $9.99 per month</p>`)
+	m := DetectMonetization(doc)
+	if !m.HasAccounts || !m.HasPremium || !m.Paid {
+		t.Errorf("monetization = %+v", m)
+	}
+	free := DetectMonetization(htmlx.Parse(`<p>free videos daily</p>`))
+	if free.HasAccounts || free.Paid {
+		t.Errorf("free site misclassified: %+v", free)
+	}
+}
+
+func TestExtractPolicyText(t *testing.T) {
+	eco := webgen.Generate(webgen.Params{Seed: 9, Scale: 0.02})
+	for _, s := range eco.PornSites {
+		if !s.HasPolicy {
+			continue
+		}
+		page := webgen.RenderPolicyPage(s)
+		text := ExtractPolicyText(htmlx.Parse(page))
+		if !strings.Contains(text, "Privacy Policy") {
+			t.Error("policy text extraction lost the heading")
+		}
+		// The extracted text must cover the bulk of the planted text.
+		if len(text) < len(s.PolicyText)/2 {
+			t.Errorf("extracted %d chars of %d", len(text), len(s.PolicyText))
+		}
+		return
+	}
+	t.Skip("no policied site")
+}
+
+func TestGeneratedMonetizationRoundTrip(t *testing.T) {
+	eco := webgen.Generate(webgen.Params{Seed: 9, Scale: 0.05})
+	var subs, paid, detSubs, detPaid int
+	for _, s := range eco.PornSites {
+		html := eco.RenderLanding(s, webgen.PageContext{Country: "ES", Scheme: "http"})
+		m := DetectMonetization(htmlx.Parse(html))
+		if s.HasSubscription {
+			subs++
+			if m.HasAccounts {
+				detSubs++
+			}
+		}
+		if s.HasSubscription && s.PaidSubscription {
+			paid++
+			if m.Paid {
+				detPaid++
+			}
+		}
+	}
+	if subs == 0 {
+		t.Fatal("no subscription sites at this scale")
+	}
+	if detSubs != subs {
+		t.Errorf("subscription detection %d/%d", detSubs, subs)
+	}
+	if paid > 0 && detPaid != paid {
+		t.Errorf("paywall detection %d/%d", detPaid, paid)
+	}
+}

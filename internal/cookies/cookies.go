@@ -1,0 +1,402 @@
+// Package cookies implements the HTTP-cookie analyses of Section 5.1: the
+// cookie census with the identifier filter (drop session cookies and values
+// shorter than 6 characters), detection of client IPs and geolocation data
+// encoded inside cookie values (base64 and URL encodings), and cookie-
+// synchronization detection — an observed cookie value later embedded
+// verbatim in a request URL to a different domain. As in the paper, values
+// are never split on delimiters, so sync detection is a lower bound.
+package cookies
+
+import (
+	"encoding/base64"
+	"net/url"
+	"sort"
+	"strings"
+
+	"pornweb/internal/crawler"
+	"pornweb/internal/domain"
+)
+
+// MinIDLength is the paper's minimum value length for a cookie to possibly
+// carry a unique identifier.
+const MinIDLength = 6
+
+// Observed is one cookie observation attributed to the visit that caused
+// it.
+type Observed struct {
+	Name     string
+	Value    string
+	Host     string // host that set it
+	SiteHost string // site being visited
+	Session  bool
+	Seq      int // position in the crawl log
+	// ThirdParty is true when Host belongs to a different entity than
+	// SiteHost.
+	ThirdParty bool
+}
+
+// IsIDCandidate applies the identifier filter.
+func (o Observed) IsIDCandidate() bool {
+	return !o.Session && len(o.Value) >= MinIDLength
+}
+
+// Collect extracts all cookie observations from a crawl log, labeling each
+// first/third party with the given classifier (nil uses base-domain
+// comparison only).
+func Collect(records []crawler.Record, cls *domain.Classifier) []Observed {
+	var out []Observed
+	for _, r := range records {
+		for _, c := range r.SetCookies {
+			o := Observed{
+				Name:     c.Name,
+				Value:    c.Value,
+				Host:     c.Host,
+				SiteHost: r.SiteHost,
+				Session:  c.Session,
+				Seq:      r.Seq,
+			}
+			o.ThirdParty = cls.Classify(r.SiteHost, c.Host) == domain.ThirdParty
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Census is the Section 5.1.1 cookie census.
+type Census struct {
+	Total             int
+	SitesWithCookies  map[string]bool
+	IDCookies         int
+	Over1000Chars     int
+	ThirdPartyID      int
+	ThirdPartyDomains map[string]bool // FQDNs delivering third-party ID cookies
+	SitesWithTPID     map[string]bool // sites receiving third-party ID cookies
+	// PopularPairs counts identical name=value pairs across sites (the
+	// "100 most popular cookies" analysis).
+	PopularPairs map[string]map[string]bool // name=value -> sites
+}
+
+// BuildCensus aggregates observations into the census.
+func BuildCensus(obs []Observed) *Census {
+	c := &Census{
+		SitesWithCookies:  map[string]bool{},
+		ThirdPartyDomains: map[string]bool{},
+		SitesWithTPID:     map[string]bool{},
+		PopularPairs:      map[string]map[string]bool{},
+	}
+	for _, o := range obs {
+		c.Total++
+		c.SitesWithCookies[o.SiteHost] = true
+		if !o.IsIDCandidate() {
+			continue
+		}
+		c.IDCookies++
+		if len(o.Value) > 1000 {
+			c.Over1000Chars++
+		}
+		if o.ThirdParty {
+			c.ThirdPartyID++
+			c.ThirdPartyDomains[o.Host] = true
+			c.SitesWithTPID[o.SiteHost] = true
+		}
+		key := o.Name + "=" + o.Value
+		if c.PopularPairs[key] == nil {
+			c.PopularPairs[key] = map[string]bool{}
+		}
+		c.PopularPairs[key][o.SiteHost] = true
+	}
+	return c
+}
+
+// TopPairs returns the n most widespread name=value pairs with their site
+// counts, descending.
+func (c *Census) TopPairs(n int) []struct {
+	Pair  string
+	Sites int
+} {
+	type ps struct {
+		Pair  string
+		Sites int
+	}
+	all := make([]ps, 0, len(c.PopularPairs))
+	for k, sites := range c.PopularPairs {
+		all = append(all, ps{k, len(sites)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Sites != all[j].Sites {
+			return all[i].Sites > all[j].Sites
+		}
+		return all[i].Pair < all[j].Pair
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Pair  string
+		Sites int
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Pair  string
+			Sites int
+		}{all[i].Pair, all[i].Sites}
+	}
+	return out
+}
+
+// Decoded reports sensitive data found inside a cookie value.
+type Decoded struct {
+	HasClientIP bool
+	HasGeo      bool
+	Lat, Lon    string
+	HasISP      bool
+}
+
+// DecodeValue searches a cookie value for the visitor's IP address and for
+// geolocation payloads, trying the two encodings the paper tried: base64
+// and URL encoding. Values are additionally split on common separators
+// because encoders operate on segments, not because the matching needs it.
+func DecodeValue(value, clientIP string) Decoded {
+	var d Decoded
+	if clientIP != "" && strings.Contains(value, clientIP) {
+		d.HasClientIP = true
+	}
+	checkGeo := func(s string) {
+		if !strings.Contains(s, "lat=") {
+			return
+		}
+		d.HasGeo = true
+		d.Lat = extractField(s, "lat")
+		d.Lon = extractField(s, "lon")
+		if strings.Contains(s, "isp=") {
+			d.HasISP = true
+		}
+	}
+	checkGeo(value)
+	if un, err := url.QueryUnescape(value); err == nil && un != value {
+		checkGeo(un)
+		if clientIP != "" && strings.Contains(un, clientIP) {
+			d.HasClientIP = true
+		}
+	}
+	for _, seg := range splitSegments(value) {
+		if dec, err := base64.StdEncoding.DecodeString(seg); err == nil && len(dec) > 0 {
+			s := string(dec)
+			if clientIP != "" && strings.Contains(s, clientIP) {
+				d.HasClientIP = true
+			}
+			checkGeo(s)
+		}
+		if dec, err := base64.RawStdEncoding.DecodeString(seg); err == nil && len(dec) > 0 {
+			s := string(dec)
+			if clientIP != "" && strings.Contains(s, clientIP) {
+				d.HasClientIP = true
+			}
+		}
+	}
+	return d
+}
+
+func splitSegments(v string) []string {
+	return strings.FieldsFunc(v, func(r rune) bool {
+		return r == '.' || r == '|' || r == ':' || r == ';' || r == ',' || r == '%'
+	})
+}
+
+func extractField(s, key string) string {
+	idx := strings.Index(s, key+"=")
+	if idx < 0 {
+		return ""
+	}
+	rest := s[idx+len(key)+1:]
+	end := strings.IndexAny(rest, "|&; ")
+	if end < 0 {
+		end = len(rest)
+	}
+	return rest[:end]
+}
+
+// SyncEvent is one observed cookie synchronization: a cookie set by
+// OriginHost whose value later appeared in a request URL to DestHost.
+type SyncEvent struct {
+	OriginHost string
+	DestHost   string
+	SiteHost   string // site during whose visit the sync request fired
+	CookieName string
+	Value      string
+}
+
+// MinSyncValueLen guards against trivial substring collisions; the paper's
+// ID filter already requires >= 6 characters, and sync identifiers are
+// longer in practice.
+const MinSyncValueLen = 8
+
+// DetectSyncs finds cookie-sync events in a crawl log: for every request,
+// any previously observed cookie whose value (whole, never split) is
+// embedded in the request URL and whose setting host differs from the
+// request host at the base-domain level. Every matching request counts as
+// one exchange — Figure 4's edge weights are exchange counts.
+//
+// For tractability over large logs, values are matched against the
+// request's query-parameter values and path segments (raw and URL-decoded)
+// rather than by scanning the whole URL per known cookie; identifiers
+// shared through cookie syncing travel as parameter values, so this keeps
+// the paper's whole-value semantics while staying near-linear.
+func DetectSyncs(records []crawler.Record) []SyncEvent {
+	return DetectSyncsOpts(records, SyncOptions{})
+}
+
+// SyncOptions tunes the sync detector (used by the detection ablation).
+type SyncOptions struct {
+	// QueryOnly restricts matching to query-parameter values, ignoring
+	// identifiers carried in URL path segments.
+	QueryOnly bool
+}
+
+// DetectSyncsOpts is DetectSyncs with explicit options.
+func DetectSyncsOpts(records []crawler.Record, opts SyncOptions) []SyncEvent {
+	type ck struct {
+		name, host string
+		seq        int
+	}
+	seen := map[string][]ck{} // value -> setters
+	var events []SyncEvent
+	for _, r := range records {
+		if r.URL != "" && len(seen) > 0 {
+			reqBase := domain.Base(r.Host)
+			for _, candidate := range urlValueCandidates(r.URL, opts.QueryOnly) {
+				for _, c := range seen[candidate] {
+					if c.seq >= r.Seq {
+						continue
+					}
+					if domain.Base(c.host) == reqBase {
+						continue
+					}
+					events = append(events, SyncEvent{
+						OriginHost: c.host,
+						DestHost:   r.Host,
+						SiteHost:   r.SiteHost,
+						CookieName: c.name,
+						Value:      candidate,
+					})
+				}
+			}
+		}
+		for _, sc := range r.SetCookies {
+			if len(sc.Value) < MinSyncValueLen || sc.Session {
+				continue
+			}
+			dup := false
+			for _, c := range seen[sc.Value] {
+				if c.host == sc.Host && c.name == sc.Name {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen[sc.Value] = append(seen[sc.Value], ck{sc.Name, sc.Host, r.Seq})
+			}
+		}
+	}
+	return events
+}
+
+// urlValueCandidates extracts the parameter values (and, unless queryOnly,
+// path segments) of a URL, raw and URL-decoded, deduplicated.
+func urlValueCandidates(raw string, queryOnly bool) []string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil
+	}
+	set := map[string]bool{}
+	add := func(v string) {
+		if len(v) >= MinSyncValueLen && !set[v] {
+			set[v] = true
+		}
+	}
+	for _, vs := range u.Query() {
+		for _, v := range vs {
+			add(v)
+		}
+	}
+	// Raw query values (in case decoding altered the value).
+	for _, kv := range strings.Split(u.RawQuery, "&") {
+		if i := strings.IndexByte(kv, '='); i >= 0 {
+			add(kv[i+1:])
+		}
+	}
+	if !queryOnly {
+		for _, seg := range strings.Split(u.Path, "/") {
+			add(seg)
+			if dec, err := url.PathUnescape(seg); err == nil {
+				add(dec)
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Graph is the domain-level cookie-sync graph of Figure 4.
+type Graph struct {
+	// Pairs counts synced cookies per (origin base, destination base).
+	Pairs map[[2]string]int
+	// Origins and Dests are the distinct domains on each side.
+	Origins map[string]bool
+	Dests   map[string]bool
+	// Sites saw at least one sync during their visit.
+	Sites map[string]bool
+}
+
+// BuildGraph aggregates events at the base-domain level.
+func BuildGraph(events []SyncEvent) *Graph {
+	g := &Graph{
+		Pairs:   map[[2]string]int{},
+		Origins: map[string]bool{},
+		Dests:   map[string]bool{},
+		Sites:   map[string]bool{},
+	}
+	for _, ev := range events {
+		o, d := domain.Base(ev.OriginHost), domain.Base(ev.DestHost)
+		if o == d {
+			continue
+		}
+		g.Pairs[[2]string{o, d}]++
+		g.Origins[o] = true
+		g.Dests[d] = true
+		if ev.SiteHost != "" {
+			g.Sites[ev.SiteHost] = true
+		}
+	}
+	return g
+}
+
+// Edge is a rendered graph edge.
+type Edge struct {
+	Origin, Dest string
+	Count        int
+}
+
+// EdgesWithAtLeast returns the edges exchanging at least n cookies, sorted
+// by count descending — the Figure 4 rendering threshold (75 in the paper).
+func (g *Graph) EdgesWithAtLeast(n int) []Edge {
+	var out []Edge
+	for pair, cnt := range g.Pairs {
+		if cnt >= n {
+			out = append(out, Edge{pair[0], pair[1], cnt})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}

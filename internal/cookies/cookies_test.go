@@ -1,0 +1,219 @@
+package cookies
+
+import (
+	"encoding/base64"
+	"testing"
+	"testing/quick"
+
+	"pornweb/internal/crawler"
+)
+
+func rec(seq int, url, host, site string, cks ...crawler.CookieRecord) crawler.Record {
+	return crawler.Record{Seq: seq, URL: url, Host: host, SiteHost: site, SetCookies: cks}
+}
+
+func TestCollectAndCensus(t *testing.T) {
+	records := []crawler.Record{
+		rec(1, "http://site1.com/", "site1.com", "site1.com",
+			crawler.CookieRecord{Name: "fpuid", Value: "abcdef123456", Host: "site1.com"},
+			crawler.CookieRecord{Name: "lg", Value: "en", Host: "site1.com", Session: true},
+		),
+		rec(2, "http://ads.example/px.gif", "ads.example", "site1.com",
+			crawler.CookieRecord{Name: "uid", Value: "zzzzyyyyxxxx", Host: "ads.example"},
+			crawler.CookieRecord{Name: "s", Value: "1", Host: "ads.example"},
+		),
+		rec(3, "http://ads.example/px.gif", "ads.example", "site2.com",
+			crawler.CookieRecord{Name: "big", Value: string(make([]byte, 1500)), Host: "ads.example"},
+		),
+	}
+	obs := Collect(records, nil)
+	if len(obs) != 5 {
+		t.Fatalf("observations = %d, want 5", len(obs))
+	}
+	c := BuildCensus(obs)
+	if c.Total != 5 {
+		t.Errorf("Total = %d", c.Total)
+	}
+	if len(c.SitesWithCookies) != 2 {
+		t.Errorf("SitesWithCookies = %d", len(c.SitesWithCookies))
+	}
+	// ID cookies: fpuid, uid, big (session "lg" and short "s"/"1" excluded).
+	if c.IDCookies != 3 {
+		t.Errorf("IDCookies = %d, want 3", c.IDCookies)
+	}
+	if c.Over1000Chars != 1 {
+		t.Errorf("Over1000Chars = %d", c.Over1000Chars)
+	}
+	if c.ThirdPartyID != 2 {
+		t.Errorf("ThirdPartyID = %d, want 2", c.ThirdPartyID)
+	}
+	if !c.ThirdPartyDomains["ads.example"] {
+		t.Error("ads.example missing from third-party domains")
+	}
+	if len(c.SitesWithTPID) != 2 {
+		t.Errorf("SitesWithTPID = %d", len(c.SitesWithTPID))
+	}
+}
+
+func TestFirstPartySubdomainNotThirdParty(t *testing.T) {
+	records := []crawler.Record{
+		rec(1, "http://cdn.site1.com/x", "cdn.site1.com", "site1.com",
+			crawler.CookieRecord{Name: "a", Value: "abcdef", Host: "cdn.site1.com"}),
+	}
+	obs := Collect(records, nil)
+	if obs[0].ThirdParty {
+		t.Error("same-base subdomain must be first party")
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	var records []crawler.Record
+	for i, site := range []string{"a.com", "b.com", "c.com"} {
+		records = append(records, rec(i+1, "http://t.example/px", "t.example", site,
+			crawler.CookieRecord{Name: "cons", Value: "static1", Host: "t.example"}))
+	}
+	records = append(records, rec(9, "http://t.example/px", "t.example", "a.com",
+		crawler.CookieRecord{Name: "uid", Value: "unique99", Host: "t.example"}))
+	c := BuildCensus(Collect(records, nil))
+	top := c.TopPairs(1)
+	if len(top) != 1 || top[0].Pair != "cons=static1" || top[0].Sites != 3 {
+		t.Errorf("TopPairs = %+v", top)
+	}
+}
+
+func TestDecodeValueIP(t *testing.T) {
+	ip := "203.0.113.9"
+	b64 := base64.StdEncoding.EncodeToString([]byte(ip))
+	cases := []struct {
+		value string
+		want  bool
+	}{
+		{b64 + ".someuidpart", true},
+		{"plain-" + ip + "-embedded", true},
+		{"nothinghere1234", false},
+		{base64.StdEncoding.EncodeToString([]byte("10.0.0.1")) + ".x", false},
+	}
+	for _, c := range cases {
+		if got := DecodeValue(c.value, ip).HasClientIP; got != c.want {
+			t.Errorf("DecodeValue(%q).HasClientIP = %v, want %v", c.value, got, c.want)
+		}
+	}
+}
+
+func TestDecodeValueGeo(t *testing.T) {
+	v := "lat%3D40.4168%7Clon%3D-3.7038%7Cisp%3DAcme.uid123"
+	d := DecodeValue(v, "")
+	if !d.HasGeo || d.Lat != "40.4168" || d.Lon != "-3.7038" || !d.HasISP {
+		t.Errorf("decoded = %+v", d)
+	}
+	plain := DecodeValue("lat=1.5|lon=2.5", "")
+	if !plain.HasGeo || plain.HasISP {
+		t.Errorf("plain geo = %+v", plain)
+	}
+}
+
+func TestDecodeValueNeverPanics(t *testing.T) {
+	f := func(v, ip string) bool {
+		DecodeValue(v, ip)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectSyncs(t *testing.T) {
+	records := []crawler.Record{
+		rec(1, "http://origin.example/px.gif", "origin.example", "site1.com",
+			crawler.CookieRecord{Name: "uid", Value: "SYNCVALUE123", Host: "origin.example"}),
+		// Same-domain request containing the value: not a sync.
+		rec(2, "http://origin.example/collect?u=SYNCVALUE123", "origin.example", "site1.com"),
+		// Cross-domain request with embedded value: a sync.
+		rec(3, "http://partner.example/sync?puid=SYNCVALUE123&d=1", "partner.example", "site1.com"),
+		// Unrelated request: nothing.
+		rec(4, "http://other.example/x", "other.example", "site1.com"),
+	}
+	events := DetectSyncs(records)
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	ev := events[0]
+	if ev.OriginHost != "origin.example" || ev.DestHost != "partner.example" || ev.SiteHost != "site1.com" {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestDetectSyncsURLEscaped(t *testing.T) {
+	records := []crawler.Record{
+		rec(1, "http://o.example/px", "o.example", "s.com",
+			crawler.CookieRecord{Name: "uid", Value: "VAL|WITH|PIPES", Host: "o.example"}),
+		rec(2, "http://d.example/sync?puid=VAL%7CWITH%7CPIPES", "d.example", "s.com"),
+	}
+	events := DetectSyncs(records)
+	if len(events) != 1 {
+		t.Fatalf("escaped value not matched: %+v", events)
+	}
+}
+
+func TestDetectSyncsOrderMatters(t *testing.T) {
+	// A value appearing in a request *before* the cookie was set is not a
+	// sync of that cookie.
+	records := []crawler.Record{
+		rec(1, "http://d.example/sync?puid=EARLYVALUE99", "d.example", "s.com"),
+		rec(2, "http://o.example/px", "o.example", "s.com",
+			crawler.CookieRecord{Name: "uid", Value: "EARLYVALUE99", Host: "o.example"}),
+	}
+	if events := DetectSyncs(records); len(events) != 0 {
+		t.Errorf("pre-cookie request counted as sync: %+v", events)
+	}
+}
+
+func TestDetectSyncsShortValuesIgnored(t *testing.T) {
+	records := []crawler.Record{
+		rec(1, "http://o.example/px", "o.example", "s.com",
+			crawler.CookieRecord{Name: "c", Value: "abc", Host: "o.example"}),
+		rec(2, "http://d.example/x?v=abc", "d.example", "s.com"),
+	}
+	if events := DetectSyncs(records); len(events) != 0 {
+		t.Errorf("short value matched: %+v", events)
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	events := []SyncEvent{
+		{OriginHost: "a.one.com", DestHost: "b.two.com", SiteHost: "s1.com"},
+		{OriginHost: "one.com", DestHost: "two.com", SiteHost: "s2.com"},
+		{OriginHost: "one.com", DestHost: "three.com", SiteHost: "s1.com"},
+		{OriginHost: "x.same.com", DestHost: "y.same.com", SiteHost: "s1.com"}, // same base: dropped
+	}
+	g := BuildGraph(events)
+	if g.Pairs[[2]string{"one.com", "two.com"}] != 2 {
+		t.Errorf("pair count = %d, want 2 (subdomains merged)", g.Pairs[[2]string{"one.com", "two.com"}])
+	}
+	if len(g.Origins) != 1 || len(g.Dests) != 2 {
+		t.Errorf("origins=%d dests=%d", len(g.Origins), len(g.Dests))
+	}
+	if len(g.Sites) != 2 {
+		t.Errorf("sites = %d", len(g.Sites))
+	}
+	edges := g.EdgesWithAtLeast(2)
+	if len(edges) != 1 || edges[0].Count != 2 {
+		t.Errorf("edges = %+v", edges)
+	}
+}
+
+func TestIsIDCandidate(t *testing.T) {
+	cases := []struct {
+		o    Observed
+		want bool
+	}{
+		{Observed{Value: "abcdef", Session: false}, true},
+		{Observed{Value: "abcde", Session: false}, false},
+		{Observed{Value: "abcdefgh", Session: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.o.IsIDCandidate(); got != c.want {
+			t.Errorf("IsIDCandidate(%+v) = %v", c.o, got)
+		}
+	}
+}

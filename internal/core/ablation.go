@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sort"
+
+	"pornweb/internal/cookies"
+	"pornweb/internal/domain"
+)
+
+// LevenshteinAblation evaluates the party-classification cascade at
+// different Levenshtein similarity thresholds against the generator's
+// ground truth. The paper fixes the threshold at 0.7 after manual
+// verification; this ablation shows why: lower thresholds start grouping
+// unrelated trackers with the sites embedding them (false first parties),
+// higher ones split sister domains of the same operator (false third
+// parties).
+type LevenshteinAblation struct {
+	Threshold float64
+	// FalseFirst counts (site, host) pairs labeled first party whose host
+	// is ground-truth third party.
+	FalseFirst int
+	// FalseThird counts pairs labeled third party whose host is
+	// ground-truth first party (an extra first-party domain of the site).
+	FalseThird int
+	Pairs      int
+}
+
+// thresholdClassifier is the same cascade as domain.Classifier with an
+// adjustable similarity threshold.
+type thresholdClassifier struct {
+	certOrg   map[string]string
+	threshold float64
+}
+
+func (c *thresholdClassifier) classify(site, contacted string) domain.Party {
+	if domain.Base(site) == domain.Base(contacted) {
+		return domain.FirstParty
+	}
+	if c.certOrg != nil {
+		so, ho := c.certOrg[domain.Base(site)], c.certOrg[domain.Base(contacted)]
+		if so != "" && so == ho {
+			return domain.FirstParty
+		}
+	}
+	if domain.Similarity(site, contacted) > c.threshold {
+		return domain.FirstParty
+	}
+	return domain.ThirdParty
+}
+
+// AblateLevenshtein replays party labeling over the porn crawl at each
+// threshold and scores it against the planted ownership.
+func (st *Study) AblateLevenshtein(porn *CrawlResult, thresholds []float64) []LevenshteinAblation {
+	// Ground truth: for each site, the set of hosts that truly belong to
+	// it (its own host, subdomains thereof, and its extra first-party
+	// hosts).
+	ownHosts := map[string]map[string]bool{}
+	for _, s := range st.Eco.PornSites {
+		m := map[string]bool{s.Host: true}
+		for _, fp := range s.ExtraFirstParty {
+			m[fp] = true
+		}
+		ownHosts[s.Host] = m
+	}
+	certByBase := map[string]string{}
+	for host, org := range porn.CertOrgs {
+		certByBase[domain.Base(host)] = org
+	}
+
+	type pair struct{ site, host string }
+	var pairs []pair
+	seen := map[pair]bool{}
+	for _, r := range porn.Log {
+		if r.SiteHost == "" || r.Host == "" || r.Host == r.SiteHost || r.Status == 0 {
+			continue
+		}
+		p := pair{r.SiteHost, r.Host}
+		if !seen[p] {
+			seen[p] = true
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].site != pairs[j].site {
+			return pairs[i].site < pairs[j].site
+		}
+		return pairs[i].host < pairs[j].host
+	})
+
+	out := make([]LevenshteinAblation, 0, len(thresholds))
+	for _, th := range thresholds {
+		cls := &thresholdClassifier{certOrg: certByBase, threshold: th}
+		row := LevenshteinAblation{Threshold: th, Pairs: len(pairs)}
+		for _, p := range pairs {
+			truthFirst := ownHosts[p.site] != nil &&
+				(ownHosts[p.site][p.host] || domain.IsSubdomain(p.host, p.site))
+			got := cls.classify(p.site, p.host)
+			switch {
+			case got == domain.FirstParty && !truthFirst:
+				row.FalseFirst++
+			case got == domain.ThirdParty && truthFirst:
+				row.FalseThird++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// SyncDetectionAblation compares the cookie-sync detector with and without
+// path-segment matching, quantifying how much of the sync graph travels in
+// URL paths versus query parameters.
+type SyncDetectionAblation struct {
+	WithPaths   int // events when matching query params + path segments
+	QueryOnly   int // events when matching query params only
+	PathCarried int // difference
+}
+
+// AblateSyncDetection runs both detector variants over the porn crawl.
+func (st *Study) AblateSyncDetection(porn *CrawlResult) SyncDetectionAblation {
+	full := len(cookies.DetectSyncsOpts(porn.Log, cookies.SyncOptions{}))
+	queryOnly := len(cookies.DetectSyncsOpts(porn.Log, cookies.SyncOptions{QueryOnly: true}))
+	return SyncDetectionAblation{
+		WithPaths:   full,
+		QueryOnly:   queryOnly,
+		PathCarried: full - queryOnly,
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"crypto/tls"
+	"sync"
+)
+
+// ProbeTLS reports which of the hosts complete a TLS handshake — the
+// capability probe behind the "fully HTTPS" classification of Section 5.2
+// (a third party *supports* HTTPS even when a plain-HTTP page embedded it
+// over plain HTTP).
+func (st *Study) ProbeTLS(ctx context.Context, hosts []string) map[string]bool {
+	out := make(map[string]bool, len(hosts))
+	var mu sync.Mutex
+	st.forEach(ctx, len(hosts), func(i int) {
+		host := hosts[i]
+		raw, err := st.Srv.DialContext(ctx, "tcp", host+":443")
+		if err != nil {
+			return
+		}
+		conn := tls.Client(raw, &tls.Config{ServerName: host, RootCAs: st.Srv.CertPool()})
+		err = conn.HandshakeContext(ctx)
+		conn.Close()
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		out[host] = true
+		mu.Unlock()
+	})
+	return out
+}
+
+// ProbeCertOrgs actively collects X.509 organization strings: it attempts a
+// TLS handshake with every host (through the study's resolver) and records
+// the organization of the presented leaf certificate. The paper's
+// attribution "leverages DNS, WHOIS and X.509 certificate information" —
+// an active lookup, not just what the crawl happened to fetch over HTTPS,
+// which would miss every tracker embedded from plain-HTTP pages.
+func (st *Study) ProbeCertOrgs(ctx context.Context, hosts []string) map[string]string {
+	out := make(map[string]string, len(hosts))
+	var mu sync.Mutex
+	st.forEach(ctx, len(hosts), func(i int) {
+		host := hosts[i]
+		raw, err := st.Srv.DialContext(ctx, "tcp", host+":443")
+		if err != nil {
+			return
+		}
+		conn := tls.Client(raw, &tls.Config{
+			ServerName: host,
+			RootCAs:    st.Srv.CertPool(),
+		})
+		err = conn.HandshakeContext(ctx)
+		if err != nil {
+			raw.Close()
+			return
+		}
+		state := conn.ConnectionState()
+		conn.Close()
+		if len(state.PeerCertificates) == 0 {
+			return
+		}
+		subj := state.PeerCertificates[0].Subject
+		if len(subj.Organization) == 0 || subj.Organization[0] == "" {
+			return
+		}
+		mu.Lock()
+		out[host] = subj.Organization[0]
+		mu.Unlock()
+	})
+	return out
+}

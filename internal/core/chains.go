@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+
+	"pornweb/internal/domain"
+)
+
+// ChainStats reconstructs the inclusion chains of Section 3.1: the paper
+// follows HTTP Referer headers to distinguish third parties embedded
+// directly by the publisher from those pulled in dynamically by other third
+// parties (real-time-bidding chains, cookie-sync redirects, nested ad
+// iframes — Bashir et al.'s diffusion model).
+type ChainStats struct {
+	// DepthCounts histograms request depth: 0 = the document itself,
+	// 1 = directly embedded, >= 2 = dynamically included.
+	DepthCounts map[int]int
+	MaxDepth    int
+	// DirectThirdParties are third-party FQDNs reached at depth 1 from
+	// some site; IndirectOnly are reached exclusively at depth >= 2 —
+	// invisible in the page source, only observable dynamically.
+	DirectThirdParties int
+	IndirectOnly       int
+	// LongestChain is one deepest observed URL chain, document first.
+	LongestChain []string
+}
+
+// AnalyzeInclusionChains walks the parent links of the crawl log.
+func (st *Study) AnalyzeInclusionChains(porn *CrawlResult) ChainStats {
+	stats := ChainStats{DepthCounts: map[int]int{}}
+	cls := porn.classifier()
+
+	// First pass: URL -> record (first occurrence wins, matching how the
+	// browser loaded it).
+	parent := map[string]string{}
+	for _, r := range porn.Log {
+		if r.Status == 0 || r.URL == "" {
+			continue
+		}
+		if _, ok := parent[r.URL]; !ok {
+			parent[r.URL] = r.ParentURL
+		}
+	}
+	depthMemo := map[string]int{}
+	var depthOf func(url string, guard int) int
+	depthOf = func(url string, guard int) int {
+		if url == "" {
+			return -1
+		}
+		if d, ok := depthMemo[url]; ok {
+			return d
+		}
+		if guard > 32 {
+			return 32
+		}
+		p, ok := parent[url]
+		if !ok || p == "" || p == url {
+			depthMemo[url] = 0
+			return 0
+		}
+		d := depthOf(p, guard+1) + 1
+		depthMemo[url] = d
+		return d
+	}
+
+	directTP := map[string]bool{}
+	anyTP := map[string]bool{}
+	deepestURL := ""
+	for _, r := range porn.Log {
+		if r.Status == 0 || r.URL == "" {
+			continue
+		}
+		d := depthOf(r.URL, 0)
+		stats.DepthCounts[d]++
+		if d > stats.MaxDepth {
+			stats.MaxDepth = d
+			deepestURL = r.URL
+		}
+		if r.SiteHost != "" && r.Host != "" && cls.Classify(r.SiteHost, r.Host) == domain.ThirdParty {
+			anyTP[r.Host] = true
+			if d == 1 {
+				directTP[r.Host] = true
+			}
+		}
+	}
+	stats.DirectThirdParties = len(directTP)
+	for h := range anyTP {
+		if !directTP[h] {
+			stats.IndirectOnly++
+		}
+	}
+	// Reconstruct the deepest chain.
+	for url := deepestURL; url != ""; url = parent[url] {
+		stats.LongestChain = append(stats.LongestChain, url)
+		if len(stats.LongestChain) > 40 {
+			break
+		}
+	}
+	// Reverse to document-first order.
+	for i, j := 0, len(stats.LongestChain)-1; i < j; i, j = i+1, j-1 {
+		stats.LongestChain[i], stats.LongestChain[j] = stats.LongestChain[j], stats.LongestChain[i]
+	}
+	return stats
+}
+
+// Depths returns the histogram keys in order (for rendering).
+func (c ChainStats) Depths() []int {
+	out := make([]int, 0, len(c.DepthCounts))
+	for d := range c.DepthCounts {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"pornweb/internal/htmlx"
+	"pornweb/internal/lingo"
+	"pornweb/internal/ranking"
+	"pornweb/internal/webgen"
+)
+
+// Corpus is the outcome of the Section 3 compilation pipeline.
+type Corpus struct {
+	// Candidate counts per discovery source (before sanitization).
+	FromAggregators int
+	FromAlexaAdult  int
+	FromKeywords    int
+	Candidates      int // union of the three sources
+
+	// Sanitization outcome.
+	Unresponsive int // candidates that never answered
+	NonPorn      int // responsive candidates whose content is not pornographic
+	Porn         []string
+	// Reference is the regular-web comparison corpus: popular sites from
+	// the rank dataset that are not pornographic.
+	Reference []string
+}
+
+// CompileCorpus runs the semi-supervised corpus compilation: merge the
+// three discovery sources, crawl every candidate once (sanitize phase) and
+// inspect the served content for pornographic markers — the automated
+// stand-in for the paper's manual DOM/screenshot inspection.
+func (st *Study) CompileCorpus(ctx context.Context) (*Corpus, error) {
+	c := &Corpus{}
+	candidates := map[string]bool{}
+
+	agg := st.Eco.AggregatorIndex()
+	c.FromAggregators = len(agg)
+	for _, h := range agg {
+		candidates[h] = true
+	}
+	adult := st.Eco.AlexaAdultCategory()
+	c.FromAlexaAdult = len(adult)
+	for _, h := range adult {
+		candidates[h] = true
+	}
+	byKeyword := st.Rank.SearchKeywords(webgen.PornKeywords)
+	c.FromKeywords = len(byKeyword)
+	for _, h := range byKeyword {
+		candidates[h] = true
+	}
+	c.Candidates = len(candidates)
+
+	hosts := make([]string, 0, len(candidates))
+	for h := range candidates {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	sess, err := st.session("ES", "sanitize")
+	if err != nil {
+		return nil, err
+	}
+	type verdict struct {
+		host string
+		ok   bool
+		porn bool
+	}
+	verdicts := make([]verdict, len(hosts))
+	st.forEach(ctx, len(hosts), func(i int) {
+		host := hosts[i]
+		res, _, err := sess.FetchPage(ctx, host, "/")
+		if err != nil {
+			verdicts[i] = verdict{host: host}
+			return
+		}
+		doc := htmlx.Parse(res.Body)
+		_, isPorn := lingo.ContainsAny(doc.InnerText(), lingo.AdultContentWords)
+		verdicts[i] = verdict{host: host, ok: true, porn: isPorn}
+	})
+	for _, v := range verdicts {
+		switch {
+		case !v.ok:
+			c.Unresponsive++
+		case !v.porn:
+			c.NonPorn++
+		default:
+			c.Porn = append(c.Porn, v.host)
+		}
+	}
+	sort.Strings(c.Porn)
+
+	// Reference corpus: top-10K-ranked hosts that did not land in the porn
+	// corpus (the paper extracted Alexa's top-10K on a fixed day).
+	pornSet := map[string]bool{}
+	for _, h := range c.Porn {
+		pornSet[h] = true
+	}
+	for _, h := range st.Rank.Hosts() {
+		if pornSet[h] || candidates[h] {
+			continue
+		}
+		stt := st.Rank.StatsFor(h)
+		if stt.Best > 0 && stt.Best <= 10000 {
+			c.Reference = append(c.Reference, h)
+		}
+	}
+	sort.Strings(c.Reference)
+	return c, nil
+}
+
+// forEach runs fn(i) for i in [0,n) on the study's worker pool.
+func (st *Study) forEach(ctx context.Context, n int, fn func(i int)) {
+	workers := st.Cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RankFigure is Figure 1: longitudinal popularity of every porn site.
+type RankFigure struct {
+	Stats []ranking.Stats // ordered by best rank (absent sites last)
+	// AlwaysTop1M counts sites present in the top-1M every day of 2018.
+	AlwaysTop1M int
+	// AlwaysTop1K counts sites inside the top-1K every single day.
+	AlwaysTop1K int
+}
+
+// RankStability computes Figure 1 over the porn corpus.
+func (st *Study) RankStability(porn []string) RankFigure {
+	var fig RankFigure
+	for _, h := range porn {
+		s := st.Rank.StatsFor(h)
+		fig.Stats = append(fig.Stats, s)
+		if s.DaysPresent == ranking.Days {
+			fig.AlwaysTop1M++
+			alwaysTopK := true
+			for day := 0; day < ranking.Days; day++ {
+				if r, ok := st.Rank.RankOn(h, day); !ok || r > 1000 {
+					alwaysTopK = false
+					break
+				}
+			}
+			if alwaysTopK {
+				fig.AlwaysTop1K++
+			}
+		}
+	}
+	sort.Slice(fig.Stats, func(i, j int) bool {
+		bi, bj := fig.Stats[i].Best, fig.Stats[j].Best
+		if bi == 0 {
+			bi = 1 << 30
+		}
+		if bj == 0 {
+			bj = 1 << 30
+		}
+		if bi != bj {
+			return bi < bj
+		}
+		return fig.Stats[i].Host < fig.Stats[j].Host
+	})
+	return fig
+}
+
+// interval returns the measured popularity interval of a host (by its best
+// 2018 rank in the longitudinal dataset).
+func (st *Study) interval(host string) ranking.Interval {
+	return ranking.IntervalOf(st.Rank.StatsFor(host).Best)
+}

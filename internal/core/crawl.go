@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"pornweb/internal/browser"
+	"pornweb/internal/crawler"
+	"pornweb/internal/domain"
+)
+
+// CrawlResult is one corpus crawled from one vantage point with the
+// instrumented browser.
+type CrawlResult struct {
+	Country string
+	// Visits maps site host to its page-load outcome (includes failures).
+	Visits map[string]*browser.PageVisit
+	// Crawled lists the hosts whose landing page loaded.
+	Crawled []string
+	// Log is the session's full request log.
+	Log []crawler.Record
+	// CertOrgs maps observed hosts to TLS certificate organizations.
+	CertOrgs map[string]string
+}
+
+// Crawl performs the instrumented (OpenWPM-analog) crawl of the given
+// hosts from a country. One browser session is shared across all visits,
+// as in the paper, so cookie state persists between sites.
+func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*CrawlResult, error) {
+	sess, err := st.session(country, "crawl")
+	if err != nil {
+		return nil, err
+	}
+	b := browser.New(sess)
+	cr := &CrawlResult{Country: country, Visits: make(map[string]*browser.PageVisit, len(hosts))}
+	var mu sync.Mutex
+	st.forEach(ctx, len(hosts), func(i int) {
+		pv := b.Visit(ctx, hosts[i])
+		mu.Lock()
+		cr.Visits[hosts[i]] = pv
+		mu.Unlock()
+	})
+	for h, pv := range cr.Visits {
+		if pv.OK {
+			cr.Crawled = append(cr.Crawled, h)
+		}
+	}
+	sort.Strings(cr.Crawled)
+	cr.Log = sess.Log()
+	cr.CertOrgs = sess.CertOrgs()
+	st.Cfg.Log("crawl[%s]: %d/%d sites, %d requests", country, len(cr.Crawled), len(hosts), len(cr.Log))
+	return cr, nil
+}
+
+// classifier builds the first/third-party classifier from the crawl's
+// observed certificates (keyed by base domain as the classifier expects).
+func (cr *CrawlResult) classifier() *domain.Classifier {
+	byBase := map[string]string{}
+	for host, org := range cr.CertOrgs {
+		byBase[domain.Base(host)] = org
+	}
+	return &domain.Classifier{CertOrg: byBase}
+}
+
+// ThirdPartyHostsBySite extracts, per successfully crawled site, the set
+// of contacted third-party FQDNs (sorted).
+func (cr *CrawlResult) ThirdPartyHostsBySite() map[string][]string {
+	return cr.thirdPartyHostsBySite()
+}
+
+// AllThirdPartyHosts returns the global sorted set of third-party FQDNs
+// observed in this crawl.
+func (cr *CrawlResult) AllThirdPartyHosts() []string {
+	return cr.allThirdPartyHosts()
+}
+
+// thirdPartyHostsBySite extracts, per successfully crawled site, the set of
+// contacted third-party FQDNs.
+func (cr *CrawlResult) thirdPartyHostsBySite() map[string][]string {
+	cls := cr.classifier()
+	set := map[string]map[string]bool{}
+	for _, h := range cr.Crawled {
+		set[h] = map[string]bool{}
+	}
+	for _, r := range cr.Log {
+		if r.SiteHost == "" || r.Host == "" || r.Host == r.SiteHost || r.Status == 0 {
+			// Status 0 = transport failure: the host never answered (dead,
+			// geo-blocked, or refused), so nothing was embedded from it.
+			continue
+		}
+		sites, ok := set[r.SiteHost]
+		if !ok {
+			continue
+		}
+		if cls.Classify(r.SiteHost, r.Host) == domain.ThirdParty {
+			sites[r.Host] = true
+		}
+	}
+	out := make(map[string][]string, len(set))
+	for site, hosts := range set {
+		list := make([]string, 0, len(hosts))
+		for h := range hosts {
+			list = append(list, h)
+		}
+		sort.Strings(list)
+		out[site] = list
+	}
+	return out
+}
+
+// firstPartyExtras extracts, per site, contacted first-party FQDNs other
+// than the landing host itself.
+func (cr *CrawlResult) firstPartyExtras() map[string][]string {
+	cls := cr.classifier()
+	set := map[string]map[string]bool{}
+	for _, r := range cr.Log {
+		if r.SiteHost == "" || r.Host == "" || r.Host == r.SiteHost || r.Status == 0 {
+			continue
+		}
+		if cls.Classify(r.SiteHost, r.Host) == domain.FirstParty {
+			if set[r.SiteHost] == nil {
+				set[r.SiteHost] = map[string]bool{}
+			}
+			set[r.SiteHost][r.Host] = true
+		}
+	}
+	out := make(map[string][]string, len(set))
+	for site, hosts := range set {
+		list := make([]string, 0, len(hosts))
+		for h := range hosts {
+			list = append(list, h)
+		}
+		sort.Strings(list)
+		out[site] = list
+	}
+	return out
+}
+
+// allThirdPartyHosts returns the global set of third-party FQDNs.
+func (cr *CrawlResult) allThirdPartyHosts() []string {
+	seen := map[string]bool{}
+	for _, hosts := range cr.thirdPartyHostsBySite() {
+		for _, h := range hosts {
+			seen[h] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Results holds every reproduced table and figure (see DESIGN.md's
+// per-experiment index).
+type Results struct {
+	Corpus  *Corpus
+	Figure1 RankFigure
+
+	Table1                  OwnerResult
+	Table2                  Table2
+	Table3                  []IntervalRow
+	SharedAllIntervals      int
+	SharedAllIntervalsTotal int
+
+	Figure3              []OrgRow
+	AttributionRate      float64
+	AttributionCompanies int
+	DisconnectOnlyRate   float64
+
+	CookieCensus CookieCensus
+	Table4       []CookieDomainRow
+
+	Figure4 SyncResult
+
+	Fingerprinting FingerprintResult
+
+	Table6 HTTPSResult
+
+	Malware MalwareResult
+
+	Table7 GeoResult
+
+	Table8ES BannerCounts
+	Table8US BannerCounts
+
+	AgeVerification AgeResult
+	Policies        PolicyResult
+	Monetization    MonetizationResult
+
+	// Extensions beyond the paper's evaluation (its Section 10 future
+	// work): adblocker effectiveness, RTA-label adoption, and the
+	// inclusion-chain reconstruction of Section 3.1.
+	Blocking BlockingResult
+	RTA      RTAResult
+	Chains   ChainStats
+	Storage  StorageResult
+
+	// Validation scores the pipeline's heuristics against the generator's
+	// planted ground truth — exact precision/recall where the paper could
+	// only sample manually.
+	Validation Validation
+}
+
+// SyncEdgeThreshold scales the paper's Figure 4 edge threshold (75 synced
+// cookies) with corpus scale, keeping at least 2.
+func (st *Study) SyncEdgeThreshold() int {
+	t := int(75 * st.Cfg.Params.Scale)
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// Run executes the complete study: corpus compilation, the main dual
+// crawls from Spain, the US crawl for Table 8, the remaining geographic
+// crawls, and every analysis.
+func (st *Study) Run(ctx context.Context) (*Results, error) {
+	res := &Results{}
+
+	st.Cfg.Log("compiling corpus...")
+	corpus, err := st.CompileCorpus(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: corpus: %w", err)
+	}
+	res.Corpus = corpus
+	st.Cfg.Log("corpus: %d candidates -> %d porn, %d reference",
+		corpus.Candidates, len(corpus.Porn), len(corpus.Reference))
+
+	res.Figure1 = st.RankStability(corpus.Porn)
+
+	st.Cfg.Log("main crawl (ES)...")
+	pornES, err := st.Crawl(ctx, corpus.Porn, "ES")
+	if err != nil {
+		return nil, fmt.Errorf("core: porn crawl: %w", err)
+	}
+	regES, err := st.Crawl(ctx, corpus.Reference, "ES")
+	if err != nil {
+		return nil, fmt.Errorf("core: regular crawl: %w", err)
+	}
+	regularTP := map[string]bool{}
+	for _, h := range regES.allThirdPartyHosts() {
+		regularTP[h] = true
+	}
+
+	res.Table2 = st.AnalyzeThirdParties(pornES, regES)
+	res.Table3 = st.AnalyzePopularityIntervals(pornES)
+	res.SharedAllIntervals, res.SharedAllIntervalsTotal = st.SharedAcrossAllIntervals(pornES)
+
+	rows, cov := st.AnalyzeOrganizations(pornES, regES, 19)
+	res.Figure3 = rows
+	if cov.Hosts > 0 {
+		res.AttributionRate = float64(cov.Attributed) / float64(cov.Hosts)
+		res.DisconnectOnlyRate = float64(cov.DisconnectOnly) / float64(cov.Hosts)
+	}
+	res.AttributionCompanies = len(cov.Companies)
+
+	res.CookieCensus, res.Table4 = st.AnalyzeCookies(pornES, regularTP)
+	res.Figure4 = st.AnalyzeCookieSync(pornES, st.SyncEdgeThreshold())
+	res.Fingerprinting = st.AnalyzeFingerprinting(pornES, regularTP)
+	res.Table6 = st.AnalyzeHTTPS(pornES)
+	res.Malware = st.AnalyzeMalware(pornES)
+	res.Monetization = st.AnalyzeMonetization(pornES)
+	res.Blocking = st.AnalyzeBlocking(pornES)
+	res.RTA = st.AnalyzeRTA(pornES)
+	res.Chains = st.AnalyzeInclusionChains(pornES)
+	res.Storage = st.AnalyzeStorage(pornES)
+
+	st.Cfg.Log("banner crawl (US)...")
+	pornUS, err := st.Crawl(ctx, corpus.Porn, "US")
+	if err != nil {
+		return nil, fmt.Errorf("core: US crawl: %w", err)
+	}
+	res.Table8ES = st.AnalyzeBanners(pornES)
+	res.Table8US = st.AnalyzeBanners(pornUS)
+
+	st.Cfg.Log("interactive crawl (ES)...")
+	interactive, err := st.InteractiveCrawl(ctx, corpus.Porn, "ES")
+	if err != nil {
+		return nil, fmt.Errorf("core: interactive crawl: %w", err)
+	}
+	topTracking := st.TopTrackingSites(pornES, 25)
+	res.Policies = st.AnalyzePolicies(interactive, topTracking, pornES.thirdPartyHostsBySite())
+	res.Table1 = st.AnalyzeOwners(pornES, interactive, 15)
+	res.Validation = st.ValidateAgainstTruth(pornES, interactive, res.Table1)
+
+	st.Cfg.Log("age verification (US/UK/ES/RU)...")
+	age, err := st.AnalyzeAgeVerification(ctx, corpus.Porn)
+	if err != nil {
+		return nil, fmt.Errorf("core: age verification: %w", err)
+	}
+	res.AgeVerification = age
+
+	st.Cfg.Log("geographic crawls...")
+	geo, err := st.AnalyzeGeo(ctx, corpus.Porn, regularTP, map[string]*CrawlResult{
+		"ES": pornES,
+		"US": pornUS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: geo: %w", err)
+	}
+	res.Table7 = geo
+	return res, nil
+}

@@ -1,0 +1,99 @@
+// Package core orchestrates the full measurement study: corpus compilation
+// and sanitization (Section 3), the dual crawls (instrumented OpenWPM-
+// analog and interactive Selenium-analog), and every analysis behind the
+// paper's tables and figures — third-party ecosystems (Section 4), privacy
+// risks (Section 5), geographic differences (Section 6), and regulatory
+// compliance (Section 7). The Results struct holds one field per
+// experiment; internal/report renders them as the rows the paper prints.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pornweb/internal/blocklist"
+	"pornweb/internal/crawler"
+	"pornweb/internal/ranking"
+	"pornweb/internal/webgen"
+	"pornweb/internal/webserver"
+)
+
+// Config configures a study run.
+type Config struct {
+	Params webgen.Params
+	// Countries to run the geographic crawls from; defaults to the paper's
+	// six vantage points. The main crawl always runs from Spain.
+	Countries []string
+	// Workers is the crawl parallelism (default 8).
+	Workers int
+	// Timeout bounds a single page load (the paper used 120 s; the
+	// loopback substrate needs far less).
+	Timeout time.Duration
+	// Log receives progress lines when non-nil.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Countries) == 0 {
+		c.Countries = append([]string{}, webgen.Countries...)
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 15 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	if c.Params.Scale == 0 {
+		c.Params = webgen.DefaultParams()
+	}
+	return c
+}
+
+// Study is a fully wired measurement environment: the generated ecosystem,
+// its loopback server, the longitudinal rank dataset and the blocklists.
+type Study struct {
+	Cfg  Config
+	Eco  *webgen.Ecosystem
+	Srv  *webserver.Server
+	Rank *ranking.Dataset
+	// EasyList is the merged EasyList+EasyPrivacy used for ATS
+	// classification.
+	EasyList *blocklist.List
+}
+
+// NewStudy generates the ecosystem and starts its server.
+func NewStudy(cfg Config) (*Study, error) {
+	cfg = cfg.withDefaults()
+	eco := webgen.Generate(cfg.Params)
+	srv, err := webserver.Start(eco)
+	if err != nil {
+		return nil, fmt.Errorf("core: start server: %w", err)
+	}
+	el := blocklist.Parse("easylist", eco.BuildEasyList())
+	ep := blocklist.Parse("easyprivacy", eco.BuildEasyPrivacy())
+	return &Study{
+		Cfg:      cfg,
+		Eco:      eco,
+		Srv:      srv,
+		Rank:     eco.RankingDataset(),
+		EasyList: blocklist.Merge("easylist+easyprivacy", el, ep),
+	}, nil
+}
+
+// Close shuts the server down.
+func (st *Study) Close() { st.Srv.Close() }
+
+// session opens an instrumented session for a vantage country and crawl
+// phase.
+func (st *Study) session(country, phase string) (*crawler.Session, error) {
+	return crawler.NewSession(crawler.Config{
+		DialContext: st.Srv.DialContext,
+		RootCAs:     st.Srv.CertPool(),
+		Country:     country,
+		Phase:       phase,
+		Timeout:     st.Cfg.Timeout,
+	})
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+
+	"pornweb/internal/browser"
+	"pornweb/internal/domain"
+	"pornweb/internal/fingerprint"
+)
+
+// Ground-truth validation: because the measured world is generated, every
+// heuristic in the pipeline can be scored exactly — something the paper
+// could only do through sampled manual verification. Validate computes
+// precision and recall for the classifiers whose errors would change the
+// study's conclusions.
+
+// PR is a precision/recall pair with its support counts.
+type PR struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was predicted.
+func (p PR) Precision() float64 {
+	if p.TruePositives+p.FalsePositives == 0 {
+		return 1
+	}
+	return float64(p.TruePositives) / float64(p.TruePositives+p.FalsePositives)
+}
+
+// Recall returns TP/(TP+FN), or 1 when nothing was there to find.
+func (p PR) Recall() float64 {
+	if p.TruePositives+p.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(p.TruePositives) / float64(p.TruePositives+p.FalseNegatives)
+}
+
+// Validation scores the measurement pipeline against the generator's
+// ground truth.
+type Validation struct {
+	// CanvasDetection scores the Englehardt heuristics per (site, serving
+	// host) pair: did the pipeline flag canvas fingerprinting exactly
+	// where a fingerprinting script was planted and executed?
+	CanvasDetection PR
+	// BannerDetection scores banner presence per crawled site.
+	BannerDetection PR
+	// BannerTypeAccuracy is the fraction of detected banners classified
+	// into the planted Degeling type.
+	BannerTypeMatches int
+	BannerTypeTotal   int
+	// GateDetection scores age-gate presence per crawled site (ES vantage).
+	GateDetection PR
+	// PolicyDetection scores privacy-policy discovery per site.
+	PolicyDetection PR
+	// PartyLabels scores first/third-party classification over observed
+	// (site, host) pairs.
+	PartyLabels PR // positive class: first party
+	// OwnerPairs scores owner clustering at the pair level: two sites
+	// sharing a planted owner should land in one cluster.
+	OwnerPairs PR
+}
+
+// ValidateAgainstTruth computes all scores from one ES crawl, its
+// interactive visits and the Table 1 clusters.
+func (st *Study) ValidateAgainstTruth(porn *CrawlResult, visits map[string]*browser.InteractiveVisit, owners OwnerResult) Validation {
+	var v Validation
+	eco := st.Eco
+
+	// Canvas: planted = site embeds a canvas service that serves it an FP
+	// variant (approximated: any non-benign variant), or the site has an
+	// inline FP script.
+	detected := map[string]bool{} // site -> canvas observed
+	for _, pv := range porn.Visits {
+		for _, tr := range pv.Traces {
+			if fingerprint.ClassifyTrace(tr.Trace).CanvasFP {
+				detected[tr.SiteHost] = true
+			}
+		}
+	}
+	for _, host := range porn.Crawled {
+		site := eco.SiteByHost[host]
+		if site == nil {
+			continue
+		}
+		planted := site.InlineCanvasFP
+		if !planted {
+			// A planted canvas service embed only counts when the visit
+			// actually executed an FP variant; approximate by replaying
+			// the traces — the ground truth here is "a canvas-FP service
+			// script ran", which the trace record captures exactly.
+			for _, pv := range []*browser.PageVisit{porn.Visits[host]} {
+				if pv == nil {
+					continue
+				}
+				for _, tr := range pv.Traces {
+					if svc := eco.ServiceByHost[tr.Host]; svc != nil && svc.CanvasFP {
+						if len(tr.Trace.Canvases) > 0 && tr.Trace.Canvases[0].Width >= 16 {
+							planted = true
+						}
+					}
+				}
+			}
+		}
+		switch {
+		case planted && detected[host]:
+			v.CanvasDetection.TruePositives++
+		case planted && !detected[host]:
+			v.CanvasDetection.FalseNegatives++
+		case !planted && detected[host]:
+			v.CanvasDetection.FalsePositives++
+		}
+	}
+
+	// Banners and gates, per crawled site (ES vantage).
+	for _, host := range porn.Crawled {
+		site := eco.SiteByHost[host]
+		iv := visits[host]
+		if site == nil || iv == nil || !iv.OK {
+			continue
+		}
+		plantedBanner := site.BannerFor("ES") != BannerNoneTruth
+		switch {
+		case plantedBanner && iv.HasBanner:
+			v.BannerDetection.TruePositives++
+			v.BannerTypeTotal++
+			if bannerTypesMatch(site.BannerFor("ES"), iv.Banner) {
+				v.BannerTypeMatches++
+			}
+		case plantedBanner && !iv.HasBanner:
+			v.BannerDetection.FalseNegatives++
+		case !plantedBanner && iv.HasBanner:
+			v.BannerDetection.FalsePositives++
+		}
+
+		plantedGate := site.GateFor("ES") != GateNoneTruth
+		switch {
+		case plantedGate && iv.GateDetected:
+			v.GateDetection.TruePositives++
+		case plantedGate && !iv.GateDetected:
+			v.GateDetection.FalseNegatives++
+		case !plantedGate && iv.GateDetected:
+			v.GateDetection.FalsePositives++
+		}
+
+		switch {
+		case site.HasPolicy && iv.PolicyFound:
+			v.PolicyDetection.TruePositives++
+		case site.HasPolicy && !iv.PolicyFound:
+			v.PolicyDetection.FalseNegatives++
+		case !site.HasPolicy && iv.PolicyFound:
+			v.PolicyDetection.FalsePositives++
+		}
+	}
+
+	// Party labels over observed pairs.
+	cls := porn.classifier()
+	seen := map[[2]string]bool{}
+	for _, r := range porn.Log {
+		if r.SiteHost == "" || r.Host == "" || r.Host == r.SiteHost || r.Status == 0 {
+			continue
+		}
+		key := [2]string{r.SiteHost, r.Host}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		site := eco.SiteByHost[r.SiteHost]
+		if site == nil {
+			continue
+		}
+		truthFirst := domain.IsSubdomain(r.Host, r.SiteHost)
+		for _, fp := range site.ExtraFirstParty {
+			if r.Host == fp {
+				truthFirst = true
+			}
+		}
+		gotFirst := cls.Classify(r.SiteHost, r.Host) == domain.FirstParty
+		switch {
+		case truthFirst && gotFirst:
+			v.PartyLabels.TruePositives++
+		case truthFirst && !gotFirst:
+			v.PartyLabels.FalseNegatives++
+		case !truthFirst && gotFirst:
+			v.PartyLabels.FalsePositives++
+		}
+	}
+
+	// Owner clustering at pair level: use the full cluster membership the
+	// analysis retains (the printed rows are truncated).
+	discovered := map[string]int{}
+	for idx, c := range owners.Members {
+		for _, s := range c {
+			discovered[s] = idx + 1
+		}
+	}
+	truthOwner := map[string]string{}
+	var crawledOwned []string
+	crawledSet := map[string]bool{}
+	for _, h := range porn.Crawled {
+		crawledSet[h] = true
+	}
+	for _, s := range eco.PornSites {
+		if s.Owner != nil && crawledSet[s.Host] {
+			truthOwner[s.Host] = s.Owner.Name
+			crawledOwned = append(crawledOwned, s.Host)
+		}
+	}
+	sort.Strings(crawledOwned)
+	for i := 0; i < len(crawledOwned); i++ {
+		for j := i + 1; j < len(crawledOwned); j++ {
+			a, b := crawledOwned[i], crawledOwned[j]
+			same := truthOwner[a] == truthOwner[b]
+			ca, cb := discovered[a], discovered[b]
+			together := ca != 0 && ca == cb
+			switch {
+			case same && together:
+				v.OwnerPairs.TruePositives++
+			case same && !together:
+				v.OwnerPairs.FalseNegatives++
+			case !same && together:
+				v.OwnerPairs.FalsePositives++
+			}
+		}
+	}
+	return v
+}
+
+// Truth aliases for the zero enum values (webgen.BannerNone, webgen.GateNone).
+const (
+	BannerNoneTruth = 0
+	GateNoneTruth   = 0
+)
+
+// bannerTypesMatch compares a planted webgen banner type with a detected
+// consent type (the enums are parallel by construction).
+func bannerTypesMatch(planted interface{ String() string }, detected interface{ String() string }) bool {
+	return planted.String() == detected.String()
+}

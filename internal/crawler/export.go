@@ -1,0 +1,47 @@
+package crawler
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL export/import of crawl logs: one Record per line. The on-disk form
+// lets a crawl be captured once and re-analyzed offline (or diffed across
+// runs), the workflow OpenWPM users get from its SQLite output.
+
+// ExportJSONL writes every record as one JSON object per line.
+func ExportJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("crawler: export record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportJSONL reads records written by ExportJSONL.
+func ImportJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("crawler: import line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("crawler: import: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package crawler
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	records := []Record{
+		{Seq: 1, URL: "https://a.com/", Host: "a.com", Scheme: "https", SiteHost: "a.com",
+			Status: 200, Initiator: InitDocument, ContentType: "text/html",
+			SetCookies: []CookieRecord{{Name: "x", Value: "yyyyyy", Host: "a.com"}}},
+		{Seq: 2, URL: "http://t.example/px.gif", Host: "t.example", Scheme: "http",
+			SiteHost: "a.com", Status: 302, Initiator: InitImage,
+			RedirectTo: "http://p.example/sync?puid=abc", Referer: "https://a.com/"},
+		{Seq: 3, URL: "http://dead.example/", Host: "dead.example", SiteHost: "a.com",
+			Err: "connection refused"},
+	}
+	var b strings.Builder
+	if err := ExportJSONL(&b, records); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != 3 {
+		t.Fatalf("lines = %d, want 3", got)
+	}
+	back, err := ImportJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(records, back) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", records, back)
+	}
+}
+
+func TestImportJSONLBadLine(t *testing.T) {
+	if _, err := ImportJSONL(strings.NewReader("{\"Seq\":1}\nnot-json\n")); err == nil {
+		t.Fatal("expected error for malformed line")
+	}
+}
+
+func TestImportJSONLEmptyLines(t *testing.T) {
+	recs, err := ImportJSONL(strings.NewReader("\n\n{\"Seq\":7}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 7 {
+		t.Errorf("records = %+v", recs)
+	}
+}

@@ -1,0 +1,228 @@
+// Package domain provides fully-qualified domain name (FQDN) utilities used
+// throughout the study: public-suffix aware base-domain extraction,
+// Levenshtein-based name similarity, and first/third-party labeling.
+//
+// The paper labels every URL observed during a crawl as first party, third
+// party, or third-party advertising-and-tracking service (ATS). The labeling
+// compares the FQDN and X.509 certificate organization of the contacted host
+// against those of the visited site, falling back to a Levenshtein similarity
+// threshold of 0.7 over the registrable domains (Section 4.2 of the paper).
+package domain
+
+import (
+	"strings"
+)
+
+// publicSuffixes is a snapshot of the effective-TLD list entries needed for
+// the generated ecosystem plus the common real-world suffixes that appear in
+// the paper (e.g. .co.uk, .com.ru). A full Mozilla PSL is unnecessary: the
+// generator only mints hostnames under these suffixes.
+var publicSuffixes = map[string]bool{
+	"com": true, "net": true, "org": true, "info": true, "biz": true,
+	"xxx": true, "porn": true, "sex": true, "tube": true, "cam": true,
+	"tv": true, "io": true, "me": true, "cc": true, "ws": true,
+	"eu": true, "us": true, "uk": true, "es": true, "ru": true,
+	"in": true, "sg": true, "de": true, "fr": true, "it": true,
+	"nl": true, "pt": true, "ro": true, "top": true, "party": true,
+	"pro": true, "re": true, "to": true, "ly": true, "ads": true,
+	// Two-label public suffixes.
+	"co.uk": true, "org.uk": true, "ac.uk": true,
+	"com.ru": true, "net.ru": true, "org.ru": true,
+	"com.es": true, "org.es": true,
+	"co.in": true, "net.in": true,
+	"com.sg": true, "net.sg": true,
+	"com.br": true, "com.mx": true,
+}
+
+// IsPublicSuffix reports whether s (without leading dot) is a public suffix
+// in the embedded snapshot.
+func IsPublicSuffix(s string) bool {
+	return publicSuffixes[strings.ToLower(s)]
+}
+
+// Normalize lower-cases a hostname and strips any trailing dot and port.
+func Normalize(host string) string {
+	host = strings.ToLower(strings.TrimSpace(host))
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i:], "]") {
+		// Strip :port unless it is part of an IPv6 literal.
+		if _, rest := host[:i], host[i+1:]; allDigits(rest) {
+			host = host[:i]
+		}
+	}
+	host = strings.TrimSuffix(host, ".")
+	return host
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// PublicSuffix returns the longest matching public suffix of host according
+// to the embedded snapshot, or the last label if none matches.
+func PublicSuffix(host string) string {
+	host = Normalize(host)
+	labels := strings.Split(host, ".")
+	// Try progressively shorter suffixes, longest match wins.
+	for i := 0; i < len(labels); i++ {
+		candidate := strings.Join(labels[i:], ".")
+		if publicSuffixes[candidate] {
+			return candidate
+		}
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	return labels[len(labels)-1]
+}
+
+// Base returns the registrable domain (eTLD+1) of host: the public suffix
+// plus one label. If host is itself a public suffix (or empty), Base returns
+// host unchanged.
+func Base(host string) string {
+	host = Normalize(host)
+	if host == "" {
+		return ""
+	}
+	suffix := PublicSuffix(host)
+	if host == suffix {
+		return host
+	}
+	rest := strings.TrimSuffix(host, "."+suffix)
+	labels := strings.Split(rest, ".")
+	return labels[len(labels)-1] + "." + suffix
+}
+
+// Label1 returns the first (left-most) label of the registrable domain,
+// i.e. the "name" part without the public suffix. For "img.exoclick.com"
+// it returns "exoclick".
+func Label1(host string) string {
+	base := Base(host)
+	if i := strings.IndexByte(base, '.'); i > 0 {
+		return base[:i]
+	}
+	return base
+}
+
+// IsSubdomain reports whether host is host==parent or a subdomain of parent.
+func IsSubdomain(host, parent string) bool {
+	host, parent = Normalize(host), Normalize(parent)
+	return host == parent || strings.HasSuffix(host, "."+parent)
+}
+
+// Levenshtein computes the edit distance between a and b using the standard
+// dynamic program with two rows. It operates on bytes, which is sufficient
+// for DNS names (ASCII).
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similarity returns a normalized similarity in [0,1] between two hostnames'
+// registrable-domain name labels: 1 - distance/maxLen. The paper groups two
+// FQDNs into the same entity when this exceeds 0.7 (e.g. doublepimp.com and
+// doublepimpssl.com) while keeping doublepimp.com and doubleclick.net apart.
+func Similarity(a, b string) float64 {
+	la, lb := Label1(a), Label1(b)
+	if la == "" && lb == "" {
+		return 1
+	}
+	maxLen := len(la)
+	if len(lb) > maxLen {
+		maxLen = len(lb)
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	d := Levenshtein(la, lb)
+	return 1 - float64(d)/float64(maxLen)
+}
+
+// SimilarityThreshold is the entity-grouping threshold from the paper.
+const SimilarityThreshold = 0.7
+
+// Party is the relationship of a contacted host to the visited site.
+type Party int
+
+const (
+	// FirstParty hosts belong to the visited site itself.
+	FirstParty Party = iota
+	// ThirdParty hosts belong to a different entity.
+	ThirdParty
+)
+
+// String names the party label.
+func (p Party) String() string {
+	if p == FirstParty {
+		return "first-party"
+	}
+	return "third-party"
+}
+
+// Classifier labels contacted hosts as first or third party relative to a
+// visited site, using the same cascade as the paper: same registrable
+// domain, then same X.509 organization, then Levenshtein similarity > 0.7.
+type Classifier struct {
+	// CertOrg maps a hostname's registrable domain to the organization in
+	// its X.509 certificate, when one was observed. Optional.
+	CertOrg map[string]string
+}
+
+// Classify labels contacted relative to the visited site host.
+func (c *Classifier) Classify(site, contacted string) Party {
+	siteBase, hostBase := Base(site), Base(contacted)
+	if siteBase == hostBase {
+		return FirstParty
+	}
+	if c != nil && c.CertOrg != nil {
+		so, ho := c.CertOrg[siteBase], c.CertOrg[hostBase]
+		if so != "" && so == ho {
+			return FirstParty
+		}
+	}
+	if Similarity(site, contacted) > SimilarityThreshold {
+		return FirstParty
+	}
+	return ThirdParty
+}

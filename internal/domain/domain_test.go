@@ -1,0 +1,221 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Example.COM", "example.com"},
+		{"example.com.", "example.com"},
+		{"example.com:8080", "example.com"},
+		{" example.com ", "example.com"},
+		{"sub.Example.Co.UK:443", "sub.example.co.uk"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPublicSuffix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com", "com"},
+		{"www.example.co.uk", "co.uk"},
+		{"a.b.example.com.ru", "com.ru"},
+		{"xcvgdf.party", "party"},
+		{"weird.unknowntld", "unknowntld"},
+	}
+	for _, c := range cases {
+		if got := PublicSuffix(c.in); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBase(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com", "example.com"},
+		{"www.example.com", "example.com"},
+		{"img100-589.xvideos.com", "xvideos.com"},
+		{"a.b.c.example.co.uk", "example.co.uk"},
+		{"com", "com"},
+		{"", ""},
+		{"adx.com.ru", "adx.com.ru"},
+		{"sub.adx.com.ru", "adx.com.ru"},
+	}
+	for _, c := range cases {
+		if got := Base(c.in); got != c.want {
+			t.Errorf("Base(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabel1(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"img.exoclick.com", "exoclick"},
+		{"doublepimpssl.com", "doublepimpssl"},
+		{"a.example.co.uk", "example"},
+		{"com", "com"},
+	}
+	for _, c := range cases {
+		if got := Label1(c.in); got != c.want {
+			t.Errorf("Label1(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsSubdomain(t *testing.T) {
+	if !IsSubdomain("a.b.com", "b.com") {
+		t.Error("a.b.com should be subdomain of b.com")
+	}
+	if !IsSubdomain("b.com", "b.com") {
+		t.Error("b.com should be subdomain of itself")
+	}
+	if IsSubdomain("ab.com", "b.com") {
+		t.Error("ab.com must not match b.com")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"doublepimp", "doublepimpssl", 3},
+		{"doublepimp", "doubleclick", 4},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestLevenshteinMetricAxioms property-tests the metric axioms: identity,
+// symmetry, triangle inequality, and the bound max(|a|,|b|).
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	clip := func(s string) string {
+		if len(s) > 24 {
+			return s[:24]
+		}
+		return s
+	}
+	symmetry := func(a, b string) bool {
+		a, b = clip(a), clip(b)
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetry, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a string) bool {
+		a = clip(a)
+		return Levenshtein(a, a) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c string) bool {
+		a, b, c = clip(a), clip(b), clip(c)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+	bound := func(a, b string) bool {
+		a, b = clip(a), clip(b)
+		d := Levenshtein(a, b)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return d >= 0 && d <= maxLen
+	}
+	if err := quick.Check(bound, nil); err != nil {
+		t.Errorf("bound: %v", err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	// The paper's examples: doublepimp.com and doublepimpssl.com group
+	// together; doublepimp.com and doubleclick.net do not.
+	if s := Similarity("doublepimp.com", "doublepimpssl.com"); s <= SimilarityThreshold {
+		t.Errorf("doublepimp vs doublepimpssl similarity %f, want > %f", s, SimilarityThreshold)
+	}
+	if s := Similarity("doublepimp.com", "doubleclick.net"); s > SimilarityThreshold {
+		t.Errorf("doublepimp vs doubleclick similarity %f, want <= %f", s, SimilarityThreshold)
+	}
+	if s := Similarity("x.com", "x.com"); s != 1 {
+		t.Errorf("identical similarity = %f, want 1", s)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		// Keep inputs host-shaped.
+		a = strings.Map(keepHostByte, a)
+		b = strings.Map(keepHostByte, b)
+		s := Similarity(a+".com", b+".com")
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func keepHostByte(r rune) rune {
+	if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+		return r
+	}
+	if r >= 'A' && r <= 'Z' {
+		return r + ('a' - 'A')
+	}
+	return -1
+}
+
+func TestClassify(t *testing.T) {
+	c := &Classifier{CertOrg: map[string]string{
+		"hd100546b.com": "HProfits Ltd",
+		"hprofits.com":  "HProfits Ltd",
+		"pornhub.com":   "MindGeek",
+	}}
+	cases := []struct {
+		site, host string
+		want       Party
+	}{
+		{"pornhub.com", "cdn.pornhub.com", FirstParty},      // same base
+		{"pornhub.com", "exoclick.com", ThirdParty},         // unrelated
+		{"hd100546b.com", "hprofits.com", FirstParty},       // same cert org
+		{"doublepimp.com", "doublepimpssl.com", FirstParty}, // Levenshtein
+		{"doublepimp.com", "doubleclick.net", ThirdParty},
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.site, tc.host); got != tc.want {
+			t.Errorf("Classify(%q,%q) = %v, want %v", tc.site, tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyNilClassifier(t *testing.T) {
+	var c *Classifier
+	if got := c.Classify("a.com", "b.com"); got != ThirdParty {
+		t.Errorf("nil classifier Classify = %v, want ThirdParty", got)
+	}
+	if got := c.Classify("a.com", "www.a.com"); got != FirstParty {
+		t.Errorf("nil classifier same-base Classify = %v, want FirstParty", got)
+	}
+}
+
+func TestPartyString(t *testing.T) {
+	if FirstParty.String() != "first-party" || ThirdParty.String() != "third-party" {
+		t.Error("Party.String mismatch")
+	}
+}

@@ -1,0 +1,176 @@
+// Package fingerprint classifies instrumented JavaScript traces as
+// fingerprinting or benign, implementing the heuristics of Englehardt &
+// Narayanan that the paper applies in Section 5.1.3:
+//
+// Canvas fingerprinting requires, per script:
+//   - a canvas at least 16px in both dimensions,
+//   - at least two distinct fill/stroke colors,
+//   - drawn text with more than 10 distinct characters,
+//   - a call to toDataURL, or to getImageData covering at least 320px of
+//     area, and
+//   - no use of save, restore, or addEventListener on the canvas or its
+//     rendering context (those indicate interactive UI drawing).
+//
+// Canvas-font fingerprinting (the paper's stricter variant) requires the
+// script to set the font property and call measureText on the same text at
+// least 50 times.
+//
+// WebRTC usage is reported whenever RTCPeerConnection (or a prefixed
+// variant) is instantiated together with createDataChannel/createOffer or
+// an onicecandidate handler — evidence of candidate harvesting rather than
+// a call: the paper reports these as *potential* tracking because intent
+// cannot be proven from the trace alone.
+package fingerprint
+
+import (
+	"fmt"
+
+	"pornweb/internal/jsvm"
+)
+
+// Thresholds from the paper.
+const (
+	MinCanvasDim      = 16
+	MinColors         = 2
+	MinDistinctChars  = 11 // "more than 10 different characters"
+	MinImageDataArea  = 320
+	MinMeasureRepeats = 50
+)
+
+// Verdict is the classification of one script trace.
+type Verdict struct {
+	CanvasFP bool
+	FontFP   bool
+	WebRTC   bool
+	// Reasons explains, per positive or near-miss classification, which
+	// criteria fired (diagnostics for the manual-verification workflow).
+	Reasons []string
+}
+
+// Any reports whether any fingerprinting technique was detected.
+func (v Verdict) Any() bool { return v.CanvasFP || v.FontFP || v.WebRTC }
+
+// ClassifyTrace applies all heuristics to one script trace.
+func ClassifyTrace(tr *jsvm.Trace) Verdict {
+	var v Verdict
+	for i, c := range tr.Canvases {
+		ok, reason := canvasQualifies(c)
+		if ok {
+			v.CanvasFP = true
+			v.Reasons = append(v.Reasons, fmt.Sprintf("canvas[%d]: %s", i, reason))
+		}
+	}
+	if ok, reason := fontQualifies(tr); ok {
+		v.FontFP = true
+		v.Reasons = append(v.Reasons, reason)
+	}
+	if tr.WebRTC.Used() {
+		v.WebRTC = true
+		v.Reasons = append(v.Reasons, fmt.Sprintf("webrtc: pc=%d datachannel=%d offer=%d onice=%d",
+			tr.WebRTC.PeerConnections, tr.WebRTC.CreateDataChannel, tr.WebRTC.CreateOffer, tr.WebRTC.OnICECandidate))
+	}
+	return v
+}
+
+// canvasQualifies applies the per-canvas criteria.
+func canvasQualifies(c *jsvm.CanvasRecord) (bool, string) {
+	if c.Width < MinCanvasDim || c.Height < MinCanvasDim {
+		return false, "too small"
+	}
+	if len(c.Colors) < MinColors {
+		return false, "too few colors"
+	}
+	if c.DistinctTextChars() < MinDistinctChars {
+		return false, "too little text"
+	}
+	read := c.ToDataURL > 0 || (c.GetImageData > 0 && c.GetImageDataArea >= MinImageDataArea)
+	if !read {
+		return false, "no pixel readback"
+	}
+	if c.Save > 0 || c.Restore > 0 || c.AddEventListener > 0 {
+		return false, "interactive drawing (save/restore/listener)"
+	}
+	return true, fmt.Sprintf("%dx%d canvas, %d colors, %d distinct chars, readback",
+		c.Width, c.Height, len(c.Colors), c.DistinctTextChars())
+}
+
+// fontQualifies applies the stricter font-fingerprinting condition the
+// paper adopted: the font property is set and the same text is measured at
+// least 50 times.
+func fontQualifies(tr *jsvm.Trace) (bool, string) {
+	if tr.FontSets == 0 {
+		return false, ""
+	}
+	for text, n := range tr.MeasureText {
+		if n >= MinMeasureRepeats {
+			return true, fmt.Sprintf("font: measureText(%q) x%d with %d font sets", text, n, tr.FontSets)
+		}
+	}
+	return false, ""
+}
+
+// ScriptReport aggregates one script's identity with its verdict.
+type ScriptReport struct {
+	ScriptURL string
+	Host      string // host serving the script ("" for inline)
+	SiteHost  string // site on which it executed
+	Verdict   Verdict
+}
+
+// Summary aggregates fingerprinting findings across a crawl.
+type Summary struct {
+	CanvasScripts  map[string]bool // distinct script URLs doing canvas FP
+	FontScripts    map[string]bool // distinct script URLs doing font FP
+	WebRTCScripts  map[string]bool // distinct script URLs touching WebRTC
+	CanvasSites    map[string]bool // sites loading >=1 canvas-FP script
+	FontSites      map[string]bool
+	WebRTCSites    map[string]bool
+	CanvasByServer map[string]map[string]bool // serving host -> distinct canvas script URLs
+	WebRTCByServer map[string]map[string]bool
+}
+
+// NewSummary allocates an empty summary.
+func NewSummary() *Summary {
+	return &Summary{
+		CanvasScripts:  map[string]bool{},
+		FontScripts:    map[string]bool{},
+		WebRTCScripts:  map[string]bool{},
+		CanvasSites:    map[string]bool{},
+		FontSites:      map[string]bool{},
+		WebRTCSites:    map[string]bool{},
+		CanvasByServer: map[string]map[string]bool{},
+		WebRTCByServer: map[string]map[string]bool{},
+	}
+}
+
+// Add folds one script report into the summary.
+func (s *Summary) Add(r ScriptReport) {
+	key := r.ScriptURL
+	if key == "" {
+		key = "inline:" + r.SiteHost
+	}
+	if r.Verdict.CanvasFP {
+		s.CanvasScripts[key] = true
+		s.CanvasSites[r.SiteHost] = true
+		if r.Host != "" {
+			if s.CanvasByServer[r.Host] == nil {
+				s.CanvasByServer[r.Host] = map[string]bool{}
+			}
+			s.CanvasByServer[r.Host][key] = true
+		}
+	}
+	if r.Verdict.FontFP {
+		s.FontScripts[key] = true
+		s.FontSites[r.SiteHost] = true
+	}
+	if r.Verdict.WebRTC {
+		s.WebRTCScripts[key] = true
+		s.WebRTCSites[r.SiteHost] = true
+		if r.Host != "" {
+			if s.WebRTCByServer[r.Host] == nil {
+				s.WebRTCByServer[r.Host] = map[string]bool{}
+			}
+			s.WebRTCByServer[r.Host][key] = true
+		}
+	}
+}

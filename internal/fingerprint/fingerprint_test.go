@@ -1,0 +1,258 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"pornweb/internal/jsvm"
+	"pornweb/internal/webgen"
+)
+
+func execute(t *testing.T, src string) *jsvm.Trace {
+	t.Helper()
+	return jsvm.Execute("test.js", src, jsvm.Env{UserAgent: "UA", ScreenW: 1024, ScreenH: 768})
+}
+
+const fpScript = `
+var c = document.createElement('canvas');
+c.width = 300;
+c.height = 150;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillRect(0, 0, 10, 10);
+ctx.fillStyle = '#069';
+ctx.fillText("Cwm fjordbank glyphs vext quiz", 2, 15);
+var d = c.toDataURL();
+`
+
+func TestCanvasFPDetected(t *testing.T) {
+	v := ClassifyTrace(execute(t, fpScript))
+	if !v.CanvasFP {
+		t.Fatalf("canvas FP not detected: %+v", v)
+	}
+	if len(v.Reasons) == 0 {
+		t.Error("no reasons recorded")
+	}
+}
+
+func TestSmallCanvasExcluded(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+c.width = 10;
+c.height = 10;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillStyle = '#069';
+ctx.fillText("abcdefghijklmnop", 0, 0);
+var d = c.toDataURL();
+`
+	if v := ClassifyTrace(execute(t, src)); v.CanvasFP {
+		t.Error("sub-16px canvas must not qualify")
+	}
+}
+
+func TestSingleColorExcluded(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+c.width = 100;
+c.height = 100;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillText("abcdefghijklmnop", 0, 0);
+var d = c.toDataURL();
+`
+	if v := ClassifyTrace(execute(t, src)); v.CanvasFP {
+		t.Error("single-color canvas must not qualify")
+	}
+}
+
+func TestShortTextExcluded(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+c.width = 100;
+c.height = 100;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillStyle = '#069';
+ctx.fillText("aaaabbbb", 0, 0);
+var d = c.toDataURL();
+`
+	if v := ClassifyTrace(execute(t, src)); v.CanvasFP {
+		t.Error("text with <= 10 distinct chars must not qualify")
+	}
+}
+
+func TestNoReadbackExcluded(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+c.width = 100;
+c.height = 100;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillStyle = '#069';
+ctx.fillText("abcdefghijklmnop", 0, 0);
+`
+	if v := ClassifyTrace(execute(t, src)); v.CanvasFP {
+		t.Error("canvas without readback must not qualify")
+	}
+}
+
+func TestSmallGetImageDataExcluded(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+c.width = 100;
+c.height = 100;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillStyle = '#069';
+ctx.fillText("abcdefghijklmnop", 0, 0);
+ctx.getImageData(0, 0, 10, 10);
+`
+	if v := ClassifyTrace(execute(t, src)); v.CanvasFP {
+		t.Error("getImageData area < 320px must not qualify")
+	}
+}
+
+func TestLargeGetImageDataQualifies(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+c.width = 100;
+c.height = 100;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillStyle = '#069';
+ctx.fillText("abcdefghijklmnop", 0, 0);
+ctx.getImageData(0, 0, 100, 100);
+`
+	if v := ClassifyTrace(execute(t, src)); !v.CanvasFP {
+		t.Error("large getImageData should qualify")
+	}
+}
+
+func TestSaveRestoreExcluded(t *testing.T) {
+	src := fpScript + "\nctx.save();\nctx.restore();\n"
+	if v := ClassifyTrace(execute(t, src)); v.CanvasFP {
+		t.Error("save/restore usage must disqualify")
+	}
+}
+
+func TestAddEventListenerExcluded(t *testing.T) {
+	src := fpScript + "\nc.addEventListener('click', h);\n"
+	if v := ClassifyTrace(execute(t, src)); v.CanvasFP {
+		t.Error("addEventListener usage must disqualify")
+	}
+}
+
+func TestFontFP(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+var ctx = c.getContext('2d');
+for (var i = 0; i < 55; i++) {
+  ctx.font = '12px f' + i;
+  ctx.measureText('mmmmmmmmmmlli');
+}
+`
+	v := ClassifyTrace(execute(t, src))
+	if !v.FontFP {
+		t.Error("font fingerprinting not detected")
+	}
+	if v.CanvasFP {
+		t.Error("font probing alone must not count as canvas FP")
+	}
+}
+
+func TestFontFPBelowThreshold(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+var ctx = c.getContext('2d');
+for (var i = 0; i < 30; i++) {
+  ctx.font = '12px f' + i;
+  ctx.measureText('mmmmmmmmmmlli');
+}
+`
+	if v := ClassifyTrace(execute(t, src)); v.FontFP {
+		t.Error("29 repeats must not qualify (threshold 50)")
+	}
+}
+
+func TestWebRTC(t *testing.T) {
+	src := `
+var pc = new RTCPeerConnection();
+pc.createDataChannel('');
+pc.createOffer();
+`
+	v := ClassifyTrace(execute(t, src))
+	if !v.WebRTC {
+		t.Error("WebRTC not detected")
+	}
+	if !v.Any() {
+		t.Error("Any() should be true")
+	}
+}
+
+func TestBenignScriptClean(t *testing.T) {
+	v := ClassifyTrace(execute(t, `var x = navigator.userAgent; fetch('https://a.example/c?ua=' + x);`))
+	if v.Any() {
+		t.Errorf("benign script classified as fingerprinting: %+v", v)
+	}
+}
+
+// TestGeneratorRoundTrip verifies that the planted service behaviours
+// classify exactly as planted: canvas services' FP variants qualify, their
+// benign variants do not, font/WebRTC services classify accordingly.
+func TestGeneratorRoundTrip(t *testing.T) {
+	eco := webgen.Generate(webgen.Params{Seed: 5, Scale: 0.03})
+	env := jsvm.Env{UserAgent: "UA", ScreenW: 1280, ScreenH: 800}
+	var canvasPos, fontPos, rtcPos int
+	for _, svc := range eco.Services {
+		for v := 0; v < svc.ScriptVariants; v++ {
+			src := webgen.ServiceScript(svc, v, "uid0001", "http")
+			verdict := ClassifyTrace(jsvm.Execute("", src, env))
+			benignVariant := svc.CanvasFP && svc.ScriptVariants > 2 && v == svc.ScriptVariants-1
+			switch {
+			case svc.CanvasFP && !benignVariant:
+				if !verdict.CanvasFP {
+					t.Errorf("%s variant %d: planted canvas FP not detected", svc.Host, v)
+				}
+				canvasPos++
+			case benignVariant:
+				if verdict.CanvasFP {
+					t.Errorf("%s benign variant %d misclassified as canvas FP", svc.Host, v)
+				}
+			case svc.FontFP:
+				if !verdict.FontFP {
+					t.Errorf("%s: planted font FP not detected", svc.Host)
+				}
+				fontPos++
+			case svc.WebRTC:
+				if !verdict.WebRTC {
+					t.Errorf("%s: planted WebRTC not detected", svc.Host)
+				}
+				rtcPos++
+			default:
+				if verdict.CanvasFP || verdict.FontFP {
+					t.Errorf("%s variant %d: false positive %+v", svc.Host, v, verdict)
+				}
+			}
+		}
+	}
+	if canvasPos == 0 || fontPos == 0 || rtcPos == 0 {
+		t.Errorf("coverage: canvas=%d font=%d rtc=%d", canvasPos, fontPos, rtcPos)
+	}
+}
+
+func TestSummaryAggregation(t *testing.T) {
+	s := NewSummary()
+	v := Verdict{CanvasFP: true}
+	s.Add(ScriptReport{ScriptURL: "http://t.example/a.js", Host: "t.example", SiteHost: "s1.com", Verdict: v})
+	s.Add(ScriptReport{ScriptURL: "http://t.example/a.js", Host: "t.example", SiteHost: "s2.com", Verdict: v})
+	s.Add(ScriptReport{ScriptURL: "", SiteHost: "s3.com", Verdict: v}) // inline
+	if len(s.CanvasScripts) != 2 {
+		t.Errorf("distinct canvas scripts = %d, want 2 (URL + inline)", len(s.CanvasScripts))
+	}
+	if len(s.CanvasSites) != 3 {
+		t.Errorf("canvas sites = %d, want 3", len(s.CanvasSites))
+	}
+	if len(s.CanvasByServer["t.example"]) != 1 {
+		t.Errorf("server scripts = %v", s.CanvasByServer)
+	}
+}

@@ -1,0 +1,457 @@
+// Package htmlx implements a small HTML tokenizer, parser, and DOM used by
+// the crawlers. The standard library has no HTML parser, and the study needs
+// one for three tasks: extracting embedded resources (scripts, iframes,
+// images, links), locating cookie-consent banners and age-verification
+// interstitials (including inspecting the text of parent and grandparent
+// elements, as the paper's Selenium crawler does), and pulling the <head>
+// element for owner-attribution similarity.
+//
+// The parser handles the subset of HTML the generated ecosystem and the
+// detection heuristics require: elements with attributes (quoted, unquoted,
+// or bare), text, comments, void elements, raw-text elements (script/style
+// whose content is not parsed as markup), and auto-recovery from unbalanced
+// close tags. It is not a full HTML5 tree builder.
+package htmlx
+
+import (
+	"strings"
+)
+
+// NodeType discriminates DOM node kinds.
+type NodeType int
+
+const (
+	// ElementNode is a tag such as <div>.
+	ElementNode NodeType = iota
+	// TextNode is character data.
+	TextNode
+	// CommentNode is a <!-- comment -->.
+	CommentNode
+	// DocumentNode is the synthetic root.
+	DocumentNode
+)
+
+// Node is a DOM node.
+type Node struct {
+	Type     NodeType
+	Tag      string            // lower-case tag name for elements
+	Attrs    map[string]string // attribute name (lower-case) -> value
+	Text     string            // text for TextNode / CommentNode
+	Parent   *Node
+	Children []*Node
+}
+
+// voidElements never have children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements have their content treated as raw text until the matching
+// close tag.
+var rawTextElements = map[string]bool{"script": true, "style": true, "title": true, "textarea": true}
+
+// Parse parses src into a document tree. Parse never fails: malformed input
+// degrades into text nodes, matching browser behaviour closely enough for
+// the study's detection heuristics.
+func Parse(src string) *Node {
+	p := parser{src: src}
+	doc := &Node{Type: DocumentNode}
+	p.parseInto(doc)
+	return doc
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) parseInto(root *Node) {
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+	appendChild := func(n *Node) {
+		n.Parent = top()
+		top().Children = append(top().Children, n)
+	}
+	for !p.eof() {
+		if p.src[p.pos] != '<' {
+			text := p.readText()
+			if strings.TrimSpace(text) != "" || len(stack) > 1 {
+				appendChild(&Node{Type: TextNode, Text: text})
+			}
+			continue
+		}
+		// '<' seen.
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			comment := p.readComment()
+			appendChild(&Node{Type: CommentNode, Text: comment})
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!") || strings.HasPrefix(p.src[p.pos:], "<?") {
+			p.skipDeclaration()
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			tag := p.readCloseTag()
+			// Pop to the matching open tag, if present.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tag {
+					stack = stack[:i]
+					break
+				}
+			}
+			continue
+		}
+		// Open tag (or stray '<').
+		node, selfClose, ok := p.readOpenTag()
+		if !ok {
+			// Stray '<': treat as text.
+			appendChild(&Node{Type: TextNode, Text: "<"})
+			p.pos++
+			continue
+		}
+		appendChild(node)
+		if selfClose || voidElements[node.Tag] {
+			continue
+		}
+		if rawTextElements[node.Tag] {
+			raw := p.readRawText(node.Tag)
+			if raw != "" {
+				child := &Node{Type: TextNode, Text: raw, Parent: node}
+				node.Children = append(node.Children, child)
+			}
+			continue
+		}
+		stack = append(stack, node)
+	}
+}
+
+func (p *parser) readText() string {
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != '<' {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) readComment() string {
+	p.pos += len("<!--")
+	end := strings.Index(p.src[p.pos:], "-->")
+	if end < 0 {
+		c := p.src[p.pos:]
+		p.pos = len(p.src)
+		return c
+	}
+	c := p.src[p.pos : p.pos+end]
+	p.pos += end + len("-->")
+	return c
+}
+
+func (p *parser) skipDeclaration() {
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	p.pos += end + 1
+}
+
+func (p *parser) readCloseTag() string {
+	p.pos += len("</")
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != '>' {
+		p.pos++
+	}
+	tag := strings.ToLower(strings.TrimSpace(p.src[start:p.pos]))
+	if !p.eof() {
+		p.pos++ // consume '>'
+	}
+	return tag
+}
+
+// readOpenTag parses "<tag attr=val ...>" starting at '<'. It reports
+// whether the tag was self-closing and whether a valid tag was read at all.
+func (p *parser) readOpenTag() (node *Node, selfClose, ok bool) {
+	i := p.pos + 1
+	if i >= len(p.src) || !isTagStart(p.src[i]) {
+		return nil, false, false
+	}
+	start := i
+	for i < len(p.src) && isTagChar(p.src[i]) {
+		i++
+	}
+	tag := strings.ToLower(p.src[start:i])
+	node = &Node{Type: ElementNode, Tag: tag, Attrs: map[string]string{}}
+	// Attributes.
+	for i < len(p.src) {
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) {
+			break
+		}
+		if p.src[i] == '>' {
+			i++
+			p.pos = i
+			return node, false, true
+		}
+		if p.src[i] == '/' {
+			i++
+			for i < len(p.src) && p.src[i] != '>' {
+				i++
+			}
+			if i < len(p.src) {
+				i++
+			}
+			p.pos = i
+			return node, true, true
+		}
+		// Attribute name.
+		nameStart := i
+		for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '=' && p.src[i] != '>' && p.src[i] != '/' {
+			i++
+		}
+		name := strings.ToLower(p.src[nameStart:i])
+		if name == "" {
+			i++
+			continue
+		}
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i < len(p.src) && p.src[i] == '=' {
+			i++
+			for i < len(p.src) && isSpace(p.src[i]) {
+				i++
+			}
+			var val string
+			if i < len(p.src) && (p.src[i] == '"' || p.src[i] == '\'') {
+				q := p.src[i]
+				i++
+				valStart := i
+				for i < len(p.src) && p.src[i] != q {
+					i++
+				}
+				val = p.src[valStart:i]
+				if i < len(p.src) {
+					i++
+				}
+			} else {
+				valStart := i
+				for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '>' {
+					i++
+				}
+				val = p.src[valStart:i]
+			}
+			node.Attrs[name] = val
+		} else {
+			node.Attrs[name] = ""
+		}
+	}
+	p.pos = i
+	return node, false, true
+}
+
+// readRawText consumes content up to (and including) </tag>.
+func (p *parser) readRawText(tag string) string {
+	lower := strings.ToLower(p.src[p.pos:])
+	closeTag := "</" + tag
+	end := strings.Index(lower, closeTag)
+	if end < 0 {
+		raw := p.src[p.pos:]
+		p.pos = len(p.src)
+		return raw
+	}
+	raw := p.src[p.pos : p.pos+end]
+	p.pos += end
+	// Consume through '>'.
+	gt := strings.IndexByte(p.src[p.pos:], '>')
+	if gt < 0 {
+		p.pos = len(p.src)
+	} else {
+		p.pos += gt + 1
+	}
+	return raw
+}
+
+func isTagStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isTagChar(c byte) bool {
+	return isTagStart(c) || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// Attr returns the value of the named attribute, or "".
+func (n *Node) Attr(name string) string {
+	if n == nil || n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[strings.ToLower(name)]
+}
+
+// HasAttr reports whether the named attribute is present (even if empty).
+func (n *Node) HasAttr(name string) bool {
+	if n == nil || n.Attrs == nil {
+		return false
+	}
+	_, ok := n.Attrs[strings.ToLower(name)]
+	return ok
+}
+
+// Walk visits n and all descendants in document order. If fn returns false
+// the walk stops.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	stop := false
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if stop {
+			return
+		}
+		if !fn(m) {
+			stop = true
+			return
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+}
+
+// ElementsByTag returns all descendant elements (including n itself) with
+// the given tag name.
+func (n *Node) ElementsByTag(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.Type == ElementNode && m.Tag == tag {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// First returns the first descendant element with the tag, or nil.
+func (n *Node) First(tag string) *Node {
+	tag = strings.ToLower(tag)
+	var found *Node
+	n.Walk(func(m *Node) bool {
+		if m.Type == ElementNode && m.Tag == tag {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// InnerText concatenates all descendant text nodes, collapsing runs of
+// whitespace into single spaces.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.Walk(func(m *Node) bool {
+		if m.Type == TextNode {
+			b.WriteString(m.Text)
+			b.WriteByte(' ')
+		}
+		return true
+	})
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// Ancestor returns the n-th ancestor of the node (1 = parent, 2 =
+// grandparent), or nil if the tree is not that deep. The paper's
+// age-verification detector inspects the text of the parent and grandparent
+// of keyword-bearing elements.
+func (n *Node) Ancestor(level int) *Node {
+	cur := n
+	for i := 0; i < level && cur != nil; i++ {
+		cur = cur.Parent
+	}
+	return cur
+}
+
+// Links returns the href values of all <a> descendants.
+func (n *Node) Links() []string {
+	var out []string
+	for _, a := range n.ElementsByTag("a") {
+		if href := a.Attr("href"); href != "" {
+			out = append(out, href)
+		}
+	}
+	return out
+}
+
+// Resource is an embedded subresource reference found in a document.
+type Resource struct {
+	Tag string // script, img, iframe, link
+	URL string
+}
+
+// Resources extracts the embedded subresources a browser would fetch:
+// <script src>, <img src>, <iframe src>, and <link rel=stylesheet href>.
+func (n *Node) Resources() []Resource {
+	var out []Resource
+	n.Walk(func(m *Node) bool {
+		if m.Type != ElementNode {
+			return true
+		}
+		switch m.Tag {
+		case "script", "img", "iframe":
+			if src := m.Attr("src"); src != "" {
+				out = append(out, Resource{Tag: m.Tag, URL: src})
+			}
+		case "link":
+			rel := strings.ToLower(m.Attr("rel"))
+			if href := m.Attr("href"); href != "" && (rel == "stylesheet" || rel == "icon") {
+				out = append(out, Resource{Tag: m.Tag, URL: href})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// InlineScripts returns the text content of all <script> elements with no
+// src attribute.
+func (n *Node) InlineScripts() []string {
+	var out []string
+	for _, s := range n.ElementsByTag("script") {
+		if s.Attr("src") == "" {
+			var b strings.Builder
+			for _, c := range s.Children {
+				if c.Type == TextNode {
+					b.WriteString(c.Text)
+				}
+			}
+			if b.Len() > 0 {
+				out = append(out, b.String())
+			}
+		}
+	}
+	return out
+}
+
+// MetaRTA reports whether the document carries the Restricted-To-Adults
+// meta tag promoted by ASACP (Section 2.1 of the paper).
+func (n *Node) MetaRTA() bool {
+	for _, m := range n.ElementsByTag("meta") {
+		if strings.EqualFold(m.Attr("name"), "rating") &&
+			strings.Contains(strings.ToUpper(m.Attr("content")), "RTA-5042") {
+			return true
+		}
+	}
+	return false
+}

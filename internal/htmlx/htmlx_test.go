@@ -1,0 +1,237 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimple(t *testing.T) {
+	doc := Parse(`<html><head><title>Hi</title></head><body><p class="x">Hello <b>world</b></p></body></html>`)
+	html := doc.First("html")
+	if html == nil {
+		t.Fatal("no <html> element")
+	}
+	p := doc.First("p")
+	if p == nil {
+		t.Fatal("no <p> element")
+	}
+	if p.Attr("class") != "x" {
+		t.Errorf("p class = %q, want x", p.Attr("class"))
+	}
+	if got := p.InnerText(); got != "Hello world" {
+		t.Errorf("InnerText = %q, want %q", got, "Hello world")
+	}
+	title := doc.First("title")
+	if title == nil || title.InnerText() != "Hi" {
+		t.Errorf("title text wrong: %v", title)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := Parse(`<a href="https://x.com/p" data-id='7' checked target=_blank>link</a>`)
+	a := doc.First("a")
+	if a == nil {
+		t.Fatal("no <a>")
+	}
+	if a.Attr("href") != "https://x.com/p" {
+		t.Errorf("href = %q", a.Attr("href"))
+	}
+	if a.Attr("data-id") != "7" {
+		t.Errorf("data-id = %q", a.Attr("data-id"))
+	}
+	if !a.HasAttr("checked") {
+		t.Error("checked attr missing")
+	}
+	if a.Attr("target") != "_blank" {
+		t.Errorf("target = %q", a.Attr("target"))
+	}
+}
+
+func TestVoidElements(t *testing.T) {
+	doc := Parse(`<div><img src="a.png"><br><p>after</p></div>`)
+	img := doc.First("img")
+	if img == nil {
+		t.Fatal("no img")
+	}
+	if len(img.Children) != 0 {
+		t.Error("void element must have no children")
+	}
+	p := doc.First("p")
+	if p == nil || p.Parent.Tag != "div" {
+		t.Error("p should be child of div (img must not swallow it)")
+	}
+}
+
+func TestSelfClosing(t *testing.T) {
+	doc := Parse(`<div><span/><em>x</em></div>`)
+	em := doc.First("em")
+	if em == nil || em.Parent.Tag != "div" {
+		t.Error("em should be sibling of self-closed span under div")
+	}
+}
+
+func TestScriptRawText(t *testing.T) {
+	doc := Parse(`<script>if (a < b) { x("<div>"); }</script><p>t</p>`)
+	scripts := doc.InlineScripts()
+	if len(scripts) != 1 {
+		t.Fatalf("InlineScripts = %d, want 1", len(scripts))
+	}
+	if !strings.Contains(scripts[0], `x("<div>")`) {
+		t.Errorf("script content mangled: %q", scripts[0])
+	}
+	if doc.First("p") == nil {
+		t.Error("content after script lost")
+	}
+	if doc.First("div") != nil {
+		t.Error("markup inside script must not become elements")
+	}
+}
+
+func TestComments(t *testing.T) {
+	doc := Parse(`<div><!-- hidden <b>not bold</b> --><i>x</i></div>`)
+	if doc.First("b") != nil {
+		t.Error("markup inside comment must not parse")
+	}
+	var comments int
+	doc.Walk(func(n *Node) bool {
+		if n.Type == CommentNode {
+			comments++
+		}
+		return true
+	})
+	if comments != 1 {
+		t.Errorf("comments = %d, want 1", comments)
+	}
+}
+
+func TestDoctype(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><html><body>x</body></html>`)
+	if doc.First("html") == nil {
+		t.Error("doctype broke parsing")
+	}
+}
+
+func TestUnbalancedCloseTags(t *testing.T) {
+	doc := Parse(`<div><p>a</span></p>b</div>`)
+	div := doc.First("div")
+	if div == nil {
+		t.Fatal("no div")
+	}
+	if got := div.InnerText(); got != "a b" {
+		t.Errorf("InnerText = %q, want %q", got, "a b")
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	doc := Parse(`<div id="g"><section id="p"><button id="c">Enter</button></section></div>`)
+	btn := doc.First("button")
+	if btn == nil {
+		t.Fatal("no button")
+	}
+	if got := btn.Ancestor(1); got == nil || got.Attr("id") != "p" {
+		t.Errorf("parent wrong: %v", got)
+	}
+	if got := btn.Ancestor(2); got == nil || got.Attr("id") != "g" {
+		t.Errorf("grandparent wrong: %v", got)
+	}
+}
+
+func TestLinks(t *testing.T) {
+	doc := Parse(`<a href="/privacy">Privacy Policy</a><a>no href</a><a href="/terms">T</a>`)
+	links := doc.Links()
+	if len(links) != 2 || links[0] != "/privacy" || links[1] != "/terms" {
+		t.Errorf("Links = %v", links)
+	}
+}
+
+func TestResources(t *testing.T) {
+	doc := Parse(`<head><link rel="stylesheet" href="/s.css"><link rel="preload" href="/x"></head>
+<body><script src="https://ads.example/a.js"></script><img src="/pix.gif"><iframe src="//sync.example/if"></iframe></body>`)
+	res := doc.Resources()
+	if len(res) != 4 {
+		t.Fatalf("Resources = %v, want 4 entries", res)
+	}
+	tags := map[string]int{}
+	for _, r := range res {
+		tags[r.Tag]++
+	}
+	if tags["script"] != 1 || tags["img"] != 1 || tags["iframe"] != 1 || tags["link"] != 1 {
+		t.Errorf("resource tags = %v", tags)
+	}
+}
+
+func TestInlineScripts(t *testing.T) {
+	doc := Parse(`<script src="/ext.js"></script><script>inline1()</script><script>inline2()</script>`)
+	in := doc.InlineScripts()
+	if len(in) != 2 {
+		t.Fatalf("InlineScripts = %d, want 2", len(in))
+	}
+}
+
+func TestMetaRTA(t *testing.T) {
+	with := Parse(`<head><meta name="RATING" content="RTA-5042-1996-1400-1577-RTA"></head>`)
+	if !with.MetaRTA() {
+		t.Error("RTA tag not detected")
+	}
+	without := Parse(`<head><meta name="rating" content="general"></head>`)
+	if without.MetaRTA() {
+		t.Error("false positive RTA")
+	}
+}
+
+func TestElementsByTagCount(t *testing.T) {
+	doc := Parse(`<ul><li>1</li><li>2</li><li>3</li></ul>`)
+	if n := len(doc.ElementsByTag("li")); n != 3 {
+		t.Errorf("li count = %d, want 3", n)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		return doc != nil && doc.Type == DocumentNode
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Adversarial fragments.
+	for _, s := range []string{"<", "<<", "</", "<a", "<a href=", `<a href="x`, "<!--", "<script>", "<!doctype", "</>", "<a/ >", "< div>"} {
+		Parse(s) // must not panic
+	}
+}
+
+func TestParentPointersConsistent(t *testing.T) {
+	doc := Parse(`<div><p><b>x</b></p><span>y</span></div>`)
+	doc.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			if c.Parent != n {
+				t.Errorf("child %v has wrong parent", c)
+			}
+		}
+		return true
+	})
+}
+
+func TestNilNodeHelpers(t *testing.T) {
+	var n *Node
+	if n.Attr("x") != "" || n.HasAttr("x") {
+		t.Error("nil node attr helpers must be safe")
+	}
+	n.Walk(func(*Node) bool { return true }) // must not panic
+}
+
+func TestWalkStop(t *testing.T) {
+	doc := Parse(`<a></a><b></b><c></c>`)
+	var visited []string
+	doc.Walk(func(n *Node) bool {
+		if n.Type == ElementNode {
+			visited = append(visited, n.Tag)
+			return n.Tag != "b"
+		}
+		return true
+	})
+	if len(visited) != 2 || visited[1] != "b" {
+		t.Errorf("walk did not stop at b: %v", visited)
+	}
+}

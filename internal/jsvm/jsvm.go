@@ -1,0 +1,834 @@
+// Package jsvm executes the JavaScript-like tracker scripts served by the
+// generated ecosystem and records every privacy-relevant browser API call,
+// mirroring OpenWPM's JavaScript instrumentation.
+//
+// The paper's fingerprinting analysis (Section 5.1.3) does not need full
+// JavaScript semantics: it consumes per-script API call traces — canvas
+// sizes, colors and text drawn, toDataURL/getImageData invocations,
+// measureText repetition for font fingerprinting, RTCPeerConnection usage
+// for WebRTC, document.cookie writes, and the URLs of tracking pixels and
+// beacons a script triggers. jsvm interprets a pragmatic subset of
+// JavaScript sufficient for the scripts the ecosystem generator emits:
+// statements, var declarations, assignments, member calls, string
+// concatenation, new-expressions, and constant-bound for loops.
+package jsvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Env supplies the ambient browser state visible to scripts.
+type Env struct {
+	UserAgent string
+	ScreenW   int
+	ScreenH   int
+	ClientIP  string // what the server told the script (e.g. via template)
+	Language  string
+	Bindings  map[string]string // pre-bound string variables (e.g. uid)
+}
+
+// CanvasRecord accumulates the per-canvas facts the Englehardt heuristics
+// test.
+type CanvasRecord struct {
+	Width, Height    int
+	Colors           map[string]bool // distinct fillStyle/strokeStyle values
+	Text             strings.Builder // all text drawn via fillText/strokeText
+	ToDataURL        int             // calls to canvas.toDataURL
+	GetImageData     int             // calls to ctx.getImageData
+	GetImageDataArea int             // max area requested by getImageData
+	Save             int             // ctx.save calls
+	Restore          int             // ctx.restore calls
+	AddEventListener int             // canvas.addEventListener calls
+}
+
+// DistinctTextChars returns the number of distinct characters drawn onto the
+// canvas.
+func (c *CanvasRecord) DistinctTextChars() int {
+	seen := map[rune]bool{}
+	for _, r := range c.Text.String() {
+		seen[r] = true
+	}
+	return len(seen)
+}
+
+// WebRTCRecord captures RTCPeerConnection usage.
+type WebRTCRecord struct {
+	PeerConnections   int
+	CreateDataChannel int
+	CreateOffer       int
+	OnICECandidate    int
+}
+
+// Used reports whether any WebRTC API was touched.
+func (w *WebRTCRecord) Used() bool {
+	return w != nil && (w.PeerConnections > 0 || w.CreateDataChannel > 0 || w.CreateOffer > 0 || w.OnICECandidate > 0)
+}
+
+// Trace is the instrumented execution record of one script.
+type Trace struct {
+	ScriptURL     string
+	Canvases      []*CanvasRecord
+	MeasureText   map[string]int // text -> number of measureText calls
+	FontSets      int            // assignments to ctx.font
+	WebRTC        WebRTCRecord
+	CookieWrites  []string // raw document.cookie assignments
+	Requests      []string // URLs the script fetched (pixels, beacons, XHR)
+	StorageWrites []string // localStorage.setItem keys
+	PropertyReads []string // fingerprintable property reads (navigator.*, screen.*)
+	Errors        []string // interpretation problems (non-fatal)
+}
+
+// value is a runtime value: a string, a number, or an object handle.
+type value struct {
+	kind kindT
+	s    string
+	n    float64
+	obj  *object
+}
+
+type kindT int
+
+const (
+	kString kindT = iota
+	kNumber
+	kObject
+	kUndefined
+)
+
+type object struct {
+	class  string // "canvas", "ctx2d", "rtc", "image", "xhr"
+	canvas *CanvasRecord
+}
+
+func str(s string) value   { return value{kind: kString, s: s} }
+func num(n float64) value  { return value{kind: kNumber, n: n} }
+func objv(o *object) value { return value{kind: kObject, obj: o} }
+func undef() value         { return value{kind: kUndefined} }
+func (v value) String() string {
+	switch v.kind {
+	case kString:
+		return v.s
+	case kNumber:
+		if v.n == float64(int64(v.n)) {
+			return strconv.FormatInt(int64(v.n), 10)
+		}
+		return strconv.FormatFloat(v.n, 'g', -1, 64)
+	case kObject:
+		return "[object " + v.obj.class + "]"
+	}
+	return "undefined"
+}
+
+// interp is one script execution.
+type interp struct {
+	env   Env
+	trace *Trace
+	vars  map[string]value
+	steps int // fuel: guards against runaway loops
+}
+
+const maxSteps = 200000
+
+// Execute runs src in env and returns its instrumented trace. Execution is
+// best-effort: statements that cannot be interpreted are recorded in
+// Trace.Errors and skipped, like a browser skipping a throwing statement.
+func Execute(scriptURL, src string, env Env) *Trace {
+	t := &Trace{ScriptURL: scriptURL, MeasureText: map[string]int{}}
+	in := &interp{env: env, trace: t, vars: map[string]value{}}
+	for k, v := range env.Bindings {
+		in.vars[k] = str(v)
+	}
+	in.execBlock(src)
+	return t
+}
+
+// execBlock executes a sequence of statements.
+func (in *interp) execBlock(src string) {
+	stmts := splitStatements(src)
+	for _, s := range stmts {
+		if in.steps > maxSteps {
+			in.trace.Errors = append(in.trace.Errors, "fuel exhausted")
+			return
+		}
+		in.execStmt(s)
+	}
+}
+
+// splitStatements splits on ';' and '}' boundaries at nesting depth zero,
+// keeping for-loops (with their bodies) as single units.
+func splitStatements(src string) []string {
+	var out []string
+	depthParen, depthBrace := 0, 0
+	inStr := byte(0)
+	start := 0
+	flush := func(end int) {
+		s := strings.TrimSpace(src[start:end])
+		if s != "" {
+			out = append(out, s)
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '(':
+			depthParen++
+		case ')':
+			depthParen--
+		case '{':
+			depthBrace++
+		case '}':
+			depthBrace--
+			if depthBrace == 0 && depthParen == 0 {
+				// End of a block statement (e.g. for-loop body).
+				flush(i + 1)
+				start = i + 1
+			}
+		case ';':
+			if depthParen == 0 && depthBrace == 0 {
+				flush(i)
+			}
+		case '\n':
+			// Newline ends a statement when not inside any nesting and the
+			// trimmed fragment doesn't continue an expression.
+			if depthParen == 0 && depthBrace == 0 {
+				frag := strings.TrimSpace(src[start:i])
+				if frag != "" && !strings.HasSuffix(frag, "+") && !strings.HasSuffix(frag, "=") && !strings.HasSuffix(frag, ",") {
+					flush(i)
+				}
+			}
+		}
+	}
+	if s := strings.TrimSpace(src[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (in *interp) execStmt(s string) {
+	in.steps++
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "//") {
+		return
+	}
+	if strings.HasPrefix(s, "for") {
+		in.execFor(s)
+		return
+	}
+	if strings.HasPrefix(s, "var ") {
+		s = strings.TrimSpace(s[4:])
+	} else if strings.HasPrefix(s, "let ") || strings.HasPrefix(s, "const") {
+		s = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(s, "let "), "const "))
+	}
+	// Assignment at top level (not ==, <=, >=, !=)?
+	if lhs, rhs, ok := splitAssign(s); ok {
+		in.execAssign(lhs, rhs)
+		return
+	}
+	// Plain expression statement (usually a call).
+	in.eval(s)
+}
+
+// splitAssign splits "lhs = rhs" at the first top-level '=' that is an
+// assignment operator.
+func splitAssign(s string) (lhs, rhs string, ok bool) {
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case '=':
+			if depth != 0 {
+				continue
+			}
+			if i+1 < len(s) && s[i+1] == '=' {
+				return "", "", false // comparison
+			}
+			if i > 0 && (s[i-1] == '=' || s[i-1] == '!' || s[i-1] == '<' || s[i-1] == '>' || s[i-1] == '+') {
+				if s[i-1] == '+' {
+					// += : treat as assignment of concatenation.
+					return strings.TrimSpace(s[:i-1]), strings.TrimSpace(s[:i-1]) + "+" + s[i+1:], true
+				}
+				return "", "", false
+			}
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// execFor runs constant-bound loops of the form
+// for (var i = A; i < B; i++) { body }.
+func (in *interp) execFor(s string) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return
+	}
+	depth := 0
+	closeIdx := -1
+	for i := open; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				closeIdx = i
+			}
+		}
+		if closeIdx >= 0 {
+			break
+		}
+	}
+	if closeIdx < 0 {
+		return
+	}
+	header := s[open+1 : closeIdx]
+	bodyStart := strings.IndexByte(s[closeIdx:], '{')
+	if bodyStart < 0 {
+		return
+	}
+	body := s[closeIdx+bodyStart+1:]
+	body = strings.TrimSuffix(strings.TrimSpace(body), "}")
+	parts := strings.SplitN(header, ";", 3)
+	if len(parts) != 3 {
+		return
+	}
+	initStmt := strings.TrimSpace(parts[0])
+	cond := strings.TrimSpace(parts[1])
+	// Extract loop variable and start.
+	initStmt = strings.TrimPrefix(initStmt, "var ")
+	initStmt = strings.TrimPrefix(initStmt, "let ")
+	eq := strings.IndexByte(initStmt, '=')
+	if eq < 0 {
+		return
+	}
+	loopVar := strings.TrimSpace(initStmt[:eq])
+	startV := in.eval(strings.TrimSpace(initStmt[eq+1:]))
+	lt := strings.IndexByte(cond, '<')
+	if lt < 0 {
+		return
+	}
+	boundV := in.eval(strings.TrimSpace(cond[lt+1:]))
+	startN, boundN := int(startV.n), int(boundV.n)
+	if boundN-startN > 10000 {
+		boundN = startN + 10000
+	}
+	for i := startN; i < boundN; i++ {
+		in.vars[loopVar] = num(float64(i))
+		in.execBlock(body)
+		if in.steps > maxSteps {
+			return
+		}
+	}
+}
+
+func (in *interp) execAssign(lhs, rhs string) {
+	rv := in.eval(rhs)
+	// Member assignment?
+	if dot := lastTopLevelDot(lhs); dot >= 0 {
+		objExpr, prop := lhs[:dot], lhs[dot+1:]
+		in.setMember(objExpr, strings.TrimSpace(prop), rv)
+		return
+	}
+	in.vars[lhs] = rv
+}
+
+// setMember implements property writes on builtin objects.
+func (in *interp) setMember(objExpr, prop string, rv value) {
+	switch objExpr {
+	case "document":
+		if prop == "cookie" {
+			in.trace.CookieWrites = append(in.trace.CookieWrites, rv.String())
+		}
+		return
+	case "window", "self":
+		in.vars[prop] = rv
+		return
+	}
+	ov := in.eval(objExpr)
+	if ov.kind != kObject {
+		in.vars[objExpr+"."+prop] = rv
+		return
+	}
+	switch ov.obj.class {
+	case "canvas":
+		switch prop {
+		case "width":
+			ov.obj.canvas.Width = int(rv.n)
+		case "height":
+			ov.obj.canvas.Height = int(rv.n)
+		}
+	case "ctx2d":
+		switch prop {
+		case "fillStyle", "strokeStyle":
+			ov.obj.canvas.Colors[rv.String()] = true
+		case "font":
+			in.trace.FontSets++
+		case "textBaseline":
+			// cosmetic; ignore
+		}
+	case "image":
+		if prop == "src" {
+			in.trace.Requests = append(in.trace.Requests, rv.String())
+		}
+	case "rtc":
+		if prop == "onicecandidate" {
+			in.trace.WebRTC.OnICECandidate++
+		}
+	}
+}
+
+// lastTopLevelDot finds the last '.' outside parens/strings, so that
+// "a.b(c.d).e" splits at the final dot.
+func lastTopLevelDot(s string) int {
+	depth := 0
+	inStr := byte(0)
+	last := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case '.':
+			if depth == 0 {
+				last = i
+			}
+		}
+	}
+	return last
+}
+
+// eval evaluates an expression.
+func (in *interp) eval(expr string) value {
+	in.steps++
+	if in.steps > maxSteps {
+		return undef()
+	}
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return undef()
+	}
+	// String concatenation at top level.
+	if parts := splitTopLevel(expr, '+'); len(parts) > 1 {
+		allNumeric := true
+		sum := 0.0
+		vals := make([]value, len(parts))
+		for i, p := range parts {
+			vals[i] = in.eval(p)
+			if vals[i].kind != kNumber {
+				allNumeric = false
+			} else {
+				sum += vals[i].n
+			}
+		}
+		if allNumeric {
+			return num(sum)
+		}
+		var b strings.Builder
+		for _, v := range vals {
+			b.WriteString(v.String())
+		}
+		return str(b.String())
+	}
+	// Literals.
+	if len(expr) >= 2 && (expr[0] == '\'' || expr[0] == '"') && expr[len(expr)-1] == expr[0] {
+		return str(unescape(expr[1 : len(expr)-1]))
+	}
+	if n, err := strconv.ParseFloat(expr, 64); err == nil {
+		return num(n)
+	}
+	// new-expressions.
+	if strings.HasPrefix(expr, "new ") {
+		return in.evalNew(strings.TrimSpace(expr[4:]))
+	}
+	// Member access / calls.
+	if dot := lastTopLevelDot(expr); dot >= 0 {
+		return in.evalMember(expr[:dot], expr[dot+1:])
+	}
+	// Bare call like fetch(...) or sendBeacon handled under navigator.
+	if name, args, ok := parseCall(expr); ok {
+		switch name {
+		case "fetch":
+			if len(args) > 0 {
+				in.trace.Requests = append(in.trace.Requests, in.eval(args[0]).String())
+			}
+			return undef()
+		case "parseInt", "Number":
+			if len(args) > 0 {
+				v := in.eval(args[0])
+				if v.kind == kString {
+					if n, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64); err == nil {
+						return num(n)
+					}
+				}
+				return v
+			}
+		case "encodeURIComponent", "btoa", "atob", "escape", "String":
+			if len(args) > 0 {
+				return str(in.eval(args[0]).String())
+			}
+		}
+		return undef()
+	}
+	// Variable.
+	if v, ok := in.vars[expr]; ok {
+		return v
+	}
+	return undef()
+}
+
+func (in *interp) evalNew(expr string) value {
+	name, args, ok := parseCall(expr)
+	if !ok {
+		name = expr
+	}
+	_ = args
+	switch name {
+	case "RTCPeerConnection", "webkitRTCPeerConnection", "mozRTCPeerConnection":
+		in.trace.WebRTC.PeerConnections++
+		return objv(&object{class: "rtc"})
+	case "Image":
+		return objv(&object{class: "image"})
+	case "XMLHttpRequest":
+		return objv(&object{class: "xhr"})
+	case "Date":
+		return objv(&object{class: "date"})
+	}
+	return objv(&object{class: strings.ToLower(name)})
+}
+
+// evalMember evaluates obj.prop or obj.method(args).
+func (in *interp) evalMember(objExpr, rest string) value {
+	rest = strings.TrimSpace(rest)
+	if name, args, ok := parseCall(rest); ok {
+		return in.callMethod(objExpr, name, args)
+	}
+	// Property read.
+	switch objExpr {
+	case "navigator":
+		in.trace.PropertyReads = append(in.trace.PropertyReads, "navigator."+rest)
+		switch rest {
+		case "userAgent":
+			return str(in.env.UserAgent)
+		case "language":
+			return str(in.env.Language)
+		}
+		return str("")
+	case "screen":
+		in.trace.PropertyReads = append(in.trace.PropertyReads, "screen."+rest)
+		switch rest {
+		case "width":
+			return num(float64(in.env.ScreenW))
+		case "height":
+			return num(float64(in.env.ScreenH))
+		}
+		return num(0)
+	case "document":
+		if rest == "cookie" {
+			return str("")
+		}
+		return undef()
+	}
+	ov := in.eval(objExpr)
+	if ov.kind == kObject && ov.obj.class == "canvas" {
+		switch rest {
+		case "width":
+			return num(float64(ov.obj.canvas.Width))
+		case "height":
+			return num(float64(ov.obj.canvas.Height))
+		}
+	}
+	if ov.kind == kString && rest == "length" {
+		return num(float64(len(ov.s)))
+	}
+	if v, ok := in.vars[objExpr+"."+rest]; ok {
+		return v
+	}
+	return undef()
+}
+
+// callMethod dispatches method calls on builtin objects.
+func (in *interp) callMethod(objExpr, method string, args []string) value {
+	evalArg := func(i int) value {
+		if i < len(args) {
+			return in.eval(args[i])
+		}
+		return undef()
+	}
+	switch objExpr {
+	case "document":
+		switch method {
+		case "createElement":
+			if strings.EqualFold(evalArg(0).String(), "canvas") {
+				cr := &CanvasRecord{Colors: map[string]bool{}}
+				in.trace.Canvases = append(in.trace.Canvases, cr)
+				return objv(&object{class: "canvas", canvas: cr})
+			}
+			return objv(&object{class: "element"})
+		case "getElementById", "querySelector":
+			return objv(&object{class: "element"})
+		case "write", "writeln":
+			return undef()
+		}
+		return undef()
+	case "navigator":
+		if method == "sendBeacon" && len(args) > 0 {
+			in.trace.Requests = append(in.trace.Requests, evalArg(0).String())
+		}
+		return undef()
+	case "localStorage":
+		if method == "setItem" && len(args) > 0 {
+			in.trace.StorageWrites = append(in.trace.StorageWrites, evalArg(0).String())
+		}
+		if method == "getItem" {
+			return str("")
+		}
+		return undef()
+	case "console", "Math", "JSON":
+		if method == "random" {
+			return num(0.5)
+		}
+		if method == "floor" || method == "round" || method == "abs" {
+			v := evalArg(0)
+			return num(float64(int(v.n)))
+		}
+		return undef()
+	}
+	ov := in.eval(objExpr)
+	if ov.kind == kString {
+		switch method {
+		case "substring", "substr", "slice":
+			return ov
+		case "toString":
+			return ov
+		}
+		return undef()
+	}
+	if ov.kind != kObject {
+		return undef()
+	}
+	switch ov.obj.class {
+	case "canvas":
+		cr := ov.obj.canvas
+		switch method {
+		case "getContext":
+			return objv(&object{class: "ctx2d", canvas: cr})
+		case "toDataURL":
+			cr.ToDataURL++
+			return str("data:image/png;base64,AAAA")
+		case "addEventListener":
+			cr.AddEventListener++
+		}
+		return undef()
+	case "ctx2d":
+		cr := ov.obj.canvas
+		switch method {
+		case "fillText", "strokeText":
+			cr.Text.WriteString(evalArg(0).String())
+		case "fillRect", "strokeRect", "arc", "beginPath", "closePath", "fill", "stroke", "rotate", "translate":
+			// drawing ops: no trace fields needed
+		case "measureText":
+			text := evalArg(0).String()
+			in.trace.MeasureText[text]++
+			return objv(&object{class: "textmetrics"})
+		case "getImageData":
+			cr.GetImageData++
+			w, h := int(evalArg(2).n), int(evalArg(3).n)
+			if a := w * h; a > cr.GetImageDataArea {
+				cr.GetImageDataArea = a
+			}
+		case "save":
+			cr.Save++
+		case "restore":
+			cr.Restore++
+		case "addEventListener":
+			cr.AddEventListener++
+		}
+		return undef()
+	case "textmetrics":
+		return num(42)
+	case "rtc":
+		switch method {
+		case "createDataChannel":
+			in.trace.WebRTC.CreateDataChannel++
+		case "createOffer":
+			in.trace.WebRTC.CreateOffer++
+		case "setLocalDescription", "close":
+		}
+		return undef()
+	case "xhr":
+		switch method {
+		case "open":
+			if len(args) >= 2 {
+				in.trace.Requests = append(in.trace.Requests, evalArg(1).String())
+			}
+		case "send", "setRequestHeader":
+		}
+		return undef()
+	case "date":
+		if method == "getTime" || method == "valueOf" {
+			return num(1546300800000)
+		}
+		return undef()
+	}
+	return undef()
+}
+
+// parseCall recognizes name(args...) and splits the argument list at top
+// level commas.
+func parseCall(s string) (name string, args []string, ok bool) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 {
+		return "", nil, false
+	}
+	name = strings.TrimSpace(s[:open])
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '$') {
+			return "", nil, false
+		}
+	}
+	depth := 0
+	inStr := byte(0)
+	closeIdx := -1
+	for i := open; i < len(s); i++ {
+		c := s[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				closeIdx = i
+			}
+		}
+		if closeIdx >= 0 {
+			break
+		}
+	}
+	if closeIdx < 0 {
+		return "", nil, false
+	}
+	if strings.TrimSpace(s[closeIdx+1:]) != "" {
+		// Trailing tokens after the call (e.g. chained ops we don't model).
+		// Still treat as the call for tracing purposes.
+		_ = s
+	}
+	inner := s[open+1 : closeIdx]
+	if strings.TrimSpace(inner) != "" {
+		args = splitTopLevel(inner, ',')
+	}
+	return name, args, true
+}
+
+// splitTopLevel splits s on sep at nesting depth zero outside strings.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth := 0
+	inStr := byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		default:
+			if c == sep && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Summary returns a short human-readable description of the trace, used by
+// the debugging CLI.
+func (t *Trace) Summary() string {
+	return fmt.Sprintf("canvases=%d measureTextKeys=%d webrtc=%v cookieWrites=%d requests=%d",
+		len(t.Canvases), len(t.MeasureText), t.WebRTC.Used(), len(t.CookieWrites), len(t.Requests))
+}

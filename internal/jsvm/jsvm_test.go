@@ -1,0 +1,283 @@
+package jsvm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var env = Env{
+	UserAgent: "Mozilla/5.0 (X11; Linux x86_64)",
+	ScreenW:   1920,
+	ScreenH:   1080,
+	Language:  "en-US",
+}
+
+func TestCanvasFingerprintScript(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+c.width = 300;
+c.height = 150;
+var ctx = c.getContext('2d');
+ctx.fillStyle = '#f60';
+ctx.fillRect(125, 1, 62, 20);
+ctx.fillStyle = '#069';
+ctx.fillText("Cwm fjordbank glyphs vext quiz", 2, 15);
+var hash = c.toDataURL();
+`
+	tr := Execute("https://t.example/fp.js", src, env)
+	if len(tr.Canvases) != 1 {
+		t.Fatalf("canvases = %d, want 1", len(tr.Canvases))
+	}
+	cr := tr.Canvases[0]
+	if cr.Width != 300 || cr.Height != 150 {
+		t.Errorf("canvas size = %dx%d, want 300x150", cr.Width, cr.Height)
+	}
+	if len(cr.Colors) != 2 {
+		t.Errorf("colors = %d, want 2", len(cr.Colors))
+	}
+	if cr.ToDataURL != 1 {
+		t.Errorf("toDataURL = %d, want 1", cr.ToDataURL)
+	}
+	if cr.DistinctTextChars() <= 10 {
+		t.Errorf("distinct chars = %d, want > 10", cr.DistinctTextChars())
+	}
+}
+
+func TestFontFingerprintLoop(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+var ctx = c.getContext('2d');
+for (var i = 0; i < 60; i++) {
+  ctx.font = '12px font' + i;
+  ctx.measureText('mmmmmmmmmmlli');
+}
+`
+	tr := Execute("", src, env)
+	if got := tr.MeasureText["mmmmmmmmmmlli"]; got != 60 {
+		t.Errorf("measureText count = %d, want 60", got)
+	}
+	if tr.FontSets != 60 {
+		t.Errorf("font sets = %d, want 60", tr.FontSets)
+	}
+}
+
+func TestWebRTCScript(t *testing.T) {
+	src := `
+var pc = new RTCPeerConnection();
+pc.createDataChannel('');
+pc.onicecandidate = handler;
+pc.createOffer();
+`
+	tr := Execute("", src, env)
+	if !tr.WebRTC.Used() {
+		t.Fatal("WebRTC not detected")
+	}
+	if tr.WebRTC.PeerConnections != 1 || tr.WebRTC.CreateDataChannel != 1 ||
+		tr.WebRTC.CreateOffer != 1 || tr.WebRTC.OnICECandidate != 1 {
+		t.Errorf("WebRTC record = %+v", tr.WebRTC)
+	}
+}
+
+func TestCookieWrite(t *testing.T) {
+	src := `document.cookie = 'uid=abc123; path=/; max-age=31536000';`
+	tr := Execute("", src, env)
+	if len(tr.CookieWrites) != 1 || !strings.HasPrefix(tr.CookieWrites[0], "uid=abc123") {
+		t.Errorf("CookieWrites = %v", tr.CookieWrites)
+	}
+}
+
+func TestSyncPixelConcatenation(t *testing.T) {
+	src := `
+var uid = 'u-778899';
+var img = new Image();
+img.src = 'https://sync.partner.example/match?uid=' + uid + '&src=site';
+`
+	tr := Execute("", src, env)
+	if len(tr.Requests) != 1 {
+		t.Fatalf("Requests = %v, want 1", tr.Requests)
+	}
+	want := "https://sync.partner.example/match?uid=u-778899&src=site"
+	if tr.Requests[0] != want {
+		t.Errorf("request = %q, want %q", tr.Requests[0], want)
+	}
+}
+
+func TestBindings(t *testing.T) {
+	src := `fetch('https://b.example/beacon?id=' + uid);`
+	tr := Execute("", src, Env{Bindings: map[string]string{"uid": "XYZ"}})
+	if len(tr.Requests) != 1 || tr.Requests[0] != "https://b.example/beacon?id=XYZ" {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}
+
+func TestXHROpen(t *testing.T) {
+	src := `
+var xhr = new XMLHttpRequest();
+xhr.open('GET', 'https://api.tracker.example/v1/collect');
+xhr.send();
+`
+	tr := Execute("", src, env)
+	if len(tr.Requests) != 1 || tr.Requests[0] != "https://api.tracker.example/v1/collect" {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}
+
+func TestNavigatorReads(t *testing.T) {
+	src := `
+var ua = navigator.userAgent;
+var w = screen.width;
+fetch('https://t.example/c?ua=' + ua + '&w=' + w);
+`
+	tr := Execute("", src, env)
+	if len(tr.PropertyReads) != 2 {
+		t.Errorf("PropertyReads = %v", tr.PropertyReads)
+	}
+	if len(tr.Requests) != 1 || !strings.Contains(tr.Requests[0], "Mozilla") || !strings.Contains(tr.Requests[0], "w=1920") {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}
+
+func TestSendBeacon(t *testing.T) {
+	tr := Execute("", `navigator.sendBeacon('https://a.example/b');`, env)
+	if len(tr.Requests) != 1 {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}
+
+func TestLocalStorage(t *testing.T) {
+	tr := Execute("", `localStorage.setItem('evercookie_uid', 'v1');`, env)
+	if len(tr.StorageWrites) != 1 || tr.StorageWrites[0] != "evercookie_uid" {
+		t.Errorf("StorageWrites = %v", tr.StorageWrites)
+	}
+}
+
+func TestGetImageDataArea(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+var ctx = c.getContext('2d');
+ctx.getImageData(0, 0, 100, 50);
+`
+	tr := Execute("", src, env)
+	if len(tr.Canvases) != 1 {
+		t.Fatal("no canvas")
+	}
+	cr := tr.Canvases[0]
+	if cr.GetImageData != 1 || cr.GetImageDataArea != 5000 {
+		t.Errorf("getImageData=%d area=%d", cr.GetImageData, cr.GetImageDataArea)
+	}
+}
+
+func TestSaveRestoreListener(t *testing.T) {
+	src := `
+var c = document.createElement('canvas');
+var ctx = c.getContext('2d');
+ctx.save();
+ctx.restore();
+c.addEventListener('click', f);
+`
+	tr := Execute("", src, env)
+	cr := tr.Canvases[0]
+	if cr.Save != 1 || cr.Restore != 1 || cr.AddEventListener != 1 {
+		t.Errorf("record = %+v", cr)
+	}
+}
+
+func TestMultipleCanvases(t *testing.T) {
+	src := `
+var a = document.createElement('canvas');
+var b = document.createElement('canvas');
+a.width = 10;
+b.width = 20;
+`
+	tr := Execute("", src, env)
+	if len(tr.Canvases) != 2 {
+		t.Fatalf("canvases = %d, want 2", len(tr.Canvases))
+	}
+	if tr.Canvases[0].Width != 10 || tr.Canvases[1].Width != 20 {
+		t.Errorf("widths = %d,%d", tr.Canvases[0].Width, tr.Canvases[1].Width)
+	}
+}
+
+func TestRunawayLoopFuel(t *testing.T) {
+	src := `for (var i = 0; i < 99999999; i++) { fetch('https://x.example/' + i); }`
+	tr := Execute("", src, env)
+	if len(tr.Requests) > maxSteps {
+		t.Error("fuel did not bound execution")
+	}
+}
+
+func TestExecuteNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		tr := Execute("u", s, env)
+		return tr != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, s := range []string{"var", "var x =", "a.b.c(", "for (", "for (;;) {", "new ", "x = 'unterminated", "((((", "document.cookie ="} {
+		Execute("u", s, env)
+	}
+}
+
+func TestNumericAddition(t *testing.T) {
+	src := `
+var n = 2 + 3;
+fetch('https://x.example/?n=' + n);
+`
+	tr := Execute("", src, env)
+	if len(tr.Requests) != 1 || tr.Requests[0] != "https://x.example/?n=5" {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := Execute("", `var c = document.createElement('canvas');`, env)
+	if !strings.Contains(tr.Summary(), "canvases=1") {
+		t.Errorf("Summary = %q", tr.Summary())
+	}
+}
+
+func TestSplitStatementsEdgeCases(t *testing.T) {
+	// Statements inside strings and parens must not split.
+	src := `var a = 'x;y';
+fetch('https://e.example/?q=' + a);
+var b = foo(1,
+  2);
+`
+	tr := Execute("", src, Env{Bindings: map[string]string{}})
+	if len(tr.Requests) != 1 || tr.Requests[0] != "https://e.example/?q=x;y" {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	src := `// document.cookie = 'nope=1';
+document.cookie = 'yes=abcdef';
+`
+	tr := Execute("", src, Env{})
+	if len(tr.CookieWrites) != 1 || tr.CookieWrites[0] != "yes=abcdef" {
+		t.Errorf("CookieWrites = %v", tr.CookieWrites)
+	}
+}
+
+func TestPlusEqualsConcat(t *testing.T) {
+	src := `var u = 'https://x.example/?a=';
+u += 'tail';
+fetch(u);
+`
+	tr := Execute("", src, Env{})
+	if len(tr.Requests) != 1 || tr.Requests[0] != "https://x.example/?a=tail" {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}
+
+func TestWindowPropertyAssignment(t *testing.T) {
+	src := `window.trackerId = 'abc123';
+fetch('https://x.example/?id=' + trackerId);
+`
+	tr := Execute("", src, Env{})
+	if len(tr.Requests) != 1 || tr.Requests[0] != "https://x.example/?id=abc123" {
+		t.Errorf("Requests = %v", tr.Requests)
+	}
+}

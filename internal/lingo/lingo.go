@@ -1,0 +1,171 @@
+// Package lingo holds the multilingual keyword tables shared by the page
+// generator and the detection heuristics. The paper's Selenium crawler
+// searches for age-verification buttons ("Yes", "Enter", "Agree",
+// "Continue", "Accept") and privacy-policy links ("Privacy", "Policy") in
+// the eight most common default languages of its corpus: English, Spanish,
+// French, Portuguese, Russian, Italian, German and Romanian (Section 3.1).
+package lingo
+
+import "strings"
+
+// Languages supported, by ISO 639-1 code.
+var Languages = []string{"en", "es", "fr", "pt", "ru", "it", "de", "ro"}
+
+// AgeConfirmWords are the button labels that confirm age / consent to
+// enter, per language.
+var AgeConfirmWords = map[string][]string{
+	"en": {"Yes", "Enter", "Agree", "Continue", "Accept"},
+	"es": {"Sí", "Entrar", "Acepto", "Continuar", "Aceptar"},
+	"fr": {"Oui", "Entrer", "J'accepte", "Continuer", "Accepter"},
+	"pt": {"Sim", "Entrar", "Concordo", "Continuar", "Aceitar"},
+	"ru": {"Да", "Войти", "Согласен", "Продолжить", "Принять"},
+	"it": {"Sì", "Entra", "Accetto", "Continua", "Accettare"},
+	"de": {"Ja", "Eintreten", "Einverstanden", "Weiter", "Akzeptieren"},
+	"ro": {"Da", "Intră", "Sunt de acord", "Continuă", "Acceptă"},
+}
+
+// AgeWarningPhrases are interstitial texts stating the site is for adults,
+// per language. Detection verifies that a confirm button's parent or
+// grandparent element carries such a warning.
+var AgeWarningPhrases = map[string][]string{
+	"en": {"This website contains adult material", "You must be at least 18 years old", "over 18"},
+	"es": {"Este sitio contiene material para adultos", "Debes ser mayor de 18 años", "mayor de edad"},
+	"fr": {"Ce site contient du contenu pour adultes", "Vous devez avoir au moins 18 ans", "majeur"},
+	"pt": {"Este site contém material adulto", "Você deve ter pelo menos 18 anos", "maior de idade"},
+	"ru": {"Этот сайт содержит материалы для взрослых", "Вам должно быть не менее 18 лет", "старше 18"},
+	"it": {"Questo sito contiene materiale per adulti", "Devi avere almeno 18 anni", "maggiorenne"},
+	"de": {"Diese Website enthält Inhalte für Erwachsene", "Sie müssen mindestens 18 Jahre alt sein", "volljährig"},
+	"ro": {"Acest site conține material pentru adulți", "Trebuie să aveți cel puțin 18 ani", "major"},
+}
+
+// PrivacyLinkWords are the anchor-text keywords identifying privacy-policy
+// links, per language (the paper searches for "Privacy" and "Policy").
+var PrivacyLinkWords = map[string][]string{
+	"en": {"Privacy", "Policy"},
+	"es": {"Privacidad", "Política"},
+	"fr": {"Confidentialité", "Politique"},
+	"pt": {"Privacidade", "Política"},
+	"ru": {"Конфиденциальность", "Политика"},
+	"it": {"Privacy", "Politica"},
+	"de": {"Datenschutz", "Richtlinie"},
+	"ro": {"Confidențialitate", "Politica"},
+}
+
+// CookieBannerPhrases announce cookie usage, per language. Banner detection
+// looks for these in floating elements.
+var CookieBannerPhrases = map[string][]string{
+	"en": {"This website uses cookies", "We use cookies"},
+	"es": {"Este sitio web utiliza cookies", "Usamos cookies"},
+	"fr": {"Ce site utilise des cookies", "Nous utilisons des cookies"},
+	"pt": {"Este site usa cookies", "Usamos cookies"},
+	"ru": {"Этот сайт использует файлы cookie", "Мы используем файлы cookie"},
+	"it": {"Questo sito utilizza i cookie", "Usiamo i cookie"},
+	"de": {"Diese Website verwendet Cookies", "Wir verwenden Cookies"},
+	"ro": {"Acest site folosește cookie-uri", "Folosim cookie-uri"},
+}
+
+// BannerRejectWords label the reject button of Binary banners.
+var BannerRejectWords = map[string][]string{
+	"en": {"Decline", "Reject", "No"},
+	"es": {"Rechazar", "No"},
+	"fr": {"Refuser", "Non"},
+	"pt": {"Recusar", "Não"},
+	"ru": {"Отклонить", "Нет"},
+	"it": {"Rifiuta", "No"},
+	"de": {"Ablehnen", "Nein"},
+	"ro": {"Refuză", "Nu"},
+}
+
+// BannerSettingsWords label the preferences control of complex (Other)
+// banners.
+var BannerSettingsWords = map[string][]string{
+	"en": {"Cookie settings", "Manage preferences"},
+	"es": {"Configuración de cookies"},
+	"fr": {"Paramètres des cookies"},
+	"pt": {"Configurações de cookies"},
+	"ru": {"Настройки файлов cookie"},
+	"it": {"Impostazioni dei cookie"},
+	"de": {"Cookie-Einstellungen"},
+	"ro": {"Setări cookie"},
+}
+
+// SignupWords and PremiumWords feed the monetization classifier
+// (Section 4.1: "Log In", "Sign Up", "Premium").
+var SignupWords = map[string][]string{
+	"en": {"Log In", "Sign Up"},
+	"es": {"Iniciar sesión", "Regístrate"},
+	"fr": {"Connexion", "S'inscrire"},
+	"pt": {"Entrar", "Inscrever-se"},
+	"ru": {"Вход", "Регистрация"},
+	"it": {"Accedi", "Registrati"},
+	"de": {"Anmelden", "Registrieren"},
+	"ro": {"Autentificare", "Înregistrare"},
+}
+
+// PremiumWords mark premium/subscription offers.
+var PremiumWords = map[string][]string{
+	"en": {"Premium", "Upgrade"},
+	"es": {"Premium"},
+	"fr": {"Premium"},
+	"pt": {"Premium"},
+	"ru": {"Премиум"},
+	"it": {"Premium"},
+	"de": {"Premium"},
+	"ro": {"Premium"},
+}
+
+// PaywallWords mark content behind a payment wall.
+var PaywallWords = map[string][]string{
+	"en": {"Subscribe now", "per month", "Billing"},
+	"es": {"Suscríbete", "al mes"},
+	"fr": {"Abonnez-vous", "par mois"},
+	"pt": {"Assine", "por mês"},
+	"ru": {"Подписаться", "в месяц"},
+	"it": {"Abbonati", "al mese"},
+	"de": {"Abonnieren", "pro Monat"},
+	"ro": {"Abonează-te", "pe lună"},
+}
+
+// AdultContentWords are the content markers the sanitization step uses to
+// decide a candidate page actually serves pornographic material (the
+// paper's authors inspected DOMs and screenshots manually; the pipeline
+// automates that inspection over generated pages).
+var AdultContentWords = []string{
+	"explicit adult content", "pornographic videos", "adult entertainment",
+	"hardcore", "amateur videos", "live cams", "xxx movies",
+}
+
+// GDPRMarkers identify explicit GDPR mentions in policy text.
+var GDPRMarkers = []string{
+	"General Data Protection Regulation", "GDPR", "Regulation (EU) 2016/679",
+}
+
+// AllLanguageWords flattens a per-language table into a deduplicated,
+// lower-cased word list across all eight languages — the form the
+// detectors match against.
+func AllLanguageWords(table map[string][]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, lang := range Languages {
+		for _, w := range table[lang] {
+			lw := strings.ToLower(w)
+			if !seen[lw] {
+				seen[lw] = true
+				out = append(out, lw)
+			}
+		}
+	}
+	return out
+}
+
+// ContainsAny reports whether lower-cased text contains any of the words
+// (which must already be lower-case).
+func ContainsAny(text string, words []string) (string, bool) {
+	text = strings.ToLower(text)
+	for _, w := range words {
+		if strings.Contains(text, w) {
+			return w, true
+		}
+	}
+	return "", false
+}

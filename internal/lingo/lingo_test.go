@@ -1,0 +1,117 @@
+package lingo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEightLanguages(t *testing.T) {
+	if len(Languages) != 8 {
+		t.Fatalf("languages = %d, want 8 (the paper's set)", len(Languages))
+	}
+	want := map[string]bool{"en": true, "es": true, "fr": true, "pt": true, "ru": true, "it": true, "de": true, "ro": true}
+	for _, l := range Languages {
+		if !want[l] {
+			t.Errorf("unexpected language %q", l)
+		}
+	}
+}
+
+func TestPaperKeywordsPresent(t *testing.T) {
+	// Section 3.1 names the English button keywords explicitly.
+	en := AgeConfirmWords["en"]
+	for _, w := range []string{"Yes", "Enter", "Agree", "Continue", "Accept"} {
+		found := false
+		for _, have := range en {
+			if have == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("English confirm word %q missing", w)
+		}
+	}
+	// And the privacy-policy link keywords.
+	enP := PrivacyLinkWords["en"]
+	if enP[0] != "Privacy" || enP[1] != "Policy" {
+		t.Errorf("English privacy words = %v", enP)
+	}
+}
+
+func TestAllTablesCoverAllLanguages(t *testing.T) {
+	tables := map[string]map[string][]string{
+		"AgeConfirmWords":     AgeConfirmWords,
+		"AgeWarningPhrases":   AgeWarningPhrases,
+		"PrivacyLinkWords":    PrivacyLinkWords,
+		"CookieBannerPhrases": CookieBannerPhrases,
+		"BannerRejectWords":   BannerRejectWords,
+		"BannerSettingsWords": BannerSettingsWords,
+		"SignupWords":         SignupWords,
+		"PremiumWords":        PremiumWords,
+		"PaywallWords":        PaywallWords,
+	}
+	for name, table := range tables {
+		for _, lang := range Languages {
+			if len(table[lang]) == 0 {
+				t.Errorf("%s[%s] empty", name, lang)
+			}
+			for _, w := range table[lang] {
+				if strings.TrimSpace(w) == "" {
+					t.Errorf("%s[%s] contains blank word", name, lang)
+				}
+			}
+		}
+	}
+}
+
+func TestAllLanguageWordsDedup(t *testing.T) {
+	words := AllLanguageWords(PremiumWords)
+	// "Premium" is shared by several languages but must appear once.
+	count := 0
+	for _, w := range words {
+		if w == "premium" {
+			count++
+		}
+		if w != strings.ToLower(w) {
+			t.Errorf("word %q not lower-cased", w)
+		}
+	}
+	if count != 1 {
+		t.Errorf("premium appears %d times, want 1", count)
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	words := AllLanguageWords(AgeConfirmWords)
+	if w, ok := ContainsAny("Click HERE to ENTER the site", words); !ok || w != "enter" {
+		t.Errorf("ContainsAny = %q, %v", w, ok)
+	}
+	if _, ok := ContainsAny("nothing relevant", []string{"zzz"}); ok {
+		t.Error("false positive")
+	}
+	// Cyrillic matching.
+	if _, ok := ContainsAny("нажмите Продолжить чтобы войти", words); !ok {
+		t.Error("Russian confirm word not matched")
+	}
+}
+
+func TestGDPRMarkers(t *testing.T) {
+	if len(GDPRMarkers) == 0 {
+		t.Fatal("no GDPR markers")
+	}
+	found := false
+	for _, m := range GDPRMarkers {
+		if m == "GDPR" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("GDPR acronym missing from markers")
+	}
+}
+
+func TestAdultContentWords(t *testing.T) {
+	if len(AdultContentWords) < 5 {
+		t.Errorf("adult content markers = %d, want several", len(AdultContentWords))
+	}
+}

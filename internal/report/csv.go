@@ -1,0 +1,184 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"pornweb/internal/core"
+)
+
+// CSV writers: one file per experiment, for plotting or further analysis
+// outside Go. WriteCSVDir materializes all of them.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+func d(v int) string     { return strconv.Itoa(v) }
+
+// Figure1CSV writes the per-site longitudinal rank series.
+func Figure1CSV(w io.Writer, fig core.RankFigure) error {
+	rows := make([][]string, 0, len(fig.Stats))
+	for _, s := range fig.Stats {
+		rows = append(rows, []string{s.Host, d(s.Best), d(s.Median), d(s.DaysPresent), f(s.Presence)})
+	}
+	return writeCSV(w, []string{"host", "best_rank", "median_rank", "days_present", "presence"}, rows)
+}
+
+// Table1CSV writes the owner clusters.
+func Table1CSV(w io.Writer, o core.OwnerResult) error {
+	rows := make([][]string, 0, len(o.Rows))
+	for _, r := range o.Rows {
+		rows = append(rows, []string{r.Company, d(r.Sites), r.MostPopular, d(r.BestRank)})
+	}
+	return writeCSV(w, []string{"company", "sites", "most_popular", "best_rank"}, rows)
+}
+
+// Table3CSV writes the popularity-interval comparison.
+func Table3CSV(w io.Writer, rows []core.IntervalRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Interval.String(), d(r.Sites), d(r.ThirdParty), d(r.UniqueHere)})
+	}
+	return writeCSV(w, []string{"interval", "sites", "third_party", "unique"}, out)
+}
+
+// Figure3CSV writes organization prevalences.
+func Figure3CSV(w io.Writer, rows []core.OrgRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Org, f(r.PornPrev), f(r.RegularPrev)})
+	}
+	return writeCSV(w, []string{"organization", "porn_prevalence", "regular_prevalence"}, out)
+}
+
+// Table4CSV writes the cookie-domain rows.
+func Table4CSV(w io.Writer, rows []core.CookieDomainRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Domain, f(r.SiteShare), d(r.CookieCount),
+			strconv.FormatBool(r.ATS), strconv.FormatBool(r.InRegularWeb), f(r.IPShare)})
+	}
+	return writeCSV(w, []string{"domain", "site_share", "cookies", "ats", "in_regular_web", "ip_share"}, out)
+}
+
+// Figure4CSV writes the sync-graph edges.
+func Figure4CSV(w io.Writer, s core.SyncResult) error {
+	out := make([][]string, 0, len(s.TopEdges))
+	for _, e := range s.TopEdges {
+		out = append(out, []string{e.Origin, e.Dest, d(e.Count)})
+	}
+	return writeCSV(w, []string{"origin", "destination", "cookies_exchanged"}, out)
+}
+
+// Table5CSV writes the fingerprinting-server rows.
+func Table5CSV(w io.Writer, fp core.FingerprintResult) error {
+	out := make([][]string, 0, len(fp.Servers))
+	for _, r := range fp.Servers {
+		out = append(out, []string{r.Domain, d(r.Presence), strconv.FormatBool(r.ATS),
+			strconv.FormatBool(r.InRegularWeb), d(r.CanvasScripts), d(r.WebRTCScripts)})
+	}
+	return writeCSV(w, []string{"domain", "presence", "ats", "in_regular_web", "canvas_scripts", "webrtc_scripts"}, out)
+}
+
+// Table6CSV writes HTTPS usage per interval.
+func Table6CSV(w io.Writer, h core.HTTPSResult) error {
+	out := make([][]string, 0, len(h.Rows))
+	for _, r := range h.Rows {
+		out = append(out, []string{r.Interval.String(), d(r.Sites), f(r.SitesHTTPS), d(r.ThirdParties), f(r.ThirdPartyHTTPS)})
+	}
+	return writeCSV(w, []string{"interval", "sites", "sites_https", "third_parties", "third_party_https"}, out)
+}
+
+// Table7CSV writes the geographic comparison.
+func Table7CSV(w io.Writer, g core.GeoResult) error {
+	out := make([][]string, 0, len(g.Rows))
+	for _, r := range g.Rows {
+		out = append(out, []string{r.Country, d(r.FQDNs), f(r.WebEcosystemShare),
+			d(r.UniqueCountry), d(r.ATS), d(r.UniqueATS), d(r.Unreachable)})
+	}
+	return writeCSV(w, []string{"country", "fqdns", "web_share", "unique", "ats", "unique_ats", "unreachable"}, out)
+}
+
+// Table8CSV writes banner counts for both vantage points.
+func Table8CSV(w io.Writer, es, us core.BannerCounts) error {
+	rows := [][]string{
+		{"no_option", d(es.NoOption), d(us.NoOption)},
+		{"confirmation", d(es.Confirmation), d(us.Confirmation)},
+		{"binary", d(es.Binary), d(us.Binary)},
+		{"others", d(es.Other), d(us.Other)},
+		{"sites", d(es.Sites), d(us.Sites)},
+	}
+	return writeCSV(w, []string{"type", "eu", "usa"}, rows)
+}
+
+// Figure4DOT renders the cookie-sync graph as Graphviz DOT — the visual
+// form Figure 4 takes in the paper.
+func Figure4DOT(w io.Writer, s core.SyncResult) error {
+	if _, err := fmt.Fprintln(w, "digraph cookiesync {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  rankdir=LR;`)
+	fmt.Fprintln(w, `  node [shape=box, fontsize=10];`)
+	for _, e := range s.TopEdges {
+		fmt.Fprintf(w, "  %q -> %q [label=\"%d\", penwidth=%.1f];\n",
+			e.Origin, e.Dest, e.Count, 1.0+float64(e.Count)/100)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteCSVDir writes every experiment's CSV into dir (created if missing).
+func WriteCSVDir(dir string, r *core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		fn   func(io.Writer) error
+	}{
+		{"figure1_rank_stability.csv", func(w io.Writer) error { return Figure1CSV(w, r.Figure1) }},
+		{"table1_owner_clusters.csv", func(w io.Writer) error { return Table1CSV(w, r.Table1) }},
+		{"table3_popularity_intervals.csv", func(w io.Writer) error { return Table3CSV(w, r.Table3) }},
+		{"figure3_organizations.csv", func(w io.Writer) error { return Figure3CSV(w, r.Figure3) }},
+		{"table4_cookie_domains.csv", func(w io.Writer) error { return Table4CSV(w, r.Table4) }},
+		{"figure4_cookie_sync.csv", func(w io.Writer) error { return Figure4CSV(w, r.Figure4) }},
+		{"table5_fingerprinting.csv", func(w io.Writer) error { return Table5CSV(w, r.Fingerprinting) }},
+		{"table6_https.csv", func(w io.Writer) error { return Table6CSV(w, r.Table6) }},
+		{"table7_geographic.csv", func(w io.Writer) error { return Table7CSV(w, r.Table7) }},
+		{"table8_banners.csv", func(w io.Writer) error { return Table8CSV(w, r.Table8ES, r.Table8US) }},
+	}
+	writers = append(writers, struct {
+		name string
+		fn   func(io.Writer) error
+	}{"figure4_cookie_sync.dot", func(w io.Writer) error { return Figure4DOT(w, r.Figure4) }})
+	for _, wr := range writers {
+		f, err := os.Create(filepath.Join(dir, wr.name))
+		if err != nil {
+			return err
+		}
+		if err := wr.fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("report: write %s: %w", wr.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

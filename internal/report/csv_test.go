@@ -1,0 +1,80 @@
+package report
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pornweb/internal/cookies"
+	"pornweb/internal/core"
+	"pornweb/internal/ranking"
+)
+
+func TestCSVWriters(t *testing.T) {
+	var b strings.Builder
+	err := Figure1CSV(&b, core.RankFigure{Stats: []ranking.Stats{
+		{Host: "a.com", Best: 10, Median: 20, DaysPresent: 365, Presence: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(b.String()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][0] != "a.com" || recs[1][1] != "10" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	res := &core.Results{
+		Figure1: core.RankFigure{Stats: []ranking.Stats{{Host: "x.com", Best: 5}}},
+		Table1:  core.OwnerResult{Rows: []core.OwnerRow{{Company: "Acme", Sites: 3, MostPopular: "x.com", BestRank: 5}}},
+		Table3:  []core.IntervalRow{{Interval: ranking.IntervalTop1K, Sites: 1, ThirdParty: 2, UniqueHere: 1}},
+		Figure3: []core.OrgRow{{Org: "Alphabet", PornPrev: 0.7, RegularPrev: 0.9}},
+		Table4:  []core.CookieDomainRow{{Domain: "t.example", SiteShare: 0.2, CookieCount: 7, ATS: true, IPShare: 0.8}},
+		Figure4: core.SyncResult{TopEdges: []cookies.Edge{{Origin: "a.com", Dest: "b.com", Count: 99}}},
+		Fingerprinting: core.FingerprintResult{Servers: []core.FPServerRow{
+			{Domain: "f.example", Presence: 4, CanvasScripts: 2},
+		}},
+		Table6:   core.HTTPSResult{Rows: []core.HTTPSRow{{Interval: ranking.IntervalTop1K, Sites: 9, SitesHTTPS: 0.9}}},
+		Table7:   core.GeoResult{Rows: []core.GeoRow{{Country: "ES", FQDNs: 100, ATS: 10}}},
+		Table8ES: core.BannerCounts{Sites: 100, Confirmation: 3},
+		Table8US: core.BannerCounts{Sites: 100, Confirmation: 2},
+	}
+	if err := WriteCSVDir(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 11 {
+		t.Fatalf("files = %d, want 11 (10 CSV + 1 DOT)", len(entries))
+	}
+	// Every CSV file parses with a header; the DOT file is valid Graphviz.
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasSuffix(e.Name(), ".dot") {
+			if !strings.HasPrefix(string(data), "digraph") || !strings.Contains(string(data), "a.com") {
+				t.Errorf("%s: malformed DOT", e.Name())
+			}
+			continue
+		}
+		recs, err := csv.NewReader(strings.NewReader(string(data))).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(recs) < 1 {
+			t.Errorf("%s: empty", e.Name())
+		}
+	}
+}

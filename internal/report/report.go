@@ -1,0 +1,360 @@
+// Package report renders study results as the rows the paper prints: one
+// renderer per table and figure, writing aligned plain text to any
+// io.Writer. cmd/pornstudy composes them into the full evaluation printout;
+// the benchmark harness prints the same rows once per run.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pornweb/internal/core"
+)
+
+// percent renders a fraction as the paper does.
+func percent(f float64) string {
+	return fmt.Sprintf("%.1f%%", 100*f)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// Corpus prints the Section 3 compilation summary.
+func Corpus(w io.Writer, c *core.Corpus) {
+	header(w, "Corpus compilation (Section 3)")
+	fmt.Fprintf(w, "aggregator-indexed sites:    %6d\n", c.FromAggregators)
+	fmt.Fprintf(w, "Alexa Adult category:        %6d\n", c.FromAlexaAdult)
+	fmt.Fprintf(w, "keyword search hits:         %6d\n", c.FromKeywords)
+	fmt.Fprintf(w, "candidate union:             %6d\n", c.Candidates)
+	fmt.Fprintf(w, "removed (unresponsive):      %6d\n", c.Unresponsive)
+	fmt.Fprintf(w, "removed (not pornographic):  %6d\n", c.NonPorn)
+	fmt.Fprintf(w, "sanitized porn corpus:       %6d\n", len(c.Porn))
+	fmt.Fprintf(w, "regular reference corpus:    %6d\n", len(c.Reference))
+}
+
+// Figure1 prints the longitudinal-popularity aggregates and a sample of
+// the per-site series.
+func Figure1(w io.Writer, f core.RankFigure, sample int) {
+	header(w, "Figure 1 — Alexa rank stability throughout 2018")
+	n := len(f.Stats)
+	fmt.Fprintf(w, "sites:                 %6d\n", n)
+	fmt.Fprintf(w, "always in top-1M:      %6d (%s)\n", f.AlwaysTop1M, percent(float64(f.AlwaysTop1M)/float64(max(n, 1))))
+	fmt.Fprintf(w, "always in top-1K:      %6d\n", f.AlwaysTop1K)
+	if sample > 0 {
+		fmt.Fprintf(w, "%-28s %10s %10s %10s\n", "site", "best", "median", "presence")
+		step := n / sample
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < n; i += step {
+			s := f.Stats[i]
+			fmt.Fprintf(w, "%-28s %10d %10d %9.0f%%\n", s.Host, s.Best, s.Median, 100*s.Presence)
+		}
+	}
+}
+
+// Table1 prints the owner clusters.
+func Table1(w io.Writer, o core.OwnerResult) {
+	header(w, "Table 1 — Largest clusters of pornographic sites by parent company")
+	fmt.Fprintf(w, "clusters discovered: %d covering %d sites\n", o.Clusters, o.AttributedSites)
+	fmt.Fprintf(w, "%-32s %7s  %-28s %8s\n", "Company", "# sites", "Most popular site", "(rank)")
+	for _, r := range o.Rows {
+		fmt.Fprintf(w, "%-32s %7d  %-28s %8d\n", r.Company, r.Sites, r.MostPopular, r.BestRank)
+	}
+}
+
+// Table2 prints the party-census comparison.
+func Table2(w io.Writer, t core.Table2) {
+	header(w, "Table 2 — First/third-party domains, porn vs regular websites")
+	fmt.Fprintf(w, "%-22s %14s %14s %12s\n", "Domain category", "Porn (P)", "Regular (R)", "|P ∩ R|")
+	fmt.Fprintf(w, "%-22s %14d %14d %12s\n", "Corpus size", t.PornCorpus, t.RegularCorpus, "—")
+	fmt.Fprintf(w, "%-22s %14d %14d %12s\n", "First-party", t.PornFirstParty, t.RegularFirstParty, "—")
+	fmt.Fprintf(w, "%-22s %14d %14d %12d\n", "Third-party", t.PornThirdParty, t.RegularThirdParty, t.ThirdPartyIntersection)
+	fmt.Fprintf(w, "%-22s %14d %14d %12d\n", "Third-party ATS", t.PornATS, t.RegularATS, t.ATSIntersection)
+}
+
+// Table3 prints third-party diversity per popularity interval.
+func Table3(w io.Writer, rows []core.IntervalRow, shared, sharedTotal int) {
+	header(w, "Table 3 — Third-party presence by popularity interval")
+	fmt.Fprintf(w, "%-12s %12s %14s %10s\n", "Interval", "porn sites", "third-party", "(unique)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12d %14d %10d\n", r.Interval, r.Sites, r.ThirdParty, r.UniqueHere)
+	}
+	if sharedTotal > 0 {
+		fmt.Fprintf(w, "third parties present in all four tiers: %d of %d (%s)\n",
+			shared, sharedTotal, percent(float64(shared)/float64(sharedTotal)))
+	}
+}
+
+// Figure3 prints the organization prevalence chart.
+func Figure3(w io.Writer, rows []core.OrgRow, attributionRate, disconnectRate float64, companies int) {
+	header(w, "Figure 3 — Most relevant third-party organizations")
+	fmt.Fprintf(w, "%-36s %10s %10s\n", "Organization", "porn", "regular")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-36s %10s %10s\n", r.Org, percent(r.PornPrev), percent(r.RegularPrev))
+	}
+	fmt.Fprintf(w, "attribution coverage: %s of third-party FQDNs (%d companies); Disconnect list alone: %s\n",
+		percent(attributionRate), companies, percent(disconnectRate))
+}
+
+// CookieCensus prints the Section 5.1.1 census.
+func CookieCensus(w io.Writer, c core.CookieCensus) {
+	header(w, "Cookie census (Section 5.1.1)")
+	fmt.Fprintf(w, "cookies observed:              %7d\n", c.Total)
+	fmt.Fprintf(w, "sites installing cookies:      %7d (%s)\n", c.SitesWithCookies, percent(c.SitesWithCookiesFrac))
+	fmt.Fprintf(w, "potential-ID cookies:          %7d\n", c.IDCookies)
+	fmt.Fprintf(w, "  of which > 1000 chars:       %7d\n", c.Over1000Chars)
+	fmt.Fprintf(w, "third-party ID cookies:        %7d from %d domains\n", c.ThirdPartyID, c.ThirdPartyDomains)
+	fmt.Fprintf(w, "sites with 3rd-party cookies:  %7d (%s)\n", c.SitesWithTPID, percent(c.SitesWithTPIDFrac))
+	fmt.Fprintf(w, "cookies embedding client IP:   %7d on %d sites\n", c.CookiesWithClientIP, c.SitesWithIPCookies)
+	fmt.Fprintf(w, "cookies embedding geolocation: %7d on %d sites\n", c.GeoCookies, c.SitesWithGeoCookies)
+	fmt.Fprintf(w, "sites carrying a top-100 name=value pair: %s\n", percent(c.Top100SiteShare))
+}
+
+// Table4 prints the top cookie-delivering third-party domains.
+func Table4(w io.Writer, rows []core.CookieDomainRow, topN int) {
+	header(w, "Table 4 — Third-party domains delivering potential-ID cookies")
+	fmt.Fprintf(w, "%-28s %10s %9s %5s %8s %12s\n", "Third-party domain", "% sites", "#cookies", "ATS", "in web", "% with IP")
+	if topN > len(rows) {
+		topN = len(rows)
+	}
+	for _, r := range rows[:topN] {
+		fmt.Fprintf(w, "%-28s %10s %9d %5s %8s %12s\n",
+			r.Domain, percent(r.SiteShare), r.CookieCount, mark(r.ATS), mark(r.InRegularWeb), percent(r.IPShare))
+	}
+}
+
+func mark(b bool) string {
+	if b {
+		return "✓"
+	}
+	return "-"
+}
+
+// Figure4 prints the cookie-sync graph summary and its strongest edges.
+func Figure4(w io.Writer, s core.SyncResult, maxEdges int) {
+	header(w, "Figure 4 — Cookie synchronization between organizations")
+	fmt.Fprintf(w, "sync exchanges observed:   %7d\n", s.Events)
+	fmt.Fprintf(w, "sites with syncing:        %7d (%s)\n", s.Sites, percent(s.SiteShare))
+	fmt.Fprintf(w, "top-100 sites with syncing: %s\n", percent(s.Top100Share))
+	fmt.Fprintf(w, "domain pairs: %d   origins: %d   destinations: %d\n", s.Pairs, s.Origins, s.Destinations)
+	fmt.Fprintf(w, "strongest edges:\n")
+	n := len(s.TopEdges)
+	if maxEdges > 0 && n > maxEdges {
+		n = maxEdges
+	}
+	for _, e := range s.TopEdges[:n] {
+		fmt.Fprintf(w, "  %-28s -> %-28s %6d\n", e.Origin, e.Dest, e.Count)
+	}
+}
+
+// Table5 prints the fingerprinting servers.
+func Table5(w io.Writer, f core.FingerprintResult, topN int) {
+	header(w, "Table 5 — Third-party domains using fingerprinting techniques")
+	fmt.Fprintf(w, "canvas FP: %d scripts on %d sites (%s of corpus) from %d third-party services\n",
+		f.CanvasScripts, f.CanvasSites, percent(f.CanvasSiteShare), f.CanvasServers)
+	fmt.Fprintf(w, "  third-party script share: %s   unindexed by EasyList/EasyPrivacy: %s\n",
+		percent(f.ThirdPartyShare), percent(f.UnlistedCanvasShare))
+	fmt.Fprintf(w, "font FP:   %d scripts on %d sites\n", f.FontScripts, f.FontSites)
+	fmt.Fprintf(w, "WebRTC:    %d scripts on %d sites from %d services\n", f.WebRTCScripts, f.WebRTCSites, f.WebRTCServers)
+	fmt.Fprintf(w, "%-26s %9s %5s %8s %8s %8s\n", "Domain", "presence", "ATS", "in web", "canvas", "WebRTC")
+	if topN > len(f.Servers) {
+		topN = len(f.Servers)
+	}
+	for _, r := range f.Servers[:topN] {
+		fmt.Fprintf(w, "%-26s %9d %5s %8s %8d %8d\n",
+			r.Domain, r.Presence, mark(r.ATS), mark(r.InRegularWeb), r.CanvasScripts, r.WebRTCScripts)
+	}
+}
+
+// Table6 prints HTTPS usage.
+func Table6(w io.Writer, h core.HTTPSResult) {
+	header(w, "Table 6 — HTTPS usage in pornographic websites")
+	fmt.Fprintf(w, "%-12s %-28s %8s\n", "Interval", "Feature", "HTTPS")
+	for _, r := range h.Rows {
+		fmt.Fprintf(w, "%-12s Porn websites (%d)%*s %7s\n", r.Interval, r.Sites, 11-digits(r.Sites), "", percent(r.SitesHTTPS))
+		fmt.Fprintf(w, "%-12s 3rd-party services (%d)%*s %7s\n", "", r.ThirdParties, 6-digits(r.ThirdParties), "", percent(r.ThirdPartyHTTPS))
+	}
+	fmt.Fprintf(w, "not fully HTTPS: %d sites (%s); ID cookies in the clear on %d of them\n",
+		h.NotFullyHTTPS, percent(h.NotFullyHTTPSShare), h.ClearCookieSites)
+}
+
+func digits(n int) int { return len(fmt.Sprint(n)) }
+
+// Malware prints the Section 5.3 findings.
+func Malware(w io.Writer, m core.MalwareResult) {
+	header(w, "Potential malicious behaviours (Section 5.3)")
+	fmt.Fprintf(w, "porn sites flagged (>=4 scanners): %d\n", len(m.FlaggedSites))
+	fmt.Fprintf(w, "third-party services flagged:      %d, embedded in %d sites\n",
+		len(m.FlaggedThirdParties), m.SitesWithMalicious)
+	fmt.Fprintf(w, "cryptomining services observed:    %v on %d sites\n", m.MinerDomains, m.SitesWithMiners)
+}
+
+// Table7 prints the geographic comparison.
+func Table7(w io.Writer, g core.GeoResult) {
+	header(w, "Table 7 — Third-party domains per vantage country")
+	fmt.Fprintf(w, "%-8s %8s %8s %8s %6s %8s %12s\n", "Country", "FQDN", "in web", "unique", "ATS", "uniqATS", "unreachable")
+	for _, r := range g.Rows {
+		fmt.Fprintf(w, "%-8s %8d %8s %8d %6d %8d %12d\n",
+			r.Country, r.FQDNs, percent(r.WebEcosystemShare), r.UniqueCountry, r.ATS, r.UniqueATS, r.Unreachable)
+	}
+	fmt.Fprintf(w, "%-8s %8d %8s %8d %6d\n", "Total", g.TotalFQDNs, "", g.UniqueToSomeCountry, g.TotalATS)
+	fmt.Fprintf(w, "malware: flagged 3rd-party domains per country: %v\n", g.FlaggedByCountry)
+	fmt.Fprintf(w, "         sites with malicious content per country: %v\n", g.SitesWithMalByCountry)
+	fmt.Fprintf(w, "         present from every country: %d domains, %d sites\n", g.AlwaysFlagged, g.AlwaysMalSites)
+}
+
+// Table8 prints the cookie-banner taxonomy comparison.
+func Table8(w io.Writer, es, us core.BannerCounts) {
+	header(w, "Table 8 — Cookie banner usage (Degeling taxonomy)")
+	fmt.Fprintf(w, "%-14s %10s %10s\n", "Type", "EU", "USA")
+	row := func(name string, e, u int) {
+		fmt.Fprintf(w, "%-14s %9.2f%% %9.2f%%\n", name, 100*es.Share(e), 100*us.Share(u))
+	}
+	row("No Option", es.NoOption, us.NoOption)
+	row("Confirmation", es.Confirmation, us.Confirmation)
+	row("Binary", es.Binary, us.Binary)
+	row("Others", es.Other, us.Other)
+	fmt.Fprintf(w, "%-14s %9.2f%% %9.2f%%   (N = %d)\n", "Total", 100*es.Share(es.Total()), 100*us.Share(us.Total()), es.Sites)
+}
+
+// Age prints the Section 7.2 comparison.
+func Age(w io.Writer, a core.AgeResult) {
+	header(w, "Age verification in the top-50 (Section 7.2)")
+	fmt.Fprintf(w, "%-8s %10s %8s %10s %12s\n", "Country", "inspected", "gated", "bypassed", "not bypass")
+	for _, c := range a.Countries {
+		fmt.Fprintf(w, "%-8s %10d %8d %10d %12d\n", c.Country, c.Inspected, c.Gated, c.Bypassed, c.NotBypass)
+	}
+	fmt.Fprintf(w, "US/UK/ES consistent: %v   gated only in RU: %d   gate missing in RU: %d\n",
+		a.ConsistentUSUKES, a.OnlyInRU, a.MissingInRU)
+}
+
+// Policies prints the Section 7.3 results.
+func Policies(w io.Writer, p core.PolicyResult) {
+	header(w, "Privacy policies vs reality (Section 7.3)")
+	fmt.Fprintf(w, "sites inspected:             %6d\n", p.Inspected)
+	fmt.Fprintf(w, "with accessible policy:      %6d (%s)\n", p.WithPolicy, percent(p.PolicyShare))
+	fmt.Fprintf(w, "explicit GDPR mentions:      %6d\n", p.GDPRMentions)
+	fmt.Fprintf(w, "policy length (letters):     mean %d, min %d, max %d\n", p.MeanLetters, p.MinLetters, p.MaxLetters)
+	fmt.Fprintf(w, "policy pairs:                %d, similarity > 0.5: %d (%s)\n", p.Pairs, p.SimilarPairs, percent(p.SimilarShare))
+	fmt.Fprintf(w, "top-tracking audit:          %d audited, %d disclose cookies+3rd parties, %d list every third party\n",
+		p.TopAudited, p.TopDisclosingCookies, p.TopListingAllParties)
+}
+
+// Monetization prints Section 4.1's business-model classification.
+func Monetization(w io.Writer, m core.MonetizationResult) {
+	header(w, "Monetization models (Section 4.1)")
+	paid := 0.0
+	if m.Subscriptions > 0 {
+		paid = float64(m.Paid) / float64(m.Subscriptions)
+	}
+	fmt.Fprintf(w, "sites inspected: %d   with subscriptions: %d (%s)   of which paid: %d (%s)\n",
+		m.Inspected, m.Subscriptions, percent(float64(m.Subscriptions)/float64(max(m.Inspected, 1))),
+		m.Paid, percent(paid))
+}
+
+// Blocking prints the adblocker-effectiveness extension.
+func Blocking(w io.Writer, b core.BlockingResult) {
+	header(w, "Anti-tracking effectiveness (extension of Section 10)")
+	fmt.Fprintf(w, "requests blocked by EasyList/EasyPrivacy: %d of %d (%s)\n",
+		b.RequestsBlocked, b.RequestsTotal, percent(float64(b.RequestsBlocked)/float64(max(b.RequestsTotal, 1))))
+	fmt.Fprintf(w, "third-party ID cookies:  %6d -> %6d  (reduced %s)\n",
+		b.TPCookiesBaseline, b.TPCookiesSurviving, percent(b.TPCookieReduction()))
+	fmt.Fprintf(w, "canvas FP scripts:       %6d -> %6d  (reduced %s)\n",
+		b.CanvasBaseline, b.CanvasSurviving, percent(b.CanvasReduction()))
+	fmt.Fprintf(w, "cookie-sync exchanges:   %6d -> %6d  (reduced %s)\n",
+		b.SyncBaseline, b.SyncSurviving, percent(b.SyncReduction()))
+	fmt.Fprintf(w, "sites still receiving third-party ID cookies with the blocker on: %d\n", b.SitesStillTracked)
+}
+
+// RTA prints the Restricted-To-Adults label adoption.
+func RTA(w io.Writer, r core.RTAResult) {
+	header(w, "RTA self-labeling (Section 2.1 extension)")
+	fmt.Fprintf(w, "sites carrying the ASACP RTA meta tag: %d of %d (%s)\n",
+		r.Tagged, r.Inspected, percent(r.Share()))
+}
+
+// Storage prints the localStorage-persistence findings.
+func Storage(w io.Writer, s core.StorageResult) {
+	header(w, "localStorage persistence (evercookie candidates)")
+	fmt.Fprintf(w, "scripts writing localStorage: %d; cookie+storage respawn candidates: %d on %d sites\n",
+		s.ScriptsUsingStorage, s.RespawnCandidates, s.Sites)
+}
+
+// Chains prints the inclusion-chain reconstruction.
+func Chains(w io.Writer, c core.ChainStats) {
+	header(w, "Inclusion chains (Section 3.1 methodology)")
+	for _, d := range c.Depths() {
+		fmt.Fprintf(w, "depth %d: %7d requests\n", d, c.DepthCounts[d])
+	}
+	fmt.Fprintf(w, "third parties embedded directly: %d; reached only dynamically: %d\n",
+		c.DirectThirdParties, c.IndirectOnly)
+	if len(c.LongestChain) > 1 {
+		fmt.Fprintf(w, "deepest chain (%d hops):\n", len(c.LongestChain)-1)
+		for _, u := range c.LongestChain {
+			fmt.Fprintf(w, "  %s\n", truncateURL(u, 100))
+		}
+	}
+}
+
+func truncateURL(u string, n int) string {
+	if len(u) <= n {
+		return u
+	}
+	return u[:n] + "..."
+}
+
+// Validation prints the ground-truth precision/recall scores.
+func Validation(w io.Writer, v core.Validation) {
+	header(w, "Ground-truth validation (exact, where the paper sampled manually)")
+	row := func(name string, p core.PR) {
+		fmt.Fprintf(w, "%-24s precision %6s  recall %6s  (tp=%d fp=%d fn=%d)\n",
+			name, percent(p.Precision()), percent(p.Recall()),
+			p.TruePositives, p.FalsePositives, p.FalseNegatives)
+	}
+	row("canvas fingerprinting", v.CanvasDetection)
+	row("cookie banners", v.BannerDetection)
+	if v.BannerTypeTotal > 0 {
+		fmt.Fprintf(w, "%-24s %d/%d detected banners typed correctly\n",
+			"banner taxonomy", v.BannerTypeMatches, v.BannerTypeTotal)
+	}
+	row("age gates", v.GateDetection)
+	row("privacy policies", v.PolicyDetection)
+	row("first-party labeling", v.PartyLabels)
+	row("owner clustering", v.OwnerPairs)
+}
+
+// All renders every table and figure.
+func All(w io.Writer, r *core.Results) {
+	Corpus(w, r.Corpus)
+	Figure1(w, r.Figure1, 20)
+	Table1(w, r.Table1)
+	Table2(w, r.Table2)
+	Table3(w, r.Table3, r.SharedAllIntervals, r.SharedAllIntervalsTotal)
+	Figure3(w, r.Figure3, r.AttributionRate, r.DisconnectOnlyRate, r.AttributionCompanies)
+	CookieCensus(w, r.CookieCensus)
+	Table4(w, r.Table4, 5)
+	Figure4(w, r.Figure4, 15)
+	Table5(w, r.Fingerprinting, 10)
+	Table6(w, r.Table6)
+	Malware(w, r.Malware)
+	Table7(w, r.Table7)
+	Table8(w, r.Table8ES, r.Table8US)
+	Age(w, r.AgeVerification)
+	Policies(w, r.Policies)
+	Monetization(w, r.Monetization)
+	Blocking(w, r.Blocking)
+	RTA(w, r.RTA)
+	Chains(w, r.Chains)
+	Storage(w, r.Storage)
+	Validation(w, r.Validation)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"pornweb/internal/core"
+	"pornweb/internal/webgen"
+)
+
+func TestAllRendersEverySection(t *testing.T) {
+	st, err := core.NewStudy(core.Config{
+		Params:  webgen.Params{Seed: 11, Scale: 0.012},
+		Workers: 8,
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	All(&b, res)
+	out := b.String()
+	for _, want := range []string{
+		"Corpus compilation",
+		"Figure 1", "Table 1", "Table 2", "Table 3", "Figure 3",
+		"Cookie census", "Table 4", "Figure 4", "Table 5", "Table 6",
+		"malicious", "Table 7", "Table 8", "Age verification",
+		"Privacy policies", "Monetization", "Anti-tracking",
+		"RTA self-labeling", "Inclusion chains",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Error("format verb error in report output")
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if percent(0.125) != "12.5%" {
+		t.Errorf("percent = %q", percent(0.125))
+	}
+	if percent(0) != "0.0%" {
+		t.Errorf("percent(0) = %q", percent(0))
+	}
+}
+
+func TestMark(t *testing.T) {
+	if mark(true) != "✓" || mark(false) != "-" {
+		t.Error("mark mismatch")
+	}
+}

@@ -1,0 +1,58 @@
+package vantage
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pornweb/internal/crawler"
+	"pornweb/internal/webgen"
+	"pornweb/internal/webserver"
+)
+
+func TestPointsAndEU(t *testing.T) {
+	if len(Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(Points))
+	}
+	if !EU("ES") || !EU("UK") {
+		t.Error("ES and UK must be EU (2019)")
+	}
+	if EU("US") || EU("RU") {
+		t.Error("US/RU must not be EU")
+	}
+	cs := Countries()
+	if cs[0] != "ES" || len(cs) != 6 {
+		t.Errorf("Countries = %v", cs)
+	}
+}
+
+func TestSessionsAndManipulationCheck(t *testing.T) {
+	eco := webgen.Generate(webgen.Params{Seed: 7, Scale: 0.02})
+	srv, err := webserver.Start(eco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sessions, err := Sessions(crawler.Config{
+		DialContext: srv.DialContext,
+		RootCAs:     srv.CertPool(),
+		Timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 6 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+	// A static CDN asset must be byte-identical from every vantage.
+	check, err := VerifyNoManipulation(context.Background(), sessions, "http://gstatic.com/css/lib.css")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.Consistent {
+		t.Errorf("reference asset differs across vantages: %+v", check.Digests)
+	}
+	if len(check.Digests) != 6 {
+		t.Errorf("digests = %d", len(check.Digests))
+	}
+}

@@ -1,0 +1,304 @@
+// Package webgen generates the synthetic web ecosystem the study crawls.
+//
+// The paper measured the live 2018/2019 web: 6,843 pornographic websites and
+// a reference set of 9,688 popular regular websites, plus the thousands of
+// third-party services embedded in them. That population is not available
+// offline, so webgen builds a deterministic, seeded replica whose *joint
+// distributions* are calibrated to the paper's measurements: which services
+// are embedded where, who sets identifier cookies, who synchronizes cookies
+// with whom, who fingerprints, who supports HTTPS, who shows consent
+// banners, which sites gate on age, how policies are written, and how all of
+// this varies with site popularity and visitor country.
+//
+// webgen produces both the ground-truth model (Site, Service, Company) and
+// the concrete HTTP behaviour (HTML pages, tracker scripts, Set-Cookie
+// headers, sync redirects) that internal/webserver serves and the crawlers
+// observe. Ground truth lets tests assert that the measurement pipeline
+// *recovers* what was planted.
+package webgen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SiteKind distinguishes the two crawled corpora.
+type SiteKind int
+
+// Site kinds.
+const (
+	Porn SiteKind = iota
+	Regular
+)
+
+// String names the corpus kind.
+func (k SiteKind) String() string {
+	if k == Porn {
+		return "porn"
+	}
+	return "regular"
+}
+
+// ServiceCategory is the business role of a third-party service.
+type ServiceCategory int
+
+// Service categories.
+const (
+	CatAdNetwork ServiceCategory = iota
+	CatAnalytics
+	CatCDN
+	CatSocial
+	CatDataBroker
+	CatCryptoMiner
+	CatTrafficTrade
+	CatHosting
+	CatDating // geo-cookie services like fling.com in the paper
+)
+
+var categoryNames = [...]string{
+	"ad-network", "analytics", "cdn", "social", "data-broker",
+	"crypto-miner", "traffic-trade", "hosting", "dating",
+}
+
+// String names the category.
+func (c ServiceCategory) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// IsATS reports whether the category is an advertising or tracking service
+// in the paper's sense (ad networks, analytics, data brokers and traffic
+// traders; CDNs, social widgets and hosting are third parties but not ATS).
+func (c ServiceCategory) IsATS() bool {
+	switch c {
+	case CatAdNetwork, CatAnalytics, CatDataBroker, CatTrafficTrade, CatDating:
+		return true
+	}
+	return false
+}
+
+// BannerType is the Degeling et al. cookie-banner taxonomy used in
+// Section 7.1 (Slider and Checkbox are merged into Other, as the paper's
+// crawler could not classify them without interaction).
+type BannerType int
+
+// Banner types.
+const (
+	BannerNone BannerType = iota
+	BannerNoOption
+	BannerConfirmation
+	BannerBinary
+	BannerOther
+)
+
+// String renders the banner type as Table 8 prints it.
+func (b BannerType) String() string {
+	switch b {
+	case BannerNoOption:
+		return "No Option"
+	case BannerConfirmation:
+		return "Confirmation"
+	case BannerBinary:
+		return "Binary"
+	case BannerOther:
+		return "Others"
+	default:
+		return "None"
+	}
+}
+
+// AgeGateKind models the access-control mechanisms of Section 7.2.
+type AgeGateKind int
+
+// Age-gate kinds.
+const (
+	GateNone AgeGateKind = iota
+	// GateSimple is the common warning text + Enter button, bypassable by
+	// a crawler (and hence by a child, as the paper notes).
+	GateSimple
+	// GateSocialLogin is the Russian passport-linked social-network login
+	// wall (pornhub.com in Russia); crawlers cannot bypass it.
+	GateSocialLogin
+)
+
+// String names the gate kind.
+func (g AgeGateKind) String() string {
+	switch g {
+	case GateSimple:
+		return "simple"
+	case GateSocialLogin:
+		return "social-login"
+	default:
+		return "none"
+	}
+}
+
+// Company is an owning organization for sites and/or services.
+type Company struct {
+	Name string
+	// CertOrg is the organization string placed in X.509 certificates for
+	// this company's hosts; empty means certificates carry only the domain
+	// name (the paper skips those when attributing).
+	CertOrg string
+}
+
+// Service is a third-party service with a primary FQDN.
+type Service struct {
+	Host     string // primary FQDN, e.g. "main.exoclick.com"
+	Base     string // registrable domain, e.g. "exoclick.com"
+	Org      *Company
+	Category ServiceCategory
+
+	AdultOnly   bool            // operates (almost) exclusively on porn sites
+	RegularOnly bool            // operates (almost) exclusively on regular sites
+	CountryOnly string          // non-empty: loads only from this country (e.g. "RU")
+	BlockedIn   map[string]bool // countries whose traffic the service refuses
+
+	InBlocklist bool // indexed by the synthetic EasyList/EasyPrivacy
+	HTTPS       bool
+
+	// Cookie behaviour.
+	SetsIDCookie   bool
+	CookiesPerHit  int  // number of cookies set per visit (>=1 when SetsIDCookie)
+	CookieLen      int  // approximate value length of the main ID cookie
+	EmbedsClientIP bool // encodes the visitor IP (base64) into the cookie
+	EmbedsGeo      bool // encodes lat/lon (and maybe ISP) into a cookie
+
+	// Script behaviour.
+	CanvasFP       bool
+	FontFP         bool
+	WebRTC         bool
+	ScriptVariants int // number of distinct script URLs/contents it serves
+
+	// SyncPartners are the service hosts this service redirects its pixel
+	// to, embedding its own cookie value in the URL (cookie syncing).
+	SyncPartners []string
+
+	Malicious   bool // flagged by >=4 of the VirusTotal-analog scanners
+	CryptoMiner bool
+
+	// Prevalence is the probability that a porn (resp. regular) site embeds
+	// this service; index by SiteKind.
+	Prevalence [2]float64
+	// TailBias skews embedding toward unpopular sites when positive and
+	// toward popular ones when negative (see sites.go).
+	TailBias float64
+}
+
+// Resource kinds a service exposes (used for embed tags).
+const (
+	resScript = "script"
+	resPixel  = "pixel"
+	resIframe = "iframe"
+	resCSS    = "css"
+)
+
+// Site is one website of either corpus.
+type Site struct {
+	Host  string
+	Kind  SiteKind
+	Owner *Company // nil when ownership is not discoverable (96% of porn sites)
+
+	BaseRank int // central Alexa-like rank (may exceed 1M for the deep tail)
+
+	HTTPS bool
+	// Flaky sites fail the instrumented crawl (timeout), shrinking the
+	// crawlable corpus like the paper's 6,843 -> 6,346.
+	Flaky bool
+	// Unresponsive candidate hosts never respond at all; they are the
+	// sanitization-time false positives.
+	Unresponsive bool
+
+	// Corpus-discovery provenance (Section 3).
+	InAggregators bool // indexed by the porn-aggregator sites
+	InAlexaAdult  bool // listed in Alexa's Adult category
+	KeywordInName bool // hostname matches a porn-related keyword
+	// KeywordFalsePositive marks non-porn sites whose name matches a porn
+	// keyword (the YouTube-vs-PornTube problem).
+	KeywordFalsePositive bool
+
+	// Embedded third parties and per-site minted unique third parties.
+	Services    []*Service
+	UniqueHosts []string // site-specific third-party FQDNs (long tail)
+	// CountryAssets maps a vantage country to an asset host served only to
+	// visitors from there (geo-balanced delivery). These are what makes
+	// hundreds of FQDNs unique to each country in Table 7.
+	CountryAssets map[string]string
+	// ExtraFirstParty are additional first-party FQDNs (www/cdn subdomain
+	// or a sister domain owned by the same org).
+	ExtraFirstParty []string
+
+	FirstPartyCookies int // cookies the site itself sets on its landing page
+
+	// Compliance surface.
+	BannerEU                    BannerType
+	BannerUS                    BannerType
+	HasPolicy                   bool
+	PolicyText                  string
+	PolicyMentionsGDPR          bool
+	PolicyDisclosesCookies      bool
+	PolicyDisclosesThirdParties bool
+	PolicyListsAllThirdParties  bool
+
+	AgeGate          AgeGateKind
+	AgeGateLang      string                 // language of the gate keywords
+	AgeGateByCountry map[string]AgeGateKind // overrides per country (Russia quirks)
+
+	RTAMeta bool // carries the ASACP Restricted-To-Adults meta tag
+
+	// Monetization (Section 4.1).
+	HasSubscription  bool
+	PaidSubscription bool
+
+	// Geo behaviour.
+	BlockedIn map[string]bool // countries where the site is unreachable
+
+	Malicious bool
+
+	// Language of the landing page (drives gate/banner keyword language).
+	Language string
+
+	// InlineCanvasFP: the site ships its own first-party canvas
+	// fingerprinting script (26% of canvas scripts were first-party).
+	InlineCanvasFP bool
+}
+
+// Interval returns the popularity interval implied by the site's base
+// rank, using the same band boundaries as the rank sampler: the measured
+// interval (by best-of-2018 rank) sits below the base rank by the noise
+// dip factor, so ground truth must use the shifted bands to agree with
+// what the crawl measures.
+func (s *Site) Interval() int {
+	switch {
+	case s.BaseRank <= 1725:
+		return 0
+	case s.BaseRank <= 19900:
+		return 1
+	case s.BaseRank <= 230000:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// HasService reports whether the site embeds the service with the host.
+func (s *Site) HasService(host string) bool {
+	for _, svc := range s.Services {
+		if svc.Host == host {
+			return true
+		}
+	}
+	return false
+}
+
+// ServiceHosts returns the embedded services' hosts, sorted.
+func (s *Site) ServiceHosts() []string {
+	out := make([]string, 0, len(s.Services))
+	for _, svc := range s.Services {
+		out = append(out, svc.Host)
+	}
+	sort.Strings(out)
+	return out
+}

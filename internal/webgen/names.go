@@ -1,0 +1,185 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// PornKeywords are the corpus-discovery substrings from Section 3 of the
+// paper.
+var PornKeywords = []string{"porn", "tube", "sex", "gay", "lesbian", "mature", "xxx"}
+
+// Word pools for hostname synthesis. Porn-site names deliberately embed the
+// discovery keywords so the keyword search finds them; a slice of regular
+// sites also embeds them (YouTube-style false positives).
+var (
+	pornPrefixes = []string{
+		"hot", "free", "best", "my", "super", "mega", "real", "wild", "pure",
+		"top", "prime", "dark", "velvet", "midnight", "crystal", "ruby",
+		"golden", "silk", "neon", "sugar", "cherry", "lusty", "vivid",
+	}
+	pornSuffixes = []string{
+		"vids", "clips", "cams", "stream", "zone", "land", "world", "hub",
+		"place", "base", "star", "city", "planet", "vault", "den", "haus",
+		"spot", "live", "time", "channel", "door", "nest", "garden",
+	}
+	regularWords = []string{
+		"news", "shop", "weather", "travel", "games", "music", "recipes",
+		"sports", "finance", "tech", "daily", "cloud", "mail", "photo",
+		"video", "social", "forum", "market", "auto", "health", "learn",
+		"stream", "media", "store", "blog", "wiki", "jobs", "home", "kids",
+		"city", "world", "live", "express", "insider", "review", "tracker",
+	}
+	trackerWords = []string{
+		"ad", "ads", "click", "track", "pixel", "metrics", "stats", "tag",
+		"banner", "pop", "native", "媒", "cdn", "static", "sync", "rtb",
+		"bid", "exchange", "audience", "data", "reach", "spark", "flow",
+	}
+	tlds        = []string{"com", "net", "org", "xxx", "tv", "biz", "info"}
+	trackerTLDs = []string{"com", "net", "io", "me", "top", "party", "pro", "ws"}
+)
+
+// nameGen mints unique hostnames.
+type nameGen struct {
+	rng  *rand.Rand
+	used map[string]bool
+}
+
+func newNameGen(rng *rand.Rand) *nameGen {
+	return &nameGen{rng: rng, used: map[string]bool{}}
+}
+
+func (g *nameGen) claim(host string) string {
+	host = strings.ToLower(host)
+	if !g.used[host] {
+		g.used[host] = true
+		return host
+	}
+	// Disambiguate deterministically.
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", host, i)
+		// Insert before TLD rather than after it for realism.
+		if dot := strings.LastIndexByte(host, '.'); dot > 0 {
+			cand = fmt.Sprintf("%s%d%s", host[:dot], i, host[dot:])
+		}
+		if !g.used[cand] {
+			g.used[cand] = true
+			return cand
+		}
+	}
+}
+
+func (g *nameGen) pick(pool []string) string {
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// pornHost mints a porn-site hostname. withKeyword forces one of the
+// discovery keywords into the name (most porn sites have one, which is why
+// the paper's keyword search finds 7,735 candidates).
+func (g *nameGen) pornHost(withKeyword bool) string {
+	var name string
+	if withKeyword {
+		kw := g.pick(PornKeywords)
+		switch g.rng.Intn(3) {
+		case 0:
+			name = g.pick(pornPrefixes) + kw + g.pick(pornSuffixes)
+		case 1:
+			name = kw + g.pick(pornSuffixes)
+		default:
+			name = g.pick(pornPrefixes) + kw
+		}
+	} else {
+		name = g.pick(pornPrefixes) + g.pick(pornSuffixes)
+	}
+	return g.claim(name + "." + g.pick(tlds))
+}
+
+// regularHost mints a regular-site hostname; withPornKeyword creates the
+// false-positive shape (e.g. a crafts site called "maturegardens.com").
+func (g *nameGen) regularHost(withPornKeyword bool) string {
+	var name string
+	if withPornKeyword {
+		kw := g.pick(PornKeywords)
+		name = kw + g.pick(regularWords)
+	} else {
+		name = g.pick(regularWords) + g.pick(regularWords)
+	}
+	return g.claim(name + "." + g.pick([]string{"com", "com", "com", "net", "org", "io"}))
+}
+
+// trackerHost mints a third-party service hostname. Obfuscated hosts mimic
+// the opaque long tail (xcvgdf.party, hd100546b.com in the paper).
+func (g *nameGen) trackerHost(obfuscated bool) string {
+	if obfuscated {
+		const letters = "abcdefghijklmnopqrstuvwxyz"
+		n := 5 + g.rng.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[g.rng.Intn(len(letters))]
+		}
+		if g.rng.Intn(2) == 0 {
+			return g.claim(fmt.Sprintf("%s%03d.%s", string(b[:3]), g.rng.Intn(1000), g.pick(trackerTLDs)))
+		}
+		return g.claim(string(b) + "." + g.pick(trackerTLDs))
+	}
+	w := g.pick(trackerWords)
+	for !isASCII(w) { // skip the decorative non-ASCII entry for hostnames
+		w = g.pick(trackerWords)
+	}
+	w2 := g.pick(trackerWords)
+	for !isASCII(w2) || w2 == w {
+		w2 = g.pick(trackerWords)
+	}
+	return g.claim(w + w2 + "." + g.pick(trackerTLDs))
+}
+
+// uniqueTailHost mints a site-specific third-party host (per-site CDN or
+// asset domain, like img100-589.xvideos.com style names on foreign bases).
+func (g *nameGen) uniqueTailHost(i int) string {
+	kind := g.rng.Intn(3)
+	switch kind {
+	case 0:
+		return g.claim(fmt.Sprintf("cdn%d-%03d.%s.%s", g.rng.Intn(9)+1, i%997, g.pick(trackerWordsASCII()), g.pick(trackerTLDs)))
+	case 1:
+		return g.claim(fmt.Sprintf("%s-assets-%d.%s", g.pick(trackerWordsASCII()), g.rng.Intn(900)+100, g.pick(trackerTLDs)))
+	default:
+		return g.trackerHost(true)
+	}
+}
+
+var asciiTrackerWords []string
+
+func trackerWordsASCII() []string {
+	if asciiTrackerWords == nil {
+		for _, w := range trackerWords {
+			if isASCII(w) {
+				asciiTrackerWords = append(asciiTrackerWords, w)
+			}
+		}
+	}
+	return asciiTrackerWords
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// companyName mints a plausible holding-company name.
+func (g *nameGen) companyName() string {
+	first := []string{
+		"Aurora", "Nova", "Crimson", "Atlas", "Vertex", "Zenith", "Orbit",
+		"Helix", "Quantum", "Cobalt", "Ivory", "Onyx", "Mirage", "Summit",
+		"Cascade", "Horizon", "Pioneer", "Sterling", "Falcon", "Meridian",
+	}
+	second := []string{
+		"Media", "Entertainment", "Digital", "Holdings", "Networks",
+		"Productions", "Interactive", "Studios", "Group", "Ventures",
+	}
+	return g.pick(first) + " " + g.pick(second)
+}

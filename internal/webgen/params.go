@@ -1,0 +1,120 @@
+package webgen
+
+import "math"
+
+// Params controls ecosystem generation. The zero value is not usable; call
+// DefaultParams and adjust Scale/Seed.
+type Params struct {
+	// Seed drives all pseudo-randomness; identical Params generate
+	// identical ecosystems.
+	Seed uint64
+	// Scale scales the population. 1.0 reproduces the paper's corpus sizes
+	// (6,843 porn sites, 9,688 regular sites). Tests use small scales.
+	Scale float64
+}
+
+// DefaultParams returns paper-scale parameters.
+func DefaultParams() Params { return Params{Seed: 2019, Scale: 1.0} }
+
+// Calibration constants: the paper's measured population sizes and
+// proportions that the generator targets (see DESIGN.md for the mapping of
+// each constant to a table/figure).
+const (
+	paperPornSites       = 6843 // sanitized porn corpus (Section 3)
+	paperRegularSites    = 9688 // reference corpus
+	paperFalsePositives  = 1256 // removed candidates (unresponsive + keyword FPs)
+	paperAggregatorSites = 342  // discovered via porn aggregator indexes
+	paperAlexaAdult      = 22   // discovered via Alexa Adult category
+
+	// Fraction of true porn sites whose crawl fails (6,843 -> 6,346).
+	pornFlakyFrac = 0.0726
+	// Fraction of regular sites whose crawl fails (9,688 -> 8,511).
+	regularFlakyFrac = 0.1215
+
+	// Popularity interval shares for porn sites, matching Table 3's
+	// 73 / 536 / 3,668 / 2,069 crawled sites per interval.
+	pornTop1KFrac   = 0.0115
+	porn1K10KFrac   = 0.0845
+	porn10K100KFrac = 0.578
+	// remainder falls in 100k+
+
+	// Always-in-top-1M share (Figure 1: 1,103 of 6,843).
+	// Emerges from rank volatility; kept for documentation.
+
+	// Cookie banner rates (Table 8).
+	bannerEUNoOption     = 0.0136
+	bannerEUConfirmation = 0.0282
+	bannerEUBinary       = 0.0020
+	bannerEUOther        = 0.0003
+	// A site showing a banner in the US almost always shows it in the EU;
+	// the EU adds a small extra set (totals 4.41% vs 3.76%).
+
+	// Privacy policies (Section 7.3).
+	policyFrac        = 0.16
+	policyGDPRFrac    = 0.20 // of sites with a policy
+	policyMeanLetters = 17159
+
+	// Age verification (Section 7.2): 20% of the top-50 sites.
+	ageGateTopFrac = 0.20
+
+	// Monetization (Section 4.1).
+	subscriptionFrac = 0.14
+	paidFrac         = 0.23 // of subscription sites
+
+	// Fingerprinting (Section 5.1.3): 315 sites (~5%) load canvas
+	// fingerprinting; 49 third-party services deliver those scripts;
+	// 177 sites load WebRTC scripts from 13 services.
+	canvasSiteFrac = 0.0460
+	webrtcSiteFrac = 0.0259
+
+	// Malware (Section 5.3): 7 porn sites, 16 services in 41 sites,
+	// cryptominers in 8 sites.
+	maliciousSiteFrac = 7.0 / 6843.0
+
+	// Geo blocking (Section 3.1): 21 sites unreachable from Russia,
+	// 168 from India.
+	blockedRUFrac = 21.0 / 6843.0
+	blockedINFrac = 168.0 / 6843.0
+
+	// First-party cookies: 92% of sites install some cookie.
+	fpCookieFrac = 0.92
+
+	// Long-tail unique third-party FQDNs minted per site, by popularity
+	// interval (Table 3: 119/73, 531/536, 2115/3668, 1007/2069).
+	uniqueRateTop1K   = 1.63
+	uniqueRate1K10K   = 0.99
+	uniqueRate10K100K = 0.577
+	uniqueRate100KUp  = 0.487
+
+	// Regular sites mint more unique third parties (21,128 FQDNs from
+	// 8,511 crawled sites).
+	uniqueRateRegular = 2.2
+
+	// HTTPS support by popularity interval for porn sites (Table 6).
+	httpsTop1K   = 0.92
+	https1K10K   = 0.63
+	https10K100K = 0.32
+	https100KUp  = 0.22
+)
+
+// scaled returns round(Scale * n), at least min.
+func (p Params) scaled(n int, min int) int {
+	v := int(math.Round(p.Scale * float64(n)))
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Countries the study observes from (Section 3.1): the physical vantage
+// point in Spain plus VPN endpoints.
+var Countries = []string{"ES", "US", "UK", "RU", "IN", "SG"}
+
+// EU member states among the vantage countries (2019: the UK was still an
+// EU member and subject to the GDPR; the paper studies it for the Digital
+// Economy Act as well).
+var EUCountries = map[string]bool{"ES": true, "UK": true}
+
+// Languages used for banner/gate keyword generation, matching the paper's
+// eight languages.
+var Languages = []string{"en", "es", "fr", "pt", "ru", "it", "de", "ro"}

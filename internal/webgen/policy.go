@@ -1,0 +1,204 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Privacy-policy generation. Real-world policies are heavily template-based
+// — the paper found 76% of all policy pairs with TF-IDF similarity above
+// 0.5, and used near-identical policies (coefficient 1) to discover owner
+// clusters. The generator reproduces that structure: a large pool of shared
+// boilerplate sections, a few template "families" differing in a minority
+// of sections, and per-owner substitutions so sites of the same company
+// produce near-identical text.
+
+var policySharedSections = []string{
+	`This privacy statement explains what personal data {COMPANY} collects from you through our interactions with you on {SITE} and how we use that data. Personal data means any information relating to an identified or identifiable natural person, including online identifiers such as device identifiers and network addresses.`,
+	`We collect data to operate effectively and provide you the best experiences with our services. You provide some of this data directly, and we get some of it by recording how you interact with our services, for example by using technologies that record your browser type, operating system, referring pages, pages visited and the dates and times of access.`,
+	`The data we collect depends on the context of your interactions with {SITE} and the choices you make, including your privacy settings and the features you use. Usage information is collected automatically when you visit the website and may include your approximate location derived from your network address.`,
+	`We retain personal data for as long as necessary to provide the services and fulfill the transactions you have requested, or for other essential purposes such as complying with our legal obligations, resolving disputes and enforcing our agreements. Retention periods vary by data category and context.`,
+	`You may have rights under applicable law to request access to, rectification of, or erasure of your personal data, to restrict or object to certain processing, and to data portability. To exercise any of these rights please contact us at {EMAIL}. We will respond to requests within the period required by applicable law.`,
+	`We take reasonable technical and organizational measures designed to protect personal data from loss, misuse and unauthorized access, disclosure, alteration and destruction. However, no method of transmission over the Internet or method of electronic storage is completely secure.`,
+	`Our services are not directed to persons under the age of eighteen, and we do not knowingly collect personal data from minors. Access to the website requires that you confirm you are of legal age in your jurisdiction. If we learn that we have collected data from a minor we will delete it promptly.`,
+	`We may update this privacy statement from time to time to reflect changes to our practices or for other operational, legal or regulatory reasons. When we post changes to this statement we will revise the last updated date at the top of the statement and, where appropriate, notify you.`,
+	`The website may contain links to other websites whose privacy practices differ from ours. If you submit personal data to any of those websites your information is governed by their privacy statements. We encourage you to carefully read the privacy statement of any website you visit.`,
+	`Where we rely on your consent to process personal data you may withdraw that consent at any time. Where we rely on legitimate interests, you may object to the processing. Withdrawal of consent does not affect the lawfulness of processing based on consent before its withdrawal.`,
+	`If you create an account or subscribe to premium services we process the registration data you provide, such as your electronic mail address and payment references handled by our payment processors. Payment card numbers are processed exclusively by certified payment providers and never stored on our systems.`,
+	`Aggregated or de-identified information that can no longer reasonably be used to identify you may be used for any lawful purpose, including analytics, research, improving the services and developing new features, without further notice to you.`,
+	`We may disclose personal data if required to do so by law or in the good-faith belief that such action is necessary to comply with a legal obligation, protect and defend our rights or property, prevent fraud, or protect the personal safety of users of the services or the public.`,
+	`For visitors located in certain jurisdictions a supervisory authority exists to hear complaints regarding the processing of personal data. You have the right to lodge a complaint with your local authority if you consider that the processing of your personal data infringes applicable law.`,
+}
+
+// policySharedSectionsB is an alternative boilerplate dialect: a minority
+// of policies are written from scratch rather than from the dominant
+// template, which is what keeps the paper's all-pairs similarity at 76%
+// rather than 100% — cross-dialect pairs score low.
+var policySharedSectionsB = []string{
+	`Welcome, and thank you for trusting {SITE}. This notice tells you, in plain words, what happens to the traces you leave while browsing here: which records our machines write down, why they do it, and how long those records stick around before they are wiped.`,
+	`Whenever your browser asks our servers for a page or a clip, the request carries technical baggage — an address for the reply, the name of your browser, the page you came from. Our logs keep that baggage for a while because running a video platform without logs is like flying blind.`,
+	`Registration is optional almost everywhere on the platform. If you do open an account, the e-mail you typed, the alias you chose and a salted digest of your passphrase live in our membership database until you close the account or two years pass without a login.`,
+	`Billing never touches our disks. Card numbers go straight to the payment house, which sends us back nothing but a token and a yes-or-no. Chargebacks, refunds and fraud reviews are handled on the payment house's systems under their own rules.`,
+	`You can write to us at {EMAIL} to ask what we hold about you, to have mistakes fixed, or to have the lot erased. We answer within a month. If our answer disappoints you, the supervisory authority of your home country will hear your complaint.`,
+	`Our player measures buffering, bitrate switches and abandoned sessions. Those measurements steer which delivery node serves your next request. They are aggregated nightly and the raw rows are dropped after a fortnight.`,
+	`Minors have no business here. The entrance asks for a confirmation of age, and any account credibly reported to belong to a minor is frozen first and questioned later. Records collected before the freeze are purged.`,
+	`Some buttons on the platform are wired to outside companies — the share widgets, the advertising slots, the statistics beacons. Press them, or merely load a page that contains them, and those companies learn of your visit under their own notices, not this one.`,
+	`We keep backups. Backups mean that erased data may linger, encrypted and offline, for up to ninety days after erasure, until the backup cycle overwrites them. Nobody reads backups except to restore service after a disaster.`,
+	`This notice changes when the platform changes. The date at the bottom moves, and material changes are flagged on the landing page for thirty days. Continuing to browse after that is taken as having read the new text.`,
+	`Questions, complaints, compliments and subject-access requests all go to the same mailbox: {EMAIL}. A human reads it. Expect an answer in working days, not minutes.`,
+	`Where the law of your country grants you more than this notice promises, the law wins. Where this notice promises more than the law demands, the notice wins. We wrote it to be kept, not framed.`,
+}
+
+// Distinctive sections per template family.
+var policyFamilies = [][]string{
+	{
+		`Content delivery on {SITE} is supported by advertising. Advertisements displayed on the website are provided by advertising networks specialized in adult entertainment, which may use their own identifiers to cap the frequency of advertisements and measure their performance across publishers within their networks.`,
+		`Video playback statistics, category preferences and search terms entered on the website may be processed in order to rank content, detect abusive automation and personalize the order in which content is presented during your session.`,
+	},
+	{
+		`{SITE} operates as part of a federated network of websites under common operation. Content, member accounts and technical infrastructure may be shared across the network, and your data may be transferred between network sites under the safeguards described in this statement.`,
+		`We process technical telemetry including bandwidth measurements, player error rates and content delivery node selection in order to operate our streaming infrastructure efficiently and to plan capacity across regions.`,
+	},
+	{
+		`Live interactive services on {SITE} involve the processing of chat messages, tips and performer interactions in real time. Moderation systems, both automated and human, review such interactions for compliance with our terms of service and applicable law.`,
+		`Affiliate and referral programs operated through the website involve the processing of referral identifiers in order to attribute registrations and purchases to the referring partner and to calculate commissions owed.`,
+	},
+}
+
+const policyCookieSection = `We and our partners use cookies and similar technologies, such as pixels and local storage, to store identifiers and preferences on your device. Cookies are small text files placed on your device that allow us to recognize your browser, keep session state, measure audiences and, where permitted, personalize content and advertising. You can configure your browser to refuse cookies, although parts of the website may then not function correctly.`
+
+const policyCookieSectionB = `A cookie is a crumb of text your browser agrees to hold for us. Ours remember your player volume, your session, and — if the advertising slots are on — a number that tells the ad machinery it has met your browser before. Sweep the cookies away in your browser settings whenever you like; the site limps but works.`
+
+const policyThirdPartySection = `Certain features on the website are provided by third parties, including analytics providers, advertising networks, content delivery networks and social sharing tools. These third parties may collect or receive information about your use of the website, including your network address and identifiers stored in cookies, and may combine it with information collected across other websites to provide measurement and advertising services.`
+
+const policyThirdPartySectionB = `Not everything on this page is ours. Third parties — ad brokers, statistics counters, delivery networks — plant their own code here, and that code phones home when you load it. What those third parties do with the call is written in their notices; we chose them, but we do not run them.`
+
+const policyGDPRSection = `For users in the European Economic Area we process personal data in accordance with the General Data Protection Regulation (GDPR) (Regulation (EU) 2016/679). The legal bases on which we rely are consent, performance of a contract and legitimate interests. Data concerning a natural person's sex life or sexual orientation receives the special protection required by Article 9 of the GDPR and is not processed except with your explicit consent.`
+
+const policyGDPRSectionB = `European visitors are covered by the General Data Protection Regulation (GDPR), and we treat that as the floor, not the ceiling. Anything touching the sensitive categories of Article 9 — and on a site like this, plenty does — moves only with your explicit say-so.`
+
+const policyFiller = `Additional operational records, including server logs, diagnostic events, crash reports, content delivery measurements and security audit trails, are generated in the ordinary course of operating the website and retained according to our internal retention schedules before being deleted or irreversibly anonymized.`
+
+const policyFillerB = `Housekeeping data — rotation schedules, capacity graphs, error budgets, incident timelines and the other residue of keeping a fleet of machines upright — accumulates as we operate and is shredded on its own calendar, untouched by anything in this notice.`
+
+// policyIdentity produces the organization disclosure, which the owner
+// discovery of Section 4.1 mines. Most sites disclose nothing useful.
+func policyIdentity(rng *rand.Rand, s *Site) string {
+	if s.Owner == nil {
+		return ""
+	}
+	if rng.Float64() < 0.6 {
+		return fmt.Sprintf(`The data controller for %s is %s. `, s.Host, s.Owner.Name)
+	}
+	// Vague: postal address only (the paper highlights this pattern).
+	return fmt.Sprintf(`The data controller can be reached at P.O. Box %d, Suite %d. `, 100+rng.Intn(9000), 1+rng.Intn(400))
+}
+
+// GeneratePolicy fills s.PolicyText. Sites owned by the same company use
+// the same template family, section selection and substitutions, differing
+// only in the {SITE} token — giving the near-duplicate pairs the clustering
+// step finds.
+func generatePolicy(rng *rand.Rand, s *Site, ownerSeeds map[*Company]int64) {
+	if !s.HasPolicy {
+		return
+	}
+	var prng *rand.Rand
+	if s.Owner != nil {
+		seed, ok := ownerSeeds[s.Owner]
+		if !ok {
+			seed = rng.Int63()
+			ownerSeeds[s.Owner] = seed
+		}
+		prng = rand.New(rand.NewSource(seed))
+	} else {
+		prng = rand.New(rand.NewSource(rng.Int63()))
+	}
+
+	if s.Owner != nil {
+		// Cluster members share the owner's disclosure profile so their
+		// policies come out template-identical (modulo the site name).
+		s.PolicyMentionsGDPR = prng.Float64() < policyGDPRFrac*2 // big operators mention GDPR more
+		s.PolicyDisclosesCookies = prng.Float64() < 0.85
+		s.PolicyDisclosesThirdParties = prng.Float64() < 0.75
+	}
+	family := policyFamilies[prng.Intn(len(policyFamilies))]
+	company := "the operator of this website"
+	email := fmt.Sprintf("privacy@%s", s.Host)
+	if s.Owner != nil {
+		company = s.Owner.Name
+	}
+
+	// Dialect choice: ~84% of policies derive from the dominant template
+	// pool, the rest are independently written (dialect B). Same-dialect
+	// pairs land above 0.5 TF-IDF similarity, cross-dialect pairs below —
+	// reproducing the paper's 76% similar-pair share.
+	pool := policySharedSections
+	dialectB := prng.Float64() < 0.10
+	if dialectB {
+		pool = policySharedSectionsB
+	}
+
+	// Section selection: most shared sections, the family sections, and a
+	// variable amount of filler to spread the length distribution
+	// (mean ~17k letters, long right tail).
+	var b strings.Builder
+	b.WriteString("Privacy Policy\n\n")
+	b.WriteString(policyIdentity(prng, s))
+	nShared := 9 + prng.Intn(len(pool)-8)
+	if prng.Float64() < 0.05 {
+		nShared = 3 // the occasional skeletal policy (paper min: 1,088 letters)
+	}
+	perm := prng.Perm(len(pool))
+	for i := 0; i < nShared; i++ {
+		b.WriteString(pool[perm[i]])
+		b.WriteString("\n\n")
+	}
+	if !dialectB {
+		for _, sec := range family {
+			b.WriteString(sec)
+			b.WriteString("\n\n")
+		}
+	}
+	cookieSec, tpSec, gdprSec, filler := policyCookieSection, policyThirdPartySection, policyGDPRSection, policyFiller
+	if dialectB {
+		cookieSec, tpSec, gdprSec, filler = policyCookieSectionB, policyThirdPartySectionB, policyGDPRSectionB, policyFillerB
+	}
+	if s.PolicyDisclosesCookies {
+		b.WriteString(cookieSec)
+		b.WriteString("\n\n")
+	}
+	if s.PolicyDisclosesThirdParties {
+		b.WriteString(tpSec)
+		b.WriteString("\n\n")
+	}
+	if s.PolicyMentionsGDPR {
+		b.WriteString(gdprSec)
+		b.WriteString("\n\n")
+	}
+	if s.PolicyListsAllThirdParties {
+		b.WriteString("The complete list of third-party services embedded on this website is: ")
+		b.WriteString(strings.Join(s.ServiceHosts(), ", "))
+		b.WriteString(".\n\n")
+	}
+	// Length spreading: filler repetition targets the paper's mean of
+	// ~17,159 letters with a long right tail; a rare site gets a gigantic
+	// policy (the paper's maximum was 243,649 letters).
+	reps := prng.Intn(45)
+	if nShared == 3 {
+		reps = 0
+	}
+	if prng.Float64() < 0.01 {
+		reps = 500 + prng.Intn(220)
+	}
+	for i := 0; i < reps; i++ {
+		b.WriteString(filler)
+		b.WriteString("\n\n")
+	}
+
+	text := b.String()
+	text = strings.ReplaceAll(text, "{SITE}", s.Host)
+	text = strings.ReplaceAll(text, "{COMPANY}", company)
+	text = strings.ReplaceAll(text, "{EMAIL}", email)
+	s.PolicyText = text
+}

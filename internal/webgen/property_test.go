@@ -1,0 +1,144 @@
+package webgen
+
+import (
+	"net/url"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the generator and virtual server.
+
+func TestGenerateDeterministicAcrossSeeds(t *testing.T) {
+	f := func(seed uint16) bool {
+		p := Params{Seed: uint64(seed), Scale: 0.008}
+		a, b := Generate(p), Generate(p)
+		if len(a.PornSites) != len(b.PornSites) || len(a.Services) != len(b.Services) {
+			return false
+		}
+		for i := range a.Services {
+			x, y := a.Services[i], b.Services[i]
+			if x.Host != y.Host || x.Category != y.Category || x.InBlocklist != y.InBlocklist ||
+				len(x.SyncPartners) != len(y.SyncPartners) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRespondNeverPanics(t *testing.T) {
+	e := Generate(Params{Seed: 5, Scale: 0.01})
+	hosts := e.AllHosts()
+	f := func(hostIdx uint16, path string, country uint8) bool {
+		host := hosts[int(hostIdx)%len(hosts)]
+		c := Countries[int(country)%len(Countries)]
+		e.Respond(Request{
+			Host: host, Path: "/" + path, Query: url.Values{},
+			Country: c, ClientIP: "127.0.0.1",
+			Cookies: map[string]string{}, Phase: PhaseCrawl,
+		})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Known-delicate paths on every host type.
+	paths := []string{"", "/", "/js/tag999.js", "/js/tag-1.js", "/px.gif", "/sync", "/ad",
+		"/collect", "/privacy", "/enter", "/css/x.css", "/static/x.png", "/..", "//",
+		"/sync?d=notanumber", "/js/tagXYZ.js"}
+	for _, h := range hosts[:min(40, len(hosts))] {
+		for _, p := range paths {
+			q := url.Values{}
+			if i := len(p); i > 0 && p[i-1] == '?' {
+				p = p[:i-1]
+			}
+			e.Respond(Request{Host: h, Path: p, Query: q, Country: "ES",
+				ClientIP: "127.0.0.1", Cookies: map[string]string{}, Phase: PhaseCrawl})
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestEveryServiceScriptVariantInterpretable(t *testing.T) {
+	e := Generate(Params{Seed: 13, Scale: 0.015})
+	for _, svc := range e.Services {
+		for v := 0; v < svc.ScriptVariants; v++ {
+			src := ServiceScript(svc, v, "uidABCDEF", "https")
+			if src == "" {
+				t.Errorf("%s variant %d: empty script", svc.Host, v)
+			}
+		}
+		// Out-of-range variants must clamp, not panic.
+		ServiceScript(svc, -3, "u", "http")
+		ServiceScript(svc, svc.ScriptVariants+7, "u", "http")
+	}
+}
+
+func TestScaledMonotonicity(t *testing.T) {
+	small := Generate(Params{Seed: 3, Scale: 0.01})
+	big := Generate(Params{Seed: 3, Scale: 0.05})
+	if len(big.PornSites) <= len(small.PornSites) {
+		t.Error("scale must grow the porn corpus")
+	}
+	if len(big.Services) <= len(small.Services) {
+		t.Error("scale must grow the service population")
+	}
+}
+
+func TestSyncPartnersResolvable(t *testing.T) {
+	e := Generate(Params{Seed: 3, Scale: 0.02})
+	for _, svc := range e.Services {
+		if len(svc.SyncPartners) == 0 {
+			continue
+		}
+		if p := e.pickPartner(svc, 0); p == nil {
+			t.Errorf("%s: no resolvable sync partner among %v", svc.Host, svc.SyncPartners)
+		}
+	}
+}
+
+func TestRenderLandingAllCountries(t *testing.T) {
+	e := Generate(Params{Seed: 3, Scale: 0.01})
+	for _, s := range e.PornSites[:min(30, len(e.PornSites))] {
+		for _, c := range Countries {
+			html := e.RenderLanding(s, PageContext{Country: c, Scheme: "http", FirstPartyUID: "u"})
+			if len(html) < 100 {
+				t.Errorf("%s/%s: suspiciously small page", s.Host, c)
+			}
+		}
+	}
+}
+
+func TestCookieLenInvariant(t *testing.T) {
+	e := Generate(Params{Seed: 3, Scale: 0.02})
+	for _, svc := range e.Services {
+		if svc.SetsIDCookie && svc.CookiesPerHit < 1 {
+			t.Errorf("%s: ID cookie service with CookiesPerHit=%d", svc.Host, svc.CookiesPerHit)
+		}
+		if svc.Prevalence[Porn] < 0 || svc.Prevalence[Porn] > 1 ||
+			svc.Prevalence[Regular] < 0 || svc.Prevalence[Regular] > 1 {
+			t.Errorf("%s: prevalence out of range %v", svc.Host, svc.Prevalence)
+		}
+	}
+}
+
+func TestSharedServicesHavePrevalence(t *testing.T) {
+	// Regression test: every non-country-exclusive service must be
+	// embeddable somewhere (a silent zero-prevalence pool once removed
+	// ~2,800 planted services from the world).
+	e := Generate(Params{Seed: 3, Scale: 0.02})
+	for _, svc := range e.Services {
+		if svc.Prevalence[Porn] == 0 && svc.Prevalence[Regular] == 0 {
+			t.Errorf("%s (%s): zero prevalence on both sides", svc.Host, svc.Category)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+package webgen
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Phase tells the responder which crawl is talking to it. Flaky sites were
+// reachable during corpus sanitization but failed during the instrumented
+// crawl (the paper's 6,843 -> 6,346 drop); modeling availability as
+// phase-dependent reproduces that time-varying behaviour deterministically.
+type Phase int
+
+// Crawl phases.
+const (
+	PhaseSanitize Phase = iota // the purpose-built sanitization crawler
+	PhaseCrawl                 // the OpenWPM-analog instrumented crawl
+	PhasePolicy                // the Selenium-analog interactive crawl
+)
+
+// Request is a protocol-independent view of an HTTP request reaching the
+// virtual server.
+type Request struct {
+	Host     string
+	Path     string
+	Query    url.Values
+	Country  string
+	ClientIP string
+	Cookies  map[string]string
+	Referer  string
+	Secure   bool
+	Phase    Phase
+}
+
+// SetCookie is a cookie the virtual server asks the client to store.
+type SetCookie struct {
+	Name    string
+	Value   string
+	Session bool // no Max-Age/Expires: discarded at session end
+}
+
+// Response is the virtual server's reply. Status 0 means the connection is
+// refused (dead host, geo-block, or flaky failure).
+type Response struct {
+	Status      int
+	Location    string
+	ContentType string
+	Body        string
+	Cookies     []SetCookie
+}
+
+// Refused is the connection-refused response.
+func Refused() Response { return Response{Status: 0} }
+
+const gif1x1 = "GIF89a\x01\x00\x01\x00\x80\x00\x00\x00\x00\x00\xff\xff\xff!\xf9\x04\x01\x00\x00\x00\x00,\x00\x00\x00\x00\x01\x00\x01\x00\x00\x02\x02D\x01\x00;"
+
+// geoCoords approximates the vantage locations the paper's geo-IP cookies
+// would encode.
+var geoCoords = map[string][2]string{
+	"ES": {"40.4168", "-3.7038"},
+	"US": {"37.7749", "-122.4194"},
+	"UK": {"51.5074", "-0.1278"},
+	"RU": {"55.7558", "37.6173"},
+	"IN": {"19.0760", "72.8777"},
+	"SG": {"1.3521", "103.8198"},
+}
+
+// uidStore mints and remembers per-(host,visitor-ish) identifiers. The
+// crawler keeps one browser session, so the visitor key is simply the
+// client IP — good enough for a single-session crawl and deterministic
+// across repeated visits within a crawl.
+type uidStore struct {
+	mu   sync.Mutex
+	seed uint64
+	n    uint64
+	m    map[string]string
+}
+
+func newUIDStore(seed uint64) *uidStore {
+	return &uidStore{seed: seed, m: map[string]string{}}
+}
+
+// get returns the stable identifier for key, minting one of the given
+// length on first use.
+func (u *uidStore) get(key string, length int) string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if v, ok := u.m[key]; ok {
+		return v
+	}
+	v := u.mint(length)
+	u.m[key] = v
+	return v
+}
+
+const uidAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+func (u *uidStore) mint(length int) string {
+	if length < 8 {
+		length = 8
+	}
+	var b strings.Builder
+	state := u.seed ^ (u.n * 0x9e3779b97f4a7c15)
+	u.n++
+	for b.Len() < length {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		b.WriteByte(uidAlphabet[state%uint64(len(uidAlphabet))])
+	}
+	return b.String()
+}
+
+// Respond is the virtual server: it routes a request to the owning site,
+// service, or long-tail host and produces the response the real crawl would
+// observe. It is safe for concurrent use.
+func (e *Ecosystem) Respond(req Request) Response {
+	host := strings.ToLower(req.Host)
+	if site, ok := e.SiteByHost[host]; ok {
+		return e.respondSite(site, req)
+	}
+	if svc, ok := e.ServiceByHost[host]; ok {
+		return e.respondService(svc, req)
+	}
+	if owner, ok := e.extraFirstParty[host]; ok {
+		return e.respondFirstPartyAsset(owner, req)
+	}
+	if _, ok := e.uniqueHosts[host]; ok {
+		return e.respondTailHost(host, req)
+	}
+	return Refused()
+}
+
+func (e *Ecosystem) respondSite(s *Site, req Request) Response {
+	if s.Unresponsive {
+		return Refused()
+	}
+	if s.BlockedIn[req.Country] {
+		return Refused()
+	}
+	if s.Flaky && req.Phase != PhaseSanitize {
+		return Refused()
+	}
+	switch {
+	case req.Path == "/" || req.Path == "":
+		resp := Response{Status: 200, ContentType: "text/html; charset=utf-8"}
+		fpUID := ""
+		if s.FirstPartyCookies > 0 {
+			fpUID = e.uids.get("site:"+s.Host, 24)
+			if req.Cookies[siteCookieName(s, 0)] == "" {
+				resp.Cookies = append(resp.Cookies, SetCookie{Name: siteCookieName(s, 0), Value: fpUID})
+				for i := 1; i < s.FirstPartyCookies; i++ {
+					resp.Cookies = append(resp.Cookies, SetCookie{
+						Name:    siteCookieName(s, i),
+						Value:   e.uids.get(fmt.Sprintf("site:%s:%d", s.Host, i), 10+i*7),
+						Session: i%3 == 2,
+					})
+				}
+				// A short functional cookie the ID filter must discard.
+				resp.Cookies = append(resp.Cookies, SetCookie{Name: "lg", Value: langOf(s), Session: true})
+			}
+		}
+		ctx := PageContext{
+			Country:       req.Country,
+			Scheme:        schemeString(req.Secure),
+			FirstPartyUID: fpUID,
+			AgeVerified:   req.Cookies["age_ok"] == "1",
+		}
+		resp.Body = e.RenderLanding(s, ctx)
+		return resp
+	case req.Path == "/privacy":
+		if !s.HasPolicy {
+			return Response{Status: 404, ContentType: "text/html", Body: "<html><body><h1>404</h1></body></html>"}
+		}
+		return Response{Status: 200, ContentType: "text/html; charset=utf-8", Body: RenderPolicyPage(s)}
+	case req.Path == "/enter":
+		to := req.Query.Get("to")
+		if to == "" {
+			to = "/"
+		}
+		return Response{Status: 302, Location: to, Cookies: []SetCookie{{Name: "age_ok", Value: "1"}}}
+	case req.Path == "/selfmetrics", strings.HasPrefix(req.Path, "/video/"), strings.HasPrefix(req.Path, "/article/"),
+		req.Path == "/account", req.Path == "/premium", req.Path == "/cookie-settings":
+		return Response{Status: 200, ContentType: "text/html", Body: "<html><body>ok</body></html>"}
+	default:
+		return Response{Status: 404, ContentType: "text/html", Body: "<html><body><h1>404</h1></body></html>"}
+	}
+}
+
+func schemeString(secure bool) string {
+	if secure {
+		return "https"
+	}
+	return "http"
+}
+
+// siteCookieName derives the i-th first-party cookie name of a site.
+func siteCookieName(s *Site, i int) string {
+	if i == 0 {
+		return fmt.Sprintf("fpuid_%x", fnvHash(s.Host)&0xffff)
+	}
+	return fmt.Sprintf("pref%d_%x", i, fnvHash(s.Host)&0xfff)
+}
+
+// serviceUID returns the service's main visitor identifier: the value of
+// its primary cookie, reused when the visitor already carries it.
+func (e *Ecosystem) serviceUID(svc *Service, req Request) string {
+	name := cookieNameFor(svc, 0)
+	if v := req.Cookies[name]; v != "" {
+		return v
+	}
+	return e.uids.get("svc:"+svc.Host, idPortionLen(svc))
+}
+
+func idPortionLen(svc *Service) int {
+	l := svc.CookieLen
+	if l < 12 {
+		l = 12
+	}
+	if l > 48 {
+		l = 48 // the rest of very long cookies is payload padding
+	}
+	return l
+}
+
+// mainCookieValue builds the primary cookie value, honouring the planted
+// encodings: client IP (base64) and geolocation.
+func (e *Ecosystem) mainCookieValue(svc *Service, req Request, uid string) string {
+	switch {
+	case svc.EmbedsClientIP:
+		return base64.StdEncoding.EncodeToString([]byte(req.ClientIP)) + "." + uid
+	case svc.EmbedsGeo:
+		co, ok := geoCoords[req.Country]
+		if !ok {
+			co = geoCoords["ES"]
+		}
+		payload := "lat=" + co[0] + "|lon=" + co[1]
+		if svc.Host == "playwithme.com" {
+			payload += "|isp=Loopback Telecom AS64500"
+		}
+		return url.QueryEscape(payload) + "." + uid
+	default:
+		v := uid
+		// Pad very long cookies (tsyndicate-style 3,600-char payloads).
+		if svc.CookieLen > len(v) {
+			v += "." + strings.Repeat("xA9", (svc.CookieLen-len(v))/3+1)[:svc.CookieLen-len(v)-1]
+		}
+		return v
+	}
+}
+
+// mainCookieFullValue returns the complete value of the service's primary
+// cookie for this visitor: the one already stored in the browser when
+// present, otherwise the value being set on this response.
+func (e *Ecosystem) mainCookieFullValue(svc *Service, req Request, uid string) string {
+	if v := req.Cookies[cookieNameFor(svc, 0)]; v != "" {
+		return v
+	}
+	return e.mainCookieValue(svc, req, uid)
+}
+
+// serviceCookies builds the Set-Cookie headers for a service response.
+// Cookies are set on first contact and refreshed (same values, extended
+// expiry) on pixel and sync hits — the endpoints real trackers refresh on —
+// but not on every script or ad fetch, which would inflate the cookie
+// census beyond anything OpenWPM would record.
+func (e *Ecosystem) serviceCookies(svc *Service, req Request, uid string, refresh bool) []SetCookie {
+	if !svc.SetsIDCookie {
+		return nil
+	}
+	if !refresh && req.Cookies[cookieNameFor(svc, 0)] != "" {
+		return nil
+	}
+	out := []SetCookie{{Name: cookieNameFor(svc, 0), Value: e.mainCookieFullValue(svc, req, uid)}}
+	for i := 1; i < svc.CookiesPerHit; i++ {
+		out = append(out, SetCookie{
+			Name:    cookieNameFor(svc, i),
+			Value:   e.uids.get(fmt.Sprintf("svc:%s:%d", svc.Host, i), 10+5*i),
+			Session: i%2 == 0,
+		})
+	}
+	// High-prevalence services also set a constant-value cookie: these are
+	// the "100 most popular name=value cookies" of Section 5.1.1.
+	if svc.Prevalence[Porn] >= 0.1 || svc.Prevalence[Regular] >= 0.3 {
+		out = append(out, SetCookie{Name: "cons_" + svcShort(svc), Value: "na1"})
+	}
+	return out
+}
+
+func svcShort(svc *Service) string {
+	return fmt.Sprintf("%x", fnvHash(svc.Base)&0xffff)
+}
+
+func (e *Ecosystem) respondService(svc *Service, req Request) Response {
+	if svc.CountryOnly != "" && svc.CountryOnly != req.Country {
+		return Refused()
+	}
+	if svc.BlockedIn[req.Country] {
+		return Refused()
+	}
+	uid := e.serviceUID(svc, req)
+	scheme := schemeString(req.Secure)
+	switch {
+	case strings.HasPrefix(req.Path, "/js/tag"):
+		variant := 0
+		numPart := strings.TrimSuffix(strings.TrimPrefix(req.Path, "/js/tag"), ".js")
+		if n, err := strconv.Atoi(numPart); err == nil {
+			variant = n
+		}
+		return Response{
+			Status:      200,
+			ContentType: "application/javascript",
+			Body:        ServiceScriptFor(svc, variant, uid, scheme, req.Query.Get("site")),
+			Cookies:     e.serviceCookies(svc, req, uid, false),
+		}
+	case req.Path == "/px.gif":
+		cookies := e.serviceCookies(svc, req, uid, true)
+		// Cookie syncing: the pixel redirects to a partner, embedding this
+		// service's full cookie value in the partner URL (Section 5.1.2) —
+		// partners need the complete identifier to match audiences. Only a
+		// slice of impressions triggers a sync (real exchanges match
+		// audiences selectively; syncing every impression would make the
+		// partners look omnipresent in Figure 3).
+		siteKey := req.Host + req.Query.Get("site")
+		wantsSync := req.Query.Get("site") == "" || fnvHash(siteKey+"sync")%3 == 0
+		if req.Query.Get("nosync") == "" && svc.SetsIDCookie && wantsSync {
+			if p := e.pickPartner(svc, int(fnvHash(siteKey))); p != nil {
+				loc := fmt.Sprintf("%s://%s/sync?src=%s&puid=%s&d=1", schemeFor(p, scheme), p.Host,
+					url.QueryEscape(svc.Base), url.QueryEscape(e.mainCookieFullValue(svc, req, uid)))
+				return Response{Status: 302, Location: loc, Cookies: cookies}
+			}
+		}
+		return Response{Status: 200, ContentType: "image/gif", Body: gif1x1, Cookies: cookies}
+	case req.Path == "/sync":
+		cookies := e.serviceCookies(svc, req, uid, true)
+		depth, _ := strconv.Atoi(req.Query.Get("d"))
+		if depth < 2 && svc.SetsIDCookie {
+			if p := e.pickPartner(svc, depth); p != nil && p.Host != req.Host {
+				loc := fmt.Sprintf("%s://%s/sync?src=%s&puid=%s&d=%d", schemeFor(p, scheme), p.Host,
+					url.QueryEscape(svc.Base), url.QueryEscape(e.mainCookieFullValue(svc, req, uid)), depth+1)
+				return Response{Status: 302, Location: loc, Cookies: cookies}
+			}
+		}
+		return Response{Status: 200, ContentType: "image/gif", Body: gif1x1, Cookies: cookies}
+	case req.Path == "/ad":
+		cookies := e.serviceCookies(svc, req, uid, false)
+		var b strings.Builder
+		b.WriteString("<html><body>")
+		fmt.Fprintf(&b, "<img src=\"%s://%s/px.gif?site=%s\" width=\"1\" height=\"1\">", scheme, svc.Host, req.Query.Get("site"))
+		// Inclusion chains: ad markup pulled from one network can embed a
+		// further network (Bashir et al.'s RTB chains, Section 3.1).
+		deepChain := fnvHash(req.Host+req.Query.Get("site")+"rtb")%6 == 0
+		if len(svc.SyncPartners) > 0 && req.Query.Get("hop") == "" && deepChain {
+			partner := svc.SyncPartners[0]
+			if p, ok := e.ServiceByHost[partner]; ok && (p.Category == CatAdNetwork || p.Category == CatTrafficTrade) {
+				fmt.Fprintf(&b, "<iframe src=\"%s://%s/ad?site=%s&hop=1\"></iframe>", schemeFor(p, scheme), p.Host, req.Query.Get("site"))
+			}
+		}
+		b.WriteString("<div class=\"creative\">Sponsored</div></body></html>")
+		return Response{Status: 200, ContentType: "text/html", Body: b.String(), Cookies: cookies}
+	case req.Path == "/collect", strings.HasPrefix(req.Path, "/lib/"):
+		return Response{Status: 204, Cookies: e.serviceCookies(svc, req, uid, false)}
+	case strings.HasPrefix(req.Path, "/css/"):
+		return Response{Status: 200, ContentType: "text/css", Body: ".w{display:block}"}
+	case strings.HasPrefix(req.Path, "/static/"):
+		return Response{Status: 200, ContentType: "image/png", Body: "\x89PNG\r\n\x1a\n"}
+	default:
+		return Response{Status: 404, Body: "not found"}
+	}
+}
+
+// pickPartner selects the sync partner for svc starting at the hashed
+// index, skipping any partner host that does not resolve in this ecosystem
+// (a tail service's partner list can reference pruned hosts at small
+// scales).
+func (e *Ecosystem) pickPartner(svc *Service, start int) *Service {
+	n := len(svc.SyncPartners)
+	if n == 0 {
+		return nil
+	}
+	if start < 0 {
+		start = -start
+	}
+	for i := 0; i < n; i++ {
+		host := svc.SyncPartners[(start+i)%n]
+		if p, ok := e.ServiceByHost[host]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+func (e *Ecosystem) respondFirstPartyAsset(owner *Site, req Request) Response {
+	if owner.Unresponsive || owner.BlockedIn[req.Country] {
+		return Refused()
+	}
+	switch {
+	case strings.HasSuffix(req.Path, ".css"):
+		return Response{Status: 200, ContentType: "text/css", Body: "body{margin:0}"}
+	case strings.HasSuffix(req.Path, ".png"), strings.HasSuffix(req.Path, ".gif"):
+		return Response{Status: 200, ContentType: "image/png", Body: "\x89PNG\r\n\x1a\n"}
+	default:
+		return Response{Status: 200, ContentType: "text/plain", Body: "ok"}
+	}
+}
+
+// respondTailHost serves the site-specific long-tail hosts: generic pixels
+// and libraries, a share of which set their own cookies.
+func (e *Ecosystem) respondTailHost(host string, req Request) Response {
+	var cookies []SetCookie
+	if fnvHash(host)%20 == 0 && req.Cookies["tuid"] == "" {
+		cookies = []SetCookie{{Name: "tuid", Value: e.uids.get("tail:"+host, 16)}}
+	}
+	switch {
+	case strings.HasPrefix(req.Path, "/js/"):
+		return Response{Status: 200, ContentType: "application/javascript",
+			Body: "var loaded = 1;\n", Cookies: cookies}
+	default:
+		return Response{Status: 200, ContentType: "image/gif", Body: gif1x1, Cookies: cookies}
+	}
+}
+
+// HTTPSCapable reports whether a host can serve TLS (drives the SNI
+// certificate issuance in internal/webserver and the crawler's downgrade
+// logic).
+func (e *Ecosystem) HTTPSCapable(host string) bool {
+	host = strings.ToLower(host)
+	if s, ok := e.SiteByHost[host]; ok {
+		return s.HTTPS
+	}
+	if svc, ok := e.ServiceByHost[host]; ok {
+		return svc.HTTPS
+	}
+	if owner, ok := e.extraFirstParty[host]; ok {
+		return owner.HTTPS
+	}
+	if _, ok := e.uniqueHosts[host]; ok {
+		return fnvHash(host)%10 != 0 // most asset hosts ride TLS-terminating CDNs
+	}
+	return false
+}
+
+// hostingOrgs are the infrastructure providers behind the long-tail asset
+// hosts; their certificates are what lets the attribution pipeline resolve
+// most observed FQDNs to an organization (the paper reached 74%).
+var hostingOrgs = []string{
+	"EdgePoint Internet GmbH", "NorthCDN Oy", "Bluewave Hosting LLC",
+	"StaticWorks B.V.", "RapidServe Pte Ltd", "CacheField Inc.",
+	"Stonepeak Networks", "Vortex Delivery SL", "LumenEdge Corp",
+	"TransitOne AG", "HostForge s.r.o.", "Skylattice Ltd",
+	"PacketGarden LLC", "OriginShield SA", "DeltaNode Hosting",
+	"FiberMill Oy", "GreyStack Internet", "HarborCache Ltd",
+	"IronLeaf Networks", "JetCrest Hosting", "KiteRelay GmbH",
+	"LoopSpire Inc.", "MistValley Internet", "NovaPier Hosting",
+	"OakRoute Networks",
+}
+
+// CertOrgFor returns the organization string carried in the host's X.509
+// certificate, or "" when the certificate would name only the domain
+// itself.
+func (e *Ecosystem) CertOrgFor(host string) string {
+	host = strings.ToLower(host)
+	if s, ok := e.SiteByHost[host]; ok {
+		if s.Owner != nil {
+			return s.Owner.CertOrg
+		}
+		return ""
+	}
+	if svc, ok := e.ServiceByHost[host]; ok {
+		if svc.Org != nil {
+			return svc.Org.CertOrg
+		}
+		return ""
+	}
+	if owner, ok := e.extraFirstParty[host]; ok {
+		if owner.Owner != nil {
+			return owner.Owner.CertOrg
+		}
+		// Extra first-party hosts of unknown-owner sites still share a
+		// certificate with their site (same operator).
+		return "op-" + owner.Host
+	}
+	if _, ok := e.uniqueHosts[host]; ok {
+		// Long-tail asset hosts sit on commercial hosting/CDN
+		// infrastructure whose certificates name the provider.
+		return hostingOrgs[int(fnvHash(host+"org"))%len(hostingOrgs)]
+	}
+	return ""
+}

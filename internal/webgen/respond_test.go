@@ -1,0 +1,269 @@
+package webgen
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func ecoT(t *testing.T) *Ecosystem {
+	t.Helper()
+	return Generate(Params{Seed: 7, Scale: 0.02})
+}
+
+func TestAdIframeChain(t *testing.T) {
+	e := ecoT(t)
+	r := e.Respond(Request{Host: "exosrv.com", Path: "/ad",
+		Query: url.Values{"site": {"x.com"}, "slot": {"a0"}}, Country: "ES",
+		ClientIP: "127.0.0.1", Cookies: map[string]string{}, Phase: PhaseCrawl})
+	if r.Status != 200 || !strings.Contains(r.Body, "px.gif") {
+		t.Fatalf("ad response = %d, body %q", r.Status, r.Body)
+	}
+	// The ad embeds a nested iframe to a partner ad network (inclusion
+	// chain), marked with hop=1 so the chain terminates.
+	if !strings.Contains(r.Body, "/ad?site=x.com&hop=1") {
+		t.Errorf("no nested ad iframe in %q", r.Body)
+	}
+	r2 := e.Respond(Request{Host: "exosrv.com", Path: "/ad",
+		Query: url.Values{"site": {"x.com"}, "hop": {"1"}}, Country: "ES",
+		ClientIP: "127.0.0.1", Cookies: map[string]string{}, Phase: PhaseCrawl})
+	if strings.Contains(r2.Body, "hop=1\"></iframe>") && strings.Count(r2.Body, "<iframe") > 0 {
+		t.Error("hop=1 ad must not nest further")
+	}
+}
+
+func TestCollectEndpoint(t *testing.T) {
+	e := ecoT(t)
+	r := e.Respond(Request{Host: "google-analytics.com", Path: "/collect",
+		Query: url.Values{"uid": {"x"}}, Country: "ES", ClientIP: "127.0.0.1",
+		Cookies: map[string]string{}, Phase: PhaseCrawl})
+	if r.Status != 204 {
+		t.Errorf("collect status = %d, want 204", r.Status)
+	}
+	if len(r.Cookies) == 0 {
+		t.Error("collect should set the analytics cookie")
+	}
+}
+
+func TestServiceCookieRefreshKeepsValue(t *testing.T) {
+	e := ecoT(t)
+	first := e.Respond(Request{Host: "google-analytics.com", Path: "/px.gif",
+		Query: url.Values{"nosync": {"1"}}, Country: "ES", ClientIP: "127.0.0.1",
+		Cookies: map[string]string{}, Phase: PhaseCrawl})
+	var name, value string
+	for _, c := range first.Cookies {
+		if strings.HasPrefix(c.Name, "uid_") {
+			name, value = c.Name, c.Value
+		}
+	}
+	if name == "" {
+		t.Fatal("no uid cookie")
+	}
+	second := e.Respond(Request{Host: "google-analytics.com", Path: "/px.gif",
+		Query: url.Values{"nosync": {"1"}}, Country: "ES", ClientIP: "127.0.0.1",
+		Cookies: map[string]string{name: value}, Phase: PhaseCrawl})
+	refreshed := false
+	for _, c := range second.Cookies {
+		if c.Name == name {
+			refreshed = true
+			if c.Value != value {
+				t.Errorf("refresh changed value: %q -> %q", value, c.Value)
+			}
+		}
+	}
+	if !refreshed {
+		t.Error("tracker must refresh its cookie on every hit")
+	}
+}
+
+func TestSyncChainDepthBounded(t *testing.T) {
+	e := ecoT(t)
+	// Follow the sync chain manually; it must terminate within 3 hops.
+	// A site-less pixel always syncs (the per-site gating needs a site).
+	req := Request{Host: "exosrv.com", Path: "/px.gif",
+		Query: url.Values{}, Country: "ES",
+		ClientIP: "127.0.0.1", Cookies: map[string]string{}, Phase: PhaseCrawl}
+	hops := 0
+	for {
+		r := e.Respond(req)
+		if r.Status != 302 {
+			break
+		}
+		hops++
+		if hops > 5 {
+			t.Fatal("sync chain did not terminate")
+		}
+		u, err := url.Parse(r.Location)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req = Request{Host: u.Hostname(), Path: u.Path, Query: u.Query(),
+			Country: "ES", ClientIP: "127.0.0.1", Cookies: map[string]string{}, Phase: PhaseCrawl}
+	}
+	if hops == 0 {
+		t.Error("no sync hop at all")
+	}
+}
+
+func TestFirstPartyAssets(t *testing.T) {
+	e := ecoT(t)
+	var host string
+	var owner *Site
+	for h, s := range e.extraFirstParty {
+		if !s.Unresponsive && !s.Flaky {
+			host, owner = h, s
+			break
+		}
+	}
+	if host == "" {
+		t.Skip("no extra first-party host")
+	}
+	r := e.Respond(Request{Host: host, Path: "/assets/site.css", Country: "ES", Phase: PhaseCrawl})
+	if r.Status != 200 || !strings.Contains(r.ContentType, "css") {
+		t.Errorf("css asset = %d %q", r.Status, r.ContentType)
+	}
+	r = e.Respond(Request{Host: host, Path: "/assets/logo.png", Country: "ES", Phase: PhaseCrawl})
+	if r.Status != 200 || !strings.Contains(r.ContentType, "png") {
+		t.Errorf("png asset = %d %q", r.Status, r.ContentType)
+	}
+	_ = owner
+}
+
+func TestTailHostResponses(t *testing.T) {
+	e := ecoT(t)
+	var tail string
+	for h := range e.uniqueHosts {
+		tail = h
+		break
+	}
+	if tail == "" {
+		t.Skip("no tail host")
+	}
+	r := e.Respond(Request{Host: tail, Path: "/js/lib.js", Country: "ES", Cookies: map[string]string{}, Phase: PhaseCrawl})
+	if r.Status != 200 || !strings.Contains(r.ContentType, "javascript") {
+		t.Errorf("tail js = %d %q", r.Status, r.ContentType)
+	}
+	r = e.Respond(Request{Host: tail, Path: "/px.gif", Country: "ES", Cookies: map[string]string{}, Phase: PhaseCrawl})
+	if r.Status != 200 || !strings.Contains(r.ContentType, "gif") {
+		t.Errorf("tail pixel = %d %q", r.Status, r.ContentType)
+	}
+}
+
+func TestSiteUnknownPath404(t *testing.T) {
+	e := ecoT(t)
+	var site *Site
+	for _, s := range e.PornSites {
+		if !s.Flaky && !s.Unresponsive {
+			site = s
+			break
+		}
+	}
+	r := e.Respond(Request{Host: site.Host, Path: "/no-such-page", Country: "ES", Phase: PhaseCrawl})
+	if r.Status != 404 {
+		t.Errorf("unknown path = %d, want 404", r.Status)
+	}
+}
+
+func TestUIDStoreStability(t *testing.T) {
+	u := newUIDStore(42)
+	a := u.get("k", 16)
+	b := u.get("k", 16)
+	if a != b {
+		t.Error("uid not stable per key")
+	}
+	if len(a) != 16 {
+		t.Errorf("uid length = %d", len(a))
+	}
+	if u.get("other", 16) == a {
+		t.Error("distinct keys share a uid")
+	}
+	if len(u.get("short", 2)) < 8 {
+		t.Error("minimum uid length not enforced")
+	}
+}
+
+func TestMainCookieValuePadding(t *testing.T) {
+	e := ecoT(t)
+	svc := e.ServiceByHost["adsrv.tsyndicate.com"]
+	if svc == nil {
+		t.Fatal("tsyndicate missing")
+	}
+	uid := e.uids.get("svc:"+svc.Host, idPortionLen(svc))
+	v := e.mainCookieValue(svc, Request{Country: "ES", ClientIP: "127.0.0.1"}, uid)
+	if len(v) < 3000 {
+		t.Errorf("tsyndicate cookie length = %d, want ~3600 (the paper's giant cookies)", len(v))
+	}
+	if !strings.HasPrefix(v, uid) {
+		t.Error("padded value must start with the identifier")
+	}
+}
+
+func TestGateForCountryOverride(t *testing.T) {
+	s := &Site{AgeGate: GateSimple, AgeGateByCountry: map[string]AgeGateKind{"RU": GateNone}}
+	if s.GateFor("ES") != GateSimple || s.GateFor("RU") != GateNone {
+		t.Error("country override broken")
+	}
+}
+
+func TestBannerForCountry(t *testing.T) {
+	s := &Site{BannerEU: BannerConfirmation, BannerUS: BannerNone}
+	if s.BannerFor("ES") != BannerConfirmation || s.BannerFor("UK") != BannerConfirmation {
+		t.Error("EU countries must see the EU banner")
+	}
+	if s.BannerFor("US") != BannerNone || s.BannerFor("SG") != BannerNone {
+		t.Error("non-EU countries must see the US variant")
+	}
+}
+
+func TestCountryAssetsRenderPerCountry(t *testing.T) {
+	e := Generate(Params{Seed: 11, Scale: 0.08})
+	var site *Site
+	for _, s := range e.PornSites {
+		if len(s.CountryAssets) > 0 && !s.Flaky && !s.Unresponsive {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Skip("no country-asset site at this scale")
+	}
+	for _, c := range Countries {
+		html := e.RenderLanding(site, PageContext{Country: c, Scheme: "http"})
+		want := site.CountryAssets[c]
+		if !strings.Contains(html, want) {
+			t.Errorf("country %s: asset host %s not rendered", c, want)
+		}
+		for other, h := range site.CountryAssets {
+			if other != c && strings.Contains(html, h) {
+				t.Errorf("country %s: foreign asset host %s leaked into page", c, h)
+			}
+		}
+	}
+	// The asset hosts resolve and serve.
+	h := site.CountryAssets["ES"]
+	r := e.Respond(Request{Host: h, Path: "/media/teaser.jpg", Country: "ES", Cookies: map[string]string{}, Phase: PhaseCrawl})
+	if r.Status != 200 {
+		t.Errorf("asset host status = %d", r.Status)
+	}
+	// And they carry a hosting-provider certificate identity.
+	if org := e.CertOrgFor(h); org == "" {
+		t.Error("asset host has no hosting org")
+	}
+}
+
+func TestUniqueHostsHaveHostingOrgs(t *testing.T) {
+	e := ecoT(t)
+	n, withOrg := 0, 0
+	for h := range e.uniqueHosts {
+		n++
+		if e.CertOrgFor(h) != "" {
+			withOrg++
+		}
+	}
+	if n == 0 {
+		t.Skip("no unique hosts")
+	}
+	if withOrg != n {
+		t.Errorf("unique hosts with hosting org: %d/%d, want all", withOrg, n)
+	}
+}

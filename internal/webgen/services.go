@@ -1,0 +1,483 @@
+package webgen
+
+import (
+	"math/rand"
+
+	"pornweb/internal/domain"
+)
+
+// buildCompanies creates the named organizations echoed from the paper plus
+// generated holding companies for porn-site clusters.
+func buildCompanies() map[string]*Company {
+	names := []struct{ name, cert string }{
+		{"Alphabet", "Google LLC"},
+		{"ExoClick", "ExoClick S.L."},
+		{"Cloudflare", "Cloudflare, Inc."},
+		{"Oracle", "Oracle Corporation"},
+		{"Yandex", "Yandex LLC"},
+		{"JuicyAds", "JuicyAds Inc."},
+		{"EroAdvertising", "EroAdvertising BV"},
+		{"Facebook", "Facebook, Inc."},
+		{"Amazon", "Amazon.com, Inc."},
+		{"TowerData", "TowerData Inc."}, // Acxiom subsidiary in the paper
+		{"HProfits", "hprofits.com"},    // cert carries only the domain
+		{"Chaturbate", "Chaturbate LLC"},
+		{"ThreatMetrix", "ThreatMetrix Inc."},
+		{"TrafficHunt", "TrafficHunt Ltd."},
+		{"DoublePimp", "DoublePimp LLC"},
+		{"AdsCore", ""},
+		{"TrafficStars", "Traffic Stars Ltd."},
+		{"Coinhive", ""},
+		{"JSEcoin", ""},
+		{"AdNium", "AdNium Media"},
+		{"BetweenDigital", "Between Digital LLC"},
+		// Porn publishers (Table 1).
+		{"MindGeek", "MindGeek S.à r.l."},
+		{"Gamma Entertainment", "Gamma Entertainment Inc."},
+		{"PaperStreet Media", "PaperStreet Media LLC"},
+		{"Techpump", "Techpump Solutions S.L."},
+		{"PMG Entertainment", "PMG Entertainment"},
+		{"SexMex", ""},
+		{"Docler Holding", "Docler Holding S.à r.l."},
+		{"Mature.nl", "Mature BV"},
+		{"Liberty Media", "Liberty Media Holdings"},
+		{"WGCZ", "WGCZ Holding"},
+		{"AFS Media", "AFS Media LTD"},
+		{"AEBN", "AEBN Inc."},
+		{"Zero Tolerance", ""},
+		{"Eurocreme", "Eurocreme Group"},
+		{"JM Productions", ""},
+	}
+	out := make(map[string]*Company, len(names))
+	for _, n := range names {
+		out[n.name] = &Company{Name: n.name, CertOrg: n.cert}
+	}
+	return out
+}
+
+// svcSpec is the declarative form of a named service.
+type svcSpec struct {
+	host, org   string
+	cat         ServiceCategory
+	adult       bool
+	regularOnly bool
+	country     string
+	listed      bool // in EasyList/EasyPrivacy
+	https       bool
+	idCookie    bool
+	cookies     int
+	cookieLen   int
+	embedsIP    bool
+	embedsGeo   bool
+	canvas      bool
+	font        bool
+	webrtc      bool
+	variants    int
+	sync        []string
+	malicious   bool
+	miner       bool
+	prevPorn    float64
+	prevReg     float64
+	tailBias    float64
+}
+
+// namedServices are the paper-echoed services with prevalences calibrated
+// to Sections 4.2 and 5 (Figure 3, Tables 4 and 5).
+var namedServices = []svcSpec{
+	// Alphabet: present on 74% of porn sites overall; GA on 39%,
+	// DoubleClick on 12% of porn vs 60% of regular sites.
+	{host: "google-analytics.com", org: "Alphabet", cat: CatAnalytics, listed: true, https: true,
+		idCookie: true, cookies: 2, cookieLen: 26, prevPorn: 0.39, prevReg: 0.70},
+	{host: "doubleclick.net", org: "Alphabet", cat: CatAdNetwork, listed: true, https: true,
+		idCookie: true, cookies: 2, cookieLen: 30, prevPorn: 0.12, prevReg: 0.60,
+		sync: []string{"pix.audiencedata.net"}},
+	{host: "gstatic.com", org: "Alphabet", cat: CatCDN, listed: false, https: true,
+		prevPorn: 0.48, prevReg: 0.78},
+	{host: "googlesyndication.com", org: "Alphabet", cat: CatAdNetwork, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 22, prevPorn: 0.07, prevReg: 0.35},
+	// ExoClick: the flagship porn-specialized ad network. Its two domains
+	// together reach 43% of porn sites; most of its cookies embed the
+	// client IP (Table 4: 85% for exosrv, 29% for exoclick).
+	{host: "exosrv.com", org: "ExoClick", cat: CatAdNetwork, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 2, cookieLen: 42, embedsIP: true, prevPorn: 0.23, prevReg: 0.0007,
+		sync: []string{"main.juicyads.com", "adsrv.tsyndicate.com", "creative.adnium.com", "pix.audiencedata.net"}},
+	{host: "exoclick.com", org: "ExoClick", cat: CatAdNetwork, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 38, embedsIP: true, prevPorn: 0.17, prevReg: 0.0004,
+		sync: []string{"exosrv.com", "main.juicyads.com"}},
+	{host: "cloudflare.com", org: "Cloudflare", cat: CatCDN, listed: true, https: true,
+		canvas: true, variants: 2, prevPorn: 0.35, prevReg: 0.30},
+	{host: "addthis.com", org: "Oracle", cat: CatSocial, listed: true, https: true,
+		idCookie: true, cookies: 2, cookieLen: 28, prevPorn: 0.17, prevReg: 0.15,
+		sync: []string{"bluekai.com"}},
+	{host: "bluekai.com", org: "Oracle", cat: CatDataBroker, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 32, prevPorn: 0.015, prevReg: 0.08},
+	{host: "pix.audiencedata.net", org: "", cat: CatDataBroker, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 36, prevPorn: 0.01, prevReg: 0.06},
+	{host: "yandex.ru", org: "Yandex", cat: CatAnalytics, listed: true, https: true,
+		idCookie: true, cookies: 2, cookieLen: 25, prevPorn: 0.04, prevReg: 0.05},
+	{host: "main.juicyads.com", org: "JuicyAds", cat: CatAdNetwork, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 3, cookieLen: 1200, prevPorn: 0.042, prevReg: 0.0005,
+		sync: []string{"exosrv.com", "adsrv.tsyndicate.com"}},
+	{host: "ero-advertising.com", org: "EroAdvertising", cat: CatAdNetwork, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 30, canvas: true, variants: 6, prevPorn: 0.0052},
+	{host: "facebook.com", org: "Facebook", cat: CatSocial, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 26, prevPorn: 0.02, prevReg: 0.55},
+	{host: "alexa.com", org: "Amazon", cat: CatAnalytics, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 20, prevPorn: 0.03, prevReg: 0.05},
+	{host: "cloudfront.net", org: "Amazon", cat: CatCDN, listed: true, https: true,
+		canvas: true, variants: 3, prevPorn: 0.0049, prevReg: 0.25},
+	// rlcdn.com (RalpLeaf / TowerData / Acxiom): a data broker reaching a
+	// handful of porn sites (Section 4.2.3).
+	{host: "rlcdn.com", org: "TowerData", cat: CatDataBroker, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 34, prevPorn: 0.00063, prevReg: 0.10},
+	{host: "doublepimp.com", org: "DoublePimp", cat: CatAdNetwork, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 28, prevPorn: 0.05,
+		sync: []string{"exosrv.com"}},
+	{host: "doublepimpssl.com", org: "DoublePimp", cat: CatAdNetwork, adult: true, listed: false, https: true,
+		idCookie: true, cookies: 1, cookieLen: 28, prevPorn: 0.012},
+	// adsco.re: loads on 152 porn sites, delivers a WebRTC script but no
+	// canvas fingerprinting, and is not EasyList-indexed (Table 5).
+	{host: "adsco.re", org: "AdsCore", cat: CatAnalytics, adult: true, listed: false, https: true,
+		idCookie: true, cookies: 1, cookieLen: 30, webrtc: true, variants: 1, prevPorn: 0.024},
+	{host: "adsrv.tsyndicate.com", org: "TrafficStars", cat: CatAdNetwork, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 2, cookieLen: 3600, prevPorn: 0.06,
+		sync: []string{"exosrv.com", "creative.adnium.com"}},
+	{host: "creative.adnium.com", org: "AdNium", cat: CatAdNetwork, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 26, canvas: true, variants: 8, prevPorn: 0.0041},
+	{host: "highwebmedia.com", org: "Chaturbate", cat: CatAnalytics, adult: true, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 24, canvas: true, variants: 1, prevPorn: 0.0035},
+	{host: "xcvgdf.party", org: "", cat: CatAdNetwork, adult: true, listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 22, canvas: true, variants: 4, prevPorn: 0.0028},
+	{host: "provers.pro", org: "", cat: CatAnalytics, adult: true, listed: true, https: false,
+		idCookie: true, cookies: 1, cookieLen: 20, canvas: true, variants: 1, prevPorn: 0.0024},
+	{host: "montwam.top", org: "", cat: CatAdNetwork, adult: true, listed: true, https: false,
+		idCookie: true, cookies: 1, cookieLen: 20, canvas: true, variants: 5, prevPorn: 0.002},
+	{host: "dditscdn.com", org: "", cat: CatCDN, adult: true, listed: true, https: true,
+		canvas: true, variants: 1, prevPorn: 0.0016},
+	// online-metrix.net: the single font-fingerprinting script in the
+	// study, also uses WebRTC, present in the regular web and EasyList.
+	{host: "online-metrix.net", org: "ThreatMetrix", cat: CatAnalytics, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 40, font: true, webrtc: true, variants: 1,
+		prevPorn: 0.0022, prevReg: 0.03},
+	{host: "traffichunt.com", org: "TrafficHunt", cat: CatAdNetwork, listed: true, https: true,
+		idCookie: true, cookies: 1, cookieLen: 24, webrtc: true, variants: 2,
+		prevPorn: 0.004, prevReg: 0.002},
+	// The hprofits ad-exchange trio: two opaque domains synchronizing with
+	// the mothership; their certificates all name hprofits.com (§5.1.2).
+	{host: "hd100546b.com", org: "HProfits", cat: CatAdNetwork, adult: true, listed: false, https: true,
+		idCookie: true, cookies: 1, cookieLen: 30, prevPorn: 0.012, sync: []string{"hprofits.com"}},
+	{host: "bd202457b.com", org: "HProfits", cat: CatAdNetwork, adult: true, listed: false, https: true,
+		idCookie: true, cookies: 1, cookieLen: 30, prevPorn: 0.009, sync: []string{"hprofits.com"}},
+	{host: "hprofits.com", org: "HProfits", cat: CatAdNetwork, adult: true, listed: false, https: true,
+		idCookie: true, cookies: 1, cookieLen: 28, prevPorn: 0.006},
+	// Cryptominers (Section 5.3): present on ~8 porn sites combined.
+	{host: "coinhive.com", org: "Coinhive", cat: CatCryptoMiner, listed: true, https: true,
+		miner: true, malicious: true, prevPorn: 0.0007, prevReg: 0.0001},
+	{host: "jsecoin.com", org: "JSEcoin", cat: CatCryptoMiner, listed: true, https: true,
+		miner: true, malicious: true, prevPorn: 0.0003},
+	{host: "bitcoin-pay.eu", org: "", cat: CatCryptoMiner, listed: false, https: false,
+		miner: true, malicious: true, prevPorn: 0.0002},
+	// Malicious traffic trade (Dr.Web-flagged in the paper).
+	{host: "itraffictrade.com", org: "", cat: CatTrafficTrade, adult: true, listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 18, malicious: true, prevPorn: 0.003, tailBias: 1.2},
+	// Russian regional ATSes, observed only from Russia (Section 6.1).
+	{host: "betweendigital.ru", org: "BetweenDigital", cat: CatAdNetwork, country: "RU", listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 24, prevPorn: 0.004, tailBias: 1.5},
+	{host: "datamind.ru", org: "", cat: CatAnalytics, country: "RU", listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 20, prevPorn: 0.003, tailBias: 1.5},
+	{host: "adlabs.ru", org: "", cat: CatAdNetwork, country: "RU", listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 20, prevPorn: 0.003, tailBias: 1.5},
+	{host: "adx.com.ru", org: "", cat: CatAdNetwork, country: "RU", listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 22, prevPorn: 0.003, tailBias: 1.5},
+	// Unpopular-site-only analytics with no privacy policy of their own
+	// (Section 4.2.2).
+	{host: "adultforce.com", org: "", cat: CatAnalytics, adult: true, listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 20, prevPorn: 0.006, tailBias: 2.0},
+	{host: "zingyads.com", org: "", cat: CatAdNetwork, adult: true, listed: false, https: false,
+		idCookie: true, cookies: 1, cookieLen: 20, prevPorn: 0.005, tailBias: 2.0},
+	// Dating/cam services storing geolocation in cookies (Section 5.1.1):
+	// fling.com stores coordinates; playwithme.com adds the ISP.
+	{host: "fling.com", org: "", cat: CatDating, adult: true, listed: false, https: true,
+		idCookie: true, cookies: 2, cookieLen: 48, embedsGeo: true, prevPorn: 0.0016},
+	{host: "playwithme.com", org: "", cat: CatDating, adult: true, listed: false, https: true,
+		idCookie: true, cookies: 2, cookieLen: 64, embedsGeo: true, prevPorn: 0.0008},
+}
+
+func (s svcSpec) build(companies map[string]*Company) *Service {
+	var org *Company
+	if s.org != "" {
+		org = companies[s.org]
+	}
+	cookies := s.cookies
+	if s.idCookie && cookies == 0 {
+		cookies = 1
+	}
+	variants := s.variants
+	if variants == 0 {
+		variants = 1
+	}
+	return &Service{
+		Host: s.host, Base: domain.Base(s.host), Org: org, Category: s.cat,
+		AdultOnly: s.adult, RegularOnly: s.regularOnly, CountryOnly: s.country,
+		InBlocklist: s.listed, HTTPS: s.https,
+		SetsIDCookie: s.idCookie, CookiesPerHit: cookies, CookieLen: s.cookieLen,
+		EmbedsClientIP: s.embedsIP, EmbedsGeo: s.embedsGeo,
+		CanvasFP: s.canvas, FontFP: s.font, WebRTC: s.webrtc, ScriptVariants: variants,
+		SyncPartners: s.sync, Malicious: s.malicious, CryptoMiner: s.miner,
+		Prevalence: [2]float64{s.prevPorn, s.prevReg}, TailBias: s.tailBias,
+	}
+}
+
+// tailServiceCounts holds the scaled sizes of the generated long-tail
+// service pools.
+type tailServiceCounts struct {
+	pornATS      int // porn-specialized tail ATSes (mostly unindexed)
+	sharedATS    int // ATSes operating in both worlds (the 86 intersection)
+	regularATS   int // regular-web-only ATSes (EasyList-indexed)
+	pornOther    int // shared porn non-ATS third parties (CDNs, hosting)
+	regularOther int // shared regular non-ATS third parties
+	regionalATS  int // country-exclusive tail ATSes across the 6 countries
+}
+
+func (p Params) tailCounts() tailServiceCounts {
+	return tailServiceCounts{
+		pornATS:      p.scaled(540, 12),
+		sharedATS:    p.scaled(60, 4),
+		regularATS:   p.scaled(110, 5),
+		pornOther:    p.scaled(700, 10),
+		regularOther: p.scaled(2100, 15),
+		regionalATS:  p.scaled(140, 6),
+	}
+}
+
+// buildServices constructs the full service population.
+func buildServices(p Params, rng *rand.Rand, names *nameGen, companies map[string]*Company) []*Service {
+	var services []*Service
+	for _, spec := range namedServices {
+		svc := spec.build(companies)
+		names.claim(svc.Host)
+		services = append(services, svc)
+	}
+	counts := p.tailCounts()
+
+	// Sync destination pools: adult trackers sync into the adult exchange
+	// ecosystem; regular-web trackers only into general-purpose ones.
+	// Cross-world syncing is what the paper found conspicuously absent —
+	// ExoClick appeared on just 6 regular sites.
+	var adultDests, generalDests []string
+	for _, svc := range services {
+		if !svc.SetsIDCookie || !svc.Category.IsATS() {
+			continue
+		}
+		if svc.AdultOnly {
+			adultDests = append(adultDests, svc.Host)
+		} else {
+			generalDests = append(generalDests, svc.Host)
+		}
+	}
+
+	newTail := func(adult, regular bool, listedProb float64, country string) *Service {
+		obfuscated := adult && rng.Float64() < 0.45
+		host := names.trackerHost(obfuscated)
+		cat := CatAdNetwork
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			cat = CatAnalytics
+		case r < 0.42:
+			cat = CatDataBroker
+		case r < 0.47:
+			cat = CatTrafficTrade
+		}
+		var org *Company
+		if rng.Float64() < 0.68 {
+			// Most tail trackers have a resolvable organization — but only
+			// through their certificates, not through the Disconnect seed
+			// list (the paper attributed 74% of FQDNs once certificates
+			// were added).
+			c := &Company{Name: names.companyName()}
+			if rng.Float64() < 0.85 {
+				c.CertOrg = c.Name
+			}
+			companies[c.Name] = c
+			org = c
+		}
+		prevalence := 0.0001 + 0.0008*rng.Float64()*rng.Float64() // a handful of sites each
+		svc := &Service{
+			Host: host, Base: domain.Base(host), Org: org, Category: cat,
+			AdultOnly: adult && !regular, RegularOnly: regular && !adult,
+			CountryOnly:  country,
+			InBlocklist:  rng.Float64() < listedProb,
+			HTTPS:        rng.Float64() < 0.62,
+			SetsIDCookie: rng.Float64() < 0.75, CookiesPerHit: 1 + rng.Intn(3),
+			CookieLen:      12 + rng.Intn(60),
+			EmbedsClientIP: rng.Float64() < 0.015,
+			ScriptVariants: 1 + rng.Intn(3),
+			TailBias:       0.4 + rng.Float64()*1.2,
+		}
+		if rng.Float64() < 0.025 {
+			svc.Malicious = true
+		}
+		if adult {
+			svc.Prevalence[Porn] = prevalence
+		}
+		if regular {
+			svc.Prevalence[Regular] = prevalence
+		}
+		// Cookie syncing: a share of the tail syncs to known destinations,
+		// adult tails into the adult exchanges, everyone may use the
+		// general-purpose ones.
+		if rng.Float64() < 0.55 {
+			pool := generalDests
+			if adult && !regular {
+				pool = append(append([]string{}, adultDests...), generalDests...)
+			}
+			if len(pool) > 0 {
+				n := 1 + rng.Intn(7)
+				seen := map[string]bool{}
+				for i := 0; i < n; i++ {
+					d := pool[rng.Intn(len(pool))]
+					if d != svc.Host && !seen[d] {
+						seen[d] = true
+						svc.SyncPartners = append(svc.SyncPartners, d)
+					}
+				}
+			}
+		}
+		return svc
+	}
+
+	// Porn-specialized ATS tail: the parallel ecosystem. The blocklists
+	// index most adult ad networks (which is why 12% of porn third-party
+	// FQDNs classify as ATS in Table 2) — but the services delivering
+	// canvas-fingerprinting scripts largely escape them, which is what
+	// makes 91% of those scripts invisible to EasyList/EasyPrivacy.
+	pornCanvasServices := p.scaled(40, 6) // named canvas services add ~9 more
+	pornWebRTCServices := p.scaled(11, 2)
+	for i := 0; i < counts.pornATS; i++ {
+		svc := newTail(true, false, 0.78, "")
+		if i < pornCanvasServices {
+			svc.CanvasFP = true
+			svc.ScriptVariants = 1 + rng.Intn(8)
+			svc.InBlocklist = rng.Float64() < 0.08
+			// Fingerprinters need reach for their scripts to dominate the
+			// observed script population (91% of the paper's canvas
+			// scripts came from these unindexed services): ~315 canvas
+			// sites at paper scale, with a floor so tiny test ecosystems
+			// still observe several.
+			floor := 1.2 / (p.Scale * paperPornSites)
+			prev := 0.0006 + 0.0006*rng.Float64()
+			if prev < floor {
+				prev = floor
+			}
+			svc.Prevalence[Porn] = prev
+		} else if i < pornCanvasServices+pornWebRTCServices {
+			svc.WebRTC = true
+			svc.ScriptVariants = 1 + rng.Intn(3)
+		}
+		services = append(services, svc)
+	}
+	// Shared ATSes (in both worlds): well-known, indexed.
+	for i := 0; i < counts.sharedATS; i++ {
+		svc := newTail(true, true, 0.85, "")
+		svc.Prevalence[Regular] = svc.Prevalence[Porn] * (0.3 + rng.Float64())
+		services = append(services, svc)
+	}
+	// Regular-web-only ATSes: indexed.
+	for i := 0; i < counts.regularATS; i++ {
+		services = append(services, newTail(false, true, 0.9, ""))
+	}
+	// Regional country-exclusive ATSes (Table 7's unique-per-country
+	// column). Spain gets the largest share, as in the paper (59).
+	regionWeights := map[string]float64{"ES": 0.30, "US": 0.14, "RU": 0.16, "UK": 0.12, "IN": 0.13, "SG": 0.10, "": 0.05}
+	for i := 0; i < counts.regionalATS; i++ {
+		country := pickWeighted(rng, regionWeights)
+		svc := newTail(true, false, 0.1, country)
+		// Regional trackers need enough reach to surface in Table 7's
+		// unique-per-country column.
+		svc.Prevalence[Porn] = 0.0015 + 0.001*rng.Float64()
+		services = append(services, svc)
+	}
+
+	newOther := func(adult, regular bool) *Service {
+		host := names.trackerHost(false)
+		cat := CatCDN
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			cat = CatHosting
+		case r < 0.45:
+			cat = CatSocial
+		}
+		svc := &Service{
+			Host: host, Base: domain.Base(host), Category: cat,
+			AdultOnly: adult && !regular, RegularOnly: regular && !adult,
+			HTTPS:          rng.Float64() < 0.92,
+			SetsIDCookie:   rng.Float64() < 0.08, // the odd CDN session cookie
+			CookiesPerHit:  1,
+			CookieLen:      8 + rng.Intn(24),
+			ScriptVariants: 1,
+			TailBias:       rng.Float64() * 0.8,
+		}
+		prevalence := 0.0008 + 0.012*rng.Float64()*rng.Float64()
+		if adult {
+			svc.Prevalence[Porn] = prevalence
+		}
+		if regular {
+			svc.Prevalence[Regular] = prevalence
+		}
+		return svc
+	}
+	for i := 0; i < counts.pornOther; i++ {
+		services = append(services, newOther(true, false))
+	}
+	for i := 0; i < counts.regularOther; i++ {
+		svc := newOther(false, true)
+		if rng.Float64() < 0.30 {
+			// Shared infrastructure (CDNs, widget hosts) operating in
+			// both worlds — the bulk of the paper's 889-domain
+			// porn/regular intersection.
+			svc.AdultOnly, svc.RegularOnly = false, false
+			svc.Prevalence[Porn] = svc.Prevalence[Regular] * (0.3 + rng.Float64())
+		}
+		services = append(services, svc)
+	}
+
+	// Some services refuse Russian traffic, shrinking Russia's totals
+	// (Table 7: 4,750 vs ~5,400 FQDNs elsewhere). Globally ubiquitous
+	// infrastructure (the big CDNs and analytics) stays reachable.
+	for _, svc := range services {
+		ubiquitous := svc.Prevalence[Porn] >= 0.3 || svc.Prevalence[Regular] >= 0.3
+		if svc.CountryOnly == "" && !ubiquitous && rng.Float64() < 0.12 {
+			svc.BlockedIn = map[string]bool{"RU": true}
+		}
+	}
+	return services
+}
+
+func pickWeighted(rng *rand.Rand, weights map[string]float64) string {
+	var total float64
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	// Deterministic ordering for reproducibility.
+	sortStrings(keys)
+	for _, k := range keys {
+		total += weights[k]
+	}
+	r := rng.Float64() * total
+	for _, k := range keys {
+		r -= weights[k]
+		if r <= 0 {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,672 @@
+package webgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// clusterSpec plants a Table 1 owner cluster: a company owning several porn
+// sites, with its flagship site's best 2018 rank.
+type clusterSpec struct {
+	company  string
+	sites    int
+	flagship string
+	rank     int
+}
+
+var clusterSpecs = []clusterSpec{
+	{"Gamma Entertainment", 65, "evilangel.com", 5301},
+	{"MindGeek", 54, "pornhub.com", 22},
+	{"PaperStreet Media", 38, "teamskeet.com", 10171},
+	{"Techpump", 25, "porn300.com", 2366},
+	{"PMG Entertainment", 15, "private.com", 7758},
+	{"SexMex", 12, "sexmex.xxx", 122227},
+	{"Docler Holding", 10, "livejasmin.com", 36},
+	{"Mature.nl", 9, "mature.nl", 6577},
+	{"Liberty Media", 7, "corbinfisher.com", 26436},
+	{"WGCZ", 5, "xvideos.com", 32},
+	{"AFS Media", 5, "theclassicporn.com", 13939},
+	{"AEBN", 5, "pornotube.com", 31148},
+	{"Zero Tolerance", 5, "ztod.com", 40676},
+	{"Eurocreme", 5, "eurocreme.com", 110012},
+	{"JM Productions", 5, "jerkoffzone.com", 147753},
+}
+
+// extraFlagships are additional always-top-1K porn sites (the paper found
+// 16 sites never leaving the top-1K).
+var extraFlagships = []struct {
+	host string
+	rank int
+}{
+	{"xnxx.com", 40}, {"chaturbate.com", 55}, {"xhamster.com", 73},
+	{"redtube.com", 120}, {"youporn.com", 150}, {"spankbang.com", 210},
+	{"bongacams.com", 250}, {"tnaflix.com", 330}, {"txxx.com", 370},
+	{"hclips.com", 420}, {"eporner.com", 500}, {"rule34heaven.xxx", 610},
+	{"beeg.com", 700},
+}
+
+// buildPornSites constructs the porn corpus, planting owner clusters,
+// flagship ranks and every behavioural attribute.
+func buildPornSites(p Params, rng *rand.Rand, names *nameGen, companies map[string]*Company, services []*Service) []*Site {
+	total := p.scaled(paperPornSites, 40)
+	sites := make([]*Site, 0, total)
+
+	addSite := func(host string, owner *Company, rank int) *Site {
+		s := &Site{Host: host, Kind: Porn, Owner: owner, BaseRank: rank, Language: pickLanguage(rng)}
+		sites = append(sites, s)
+		return s
+	}
+
+	// Planted clusters (scaled, minimum 2 sites each so clustering has
+	// something to find at tiny scales).
+	for _, cs := range clusterSpecs {
+		n := p.scaled(cs.sites, 2)
+		if len(sites)+n > total {
+			n = total - len(sites)
+		}
+		if n <= 0 {
+			break
+		}
+		owner := companies[cs.company]
+		names.claim(cs.flagship)
+		addSite(cs.flagship, owner, cs.rank)
+		for i := 1; i < n; i++ {
+			rank := sampleRankNear(rng, cs.rank)
+			addSite(names.pornHost(rng.Float64() < 0.965), owner, rank)
+		}
+	}
+	for _, f := range extraFlagships {
+		if len(sites) >= total {
+			break
+		}
+		names.claim(f.host)
+		addSite(f.host, nil, f.rank)
+	}
+	// A handful of extra attributed companies outside Table 1 (the paper
+	// found 24 companies owning 286 sites in total).
+	extraCompanies := p.scaled(9, 1)
+	for i := 0; i < extraCompanies && len(sites) < total; i++ {
+		c := &Company{Name: names.companyName()}
+		if rng.Float64() < 0.7 {
+			c.CertOrg = c.Name
+		}
+		companies[c.Name] = c
+		n := 2 + rng.Intn(3)
+		for j := 0; j < n && len(sites) < total; j++ {
+			addSite(names.pornHost(true), c, sampleIntervalRank(rng))
+		}
+	}
+	// The anonymous long tail (96% of porn sites have no discoverable
+	// owner).
+	for len(sites) < total {
+		addSite(names.pornHost(rng.Float64() < 0.965), nil, sampleIntervalRank(rng))
+	}
+
+	assignPornAttributes(p, rng, names, sites, services)
+	return sites
+}
+
+// sampleIntervalRank draws a base rank such that the site's *measured*
+// best-of-2018 rank lands in the right Table 3 interval with the right
+// share. Measured intervals use the best rank over 365 noisy days, which
+// sits below the base rank (roughly base times e^(-2.95 sigma)), so the
+// sampling bands are shifted upward accordingly. Only the named flagships
+// live permanently below rank 1,000 (the paper found just 16 such sites);
+// the rest of the 0–1k interval are sites whose best day dips under it.
+func sampleIntervalRank(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < pornTop1KFrac:
+		return logUniform(rng, 1080, 1725)
+	case r < pornTop1KFrac+porn1K10KFrac:
+		return logUniform(rng, 1725, 19900)
+	case r < pornTop1KFrac+porn1K10KFrac+porn10K100KFrac:
+		return logUniform(rng, 19900, 230000)
+	default:
+		return logUniform(rng, 230000, 2_500_000)
+	}
+}
+
+// sampleRankNear draws a rank in the same order of magnitude as anchor
+// (sister sites of a flagship are usually far less popular, per Table 1's
+// "larger cluster size does not translate into popularity").
+func sampleRankNear(rng *rand.Rand, anchor int) int {
+	lo := anchor * 3
+	if lo < 2000 {
+		lo = 2000
+	}
+	hi := lo * 60
+	return logUniform(rng, lo, hi)
+}
+
+func logUniform(rng *rand.Rand, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	l, h := math.Log(float64(lo)), math.Log(float64(hi))
+	return int(math.Exp(l + rng.Float64()*(h-l)))
+}
+
+func pickLanguage(rng *rand.Rand) string {
+	r := rng.Float64()
+	switch {
+	case r < 0.62:
+		return "en"
+	case r < 0.72:
+		return "es"
+	case r < 0.79:
+		return "ru"
+	case r < 0.85:
+		return "fr"
+	case r < 0.90:
+		return "de"
+	case r < 0.94:
+		return "pt"
+	case r < 0.97:
+		return "it"
+	default:
+		return "ro"
+	}
+}
+
+// intervalWeights converts a service's TailBias into per-interval embedding
+// multipliers, normalized against the porn interval distribution so the
+// overall prevalence is preserved.
+func intervalWeights(bias float64) [4]float64 {
+	fr := [4]float64{pornTop1KFrac, porn1K10KFrac, porn10K100KFrac, 1 - pornTop1KFrac - porn1K10KFrac - porn10K100KFrac}
+	var w [4]float64
+	var norm float64
+	for i := 0; i < 4; i++ {
+		w[i] = math.Exp(bias * (float64(i) - 1.5))
+		norm += fr[i] * w[i]
+	}
+	for i := 0; i < 4; i++ {
+		w[i] /= norm
+	}
+	return w
+}
+
+// pickWeightedService samples one service from pool with probability
+// proportional to prevalence times the interval weight, excluding any in
+// taken.
+func pickWeightedService(rng *rand.Rand, pool []*Service, weights map[*Service][4]float64, iv int, taken map[*Service]bool) *Service {
+	var total float64
+	for _, svc := range pool {
+		if taken[svc] {
+			continue
+		}
+		total += svc.Prevalence[Porn] * weights[svc][iv]
+	}
+	if total == 0 {
+		return nil
+	}
+	r := rng.Float64() * total
+	for _, svc := range pool {
+		if taken[svc] {
+			continue
+		}
+		r -= svc.Prevalence[Porn] * weights[svc][iv]
+		if r <= 0 {
+			return svc
+		}
+	}
+	return nil
+}
+
+func assignPornAttributes(p Params, rng *rand.Rand, names *nameGen, sites []*Site, services []*Service) {
+	// Pre-compute interval weights per service.
+	weights := make(map[*Service][4]float64, len(services))
+	for _, svc := range services {
+		weights[svc] = intervalWeights(svc.TailBias)
+	}
+
+	// Embedding pools: real sites choose ONE ad stack (an ad network, maybe
+	// two; an analytics provider), they do not sample every tracker
+	// independently — that correlation is what keeps the paper's
+	// "third-party cookies on 72% of sites" consistent with ExoClick alone
+	// reaching 43%. CDNs, social widgets and the rest stay independent.
+	var adnetPool, analyticsPool []*Service
+	for _, svc := range services {
+		if svc.RegularOnly || svc.Prevalence[Porn] == 0 {
+			continue
+		}
+		switch svc.Category {
+		case CatAdNetwork, CatTrafficTrade:
+			adnetPool = append(adnetPool, svc)
+		case CatAnalytics:
+			analyticsPool = append(analyticsPool, svc)
+		}
+	}
+	const (
+		trackingSiteFrac = 0.80 // sites embedding any ad/analytics stack
+		secondAdnetFrac  = 0.18
+		analyticsFrac    = 0.72 // of tracking sites
+	)
+
+	// Identify the top-50 sites by base rank for age-gate planting.
+	top50 := topNByRank(sites, 50)
+
+	uniqueCounter := 0
+	for idx, s := range sites {
+		iv := s.Interval()
+
+		// HTTPS by popularity.
+		httpsP := [4]float64{httpsTop1K, https1K10K, https10K100K, https100KUp}[iv]
+		s.HTTPS = rng.Float64() < httpsP
+
+		// Crawl flakiness and provenance. Flakiness concentrates in the
+		// tail — the flagships do not fail a crawl (the weights keep the
+		// overall rate at the paper's 6,843 -> 6,346 drop).
+		s.Flaky = rng.Float64() < pornFlakyFrac*[4]float64{0.05, 0.6, 1.05, 1.15}[iv]
+		s.KeywordInName = hostHasKeyword(s.Host)
+		// Aggregator-indexed sites skew popular. The multipliers are
+		// normalized so the expected aggregator index size matches the
+		// paper's 342 once the keyword-less fallback below is added.
+		aggFrac := float64(p.scaled(paperAggregatorSites, 5)) / float64(len(sites))
+		s.InAggregators = rng.Float64() < aggFrac*[4]float64{2, 1, 0.25, 0.1}[iv]
+		adultCatFrac := float64(p.scaled(paperAlexaAdult, 2)) / float64(len(sites))
+		s.InAlexaAdult = rng.Float64() < adultCatFrac*[4]float64{10, 4, 0.5, 0.1}[iv]
+		if !s.KeywordInName && !s.InAggregators && !s.InAlexaAdult {
+			// Every corpus site must be discoverable by at least one source.
+			s.InAggregators = true
+		}
+
+		// Service embedding: pooled ad stack + independent infrastructure.
+		tracking := rng.Float64() < trackingSiteFrac
+		taken := map[*Service]bool{}
+		if tracking {
+			if adnet := pickWeightedService(rng, adnetPool, weights, iv, taken); adnet != nil {
+				s.Services = append(s.Services, adnet)
+				taken[adnet] = true
+			}
+			if rng.Float64() < secondAdnetFrac {
+				if adnet := pickWeightedService(rng, adnetPool, weights, iv, taken); adnet != nil {
+					s.Services = append(s.Services, adnet)
+					taken[adnet] = true
+				}
+			}
+			if rng.Float64() < analyticsFrac {
+				if an := pickWeightedService(rng, analyticsPool, weights, iv, taken); an != nil {
+					s.Services = append(s.Services, an)
+					taken[an] = true
+				}
+			}
+		}
+		for _, svc := range services {
+			if svc.RegularOnly || svc.Prevalence[Porn] == 0 || taken[svc] {
+				continue
+			}
+			switch svc.Category {
+			case CatAdNetwork, CatTrafficTrade, CatAnalytics:
+				continue // pooled above
+			case CatDataBroker, CatSocial, CatDating:
+				if !tracking && svc.SetsIDCookie {
+					continue // non-tracking sites carry no tracker widgets
+				}
+			}
+			prob := svc.Prevalence[Porn] * weights[svc][iv]
+			if prob > 1 {
+				prob = 1
+			}
+			if rng.Float64() < prob {
+				s.Services = append(s.Services, svc)
+			}
+		}
+
+		// Site-specific unique third parties (Table 3's "unique" column).
+		rate := [4]float64{uniqueRateTop1K, uniqueRate1K10K, uniqueRate10K100K, uniqueRate100KUp}[iv]
+		for n := poisson(rng, rate); n > 0; n-- {
+			uniqueCounter++
+			s.UniqueHosts = append(s.UniqueHosts, names.uniqueTailHost(uniqueCounter))
+		}
+
+		// Extra first-party FQDNs (11.5% of porn sites).
+		if rng.Float64() < 0.115 {
+			s.ExtraFirstParty = append(s.ExtraFirstParty, mintFirstParty(rng, names, s))
+		}
+
+		// Geo-balanced asset delivery: a slice of sites serve their media
+		// from a per-country edge host, so each vantage point observes
+		// FQDNs nobody else sees (Table 7's unique-per-country column).
+		if rng.Float64() < 0.05 {
+			s.CountryAssets = map[string]string{}
+			base := trackerWordsASCII()[rng.Intn(len(trackerWordsASCII()))] + "." + trackerTLDs[rng.Intn(len(trackerTLDs))]
+			for _, c := range Countries {
+				host := fmt.Sprintf("edge-%s-%03d.%s", strings.ToLower(c), rng.Intn(1000), base)
+				s.CountryAssets[c] = names.claim(host)
+			}
+		}
+
+		// First-party cookies: tracking-minded sites nearly always set
+		// their own, sparse sites often run cookie-less (keeps the census'
+		// "92% of sites install cookies" reachable).
+		fpFrac := 0.70
+		if tracking {
+			fpFrac = 0.97
+		}
+		if rng.Float64() < fpFrac {
+			s.FirstPartyCookies = 1 + rng.Intn(5)
+		}
+
+		// Cookie banners (Table 8): EU assignment, mostly mirrored in US.
+		r := rng.Float64()
+		switch {
+		case r < bannerEUNoOption:
+			s.BannerEU = BannerNoOption
+		case r < bannerEUNoOption+bannerEUConfirmation:
+			s.BannerEU = BannerConfirmation
+		case r < bannerEUNoOption+bannerEUConfirmation+bannerEUBinary:
+			s.BannerEU = BannerBinary
+		case r < bannerEUNoOption+bannerEUConfirmation+bannerEUBinary+bannerEUOther:
+			s.BannerEU = BannerOther
+		}
+		if s.BannerEU != BannerNone && rng.Float64() < 0.85 {
+			s.BannerUS = s.BannerEU
+		}
+
+		// Privacy policy.
+		if s.Owner != nil || rng.Float64() < policyFrac {
+			// All clustered-owner sites carry (near identical) policies —
+			// that is how the TF-IDF clustering finds them.
+			s.HasPolicy = s.Owner != nil || rng.Float64() < 0.95
+		}
+		if s.HasPolicy {
+			s.PolicyMentionsGDPR = rng.Float64() < policyGDPRFrac
+			s.PolicyDisclosesCookies = rng.Float64() < 0.72
+			s.PolicyDisclosesThirdParties = rng.Float64() < 0.6
+			s.PolicyListsAllThirdParties = false
+		}
+
+		// Monetization.
+		if rng.Float64() < subscriptionFrac {
+			s.HasSubscription = true
+			s.PaidSubscription = rng.Float64() < paidFrac
+		}
+
+		// Inline first-party canvas fingerprinting (26% of canvas scripts
+		// were first-party).
+		s.InlineCanvasFP = rng.Float64() < 0.0095
+
+		// RTA meta tag (ASACP, Section 2.1).
+		s.RTAMeta = rng.Float64() < 0.08
+
+		// Malware.
+		s.Malicious = rng.Float64() < maliciousSiteFrac
+
+		// Geo blocking.
+		if rng.Float64() < blockedRUFrac {
+			if s.BlockedIn == nil {
+				s.BlockedIn = map[string]bool{}
+			}
+			s.BlockedIn["RU"] = true
+		}
+		if rng.Float64() < blockedINFrac {
+			if s.BlockedIn == nil {
+				s.BlockedIn = map[string]bool{}
+			}
+			s.BlockedIn["IN"] = true
+		}
+		_ = idx
+	}
+
+	// Exactly one policy lists the complete set of embedded third parties
+	// (Section 7.3 found a single such site).
+	for _, s := range top50 {
+		if s.HasPolicy {
+			s.PolicyListsAllThirdParties = true
+			break
+		}
+	}
+
+	plantAgeGates(rng, top50, sites)
+}
+
+// plantAgeGates reproduces Section 7.2: 20% of the top-50 sites show a
+// simple gate from the US/UK/Spain; Russia differs — some of those sites
+// drop the gate there (12% of the top-50), others gate only in Russia (8%),
+// and pornhub.com demands a social-network login in Russia.
+func plantAgeGates(rng *rand.Rand, top50, all []*Site) {
+	n := len(top50)
+	gated := int(math.Round(ageGateTopFrac * float64(n))) // 20% gate in the west
+	dropInRU := int(math.Round(0.12 * float64(n)))        // of those, this many drop the gate in Russia
+	onlyInRU := int(math.Round(0.08 * float64(n)))        // others gate only in Russia
+	if dropInRU > gated {
+		dropInRU = gated
+	}
+	perm := rng.Perm(n)
+	i := 0
+	take := func(k int) []*Site {
+		out := make([]*Site, 0, k)
+		for ; k > 0 && i < n; i++ {
+			out = append(out, top50[perm[i]])
+			k--
+		}
+		return out
+	}
+	western := take(gated)
+	for _, s := range western {
+		s.AgeGate = GateSimple
+		s.AgeGateLang = s.Language
+	}
+	// The Russia-divergent subset of the western-gated sites.
+	for _, s := range western[:dropInRU] {
+		if s.AgeGateByCountry == nil {
+			s.AgeGateByCountry = map[string]AgeGateKind{}
+		}
+		s.AgeGateByCountry["RU"] = GateNone
+	}
+	for _, s := range take(onlyInRU) {
+		if s.AgeGateByCountry == nil {
+			s.AgeGateByCountry = map[string]AgeGateKind{}
+		}
+		s.AgeGateByCountry["RU"] = GateSimple
+		s.AgeGateLang = "ru"
+	}
+	for _, s := range top50 {
+		if s.Host == "pornhub.com" {
+			if s.AgeGateByCountry == nil {
+				s.AgeGateByCountry = map[string]AgeGateKind{}
+			}
+			s.AgeGateByCountry["RU"] = GateSocialLogin
+			// Complying with the Russian login mandate is what keeps the
+			// site reachable there (Section 2.1) — it cannot also be
+			// geo-blocked.
+			delete(s.BlockedIn, "RU")
+		}
+	}
+	// A thin tail of non-top sites also gates.
+	for _, s := range all {
+		if s.AgeGate == GateNone && s.AgeGateByCountry == nil && rng.Float64() < 0.015 {
+			s.AgeGate = GateSimple
+			s.AgeGateLang = s.Language
+		}
+	}
+}
+
+func topNByRank(sites []*Site, n int) []*Site {
+	out := make([]*Site, len(sites))
+	copy(out, sites)
+	// Simple selection of the n best ranks.
+	for i := 0; i < n && i < len(out); i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].BaseRank < out[best].BaseRank {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+func hostHasKeyword(host string) bool {
+	for _, k := range PornKeywords {
+		if containsFold(host, k) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsFold(s, sub string) bool {
+	// Hostnames are already lower-case in this generator.
+	return len(sub) <= len(s) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// mintFirstParty creates an extra first-party FQDN for the site: usually a
+// subdomain, sometimes a Levenshtein-similar sister domain, and sometimes a
+// differently-named domain covered by the same certificate organization.
+func mintFirstParty(rng *rand.Rand, names *nameGen, s *Site) string {
+	switch rng.Intn(3) {
+	case 0:
+		sub := []string{"www", "cdn", "img", "static", "m"}[rng.Intn(5)]
+		return sub + "." + s.Host
+	case 1:
+		// Sister domain: insert a short suffix before the TLD so the
+		// Levenshtein similarity stays above the grouping threshold.
+		dot := lastDot(s.Host)
+		return names.claim(s.Host[:dot] + "cdn" + s.Host[dot:])
+	default:
+		if s.Owner != nil && s.Owner.CertOrg != "" {
+			// Same-cert sister brand (exercises the X.509 path).
+			return names.claim(fmt.Sprintf("media%d.%s", rng.Intn(90)+10, s.Host))
+		}
+		return "www." + s.Host
+	}
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return len(s)
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	// Knuth's algorithm; lambda is small here.
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 50 {
+			return k
+		}
+	}
+}
+
+// buildRegularSites constructs the reference corpus (Alexa top-10K style).
+func buildRegularSites(p Params, rng *rand.Rand, names *nameGen, services []*Service) []*Site {
+	total := p.scaled(paperRegularSites, 50)
+	sites := make([]*Site, 0, total)
+	for i := 0; i < total; i++ {
+		s := &Site{
+			Kind:     Regular,
+			Host:     names.regularHost(false),
+			BaseRank: 1 + rng.Intn(10000),
+			Language: pickLanguage(rng),
+		}
+		s.HTTPS = rng.Float64() < 0.85
+		s.Flaky = rng.Float64() < regularFlakyFrac
+		s.FirstPartyCookies = 0
+		if rng.Float64() < 0.9 {
+			s.FirstPartyCookies = 1 + rng.Intn(4)
+		}
+		if rng.Float64() < 0.45 {
+			s.ExtraFirstParty = append(s.ExtraFirstParty, "www."+s.Host)
+			if rng.Float64() < 0.3 {
+				s.ExtraFirstParty = append(s.ExtraFirstParty, "cdn."+s.Host)
+			}
+		}
+		for _, svc := range services {
+			// Adult-specialized services appear on regular sites only when
+			// a tiny regular prevalence is planted (the paper found
+			// ExoClick on just 6 regular websites).
+			if svc.Prevalence[Regular] == 0 {
+				continue
+			}
+			if rng.Float64() < svc.Prevalence[Regular] {
+				s.Services = append(s.Services, svc)
+			}
+		}
+		for n := poisson(rng, uniqueRateRegular); n > 0; n-- {
+			s.UniqueHosts = append(s.UniqueHosts, names.uniqueTailHost(i*7+n))
+		}
+		// Regular sites show banners far more often (Degeling: ~62%).
+		r := rng.Float64()
+		switch {
+		case r < 0.20:
+			s.BannerEU = BannerNoOption
+		case r < 0.50:
+			s.BannerEU = BannerConfirmation
+		case r < 0.58:
+			s.BannerEU = BannerBinary
+		case r < 0.62:
+			s.BannerEU = BannerOther
+		}
+		if s.BannerEU != BannerNone && rng.Float64() < 0.8 {
+			s.BannerUS = s.BannerEU
+		}
+		s.HasPolicy = rng.Float64() < 0.75
+		if s.HasPolicy {
+			s.PolicyMentionsGDPR = rng.Float64() < 0.5
+			s.PolicyDisclosesCookies = rng.Float64() < 0.8
+			s.PolicyDisclosesThirdParties = rng.Float64() < 0.6
+		}
+		sites = append(sites, s)
+	}
+	return sites
+}
+
+// buildFalseCandidates mints the corpus-compilation false positives: dead
+// hosts that never respond, plus regular sites whose names match a porn
+// keyword (the PornTube-vs-YouTube problem). Both appear in the candidate
+// list and are removed during sanitization.
+func buildFalseCandidates(p Params, rng *rand.Rand, names *nameGen) []*Site {
+	total := p.scaled(paperFalsePositives, 10)
+	dead := int(0.62 * float64(total))
+	sites := make([]*Site, 0, total)
+	for i := 0; i < dead; i++ {
+		sites = append(sites, &Site{
+			Kind:          Porn, // looked pornographic by name only
+			Host:          names.pornHost(true),
+			BaseRank:      logUniform(rng, 200000, 3_000_000),
+			Unresponsive:  true,
+			KeywordInName: true,
+			Language:      "en",
+		})
+	}
+	for i := dead; i < total; i++ {
+		s := &Site{
+			Kind:                 Regular,
+			Host:                 names.regularHost(true),
+			BaseRank:             logUniform(rng, 100, 200000),
+			KeywordInName:        true,
+			KeywordFalsePositive: true,
+			Language:             pickLanguage(rng),
+		}
+		s.HTTPS = rng.Float64() < 0.7
+		s.HasPolicy = rng.Float64() < 0.6
+		s.FirstPartyCookies = 1 + rng.Intn(3)
+		sites = append(sites, s)
+	}
+	return sites
+}

@@ -1,0 +1,262 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pornweb/internal/ranking"
+)
+
+// Ecosystem is the fully generated world: the ground truth the measurement
+// pipeline is evaluated against, plus the virtual server behaviour.
+type Ecosystem struct {
+	Params Params
+
+	Companies map[string]*Company
+	Services  []*Service
+
+	PornSites    []*Site // the true pornographic population
+	RegularSites []*Site // the reference corpus
+	// FalseCandidates are corpus-compilation false positives: dead hosts
+	// and keyword-matching regular sites.
+	FalseCandidates []*Site
+
+	SiteByHost    map[string]*Site
+	ServiceByHost map[string]*Service
+
+	uniqueHosts     map[string]*Site // minted long-tail host -> embedding site
+	extraFirstParty map[string]*Site // extra first-party host -> owning site
+
+	uids *uidStore
+}
+
+// Generate builds the ecosystem deterministically from the parameters.
+func Generate(p Params) *Ecosystem {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(int64(p.Seed)))
+	names := newNameGen(rng)
+	companies := buildCompanies()
+	services := buildServices(p, rng, names, companies)
+	pornSites := buildPornSites(p, rng, names, companies, services)
+	regularSites := buildRegularSites(p, rng, names, services)
+	falseCandidates := buildFalseCandidates(p, rng, names)
+
+	e := &Ecosystem{
+		Params:          p,
+		Companies:       companies,
+		Services:        services,
+		PornSites:       pornSites,
+		RegularSites:    regularSites,
+		FalseCandidates: falseCandidates,
+		SiteByHost:      map[string]*Site{},
+		ServiceByHost:   map[string]*Service{},
+		uniqueHosts:     map[string]*Site{},
+		extraFirstParty: map[string]*Site{},
+		uids:            newUIDStore(p.Seed ^ 0xc0ffee),
+	}
+	ownerSeeds := map[*Company]int64{}
+	for _, s := range e.AllSites() {
+		e.SiteByHost[s.Host] = s
+		for _, u := range s.UniqueHosts {
+			e.uniqueHosts[u] = s
+		}
+		for _, h := range s.CountryAssets {
+			e.uniqueHosts[h] = s
+		}
+		for _, fp := range s.ExtraFirstParty {
+			e.extraFirstParty[fp] = s
+		}
+		generatePolicy(rng, s, ownerSeeds)
+	}
+	for _, svc := range services {
+		e.ServiceByHost[svc.Host] = svc
+	}
+	return e
+}
+
+// AllSites returns every site of every kind, including false candidates.
+func (e *Ecosystem) AllSites() []*Site {
+	out := make([]*Site, 0, len(e.PornSites)+len(e.RegularSites)+len(e.FalseCandidates))
+	out = append(out, e.PornSites...)
+	out = append(out, e.RegularSites...)
+	out = append(out, e.FalseCandidates...)
+	return out
+}
+
+// AllHosts returns every hostname the virtual server can answer for.
+func (e *Ecosystem) AllHosts() []string {
+	var out []string
+	for h := range e.SiteByHost {
+		out = append(out, h)
+	}
+	for h := range e.ServiceByHost {
+		out = append(out, h)
+	}
+	for h := range e.uniqueHosts {
+		out = append(out, h)
+	}
+	for h := range e.extraFirstParty {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RankingDataset builds the longitudinal Alexa-analog for the whole
+// universe: corpus sites plus false candidates (all of which were rank-
+// indexed — that is how the keyword search found them).
+func (e *Ecosystem) RankingDataset() *ranking.Dataset {
+	d := ranking.New(e.Params.Seed ^ 0xa1e4a)
+	for _, s := range e.AllSites() {
+		vol := 0.0 // default from base rank
+		if s.BaseRank <= 1000 {
+			// Only the named flagships have sub-1,000 bases; they never
+			// leave the top-1K (the paper's 16 permanently-top-1K sites).
+			vol = 0.04
+		}
+		d.Add(ranking.Site{Host: s.Host, BaseRank: s.BaseRank, Volatility: vol})
+	}
+	return d
+}
+
+// AggregatorIndex lists the hosts indexed by the porn-aggregator sites
+// (corpus source 1).
+func (e *Ecosystem) AggregatorIndex() []string {
+	var out []string
+	for _, s := range e.AllSites() {
+		if s.InAggregators {
+			out = append(out, s.Host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AlexaAdultCategory lists the hosts in the Alexa Adult category (corpus
+// source 2).
+func (e *Ecosystem) AlexaAdultCategory() []string {
+	var out []string
+	for _, s := range e.AllSites() {
+		if s.InAlexaAdult {
+			out = append(out, s.Host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildEasyList produces the synthetic EasyList: network rules for the
+// blocklist-indexed advertising services. BuildEasyPrivacy covers the
+// analytics/data-broker side. Together they deliberately miss the
+// porn-specialized long tail, reproducing the paper's finding that 91% of
+// canvas-fingerprinting scripts are invisible to the lists.
+func (e *Ecosystem) BuildEasyList() []string {
+	lines := []string{"[Adblock Plus 2.0]", "! Title: Synthetic EasyList"}
+	for _, svc := range e.sortedServices() {
+		if !svc.InBlocklist {
+			continue
+		}
+		switch svc.Category {
+		case CatAdNetwork, CatTrafficTrade, CatCryptoMiner, CatSocial, CatCDN, CatDating:
+			lines = append(lines, ruleFor(svc))
+		}
+	}
+	return lines
+}
+
+// BuildEasyPrivacy produces the synthetic EasyPrivacy list.
+func (e *Ecosystem) BuildEasyPrivacy() []string {
+	lines := []string{"[Adblock Plus 2.0]", "! Title: Synthetic EasyPrivacy"}
+	for _, svc := range e.sortedServices() {
+		if !svc.InBlocklist {
+			continue
+		}
+		switch svc.Category {
+		case CatAnalytics, CatDataBroker:
+			lines = append(lines, ruleFor(svc))
+		}
+	}
+	return lines
+}
+
+func ruleFor(svc *Service) string {
+	// Most EasyList entries for pure trackers are domain-anchored
+	// third-party rules; a few CDN-ish entries are path-scoped (the
+	// bbc.co.uk/analytics pattern), which leaves the rest of the host
+	// unlisted.
+	switch svc.Category {
+	case CatCDN, CatHosting:
+		return fmt.Sprintf("||%s/px.gif", svc.Base)
+	default:
+		return fmt.Sprintf("||%s^$third-party", svc.Base)
+	}
+}
+
+func (e *Ecosystem) sortedServices() []*Service {
+	out := make([]*Service, len(e.Services))
+	copy(out, e.Services)
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// ServiceForBase returns any service whose registrable domain matches base.
+func (e *Ecosystem) ServiceForBase(base string) *Service {
+	for _, svc := range e.Services {
+		if svc.Base == base {
+			return svc
+		}
+	}
+	return nil
+}
+
+// DisconnectList builds the (deliberately incomplete) Disconnect-style
+// domain-to-company seed map: it knows the big consumer brands but misses
+// the adult-specialized ecosystem, like the real list the paper found
+// lacking (142 companies resolved vs 1,014 with certificates).
+func (e *Ecosystem) DisconnectList() map[string]string {
+	wellKnown := map[string]bool{
+		"Alphabet": true, "Facebook": true, "Oracle": true, "Yandex": true,
+		"Amazon": true, "Cloudflare": true, "TowerData": true, "ThreatMetrix": true,
+	}
+	out := map[string]string{}
+	for _, svc := range e.Services {
+		if svc.Org != nil && wellKnown[svc.Org.Name] {
+			out[svc.Base] = svc.Org.Name
+		}
+	}
+	return out
+}
+
+// GroundTruthSummary prints headline ground-truth counts (used by
+// cmd/ecosystem for debugging).
+func (e *Ecosystem) GroundTruthSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "porn sites:      %d\n", len(e.PornSites))
+	fmt.Fprintf(&b, "regular sites:   %d\n", len(e.RegularSites))
+	fmt.Fprintf(&b, "false candidates:%d\n", len(e.FalseCandidates))
+	fmt.Fprintf(&b, "services:        %d\n", len(e.Services))
+	var ats, canvas, webrtc, sync int
+	for _, svc := range e.Services {
+		if svc.Category.IsATS() {
+			ats++
+		}
+		if svc.CanvasFP {
+			canvas++
+		}
+		if svc.WebRTC {
+			webrtc++
+		}
+		if len(svc.SyncPartners) > 0 {
+			sync++
+		}
+	}
+	fmt.Fprintf(&b, "  ATS:           %d\n", ats)
+	fmt.Fprintf(&b, "  canvas FP:     %d\n", canvas)
+	fmt.Fprintf(&b, "  WebRTC:        %d\n", webrtc)
+	fmt.Fprintf(&b, "  syncing:       %d\n", sync)
+	return b.String()
+}

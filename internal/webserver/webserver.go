@@ -1,0 +1,312 @@
+// Package webserver serves the generated ecosystem over real HTTP and HTTPS
+// on loopback. A single listener pair hosts every site and service through
+// virtual hosting (Host-header demultiplexing); the TLS listener issues
+// per-host certificates on demand from an in-memory CA via SNI, but only
+// for hosts that support HTTPS — requesting a TLS session for an HTTP-only
+// host fails the handshake exactly as a real server without a certificate
+// would, which is what drives the crawler's HTTPS-then-downgrade probing
+// (Section 5.2 of the paper).
+//
+// The crawler reaches the server through DialContext, which resolves every
+// hostname to the loopback listeners — the offline stand-in for DNS. The
+// vantage country and the crawl phase travel in the X-Vantage-Country and
+// X-Crawl-Phase request headers, injected by the crawler's transport (the
+// offline stand-in for VPN egress geography).
+package webserver
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/big"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pornweb/internal/webgen"
+)
+
+// Header names used to carry crawl metadata.
+const (
+	HeaderCountry = "X-Vantage-Country"
+	HeaderPhase   = "X-Crawl-Phase"
+)
+
+// Server hosts an ecosystem.
+type Server struct {
+	Eco *webgen.Ecosystem
+
+	httpLn   net.Listener
+	httpsLn  net.Listener
+	httpSrv  *http.Server
+	httpsSrv *http.Server
+
+	caCert *x509.Certificate
+	caKey  *ecdsa.PrivateKey
+	caPool *x509.CertPool
+
+	mu    sync.Mutex
+	certs map[string]*tls.Certificate
+
+	closed chan struct{}
+}
+
+// Start generates the CA, binds both listeners on loopback and begins
+// serving. Callers must Close the server.
+func Start(eco *webgen.Ecosystem) (*Server, error) {
+	s := &Server{Eco: eco, certs: map[string]*tls.Certificate{}, closed: make(chan struct{})}
+	if err := s.initCA(); err != nil {
+		return nil, fmt.Errorf("webserver: init CA: %w", err)
+	}
+	var err error
+	s.httpLn, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("webserver: listen http: %w", err)
+	}
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.httpLn.Close()
+		return nil, fmt.Errorf("webserver: listen https: %w", err)
+	}
+	tlsConf := &tls.Config{GetCertificate: s.getCertificate}
+	s.httpsLn = tls.NewListener(tcpLn, tlsConf)
+
+	handler := http.HandlerFunc(s.handle)
+	// Discard server-side error logging: failed TLS handshakes for
+	// HTTP-only hosts are expected behaviour, not noise-worthy errors.
+	quiet := log.New(io.Discard, "", 0)
+	s.httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: quiet}
+	s.httpsSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: quiet}
+	go s.httpSrv.Serve(s.httpLn)
+	go s.httpsSrv.Serve(s.httpsLn)
+	return s, nil
+}
+
+// Close stops both listeners.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+		close(s.closed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	s.httpSrv.Shutdown(ctx)
+	s.httpsSrv.Shutdown(ctx)
+}
+
+// HTTPAddr returns the plain listener address.
+func (s *Server) HTTPAddr() string { return s.httpLn.Addr().String() }
+
+// HTTPSAddr returns the TLS listener address.
+func (s *Server) HTTPSAddr() string { return s.httpsLn.Addr().String() }
+
+// CertPool returns a pool trusting the in-memory CA, for crawler TLS
+// verification.
+func (s *Server) CertPool() *x509.CertPool { return s.caPool }
+
+// DialContext resolves any hostname to the loopback listeners: port 443 to
+// the TLS listener, anything else to the plain one.
+func (s *Server) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, err
+	}
+	target := s.HTTPAddr()
+	if port == "443" {
+		target = s.HTTPSAddr()
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, network, target)
+}
+
+func (s *Server) initCA() error {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "pornweb study CA", Organization: []string{"Measurement Substrate"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * 365 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return err
+	}
+	s.caCert, s.caKey = cert, key
+	s.caPool = x509.NewCertPool()
+	s.caPool.AddCert(cert)
+	return nil
+}
+
+var errNoTLS = errors.New("webserver: host does not support TLS")
+
+// getCertificate issues (and caches) a leaf certificate for the SNI host,
+// carrying the organization the ecosystem planted for it. HTTP-only hosts
+// get a handshake failure.
+func (s *Server) getCertificate(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
+	host := strings.ToLower(hello.ServerName)
+	if host == "" {
+		return nil, errNoTLS
+	}
+	if !s.Eco.HTTPSCapable(host) {
+		return nil, errNoTLS
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.certs[host]; ok {
+		return c, nil
+	}
+	c, err := s.issue(host)
+	if err != nil {
+		return nil, err
+	}
+	s.certs[host] = c
+	return c, nil
+}
+
+func (s *Server) issue(host string) (*tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1<<62))
+	if err != nil {
+		return nil, err
+	}
+	subject := pkix.Name{CommonName: host}
+	if org := s.Eco.CertOrgFor(host); org != "" {
+		subject.Organization = []string{org}
+	} else {
+		// Certificates that name only the domain (the paper skips these
+		// when attributing organizations, footnote 7).
+		subject.Organization = []string{host}
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      subject,
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(90 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     []string{host, "*." + host},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, s.caCert, &key.PublicKey, s.caKey)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}
+
+// isServiceHost reports whether the host is a third-party service (visited
+// repeatedly across the crawl and worth keeping alive).
+func (s *Server) isServiceHost(host string) bool {
+	_, ok := s.Eco.ServiceByHost[strings.ToLower(host)]
+	return ok
+}
+
+// handle adapts net/http to the ecosystem's virtual server.
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	clientIP := r.RemoteAddr
+	if h, _, err := net.SplitHostPort(clientIP); err == nil {
+		clientIP = h
+	}
+	cookies := map[string]string{}
+	for _, c := range r.Cookies() {
+		cookies[c.Name] = c.Value
+	}
+	phase := webgen.PhaseCrawl
+	switch r.Header.Get(HeaderPhase) {
+	case "sanitize":
+		phase = webgen.PhaseSanitize
+	case "policy":
+		phase = webgen.PhasePolicy
+	}
+	country := r.Header.Get(HeaderCountry)
+	if country == "" {
+		country = "ES" // the paper's physical vantage point
+	}
+	resp := s.Eco.Respond(webgen.Request{
+		Host:     host,
+		Path:     r.URL.Path,
+		Query:    r.URL.Query(),
+		Country:  country,
+		ClientIP: clientIP,
+		Cookies:  cookies,
+		Referer:  r.Referer(),
+		Secure:   r.TLS != nil,
+		Phase:    phase,
+	})
+	if resp.Status == 0 {
+		// Connection refused / dead host: cut the TCP stream without an
+		// HTTP response so the client sees a transport error.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		// TLS connections cannot always hijack; a bare 502 with the
+		// sentinel header is the fallback the crawler also treats as
+		// unreachable.
+		w.Header().Set("X-Refused", "1")
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	for _, c := range resp.Cookies {
+		hc := &http.Cookie{Name: c.Name, Value: c.Value, Path: "/"}
+		if !c.Session {
+			hc.MaxAge = 365 * 24 * 3600
+			hc.Expires = time.Now().Add(365 * 24 * time.Hour)
+		}
+		http.SetCookie(w, hc)
+	}
+	// Connection discipline: site hosts and long-tail asset hosts are
+	// contacted once per crawl, so the server closes those connections
+	// (sending the first FIN keeps the TIME_WAIT state on the server
+	// side, where it does not consume the crawler's ephemeral ports —
+	// at paper scale the crawl would otherwise exhaust the client port
+	// range). Tracker hosts are contacted from thousands of sites and
+	// stay keep-alive for connection reuse.
+	if !s.isServiceHost(host) {
+		w.Header().Set("Connection", "close")
+	}
+	if resp.ContentType != "" {
+		w.Header().Set("Content-Type", resp.ContentType)
+	}
+	if resp.Location != "" {
+		w.Header().Set("Location", resp.Location)
+	}
+	status := resp.Status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+	if resp.Body != "" {
+		w.Write([]byte(resp.Body))
+	}
+}

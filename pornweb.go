@@ -1,0 +1,90 @@
+// Package pornweb is a complete, self-contained reproduction of "Tales
+// from the Porn: A Comprehensive Privacy Analysis of the Web Porn
+// Ecosystem" (Vallina et al., IMC 2019).
+//
+// The library bundles everything the study needs into one module:
+//
+//   - a deterministic synthetic web-ecosystem generator calibrated to the
+//     paper's measured distributions (sites, trackers, cookies, sync
+//     partnerships, fingerprinting scripts, consent surfaces, geographic
+//     behaviour);
+//   - a loopback HTTP/HTTPS substrate serving that ecosystem with real
+//     TLS, per-host certificates and virtual hosting;
+//   - an instrumented crawler and page-loading engine (the OpenWPM
+//     analog) plus an interactive crawler (the Selenium analog);
+//   - the full analysis pipeline behind every table and figure of the
+//     paper's evaluation: third-party censuses, organization attribution,
+//     cookie identifier/sync analyses, fingerprinting heuristics, HTTPS
+//     and malware measurements, geographic comparison, and the
+//     GDPR/Digital-Economy-Act compliance audits.
+//
+// The quickest way in:
+//
+//	st, err := pornweb.NewStudy(pornweb.StudyConfig{
+//	    Params: pornweb.Params{Seed: 2019, Scale: 0.05},
+//	})
+//	if err != nil { ... }
+//	defer st.Close()
+//	results, err := st.Run(context.Background())
+//	pornweb.Report(os.Stdout, results)
+//
+// Scale 1.0 reproduces the paper's corpus sizes (6,843 pornographic and
+// 9,688 regular websites); smaller scales shrink the population
+// proportionally while preserving every distribution the analyses measure.
+//
+// This package is a thin facade over the implementation packages; the
+// exported aliases below are the stable public API.
+package pornweb
+
+import (
+	"io"
+
+	"pornweb/internal/core"
+	"pornweb/internal/report"
+	"pornweb/internal/webgen"
+	"pornweb/internal/webserver"
+)
+
+// Params configures ecosystem generation: Seed drives all randomness,
+// Scale scales the population (1.0 = the paper's corpus sizes).
+type Params = webgen.Params
+
+// Ecosystem is a fully generated synthetic web: ground-truth sites,
+// services and companies, plus the virtual-server behaviour the crawlers
+// observe.
+type Ecosystem = webgen.Ecosystem
+
+// Site is one generated website with its planted privacy behaviour.
+type Site = webgen.Site
+
+// Service is one generated third-party service.
+type Service = webgen.Service
+
+// Server hosts an ecosystem over loopback HTTP and HTTPS.
+type Server = webserver.Server
+
+// StudyConfig configures a full measurement run.
+type StudyConfig = core.Config
+
+// Study is a wired measurement environment: ecosystem, server, rank
+// oracle and blocklists.
+type Study = core.Study
+
+// Results holds every reproduced table and figure.
+type Results = core.Results
+
+// Generate builds an ecosystem deterministically from the parameters.
+func Generate(p Params) *Ecosystem { return webgen.Generate(p) }
+
+// DefaultParams returns paper-scale generation parameters.
+func DefaultParams() Params { return webgen.DefaultParams() }
+
+// Serve starts the loopback server for an ecosystem. Callers must Close it.
+func Serve(eco *Ecosystem) (*Server, error) { return webserver.Start(eco) }
+
+// NewStudy generates an ecosystem and starts its server, ready to Run.
+func NewStudy(cfg StudyConfig) (*Study, error) { return core.NewStudy(cfg) }
+
+// Report renders every table and figure of a completed run as aligned
+// plain text.
+func Report(w io.Writer, r *Results) { report.All(w, r) }
