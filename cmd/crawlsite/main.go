@@ -20,6 +20,7 @@ import (
 	"pornweb/internal/consent"
 	"pornweb/internal/crawler"
 	"pornweb/internal/fingerprint"
+	"pornweb/internal/obs"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
 )
@@ -30,6 +31,7 @@ func main() {
 	country := flag.String("country", "ES", "vantage country (ES US UK RU IN SG)")
 	list := flag.Bool("list", false, "list crawlable porn hosts and exit")
 	logOut := flag.String("log", "", "write the raw request log as JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address; also prints a metrics summary after the visit")
 	flag.Parse()
 
 	eco := webgen.Generate(webgen.Params{Seed: *seed, Scale: *scale})
@@ -47,17 +49,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := webserver.Start(eco)
+	var reg *obs.Registry
+	var opts []webserver.Option
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		opts = append(opts, webserver.WithMetrics(reg))
+	}
+	srv, err := webserver.Start(eco, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsite:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
+	if reg != nil {
+		admin, err := obs.ServeAdmin(*metricsAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawlsite:", err)
+			os.Exit(1)
+		}
+		defer admin.Close()
+		fmt.Printf("observability: http://%s/metrics\n", admin.Addr())
+	}
 	sess, err := crawler.NewSession(crawler.Config{
 		DialContext: srv.DialContext,
 		RootCAs:     srv.CertPool(),
 		Country:     *country,
 		Timeout:     20 * time.Second,
+		Metrics:     reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsite:", err)
@@ -127,6 +145,11 @@ func main() {
 	fmt.Printf("  privacy policy links: %v\n", links)
 	m := consent.DetectMonetization(pv.DOM)
 	fmt.Printf("  monetization: accounts=%v premium=%v paid=%v\n", m.HasAccounts, m.HasPremium, m.Paid)
+
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		reg.WriteExposition(os.Stdout)
+	}
 
 	if *logOut != "" {
 		f, err := os.Create(*logOut)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ecosystem [-scale 0.02] [-seed 2019] [-serve] [-hosts]
+//	          [-metrics-addr 127.0.0.1:9090]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os/signal"
 	"sort"
 
+	"pornweb/internal/obs"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
 )
@@ -23,6 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 2019, "generation seed")
 	serve := flag.Bool("serve", false, "start the loopback server and wait")
 	hosts := flag.Bool("hosts", false, "list every served hostname")
+	metricsAddr := flag.String("metrics-addr", "", "with -serve, expose /metrics and /debug/pprof/ on this address")
 	flag.Parse()
 
 	eco := webgen.Generate(webgen.Params{Seed: *seed, Scale: *scale})
@@ -61,12 +64,29 @@ func main() {
 	}
 
 	if *serve {
-		srv, err := webserver.Start(eco)
+		var opts []webserver.Option
+		var reg *obs.Registry
+		if *metricsAddr != "" {
+			reg = obs.NewRegistry()
+			opts = append(opts,
+				webserver.WithMetrics(reg),
+				webserver.WithLogger(obs.NewLogger(os.Stderr, obs.LevelWarn).CountIn(reg)))
+		}
+		srv, err := webserver.Start(eco, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecosystem:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
+		if reg != nil {
+			admin, err := obs.ServeAdmin(*metricsAddr, reg, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecosystem:", err)
+				os.Exit(1)
+			}
+			defer admin.Close()
+			fmt.Printf("\nobservability: http://%s/metrics\n", admin.Addr())
+		}
 		fmt.Printf("\nserving: http=%s https=%s\n", srv.HTTPAddr(), srv.HTTPSAddr())
 		fmt.Printf("example: curl -H 'Host: pornhub.com' http://%s/\n", srv.HTTPAddr())
 		sig := make(chan os.Signal, 1)

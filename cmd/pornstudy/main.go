@@ -5,6 +5,11 @@
 // Usage:
 //
 //	pornstudy [-scale 0.05] [-seed 2019] [-workers 16] [-timeout 30s] [-v]
+//	          [-metrics-addr 127.0.0.1:9090]
+//
+// With -metrics-addr set, an admin listener exposes live run telemetry:
+// /metrics (Prometheus text format), /spans (recent pipeline-stage spans
+// as JSON) and /debug/pprof/ while the study runs.
 //
 // -scale 1.0 reproduces the paper's corpus sizes (6,843 porn sites and
 // 9,688 regular sites) and takes several minutes; the default runs a
@@ -32,12 +37,14 @@ func main() {
 	verbose := flag.Bool("v", false, "progress logging")
 	jsonOut := flag.String("json", "", "also write the raw results as JSON to this file")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	cfg := core.Config{
-		Params:  webgen.Params{Seed: *seed, Scale: *scale},
-		Workers: *workers,
-		Timeout: *timeout,
+		Params:      webgen.Params{Seed: *seed, Scale: *scale},
+		Workers:     *workers,
+		Timeout:     *timeout,
+		MetricsAddr: *metricsAddr,
 	}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {
@@ -50,6 +57,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer st.Close()
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics\n", st.AdminAddr())
+	}
 
 	start := time.Now()
 	res, err := st.Run(context.Background())

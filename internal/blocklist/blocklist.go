@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"pornweb/internal/domain"
+	"pornweb/internal/obs"
 )
 
 // ResourceType classifies the request for $-option matching.
@@ -69,6 +70,30 @@ type List struct {
 	byAnchor   map[string][]int // anchorHost -> indexes of block domain rules
 	genericIdx []int            // block rules without a domain anchor
 	exceptIdx  []int            // exception rules (any shape)
+
+	// Optional match telemetry, resolved by Instrument; nil counters
+	// no-op.
+	checks    *obs.Counter
+	blocked   *obs.Counter
+	excepted  *obs.Counter
+	hostCover *obs.Counter
+}
+
+// Instrument registers the list's match counters (labeled by list name)
+// in reg: every Match call, every block verdict, every exception save and
+// every CoversHost hit.
+func (l *List) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Describe("blocklist_checks_total", "requests tested against a filter list")
+	reg.Describe("blocklist_blocked_total", "requests a filter list would block")
+	reg.Describe("blocklist_exceptions_total", "block verdicts overridden by @@ exception rules")
+	reg.Describe("blocklist_host_covers_total", "relaxed base-FQDN matches (CoversHost hits)")
+	l.checks = reg.Counter("blocklist_checks_total", "list", l.Name)
+	l.blocked = reg.Counter("blocklist_blocked_total", "list", l.Name)
+	l.excepted = reg.Counter("blocklist_exceptions_total", "list", l.Name)
+	l.hostCover = reg.Counter("blocklist_host_covers_total", "list", l.Name)
 }
 
 func (l *List) ensureIndex() {
@@ -338,6 +363,7 @@ func hostOf(url string) string {
 // It returns whether the request is blocked and the raw text of the
 // deciding rule.
 func (l *List) Match(req Request) (blocked bool, by string) {
+	l.checks.Inc()
 	if req.Host == "" {
 		req.Host = hostOf(req.URL)
 	}
@@ -363,9 +389,11 @@ func (l *List) Match(req Request) (blocked bool, by string) {
 	}
 	for _, i := range l.exceptIdx {
 		if l.rules[i].matches(req) {
+			l.excepted.Inc()
 			return false, l.rules[i].raw
 		}
 	}
+	l.blocked.Inc()
 	return true, blockedBy
 }
 
@@ -396,6 +424,9 @@ func (l *List) CoversHost(host string) bool {
 		}
 		return true
 	})
+	if covered {
+		l.hostCover.Inc()
+	}
 	return covered
 }
 

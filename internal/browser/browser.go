@@ -12,11 +12,13 @@ import (
 	"context"
 	"net/url"
 	"strings"
+	"time"
 
 	"pornweb/internal/consent"
 	"pornweb/internal/crawler"
 	"pornweb/internal/htmlx"
 	"pornweb/internal/jsvm"
+	"pornweb/internal/obs"
 )
 
 // maxIframeDepth bounds recursive iframe loading (RTB chains nest ads in
@@ -28,6 +30,40 @@ type Browser struct {
 	Session *crawler.Session
 	// Env is the ambient state scripts can observe.
 	Env jsvm.Env
+
+	met browserMetrics
+}
+
+// browserMetrics holds pre-resolved page-load instruments; all nil (and
+// therefore no-ops) when the session carries no registry.
+type browserMetrics struct {
+	pageLoad    *obs.Histogram
+	pageOK      *obs.Counter
+	pageFail    *obs.Counter
+	interactive *obs.Counter
+	subres      map[crawler.Initiator]*obs.Counter
+}
+
+func newBrowserMetrics(reg *obs.Registry, country string) browserMetrics {
+	if reg == nil {
+		return browserMetrics{}
+	}
+	reg.Describe("browser_page_load_seconds", "full instrumented page-load duration (subresources and scripts included)")
+	reg.Describe("browser_page_loads_total", "instrumented page loads by outcome")
+	reg.Describe("browser_subresources_total", "subresources fetched during page loads, by initiator")
+	reg.Describe("browser_interactive_visits_total", "Selenium-analog interactive visits")
+	m := browserMetrics{
+		pageLoad:    reg.Histogram("browser_page_load_seconds", obs.LatencyBuckets, "country", country),
+		pageOK:      reg.Counter("browser_page_loads_total", "country", country, "result", "ok"),
+		pageFail:    reg.Counter("browser_page_loads_total", "country", country, "result", "error"),
+		interactive: reg.Counter("browser_interactive_visits_total", "country", country),
+		subres:      map[crawler.Initiator]*obs.Counter{},
+	}
+	for _, init := range []crawler.Initiator{crawler.InitScript, crawler.InitImage,
+		crawler.InitIframe, crawler.InitCSS, crawler.InitJS} {
+		m.subres[init] = reg.Counter("browser_subresources_total", "country", country, "kind", string(init))
+	}
+	return m
 }
 
 // New builds a browser with a Firefox-52-like environment, matching the
@@ -41,6 +77,7 @@ func New(session *crawler.Session) *Browser {
 			ScreenH:   1080,
 			Language:  "en-US",
 		},
+		met: newBrowserMetrics(session.Metrics(), session.Country()),
 	}
 }
 
@@ -68,7 +105,19 @@ type PageVisit struct {
 
 // Visit loads a site's landing page with full instrumentation.
 func (b *Browser) Visit(ctx context.Context, host string) *PageVisit {
+	start := time.Now()
 	pv := &PageVisit{SiteHost: host, Subresources: map[crawler.Initiator]int{}}
+	defer func() {
+		b.met.pageLoad.Observe(time.Since(start).Seconds())
+		for kind, n := range pv.Subresources {
+			b.met.subres[kind].Add(uint64(n))
+		}
+		if pv.OK {
+			b.met.pageOK.Inc()
+		} else {
+			b.met.pageFail.Inc()
+		}
+	}()
 	res, https, err := b.Session.FetchPage(ctx, host, "/")
 	if err != nil {
 		pv.Err = err.Error()
@@ -189,6 +238,7 @@ type InteractiveVisit struct {
 
 // VisitInteractive performs the interactive crawl for one site.
 func (b *Browser) VisitInteractive(ctx context.Context, host string) *InteractiveVisit {
+	b.met.interactive.Inc()
 	iv := &InteractiveVisit{SiteHost: host}
 	res, _, err := b.Session.FetchPage(ctx, host, "/")
 	if err != nil {

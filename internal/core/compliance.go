@@ -78,7 +78,7 @@ func (st *Study) InteractiveCrawl(ctx context.Context, hosts []string, country s
 		out[hosts[i]] = iv
 		mu.Unlock()
 	})
-	st.Cfg.Log("interactive[%s]: %d sites", country, len(hosts))
+	st.Log.Infof("interactive[%s]: %d sites", country, len(hosts))
 	return out, nil
 }
 

@@ -31,9 +31,10 @@ func run(t *testing.T) (*Study, *Results) {
 	t.Helper()
 	once.Do(func() {
 		st, err := NewStudy(Config{
-			Params:  webgen.Params{Seed: 7, Scale: testScale()},
-			Workers: 8,
-			Timeout: 10 * time.Second,
+			Params:      webgen.Params{Seed: 7, Scale: testScale()},
+			Workers:     8,
+			Timeout:     10 * time.Second,
+			MetricsAddr: "127.0.0.1:0",
 		})
 		if err != nil {
 			sharedErr = err

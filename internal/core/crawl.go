@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 
 	"pornweb/internal/browser"
 	"pornweb/internal/crawler"
 	"pornweb/internal/domain"
+	"pornweb/internal/obs"
 )
 
 // CrawlResult is one corpus crawled from one vantage point with the
@@ -22,18 +24,33 @@ type CrawlResult struct {
 	Log []crawler.Record
 	// CertOrgs maps observed hosts to TLS certificate organizations.
 	CertOrgs map[string]string
+
+	// The third-party extraction rebuilds the classifier and rescans the
+	// full request log; a dozen analyses consume the same result, so it is
+	// computed once and cached. tpCacheHits counts the saved rescans.
+	tpOnce      sync.Once
+	tpBySite    map[string][]string
+	allTPOnce   sync.Once
+	allTP       []string
+	tpCacheHits *obs.Counter
 }
 
 // Crawl performs the instrumented (OpenWPM-analog) crawl of the given
 // hosts from a country. One browser session is shared across all visits,
 // as in the paper, so cookie state persists between sites.
 func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*CrawlResult, error) {
+	ctx, span := st.Tracer.Start(ctx, "crawl/"+country)
+	defer span.End()
 	sess, err := st.session(country, "crawl")
 	if err != nil {
 		return nil, err
 	}
 	b := browser.New(sess)
-	cr := &CrawlResult{Country: country, Visits: make(map[string]*browser.PageVisit, len(hosts))}
+	cr := &CrawlResult{
+		Country:     country,
+		Visits:      make(map[string]*browser.PageVisit, len(hosts)),
+		tpCacheHits: st.Metrics.Counter("crawl_tp_cache_hits_total", "country", country),
+	}
 	var mu sync.Mutex
 	st.forEach(ctx, len(hosts), func(i int) {
 		pv := b.Visit(ctx, hosts[i])
@@ -49,7 +66,9 @@ func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*Cr
 	sort.Strings(cr.Crawled)
 	cr.Log = sess.Log()
 	cr.CertOrgs = sess.CertOrgs()
-	st.Cfg.Log("crawl[%s]: %d/%d sites, %d requests", country, len(cr.Crawled), len(hosts), len(cr.Log))
+	span.SetAttr("sites", fmt.Sprint(len(cr.Crawled)))
+	span.SetAttr("requests", fmt.Sprint(len(cr.Log)))
+	st.Log.Infof("crawl[%s]: %d/%d sites, %d requests", country, len(cr.Crawled), len(hosts), len(cr.Log))
 	return cr, nil
 }
 
@@ -76,8 +95,23 @@ func (cr *CrawlResult) AllThirdPartyHosts() []string {
 }
 
 // thirdPartyHostsBySite extracts, per successfully crawled site, the set of
-// contacted third-party FQDNs.
+// contacted third-party FQDNs. The first call computes and caches the map
+// (every analysis after the first is a cache hit, counted in
+// crawl_tp_cache_hits_total); callers share the cached value and must not
+// mutate it.
 func (cr *CrawlResult) thirdPartyHostsBySite() map[string][]string {
+	hit := true
+	cr.tpOnce.Do(func() {
+		hit = false
+		cr.tpBySite = cr.computeThirdPartyHostsBySite()
+	})
+	if hit {
+		cr.tpCacheHits.Inc()
+	}
+	return cr.tpBySite
+}
+
+func (cr *CrawlResult) computeThirdPartyHostsBySite() map[string][]string {
 	cls := cr.classifier()
 	set := map[string]map[string]bool{}
 	for _, h := range cr.Crawled {
@@ -137,18 +171,22 @@ func (cr *CrawlResult) firstPartyExtras() map[string][]string {
 	return out
 }
 
-// allThirdPartyHosts returns the global set of third-party FQDNs.
+// allThirdPartyHosts returns the global set of third-party FQDNs, computed
+// once from the per-site cache and memoized (callers must not mutate it).
 func (cr *CrawlResult) allThirdPartyHosts() []string {
-	seen := map[string]bool{}
-	for _, hosts := range cr.thirdPartyHostsBySite() {
-		for _, h := range hosts {
-			seen[h] = true
+	cr.allTPOnce.Do(func() {
+		seen := map[string]bool{}
+		for _, hosts := range cr.thirdPartyHostsBySite() {
+			for _, h := range hosts {
+				seen[h] = true
+			}
 		}
-	}
-	out := make([]string, 0, len(seen))
-	for h := range seen {
-		out = append(out, h)
-	}
-	sort.Strings(out)
-	return out
+		out := make([]string, 0, len(seen))
+		for h := range seen {
+			out = append(out, h)
+		}
+		sort.Strings(out)
+		cr.allTP = out
+	})
+	return cr.allTP
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"pornweb/internal/obs"
 )
 
 // Results holds every reproduced table and figure (see DESIGN.md's
@@ -68,27 +70,44 @@ func (st *Study) SyncEdgeThreshold() int {
 
 // Run executes the complete study: corpus compilation, the main dual
 // crawls from Spain, the US crawl for Table 8, the remaining geographic
-// crawls, and every analysis.
+// crawls, and every analysis. Every stage is traced (visible on /spans)
+// and timed into the study_stage_seconds histogram (visible on /metrics).
 func (st *Study) Run(ctx context.Context) (*Results, error) {
+	ctx = obs.WithTracer(ctx, st.Tracer)
+	ctx, root := obs.StartSpan(ctx, "study/run")
+	defer root.End()
 	res := &Results{}
 
-	st.Cfg.Log("compiling corpus...")
-	corpus, err := st.CompileCorpus(ctx)
+	// measure wraps one synchronous analysis as a traced, timed stage.
+	measure := func(name string, fn func()) {
+		_, done := st.stage(ctx, name)
+		fn()
+		done()
+	}
+
+	st.Log.Infof("compiling corpus...")
+	sctx, done := st.stage(ctx, "corpus")
+	corpus, err := st.CompileCorpus(sctx)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: corpus: %w", err)
 	}
 	res.Corpus = corpus
-	st.Cfg.Log("corpus: %d candidates -> %d porn, %d reference",
+	st.Log.Infof("corpus: %d candidates -> %d porn, %d reference",
 		corpus.Candidates, len(corpus.Porn), len(corpus.Reference))
 
-	res.Figure1 = st.RankStability(corpus.Porn)
+	measure("analysis/rank-stability", func() { res.Figure1 = st.RankStability(corpus.Porn) })
 
-	st.Cfg.Log("main crawl (ES)...")
-	pornES, err := st.Crawl(ctx, corpus.Porn, "ES")
+	st.Log.Infof("main crawl (ES)...")
+	sctx, done = st.stage(ctx, "crawl/porn-ES")
+	pornES, err := st.Crawl(sctx, corpus.Porn, "ES")
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: porn crawl: %w", err)
 	}
-	regES, err := st.Crawl(ctx, corpus.Reference, "ES")
+	sctx, done = st.stage(ctx, "crawl/reference-ES")
+	regES, err := st.Crawl(sctx, corpus.Reference, "ES")
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: regular crawl: %w", err)
 	}
@@ -97,59 +116,75 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 		regularTP[h] = true
 	}
 
-	res.Table2 = st.AnalyzeThirdParties(pornES, regES)
-	res.Table3 = st.AnalyzePopularityIntervals(pornES)
-	res.SharedAllIntervals, res.SharedAllIntervalsTotal = st.SharedAcrossAllIntervals(pornES)
+	measure("analysis/third-parties", func() {
+		res.Table2 = st.AnalyzeThirdParties(pornES, regES)
+		res.Table3 = st.AnalyzePopularityIntervals(pornES)
+		res.SharedAllIntervals, res.SharedAllIntervalsTotal = st.SharedAcrossAllIntervals(pornES)
+	})
 
-	rows, cov := st.AnalyzeOrganizations(pornES, regES, 19)
-	res.Figure3 = rows
-	if cov.Hosts > 0 {
-		res.AttributionRate = float64(cov.Attributed) / float64(cov.Hosts)
-		res.DisconnectOnlyRate = float64(cov.DisconnectOnly) / float64(cov.Hosts)
-	}
-	res.AttributionCompanies = len(cov.Companies)
+	measure("analysis/organizations", func() {
+		rows, cov := st.AnalyzeOrganizations(pornES, regES, 19)
+		res.Figure3 = rows
+		if cov.Hosts > 0 {
+			res.AttributionRate = float64(cov.Attributed) / float64(cov.Hosts)
+			res.DisconnectOnlyRate = float64(cov.DisconnectOnly) / float64(cov.Hosts)
+		}
+		res.AttributionCompanies = len(cov.Companies)
+	})
 
-	res.CookieCensus, res.Table4 = st.AnalyzeCookies(pornES, regularTP)
-	res.Figure4 = st.AnalyzeCookieSync(pornES, st.SyncEdgeThreshold())
-	res.Fingerprinting = st.AnalyzeFingerprinting(pornES, regularTP)
-	res.Table6 = st.AnalyzeHTTPS(pornES)
-	res.Malware = st.AnalyzeMalware(pornES)
-	res.Monetization = st.AnalyzeMonetization(pornES)
-	res.Blocking = st.AnalyzeBlocking(pornES)
-	res.RTA = st.AnalyzeRTA(pornES)
-	res.Chains = st.AnalyzeInclusionChains(pornES)
-	res.Storage = st.AnalyzeStorage(pornES)
+	measure("analysis/cookies", func() { res.CookieCensus, res.Table4 = st.AnalyzeCookies(pornES, regularTP) })
+	measure("analysis/cookie-sync", func() { res.Figure4 = st.AnalyzeCookieSync(pornES, st.SyncEdgeThreshold()) })
+	measure("analysis/fingerprinting", func() { res.Fingerprinting = st.AnalyzeFingerprinting(pornES, regularTP) })
+	measure("analysis/https", func() { res.Table6 = st.AnalyzeHTTPS(pornES) })
+	measure("analysis/malware", func() { res.Malware = st.AnalyzeMalware(pornES) })
+	measure("analysis/monetization", func() { res.Monetization = st.AnalyzeMonetization(pornES) })
+	measure("analysis/blocking", func() { res.Blocking = st.AnalyzeBlocking(pornES) })
+	measure("analysis/rta", func() { res.RTA = st.AnalyzeRTA(pornES) })
+	measure("analysis/chains", func() { res.Chains = st.AnalyzeInclusionChains(pornES) })
+	measure("analysis/storage", func() { res.Storage = st.AnalyzeStorage(pornES) })
 
-	st.Cfg.Log("banner crawl (US)...")
-	pornUS, err := st.Crawl(ctx, corpus.Porn, "US")
+	st.Log.Infof("banner crawl (US)...")
+	sctx, done = st.stage(ctx, "crawl/porn-US")
+	pornUS, err := st.Crawl(sctx, corpus.Porn, "US")
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: US crawl: %w", err)
 	}
-	res.Table8ES = st.AnalyzeBanners(pornES)
-	res.Table8US = st.AnalyzeBanners(pornUS)
+	measure("analysis/banners", func() {
+		res.Table8ES = st.AnalyzeBanners(pornES)
+		res.Table8US = st.AnalyzeBanners(pornUS)
+	})
 
-	st.Cfg.Log("interactive crawl (ES)...")
-	interactive, err := st.InteractiveCrawl(ctx, corpus.Porn, "ES")
+	st.Log.Infof("interactive crawl (ES)...")
+	sctx, done = st.stage(ctx, "crawl/interactive-ES")
+	interactive, err := st.InteractiveCrawl(sctx, corpus.Porn, "ES")
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: interactive crawl: %w", err)
 	}
-	topTracking := st.TopTrackingSites(pornES, 25)
-	res.Policies = st.AnalyzePolicies(interactive, topTracking, pornES.thirdPartyHostsBySite())
-	res.Table1 = st.AnalyzeOwners(pornES, interactive, 15)
-	res.Validation = st.ValidateAgainstTruth(pornES, interactive, res.Table1)
+	measure("analysis/policies", func() {
+		topTracking := st.TopTrackingSites(pornES, 25)
+		res.Policies = st.AnalyzePolicies(interactive, topTracking, pornES.thirdPartyHostsBySite())
+	})
+	measure("analysis/owners", func() { res.Table1 = st.AnalyzeOwners(pornES, interactive, 15) })
+	measure("analysis/validation", func() { res.Validation = st.ValidateAgainstTruth(pornES, interactive, res.Table1) })
 
-	st.Cfg.Log("age verification (US/UK/ES/RU)...")
-	age, err := st.AnalyzeAgeVerification(ctx, corpus.Porn)
+	st.Log.Infof("age verification (US/UK/ES/RU)...")
+	sctx, done = st.stage(ctx, "analysis/age-verification")
+	age, err := st.AnalyzeAgeVerification(sctx, corpus.Porn)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: age verification: %w", err)
 	}
 	res.AgeVerification = age
 
-	st.Cfg.Log("geographic crawls...")
-	geo, err := st.AnalyzeGeo(ctx, corpus.Porn, regularTP, map[string]*CrawlResult{
+	st.Log.Infof("geographic crawls...")
+	sctx, done = st.stage(ctx, "analysis/geo")
+	geo, err := st.AnalyzeGeo(sctx, corpus.Porn, regularTP, map[string]*CrawlResult{
 		"ES": pornES,
 		"US": pornUS,
 	})
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: geo: %w", err)
 	}

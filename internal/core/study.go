@@ -8,11 +8,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"pornweb/internal/blocklist"
 	"pornweb/internal/crawler"
+	"pornweb/internal/obs"
 	"pornweb/internal/ranking"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
@@ -29,8 +31,26 @@ type Config struct {
 	// Timeout bounds a single page load (the paper used 120 s; the
 	// loopback substrate needs far less).
 	Timeout time.Duration
-	// Log receives progress lines when non-nil.
+	// Log receives progress lines when non-nil. Deprecated in favour of
+	// Logger; when set it is kept working as a sink behind the structured
+	// logger, so existing callers lose nothing.
 	Log func(format string, args ...any)
+	// Logger is the structured leveled logger for the whole study. When
+	// nil, one is built that discards output (but still feeds the legacy
+	// Log callback when that is set).
+	Logger *obs.Logger
+	// Metrics is the registry every layer (crawler, browser, webserver,
+	// blocklists, pipeline stages) registers into. When nil a fresh
+	// registry is created, so metrics are always collected; set
+	// MetricsAddr to expose them.
+	Metrics *obs.Registry
+	// MetricsAddr, when non-empty, starts an admin HTTP listener on that
+	// address (host:port, port 0 picks a free one) serving /metrics
+	// (Prometheus text format), /spans (recent stage spans as JSON) and
+	// /debug/pprof/. Empty means no listener.
+	MetricsAddr string
+	// SpanBuffer is the tracing ring-buffer capacity (default 4096).
+	SpanBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
+	}
+	if c.SpanBuffer == 0 {
+		c.SpanBuffer = 4096
 	}
 	if c.Params.Scale == 0 {
 		c.Params = webgen.DefaultParams()
@@ -62,29 +85,78 @@ type Study struct {
 	// EasyList is the merged EasyList+EasyPrivacy used for ATS
 	// classification.
 	EasyList *blocklist.List
+
+	// Metrics is the study-wide registry; Tracer holds recent stage
+	// spans; Log is the structured logger. All three are always non-nil
+	// after NewStudy.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+	Log     *obs.Logger
+
+	admin *obs.AdminServer
 }
 
 // NewStudy generates the ecosystem and starts its server.
 func NewStudy(cfg Config) (*Study, error) {
+	userLog := cfg.Log // capture before withDefaults installs the no-op
 	cfg = cfg.withDefaults()
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NewLogger(nil, obs.LevelInfo)
+	}
+	if userLog != nil {
+		logger = logger.WithSink(userLog)
+	}
+	logger = logger.CountIn(reg)
+	tracer := obs.NewTracer(cfg.SpanBuffer)
+
 	eco := webgen.Generate(cfg.Params)
-	srv, err := webserver.Start(eco)
+	srv, err := webserver.Start(eco,
+		webserver.WithMetrics(reg),
+		webserver.WithLogger(logger))
 	if err != nil {
 		return nil, fmt.Errorf("core: start server: %w", err)
 	}
 	el := blocklist.Parse("easylist", eco.BuildEasyList())
 	ep := blocklist.Parse("easyprivacy", eco.BuildEasyPrivacy())
-	return &Study{
+	merged := blocklist.Merge("easylist+easyprivacy", el, ep)
+	merged.Instrument(reg)
+	st := &Study{
 		Cfg:      cfg,
 		Eco:      eco,
 		Srv:      srv,
 		Rank:     eco.RankingDataset(),
-		EasyList: blocklist.Merge("easylist+easyprivacy", el, ep),
-	}, nil
+		EasyList: merged,
+		Metrics:  reg,
+		Tracer:   tracer,
+		Log:      logger,
+	}
+	if cfg.MetricsAddr != "" {
+		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, tracer)
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("core: admin listener: %w", err)
+		}
+		st.admin = admin
+		logger.Infof("observability: http://%s/metrics", admin.Addr())
+	}
+	return st, nil
 }
 
-// Close shuts the server down.
-func (st *Study) Close() { st.Srv.Close() }
+// AdminAddr returns the admin listener's address, or "" when MetricsAddr
+// was unset.
+func (st *Study) AdminAddr() string { return st.admin.Addr() }
+
+// Close shuts the server (and the admin listener, if any) down.
+func (st *Study) Close() {
+	st.admin.Close()
+	st.Srv.Close()
+}
 
 // session opens an instrumented session for a vantage country and crawl
 // phase.
@@ -95,5 +167,21 @@ func (st *Study) session(country, phase string) (*crawler.Session, error) {
 		Country:     country,
 		Phase:       phase,
 		Timeout:     st.Cfg.Timeout,
+		Metrics:     st.Metrics,
 	})
+}
+
+// stage opens a traced, timed pipeline stage: a span named stage/<name>
+// plus an observation in the study_stage_seconds histogram when the
+// returned func runs.
+func (st *Study) stage(ctx context.Context, name string) (context.Context, func()) {
+	ctx, span := st.Tracer.Start(ctx, "stage/"+name)
+	h := st.Metrics.Histogram("study_stage_seconds", obs.StageBuckets, "stage", name)
+	start := time.Now()
+	return ctx, func() {
+		d := time.Since(start)
+		h.Observe(d.Seconds())
+		span.End()
+		st.Log.Event(obs.LevelDebug, "stage done", "stage", name, "took", d.Round(time.Millisecond))
+	}
 }

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pornweb/internal/obs"
 )
 
 // Initiator describes what caused a request.
@@ -95,6 +97,12 @@ type Config struct {
 	MaxRedirects int
 	// UserAgent for requests.
 	UserAgent string
+	// Metrics, when non-nil, receives per-request telemetry (latency
+	// histograms, status-class counters, transport errors and HTTPS
+	// downgrades, all labeled by vantage country). Instruments are
+	// resolved once at session creation, so the per-request cost is an
+	// atomic add — and a nil check when disabled.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -121,11 +129,54 @@ type Session struct {
 	cfg    Config
 	client *http.Client
 	jar    *cookiejar.Jar
+	met    sessionMetrics
 
 	mu       sync.Mutex
 	log      []Record
 	certOrgs map[string]string // host -> cert org
 	seq      int
+}
+
+// sessionMetrics holds the session's pre-resolved instruments. All fields
+// are nil without a registry, making every update a no-op.
+type sessionMetrics struct {
+	latency    *obs.Histogram
+	byClass    [6]*obs.Counter // index statusClassIdx: 1xx..5xx, error
+	transport  *obs.Counter
+	downgrades *obs.Counter
+	cookies    *obs.Counter
+}
+
+// statusClassIdx maps an HTTP status (or 0 for transport error) to the
+// byClass index; statusClassName names it.
+func statusClassIdx(status int) int {
+	if status >= 100 && status < 600 {
+		return status/100 - 1
+	}
+	return 5
+}
+
+var statusClassName = [6]string{"1xx", "2xx", "3xx", "4xx", "5xx", "error"}
+
+func newSessionMetrics(reg *obs.Registry, country string) sessionMetrics {
+	if reg == nil {
+		return sessionMetrics{}
+	}
+	reg.Describe("crawler_request_seconds", "per-request round-trip latency")
+	reg.Describe("crawler_requests_total", "requests by status class and vantage country")
+	reg.Describe("crawler_transport_errors_total", "requests that died before an HTTP status")
+	reg.Describe("crawler_https_downgrades_total", "page loads that fell back from HTTPS to HTTP")
+	reg.Describe("crawler_cookies_set_total", "Set-Cookie headers received")
+	m := sessionMetrics{
+		latency:    reg.Histogram("crawler_request_seconds", obs.LatencyBuckets, "country", country),
+		transport:  reg.Counter("crawler_transport_errors_total", "country", country),
+		downgrades: reg.Counter("crawler_https_downgrades_total", "country", country),
+		cookies:    reg.Counter("crawler_cookies_set_total", "country", country),
+	}
+	for i, class := range statusClassName {
+		m.byClass[i] = reg.Counter("crawler_requests_total", "country", country, "class", class)
+	}
+	return m
 }
 
 // NewSession builds a session with a fresh cookie jar.
@@ -158,6 +209,7 @@ func NewSession(cfg Config) (*Session, error) {
 	s := &Session{
 		cfg:      cfg,
 		jar:      jar,
+		met:      newSessionMetrics(cfg.Metrics, cfg.Country),
 		certOrgs: map[string]string{},
 	}
 	s.client = &http.Client{
@@ -196,7 +248,22 @@ func (s *Session) CertOrgs() map[string]string {
 // Jar exposes the session cookie jar (for cookie-census analyses).
 func (s *Session) Jar() *cookiejar.Jar { return s.jar }
 
+// Metrics exposes the session's registry (nil when uninstrumented) so the
+// layers above — the browser page loader — can register their own
+// instruments against the same registry.
+func (s *Session) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Country returns the session's vantage country.
+func (s *Session) Country() string { return s.cfg.Country }
+
 func (s *Session) record(r Record) {
+	if r.Status == 0 {
+		s.met.transport.Inc()
+		s.met.byClass[5].Inc()
+	} else {
+		s.met.byClass[statusClassIdx(r.Status)].Inc()
+	}
+	s.met.cookies.Add(uint64(len(r.SetCookies)))
 	s.mu.Lock()
 	s.seq++
 	r.Seq = s.seq
@@ -278,7 +345,9 @@ func (s *Session) doOne(ctx context.Context, rawURL, siteHost string, initiator 
 	if referer != "" {
 		req.Header.Set("Referer", referer)
 	}
+	start := time.Now()
 	resp, err := s.client.Do(req)
+	s.met.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		rec.Err = err.Error()
 		return rec, nil, err
@@ -329,6 +398,7 @@ func (s *Session) FetchPage(ctx context.Context, host, path string) (*Result, bo
 	}
 	res, err2 := s.Fetch(ctx, "http://"+host+path, host, InitDocument, "")
 	if err2 == nil {
+		s.met.downgrades.Inc()
 		return res, false, nil
 	}
 	return nil, false, fmt.Errorf("crawler: %s unreachable: https: %v; http: %v", host, err, err2)

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminHandler serves the observability surface:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/spans         JSON dump of the tracer's recent spans
+//	/debug/pprof/  the standard net/http/pprof handlers
+//	/              a tiny index linking the above
+//
+// reg and tr may be nil; the corresponding endpoints then serve empty
+// bodies.
+func AdminHandler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteExposition(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := tr.Recent()
+		json.NewEncoder(w).Encode(struct {
+			Capacity int          `json:"capacity"`
+			Count    int          `json:"count"`
+			Spans    []SpanRecord `json:"spans"`
+		}{tr.Capacity(), len(spans), spans})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>pornweb observability</h1><ul>`+
+			`<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>`+
+			`<li><a href="/spans">/spans</a> — recent stage spans (JSON)</li>`+
+			`<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>`+
+			`</ul></body></html>`)
+	})
+	return mux
+}
+
+// AdminServer is a started admin listener.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin binds addr (host:port; port 0 picks a free one) and serves
+// the admin handler until Close.
+func ServeAdmin(addr string, reg *Registry, tr *Tracer) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	a := &AdminServer{
+		ln:  ln,
+		srv: &http.Server{Handler: AdminHandler(reg, tr), ReadHeaderTimeout: 10 * time.Second},
+	}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound address (resolves port 0).
+func (a *AdminServer) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (a *AdminServer) Close() error {
+	if a == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
+}

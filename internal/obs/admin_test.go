@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Exposition-format grammar: every line must be a comment or
+// name{labels} value — the subset of Prometheus text format 0.0.4 the
+// registry emits.
+var (
+	sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?(Inf|[0-9.eE+-]+))$`)
+	typeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+)
+
+func validateExposition(t *testing.T, body string) {
+	t.Helper()
+	seenTypes := map[string]bool{}
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			if !typeLine.MatchString(line) {
+				t.Errorf("line %d: bad TYPE line %q", i+1, line)
+			}
+			name := strings.Fields(line)[2]
+			if seenTypes[name] {
+				t.Errorf("line %d: duplicate TYPE for %s", i+1, name)
+			}
+			seenTypes[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or quantile comment
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("line %d: invalid sample %q", i+1, line)
+		}
+	}
+}
+
+func seedRegistry() (*Registry, *Tracer) {
+	reg := NewRegistry()
+	reg.Describe("demo_requests_total", "demo requests")
+	reg.Counter("demo_requests_total", "class", "2xx").Add(5)
+	h := reg.Histogram("demo_latency_seconds", LatencyBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	tr := NewTracer(64)
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := tr.Start(ctx, "child")
+	child.End()
+	root.End()
+	return reg, tr
+}
+
+func TestAdminMetricsScrape(t *testing.T) {
+	reg, tr := seedRegistry()
+	srv := httptest.NewServer(AdminHandler(reg, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		`demo_requests_total{class="2xx"} 5`,
+		`demo_latency_seconds_bucket{le="+Inf"} 100`,
+		"demo_latency_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	validateExposition(t, out)
+}
+
+func TestAdminSpans(t *testing.T) {
+	reg, tr := seedRegistry()
+	srv := httptest.NewServer(AdminHandler(reg, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Capacity int
+		Count    int
+		Spans    []SpanRecord
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Capacity != 64 || got.Count != 2 {
+		t.Fatalf("capacity=%d count=%d, want 64/2", got.Capacity, got.Count)
+	}
+	// child ended first, so it is oldest in the buffer.
+	if got.Spans[0].Name != "child" || got.Spans[0].ParentID != got.Spans[1].ID {
+		t.Fatalf("span nesting lost over HTTP: %+v", got.Spans)
+	}
+}
+
+func TestAdminPprofAndIndex(t *testing.T) {
+	reg, tr := seedRegistry()
+	srv := httptest.NewServer(AdminHandler(reg, tr))
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/profile?seconds=1"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeAdminLifecycle(t *testing.T) {
+	reg, tr := seedRegistry()
+	a, err := ServeAdmin("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", a.Addr())); err == nil {
+		t.Fatal("admin listener still serving after Close")
+	}
+	var nilAdmin *AdminServer
+	if nilAdmin.Addr() != "" || nilAdmin.Close() != nil {
+		t.Fatal("nil AdminServer must be inert")
+	}
+}

@@ -1,0 +1,19 @@
+// Package obs is the study-wide observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket latency histograms with
+// quantile summaries), lightweight span tracing into a bounded ring
+// buffer, a structured leveled logger, and an admin HTTP handler that
+// exposes everything — Prometheus text format under /metrics, recent spans
+// as JSON under /spans, and net/http/pprof under /debug/pprof/.
+//
+// The paper's measurement run is a long multi-stage pipeline (dual crawls
+// from six vantage points feeding a dozen analyses); obs makes that
+// pipeline watchable while it runs, the way continuously-operated
+// measurement platforms (WhoTracks.Me) monitor theirs, and records the
+// per-stage timings every performance comparison needs.
+//
+// Everything is nil-safe: a nil *Registry hands out nil instruments, and
+// every method on a nil instrument, span, tracer or logger is a cheap
+// no-op. Code instruments itself unconditionally and the caller decides at
+// wiring time whether telemetry is collected — the disabled path costs a
+// nil check per operation.
+package obs

@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default bucket boundaries, in seconds.
+var (
+	// LatencyBuckets suits sub-second request round-trips.
+	LatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// StageBuckets suits pipeline stages that run from milliseconds to
+	// minutes (a paper-scale crawl stage takes over a minute).
+	StageBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1,
+		2.5, 5, 10, 30, 60, 120, 300, 600}
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Bucket boundaries are upper
+// bounds; observations above the last boundary land in the implicit +Inf
+// bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-added
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket containing the target rank — the same estimate
+// Prometheus's histogram_quantile computes. Observations in the +Inf
+// bucket clamp to the highest finite boundary.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind discriminates exposition TYPE lines.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one (name, labelset) time series.
+type series struct {
+	labels string // pre-rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name   string
+	kind   metricKind
+	help   string
+	bounds []float64 // histogram families only
+	series map[string]*series
+}
+
+// Registry is a thread-safe collection of named metrics. Instruments are
+// get-or-create: asking twice for the same name and label set returns the
+// same instrument, so hot paths should resolve instruments once and keep
+// the pointer. A nil *Registry hands out nil instruments whose methods
+// no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Describe attaches HELP text to a metric name (exposed on /metrics).
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+	} else {
+		r.families[name] = &family{name: name, help: help, series: map[string]*series{}}
+	}
+}
+
+// lookup get-or-creates the series for (name, labels) and enforces that a
+// name keeps one kind for its lifetime.
+func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels []string) *series {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, bounds: bounds, series: map[string]*series{}}
+		r.families[name] = f
+	} else if len(f.series) == 0 && f.kind != kind {
+		// Described-before-use family: adopt the first real kind.
+		f.kind = kind
+		f.bounds = bounds
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as two kinds", name))
+	}
+	s, ok := f.series[ls]
+	if !ok {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			b := f.bounds
+			if len(b) == 0 {
+				b = LatencyBuckets
+			}
+			s.h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		}
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name and the given label pairs
+// (alternating key, value).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge for name and label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram for name and label pairs. The bucket
+// boundaries of the first call for a name win; nil buckets default to
+// LatencyBuckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHistogram, buckets, labels).h
+}
+
+// renderLabels renders alternating key/value pairs as a canonical
+// (key-sorted) Prometheus label block, or "" for no labels.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list, want alternating key, value")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// withExtraLabel splices one more label into a pre-rendered label block.
+func withExtraLabel(ls, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if ls == "" {
+		return "{" + pair + "}"
+	}
+	return ls[:len(ls)-1] + "," + pair + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition renders every metric in Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by metric name and
+// label set. Histograms emit the conventional _bucket/_sum/_count series
+// plus a comment line with p50/p95/p99 estimates for human readers.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		if len(f.series) == 0 {
+			continue // described but never used
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", f.name)
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", f.name)
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", f.name)
+		}
+		keys := make([]string, 0, len(f.series))
+		for ls := range f.series {
+			keys = append(keys, ls)
+		}
+		sort.Strings(keys)
+		for _, ls := range keys {
+			s := f.series[ls]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, ls, formatValue(s.g.Value()))
+			case kindHistogram:
+				cum := uint64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					le := strconv.FormatFloat(bound, 'g', -1, 64)
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withExtraLabel(ls, "le", le), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withExtraLabel(ls, "le", "+Inf"), s.h.Count())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, ls, formatValue(s.h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, ls, s.h.Count())
+				fmt.Fprintf(&b, "# %s%s p50=%s p95=%s p99=%s\n", f.name, ls,
+					formatValue(s.h.Quantile(0.50)),
+					formatValue(s.h.Quantile(0.95)),
+					formatValue(s.h.Quantile(0.99)))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "worker", "all")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterSameSeries(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "k", "v")
+	b := reg.Counter("x_total", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if c := reg.Counter("x_total", "k", "other"); c == a {
+		t.Fatal("different labels must return a different counter")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("inflight")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %v, want 0", v)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(i%4) * 0.05)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	wantSum := 2000 * (0 + 0.05 + 0.10 + 0.15)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramQuantiles feeds known distributions and checks the
+// interpolated quantiles.
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	// Uniform 1..1000 ms into decade-ish buckets.
+	h := reg.Histogram("u_seconds", []float64{0.1, 0.25, 0.5, 0.75, 1.0})
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	checks := []struct{ q, want, tol float64 }{
+		{0.50, 0.50, 0.01},
+		{0.95, 0.95, 0.01},
+		{0.99, 0.99, 0.01},
+	}
+	for _, c := range checks {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("uniform p%.0f = %v, want %v±%v", c.q*100, got, c.want, c.tol)
+		}
+	}
+
+	// Point mass: everything in one bucket interpolates within it.
+	p := reg.Histogram("p_seconds", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		p.Observe(1.5)
+	}
+	if got := p.Quantile(0.5); got < 1 || got > 2 {
+		t.Errorf("point-mass p50 = %v, want within (1,2]", got)
+	}
+
+	// Overflow clamps to the top finite bound.
+	o := reg.Histogram("o_seconds", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		o.Observe(100)
+	}
+	if got := o.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99 = %v, want 2", got)
+	}
+
+	if got := (*Histogram)(nil).Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a").Inc()
+	reg.Counter("a").Add(3)
+	reg.Gauge("b").Set(1)
+	reg.Gauge("b").Add(-2)
+	reg.Histogram("c", nil).Observe(0.5)
+	reg.Describe("a", "help")
+	var sb strings.Builder
+	if err := reg.WriteExposition(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Describe("req_total", "requests served")
+	reg.Counter("req_total", "class", "2xx", "country", "ES").Add(7)
+	reg.Counter("req_total", "class", "5xx", "country", "ES").Inc()
+	reg.Gauge("temp").Set(3.5)
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := reg.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP req_total requests served",
+		"# TYPE req_total counter",
+		`req_total{class="2xx",country="ES"} 7`,
+		"# TYPE temp gauge",
+		"temp 3.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	validateExposition(t, out)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "k", "a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	reg.WriteExposition(&sb)
+	if !strings.Contains(sb.String(), `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping: %s", sb.String())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on kind conflict")
+		}
+	}()
+	reg.Gauge("dup")
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span as stored in the tracer's ring buffer.
+type SpanRecord struct {
+	ID       uint64            `json:"id"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer; the
+// newest spans overwrite the oldest, so memory stays bounded no matter how
+// long the study runs.
+type Tracer struct {
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int  // ring cursor
+	full bool // buffer has wrapped
+}
+
+// NewTracer returns a tracer keeping the most recent capacity spans
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]SpanRecord, capacity)}
+}
+
+// Span is one in-flight timed operation. End records it.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+type ctxKey int
+
+const (
+	ctxKeyTracer ctxKey = iota
+	ctxKeySpan
+)
+
+// WithTracer returns a context carrying the tracer, so downstream code can
+// open child spans with the package-level StartSpan.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyTracer, tr)
+}
+
+// TracerFrom extracts the context's tracer (nil if absent).
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(ctxKeyTracer).(*Tracer)
+	return tr
+}
+
+// StartSpan opens a span named name under the context's tracer and current
+// span, returning a context in which the new span is current. With no
+// tracer in the context it returns (ctx, nil); a nil span's methods no-op,
+// so call sites need no guards.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return TracerFrom(ctx).Start(ctx, name)
+}
+
+// Start opens a span on this tracer, parented to the context's current
+// span. Nil-safe.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tr:    t,
+		id:    t.seq.Add(1),
+		name:  name,
+		start: time.Now(),
+	}
+	if parent, _ := ctx.Value(ctxKeySpan).(*Span); parent != nil {
+		s.parent = parent.id
+	}
+	// Ensure the tracer rides along even when the caller used Start
+	// directly on a tracer the context does not carry yet.
+	if TracerFrom(ctx) != t {
+		ctx = WithTracer(ctx, t)
+	}
+	return context.WithValue(ctx, ctxKeySpan, s), s
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End records the span into the tracer's ring buffer and returns its
+// duration. Only the first End counts.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.tr.record(SpanRecord{
+		ID:       s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: d,
+		Attrs:    attrs,
+	})
+	return d
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	t.buf[t.next] = r
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the buffered spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]SpanRecord, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]SpanRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Capacity returns the ring-buffer size.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(64)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "study/run")
+	ctx2, crawl := StartSpan(ctx1, "crawl/ES")
+	crawl.SetAttr("country", "ES")
+	_, visit := StartSpan(ctx2, "visit")
+	visit.End()
+	crawl.End()
+	// A sibling under root, opened after crawl closed.
+	_, analyze := StartSpan(ctx1, "analysis/parties")
+	analyze.End()
+	root.End()
+
+	spans := tr.Recent()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, v, a := byName["study/run"], byName["crawl/ES"], byName["visit"], byName["analysis/parties"]
+	if r.ParentID != 0 {
+		t.Errorf("root has parent %d", r.ParentID)
+	}
+	if c.ParentID != r.ID || a.ParentID != r.ID {
+		t.Errorf("crawl/analysis not parented to root: %d/%d vs %d", c.ParentID, a.ParentID, r.ID)
+	}
+	if v.ParentID != c.ID {
+		t.Errorf("visit parent = %d, want crawl %d", v.ParentID, c.ID)
+	}
+	if c.Attrs["country"] != "ES" {
+		t.Errorf("attrs lost: %+v", c.Attrs)
+	}
+	if r.Duration <= 0 {
+		t.Errorf("root duration %v", r.Duration)
+	}
+}
+
+func TestSpanNoTracerInContext(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "orphan")
+	if s != nil {
+		t.Fatal("want nil span without a tracer")
+	}
+	s.SetAttr("k", "v") // must not panic
+	if d := s.End(); d != 0 {
+		t.Fatalf("nil span duration %v", d)
+	}
+	if ctx == nil {
+		t.Fatal("context dropped")
+	}
+}
+
+func TestTracerStartInjectsTracer(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, parent := tr.Start(context.Background(), "parent")
+	// The returned context should let package-level StartSpan find tr.
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	parent.End()
+	spans := tr.Recent()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := NewTracer(16)
+	_, s := tr.Start(context.Background(), "once")
+	s.End()
+	s.End()
+	if got := len(tr.Recent()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		_, s := tr.Start(context.Background(), "s")
+		s.End()
+	}
+	spans := tr.Recent()
+	if len(spans) != 16 {
+		t.Fatalf("ring kept %d, want capacity 16", len(spans))
+	}
+	// Oldest-first ordering: IDs strictly increase.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Fatalf("ring order broken at %d: %d after %d", i, spans[i].ID, spans[i-1].ID)
+		}
+	}
+	if spans[len(spans)-1].ID != 40 {
+		t.Fatalf("newest span ID = %d, want 40", spans[len(spans)-1].ID)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := WithTracer(context.Background(), tr)
+			for i := 0; i < 200; i++ {
+				c2, s := StartSpan(ctx, "outer")
+				_, in := StartSpan(c2, "inner")
+				in.SetAttr("i", "x")
+				in.End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Recent()); got != 128 {
+		t.Fatalf("ring has %d, want full 128", got)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.Start(context.Background(), "x")
+	s.End()
+	if tr.Recent() != nil || tr.Capacity() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	if ctx == nil {
+		t.Fatal("context dropped")
+	}
+}

@@ -24,7 +24,6 @@ import (
 	"crypto/x509/pkix"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"math/big"
 	"net"
@@ -33,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"pornweb/internal/obs"
 	"pornweb/internal/webgen"
 )
 
@@ -55,16 +55,85 @@ type Server struct {
 	caKey  *ecdsa.PrivateKey
 	caPool *x509.CertPool
 
-	mu    sync.Mutex
-	certs map[string]*tls.Certificate
+	reg *obs.Registry
+	log *obs.Logger
+	met serverMetrics
+
+	mu     sync.Mutex
+	certs  map[string]*tls.Certificate
+	vhosts map[string]*obs.Counter // per-service-host request counters
 
 	closed chan struct{}
 }
 
+// serverMetrics holds the server's pre-resolved instruments; all no-op
+// without a registry.
+type serverMetrics struct {
+	reqSite     *obs.Counter
+	reqService  *obs.Counter
+	reqOther    *obs.Counter
+	reqSecure   *obs.Counter
+	tlsServed   *obs.Counter
+	tlsRefused  *obs.Counter
+	certsMinted *obs.Counter
+	refusals    *obs.Counter
+	errLogLines *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	if reg == nil {
+		return serverMetrics{}
+	}
+	reg.Describe("webserver_requests_total", "requests served, by virtual-host kind")
+	reg.Describe("webserver_requests_secure_total", "requests that arrived over TLS")
+	reg.Describe("webserver_vhost_requests_total", "requests per third-party service virtual host")
+	reg.Describe("webserver_tls_handshakes_total", "SNI certificate requests, by outcome")
+	reg.Describe("webserver_certs_minted_total", "leaf certificates minted on demand")
+	reg.Describe("webserver_refused_total", "connections dropped to simulate dead or refusing hosts")
+	reg.Describe("webserver_error_log_lines_total", "lines net/http wrote to the server error log")
+	return serverMetrics{
+		reqSite:     reg.Counter("webserver_requests_total", "kind", "site"),
+		reqService:  reg.Counter("webserver_requests_total", "kind", "service"),
+		reqOther:    reg.Counter("webserver_requests_total", "kind", "other"),
+		reqSecure:   reg.Counter("webserver_requests_secure_total"),
+		tlsServed:   reg.Counter("webserver_tls_handshakes_total", "result", "served"),
+		tlsRefused:  reg.Counter("webserver_tls_handshakes_total", "result", "no_tls"),
+		certsMinted: reg.Counter("webserver_certs_minted_total"),
+		refusals:    reg.Counter("webserver_refused_total"),
+		errLogLines: reg.Counter("webserver_error_log_lines_total"),
+	}
+}
+
+// Option customizes a Server at Start.
+type Option func(*Server)
+
+// WithMetrics registers the server's instruments (request, vhost, TLS and
+// cert-minting counters) in reg.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithLogger routes server-side errors through l instead of dropping them.
+// Expected noise — TLS handshake failures for HTTP-only hosts drive the
+// crawler's HTTPS-downgrade probing — is logged at debug level but always
+// counted when a registry is attached.
+func WithLogger(l *obs.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
 // Start generates the CA, binds both listeners on loopback and begins
 // serving. Callers must Close the server.
-func Start(eco *webgen.Ecosystem) (*Server, error) {
-	s := &Server{Eco: eco, certs: map[string]*tls.Certificate{}, closed: make(chan struct{})}
+func Start(eco *webgen.Ecosystem, opts ...Option) (*Server, error) {
+	s := &Server{
+		Eco:    eco,
+		certs:  map[string]*tls.Certificate{},
+		vhosts: map[string]*obs.Counter{},
+		closed: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.met = newServerMetrics(s.reg)
 	if err := s.initCA(); err != nil {
 		return nil, fmt.Errorf("webserver: init CA: %w", err)
 	}
@@ -82,11 +151,13 @@ func Start(eco *webgen.Ecosystem) (*Server, error) {
 	s.httpsLn = tls.NewListener(tcpLn, tlsConf)
 
 	handler := http.HandlerFunc(s.handle)
-	// Discard server-side error logging: failed TLS handshakes for
-	// HTTP-only hosts are expected behaviour, not noise-worthy errors.
-	quiet := log.New(io.Discard, "", 0)
-	s.httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: quiet}
-	s.httpsSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: quiet}
+	// Server-side error lines (mostly TLS handshake failures for HTTP-only
+	// hosts, which are expected behaviour, not noise-worthy errors) are
+	// counted and forwarded to the obs logger at debug level rather than
+	// printed to stderr.
+	errLog := log.New(s.log.WithComponent("webserver").StdWriter(obs.LevelDebug, s.met.errLogLines), "", 0)
+	s.httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: errLog}
+	s.httpsSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: errLog}
 	go s.httpSrv.Serve(s.httpLn)
 	go s.httpsSrv.Serve(s.httpsLn)
 	return s, nil
@@ -166,21 +237,24 @@ var errNoTLS = errors.New("webserver: host does not support TLS")
 // get a handshake failure.
 func (s *Server) getCertificate(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
 	host := strings.ToLower(hello.ServerName)
-	if host == "" {
-		return nil, errNoTLS
-	}
-	if !s.Eco.HTTPSCapable(host) {
+	if host == "" || !s.Eco.HTTPSCapable(host) {
+		s.met.tlsRefused.Inc()
+		s.log.Event(obs.LevelDebug, "tls handshake refused", "host", host)
 		return nil, errNoTLS
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if c, ok := s.certs[host]; ok {
+		s.met.tlsServed.Inc()
 		return c, nil
 	}
 	c, err := s.issue(host)
 	if err != nil {
+		s.log.Event(obs.LevelError, "cert minting failed", "host", host, "err", err)
 		return nil, err
 	}
+	s.met.certsMinted.Inc()
+	s.met.tlsServed.Inc()
 	s.certs[host] = c
 	return c, nil
 }
@@ -225,12 +299,42 @@ func (s *Server) isServiceHost(host string) bool {
 	return ok
 }
 
+// countRequest updates the per-vhost request telemetry. Per-host counters
+// are kept only for service hosts — the bounded set of trackers contacted
+// from thousands of sites — so label cardinality stays flat while the
+// per-site long tail aggregates into one counter per kind.
+func (s *Server) countRequest(host string, secure bool) {
+	if s.reg == nil {
+		return
+	}
+	if secure {
+		s.met.reqSecure.Inc()
+	}
+	switch {
+	case s.isServiceHost(host):
+		s.met.reqService.Inc()
+		s.mu.Lock()
+		c, ok := s.vhosts[host]
+		if !ok {
+			c = s.reg.Counter("webserver_vhost_requests_total", "host", host)
+			s.vhosts[host] = c
+		}
+		s.mu.Unlock()
+		c.Inc()
+	case s.Eco.SiteByHost[host] != nil:
+		s.met.reqSite.Inc()
+	default:
+		s.met.reqOther.Inc()
+	}
+}
+
 // handle adapts net/http to the ecosystem's virtual server.
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	host := r.Host
 	if h, _, err := net.SplitHostPort(host); err == nil {
 		host = h
 	}
+	s.countRequest(strings.ToLower(host), r.TLS != nil)
 	clientIP := r.RemoteAddr
 	if h, _, err := net.SplitHostPort(clientIP); err == nil {
 		clientIP = h
@@ -264,6 +368,8 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	if resp.Status == 0 {
 		// Connection refused / dead host: cut the TCP stream without an
 		// HTTP response so the client sees a transport error.
+		s.met.refusals.Inc()
+		s.log.Event(obs.LevelDebug, "refusing connection", "host", host)
 		if hj, ok := w.(http.Hijacker); ok {
 			if conn, _, err := hj.Hijack(); err == nil {
 				conn.Close()

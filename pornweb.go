@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"pornweb/internal/core"
+	"pornweb/internal/obs"
 	"pornweb/internal/report"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
@@ -88,3 +89,35 @@ func NewStudy(cfg StudyConfig) (*Study, error) { return core.NewStudy(cfg) }
 // Report renders every table and figure of a completed run as aligned
 // plain text.
 func Report(w io.Writer, r *Results) { report.All(w, r) }
+
+// Observability. Every study collects metrics and stage spans; set
+// StudyConfig.MetricsAddr to expose them over HTTP (/metrics in
+// Prometheus text format, /spans as JSON, /debug/pprof/), or pass your
+// own MetricsRegistry in StudyConfig.Metrics to scrape it in-process.
+
+// MetricsRegistry is the thread-safe metrics registry (counters, gauges,
+// latency histograms) the study's layers record into.
+type MetricsRegistry = obs.Registry
+
+// Tracer records recent pipeline-stage spans into a bounded ring buffer.
+type Tracer = obs.Tracer
+
+// Logger is the structured leveled logger carried by StudyConfig.Logger.
+type Logger = obs.Logger
+
+// LogLevel is a Logger severity.
+type LogLevel = obs.Level
+
+// Log severities accepted by NewLogger.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min LogLevel) *Logger { return obs.NewLogger(w, min) }
