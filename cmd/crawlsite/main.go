@@ -6,7 +6,13 @@
 // Usage:
 //
 //	crawlsite [-scale 0.02] [-seed 2019] [-country ES] pornhub.com
+//	crawlsite -faults -retries 3 -breaker-threshold 5 flakyhub.com
 //	crawlsite -list            # print crawlable porn hosts and exit
+//
+// -faults regenerates the ecosystem with the default chaos profile, so
+// a visit exercises the retry/breaker path; each request record then
+// carries its attempt number, and failed visits report their taxonomy
+// class.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"pornweb/internal/crawler"
 	"pornweb/internal/fingerprint"
 	"pornweb/internal/obs"
+	"pornweb/internal/resilience"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
 )
@@ -32,9 +39,17 @@ func main() {
 	list := flag.Bool("list", false, "list crawlable porn hosts and exit")
 	logOut := flag.String("log", "", "write the raw request log as JSONL to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address; also prints a metrics summary after the visit")
+	faults := flag.Bool("faults", false, "inject the default chaos profile into the generated ecosystem")
+	retries := flag.Int("retries", 0, "max attempts per request (0 or 1 = single-shot)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that open a host's circuit breaker (0 = disabled)")
 	flag.Parse()
 
-	eco := webgen.Generate(webgen.Params{Seed: *seed, Scale: *scale})
+	params := webgen.Params{Seed: *seed, Scale: *scale}
+	if *faults {
+		params.Faults = webgen.DefaultFaultProfile()
+		params.Faults.Geo451 = true
+	}
+	eco := webgen.Generate(params)
 	if *list {
 		for _, s := range eco.PornSites {
 			if !s.Flaky && !s.Unresponsive {
@@ -76,6 +91,11 @@ func main() {
 		Country:     *country,
 		Timeout:     20 * time.Second,
 		Metrics:     reg,
+		Retry: resilience.Policy{
+			MaxAttempts:      *retries,
+			Seed:             int64(*seed),
+			BreakerThreshold: *breakerThreshold,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsite:", err)
@@ -85,6 +105,9 @@ func main() {
 	pv := b.Visit(context.Background(), host)
 	if !pv.OK {
 		fmt.Printf("visit FAILED: %s\n", pv.Err)
+		if pv.FailClass != "" {
+			fmt.Printf("failure class: %s\n", pv.FailClass)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("visited %s (https=%v)\n", pv.FinalURL, pv.HTTPS)
@@ -96,6 +119,9 @@ func main() {
 			status = "ERR"
 		}
 		fmt.Printf("  [%-8s] %-4s %s", r.Initiator, status, r.URL)
+		if r.Attempt > 1 {
+			fmt.Printf(" (attempt %d)", r.Attempt)
+		}
 		if r.RedirectTo != "" {
 			fmt.Printf(" -> %s", r.RedirectTo)
 		}

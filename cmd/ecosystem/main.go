@@ -4,8 +4,14 @@
 //
 // Usage:
 //
-//	ecosystem [-scale 0.02] [-seed 2019] [-serve] [-hosts]
+//	ecosystem [-scale 0.02] [-seed 2019] [-serve] [-hosts] [-faults]
 //	          [-metrics-addr 127.0.0.1:9090]
+//
+// -faults generates the ecosystem with the default chaos profile: a
+// deterministic subset of hosts answers with transient 5xx bursts,
+// dropped connections, truncated bodies, mid-stream resets, redirect
+// loops, or injected latency — visible from curl and counted in
+// webserver_faults_injected_total on /metrics.
 package main
 
 import (
@@ -26,10 +32,30 @@ func main() {
 	serve := flag.Bool("serve", false, "start the loopback server and wait")
 	hosts := flag.Bool("hosts", false, "list every served hostname")
 	metricsAddr := flag.String("metrics-addr", "", "with -serve, expose /metrics and /debug/pprof/ on this address")
+	faults := flag.Bool("faults", false, "inject the default chaos profile into the generated ecosystem")
 	flag.Parse()
 
-	eco := webgen.Generate(webgen.Params{Seed: *seed, Scale: *scale})
+	params := webgen.Params{Seed: *seed, Scale: *scale}
+	if *faults {
+		params.Faults = webgen.DefaultFaultProfile()
+		params.Faults.Geo451 = true
+	}
+	eco := webgen.Generate(params)
 	fmt.Print(eco.GroundTruthSummary())
+	if *faults {
+		byKind := map[webgen.FaultKind]int{}
+		for _, h := range eco.AllHosts() {
+			if k := eco.FaultKindFor(h); k != webgen.FaultNone {
+				byKind[k]++
+			}
+		}
+		fmt.Println("\ninjected faults (ground truth):")
+		for k := webgen.FaultServerError; k <= webgen.FaultLatency; k++ {
+			if byKind[k] > 0 {
+				fmt.Printf("  %-14s %4d hosts\n", k, byKind[k])
+			}
+		}
+	}
 
 	fmt.Println("\nowner clusters (ground truth):")
 	byOwner := map[string]int{}

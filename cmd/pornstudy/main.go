@@ -6,6 +6,14 @@
 //
 //	pornstudy [-scale 0.05] [-seed 2019] [-workers 16] [-timeout 30s] [-v]
 //	          [-metrics-addr 127.0.0.1:9090]
+//	          [-faults] [-retries 3] [-breaker-threshold 5] [-page-budget 2m]
+//
+// -faults injects the default chaos profile into the generated
+// ecosystem (transient 5xx bursts, drops, truncation, resets, redirect
+// loops, latency, HTTP 451 geo-blocks). -retries enables bounded
+// retries with exponential backoff; -breaker-threshold arms the
+// per-host circuit breaker. The report then includes the robustness
+// section with per-vantage loss and the failure taxonomy.
 //
 // With -metrics-addr set, an admin listener exposes live run telemetry:
 // /metrics (Prometheus text format), /spans (recent pipeline-stage spans
@@ -26,6 +34,7 @@ import (
 
 	"pornweb/internal/core"
 	"pornweb/internal/report"
+	"pornweb/internal/resilience"
 	"pornweb/internal/webgen"
 )
 
@@ -38,13 +47,30 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the raw results as JSON to this file")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
+	faults := flag.Bool("faults", false, "inject the default chaos profile into the generated ecosystem")
+	retries := flag.Int("retries", 0, "max attempts per request (0 or 1 = single-shot)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that open a host's circuit breaker (0 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open breaker rejects before half-opening")
+	pageBudget := flag.Duration("page-budget", 0, "total deadline per page visit across all retries (0 = 4x timeout when retries are on)")
 	flag.Parse()
 
+	params := webgen.Params{Seed: *seed, Scale: *scale}
+	if *faults {
+		params.Faults = webgen.DefaultFaultProfile()
+		params.Faults.Geo451 = true
+	}
 	cfg := core.Config{
-		Params:      webgen.Params{Seed: *seed, Scale: *scale},
+		Params:      params,
 		Workers:     *workers,
 		Timeout:     *timeout,
 		MetricsAddr: *metricsAddr,
+		Resilience: resilience.Policy{
+			MaxAttempts:      *retries,
+			Seed:             int64(*seed),
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		},
+		PageBudget: *pageBudget,
 	}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {

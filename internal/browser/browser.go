@@ -10,6 +10,7 @@ package browser
 
 import (
 	"context"
+	"fmt"
 	"net/url"
 	"strings"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"pornweb/internal/htmlx"
 	"pornweb/internal/jsvm"
 	"pornweb/internal/obs"
+	"pornweb/internal/resilience"
 )
 
 // maxIframeDepth bounds recursive iframe loading (RTB chains nest ads in
@@ -40,6 +42,7 @@ type browserMetrics struct {
 	pageLoad    *obs.Histogram
 	pageOK      *obs.Counter
 	pageFail    *obs.Counter
+	failClass   map[resilience.Class]*obs.Counter
 	interactive *obs.Counter
 	subres      map[crawler.Initiator]*obs.Counter
 }
@@ -52,12 +55,17 @@ func newBrowserMetrics(reg *obs.Registry, country string) browserMetrics {
 	reg.Describe("browser_page_loads_total", "instrumented page loads by outcome")
 	reg.Describe("browser_subresources_total", "subresources fetched during page loads, by initiator")
 	reg.Describe("browser_interactive_visits_total", "Selenium-analog interactive visits")
+	reg.Describe("browser_page_failures_total", "failed page visits by taxonomy class")
 	m := browserMetrics{
 		pageLoad:    reg.Histogram("browser_page_load_seconds", obs.LatencyBuckets, "country", country),
 		pageOK:      reg.Counter("browser_page_loads_total", "country", country, "result", "ok"),
 		pageFail:    reg.Counter("browser_page_loads_total", "country", country, "result", "error"),
+		failClass:   map[resilience.Class]*obs.Counter{},
 		interactive: reg.Counter("browser_interactive_visits_total", "country", country),
 		subres:      map[crawler.Initiator]*obs.Counter{},
+	}
+	for _, c := range resilience.Classes() {
+		m.failClass[c] = reg.Counter("browser_page_failures_total", "country", country, "class", string(c))
 	}
 	for _, init := range []crawler.Initiator{crawler.InitScript, crawler.InitImage,
 		crawler.InitIframe, crawler.InitCSS, crawler.InitJS} {
@@ -96,15 +104,25 @@ type PageVisit struct {
 	HTTPS    bool // the site itself answered over TLS
 	OK       bool
 	Err      string
-	HTML     string
-	DOM      *htmlx.Node
-	Traces   []ScriptTrace
+	// FailClass is the failure-taxonomy class when the visit failed
+	// (resilience.Class), "" on success.
+	FailClass string
+	HTML      string
+	DOM       *htmlx.Node
+	Traces    []ScriptTrace
 	// Subresources counts fetched embeds by initiator kind.
 	Subresources map[crawler.Initiator]int
 }
 
-// Visit loads a site's landing page with full instrumentation.
+// Visit loads a site's landing page with full instrumentation. When the
+// session has a page budget, the whole visit — document, retries,
+// subresources, scripts — runs under one deadline.
 func (b *Browser) Visit(ctx context.Context, host string) *PageVisit {
+	if pb := b.Session.PageBudget(); pb > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pb)
+		defer cancel()
+	}
 	start := time.Now()
 	pv := &PageVisit{SiteHost: host, Subresources: map[crawler.Initiator]int{}}
 	defer func() {
@@ -116,11 +134,24 @@ func (b *Browser) Visit(ctx context.Context, host string) *PageVisit {
 			b.met.pageOK.Inc()
 		} else {
 			b.met.pageFail.Inc()
+			if pv.FailClass != "" {
+				b.met.failClass[resilience.Class(pv.FailClass)].Inc()
+			}
 		}
 	}()
 	res, https, err := b.Session.FetchPage(ctx, host, "/")
 	if err != nil {
 		pv.Err = err.Error()
+		pv.FailClass = string(resilience.Classify(err))
+		return pv
+	}
+	if cls := resilience.ClassifyStatus(res.Status); cls != "" {
+		// The page "loaded" but only with a terminal failure status
+		// (every retry exhausted on 5xx, or a 451 legal block).
+		pv.Err = fmt.Sprintf("HTTP %d", res.Status)
+		pv.FailClass = string(cls)
+		pv.HTTPS = https
+		pv.FinalURL = res.FinalURL
 		return pv
 	}
 	pv.OK = true
@@ -222,6 +253,8 @@ type InteractiveVisit struct {
 	SiteHost string
 	OK       bool
 	Err      string
+	// FailClass is the failure-taxonomy class when the visit failed.
+	FailClass string
 
 	GateDetected   bool
 	GateBypassable bool
@@ -238,11 +271,22 @@ type InteractiveVisit struct {
 
 // VisitInteractive performs the interactive crawl for one site.
 func (b *Browser) VisitInteractive(ctx context.Context, host string) *InteractiveVisit {
+	if pb := b.Session.PageBudget(); pb > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pb)
+		defer cancel()
+	}
 	b.met.interactive.Inc()
 	iv := &InteractiveVisit{SiteHost: host}
 	res, _, err := b.Session.FetchPage(ctx, host, "/")
 	if err != nil {
 		iv.Err = err.Error()
+		iv.FailClass = string(resilience.Classify(err))
+		return iv
+	}
+	if cls := resilience.ClassifyStatus(res.Status); cls != "" {
+		iv.Err = fmt.Sprintf("HTTP %d", res.Status)
+		iv.FailClass = string(cls)
 		return iv
 	}
 	iv.OK = true

@@ -111,7 +111,10 @@ func (st *Study) CompileCorpus(ctx context.Context) (*Corpus, error) {
 	return c, nil
 }
 
-// forEach runs fn(i) for i in [0,n) on the study's worker pool.
+// forEach runs fn(i) for i in [0,n) on the study's worker pool. A
+// dispatcher goroutine hands out indices one at a time, so cancellation
+// stops dispatching immediately: in-flight items finish (their results
+// are kept as a partial crawl) but no new item starts.
 func (st *Study) forEach(ctx context.Context, n int, fn func(i int)) {
 	workers := st.Cfg.Workers
 	if workers > n {
@@ -120,21 +123,25 @@ func (st *Study) forEach(ctx context.Context, n int, fn func(i int)) {
 	if workers < 1 {
 		workers = 1
 	}
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	var wg sync.WaitGroup
-	idx := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				select {
-				case <-ctx.Done():
+				if ctx.Err() != nil {
 					return
-				default:
 				}
 				fn(i)
 			}

@@ -16,10 +16,19 @@ import (
 // instrumented browser.
 type CrawlResult struct {
 	Country string
+	// Attempted is how many hosts the crawl was asked to visit (a
+	// canceled crawl may have visited fewer — see Visits).
+	Attempted int
 	// Visits maps site host to its page-load outcome (includes failures).
 	Visits map[string]*browser.PageVisit
 	// Crawled lists the hosts whose landing page loaded.
 	Crawled []string
+	// FailuresByClass counts failed page visits by failure-taxonomy
+	// class (resilience.Class strings).
+	FailuresByClass map[string]int
+	// RequestFailures counts terminal request failures (every attempt
+	// exhausted) by taxonomy class, from the session's counters.
+	RequestFailures map[string]uint64
 	// Log is the session's full request log.
 	Log []crawler.Record
 	// CertOrgs maps observed hosts to TLS certificate organizations.
@@ -47,9 +56,11 @@ func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*Cr
 	}
 	b := browser.New(sess)
 	cr := &CrawlResult{
-		Country:     country,
-		Visits:      make(map[string]*browser.PageVisit, len(hosts)),
-		tpCacheHits: st.Metrics.Counter("crawl_tp_cache_hits_total", "country", country),
+		Country:         country,
+		Attempted:       len(hosts),
+		Visits:          make(map[string]*browser.PageVisit, len(hosts)),
+		FailuresByClass: map[string]int{},
+		tpCacheHits:     st.Metrics.Counter("crawl_tp_cache_hits_total", "country", country),
 	}
 	var mu sync.Mutex
 	st.forEach(ctx, len(hosts), func(i int) {
@@ -61,11 +72,14 @@ func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*Cr
 	for h, pv := range cr.Visits {
 		if pv.OK {
 			cr.Crawled = append(cr.Crawled, h)
+		} else if pv.FailClass != "" {
+			cr.FailuresByClass[pv.FailClass]++
 		}
 	}
 	sort.Strings(cr.Crawled)
 	cr.Log = sess.Log()
 	cr.CertOrgs = sess.CertOrgs()
+	cr.RequestFailures = sess.FailureCounts()
 	span.SetAttr("sites", fmt.Sprint(len(cr.Crawled)))
 	span.SetAttr("requests", fmt.Sprint(len(cr.Log)))
 	st.Log.Infof("crawl[%s]: %d/%d sites, %d requests", country, len(cr.Crawled), len(hosts), len(cr.Log))

@@ -52,6 +52,10 @@ type Results struct {
 	Chains   ChainStats
 	Storage  StorageResult
 
+	// Robustness is the crawl-path failure taxonomy: per-vantage site
+	// loss and the class breakdown of failed visits and requests.
+	Robustness RobustnessResult
+
 	// Validation scores the pipeline's heuristics against the generator's
 	// planted ground truth — exact precision/recall where the paper could
 	// only sample manually.
@@ -180,14 +184,19 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 
 	st.Log.Infof("geographic crawls...")
 	sctx, done = st.stage(ctx, "analysis/geo")
-	geo, err := st.AnalyzeGeo(sctx, corpus.Porn, regularTP, map[string]*CrawlResult{
+	crawls := map[string]*CrawlResult{
 		"ES": pornES,
 		"US": pornUS,
-	})
+	}
+	geo, err := st.AnalyzeGeo(sctx, corpus.Porn, regularTP, crawls)
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: geo: %w", err)
 	}
 	res.Table7 = geo
+
+	// AnalyzeGeo filled crawls with every vantage, so the robustness
+	// summary covers the whole study.
+	measure("analysis/robustness", func() { res.Robustness = st.AnalyzeRobustness(crawls) })
 	return res, nil
 }

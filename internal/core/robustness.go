@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+
+	"pornweb/internal/resilience"
+)
+
+// CrawlLossRow summarizes reachability from one vantage country. The
+// paper reaches ~93% of porn sites and ~88% of regular sites (Section
+// 3); with fault injection enabled, these rows show how much of the
+// remaining loss the retry policy recovers.
+type CrawlLossRow struct {
+	Country   string
+	Attempted int
+	Crawled   int
+	// LossRate is the fraction of attempted sites that never yielded a
+	// page.
+	LossRate float64
+	// Failures breaks the lost visits down by taxonomy class.
+	Failures map[string]int
+}
+
+// RobustnessResult aggregates the crawl-path failure taxonomy across
+// every vantage the study crawled from.
+type RobustnessResult struct {
+	// RetriesEnabled and MaxAttempts echo the study's policy so a report
+	// is self-describing.
+	RetriesEnabled bool
+	MaxAttempts    int
+	// FaultsInjected reports whether the substrate injected chaos.
+	FaultsInjected bool
+
+	Rows []CrawlLossRow
+	// VisitFailures sums failed page visits by class over all vantages.
+	VisitFailures map[string]int
+	// RequestFailures sums terminal request failures by class over all
+	// vantages (requests, not pages: one failed page may count several).
+	RequestFailures map[string]uint64
+}
+
+// AnalyzeRobustness folds the per-country crawl outcomes into the
+// failure-taxonomy summary.
+func (st *Study) AnalyzeRobustness(crawls map[string]*CrawlResult) RobustnessResult {
+	pol := st.Cfg.Resilience
+	res := RobustnessResult{
+		RetriesEnabled:  pol.Active(),
+		MaxAttempts:     pol.MaxAttempts,
+		FaultsInjected:  st.Eco.FaultsEnabled(),
+		VisitFailures:   map[string]int{},
+		RequestFailures: map[string]uint64{},
+	}
+	if res.MaxAttempts < 1 {
+		res.MaxAttempts = 1
+	}
+	countries := make([]string, 0, len(crawls))
+	for c := range crawls {
+		countries = append(countries, c)
+	}
+	sort.Slice(countries, func(i, j int) bool { return geoOrder(countries[i]) < geoOrder(countries[j]) })
+	for _, c := range countries {
+		cr := crawls[c]
+		row := CrawlLossRow{
+			Country:   c,
+			Attempted: cr.Attempted,
+			Crawled:   len(cr.Crawled),
+			Failures:  cr.FailuresByClass,
+		}
+		if row.Attempted > 0 {
+			row.LossRate = float64(row.Attempted-row.Crawled) / float64(row.Attempted)
+		}
+		for class, n := range cr.FailuresByClass {
+			res.VisitFailures[class] += n
+		}
+		for class, n := range cr.RequestFailures {
+			res.RequestFailures[class] += n
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// TaxonomyOrder lists the failure classes in report order (shared with
+// internal/report so tables are stable).
+func TaxonomyOrder() []string {
+	classes := resilience.Classes()
+	out := make([]string, len(classes))
+	for i, c := range classes {
+		out[i] = string(c)
+	}
+	return out
+}

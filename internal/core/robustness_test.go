@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"pornweb/internal/resilience"
+	"pornweb/internal/webgen"
+)
+
+func fastRetry(attempts int) resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// TestRetryRecoversTransientSites is the acceptance criterion: with the
+// default chaos profile (transient faults recover within Burst=2
+// attempts), a retrying crawl must win back at least 90% of the
+// transiently-faulty sites a single-shot crawl loses.
+func TestRetryRecoversTransientSites(t *testing.T) {
+	params := webgen.Params{Seed: 7, Scale: 0.03, Faults: webgen.DefaultFaultProfile()}
+	base, err := NewStudy(Config{Params: params, Workers: 8, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	resil, err := NewStudy(Config{
+		Params: params, Workers: 8, Timeout: 5 * time.Second,
+		Resilience: fastRetry(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resil.Close()
+
+	ctx := context.Background()
+	// Sanitization sees no faults, so the corpus is identical for both.
+	corpus, err := base.CompileCorpus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCrawl, err := base.Crawl(ctx, corpus.Porn, "ES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resilCrawl, err := resil.Crawl(ctx, corpus.Porn, "ES")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseSet := map[string]bool{}
+	for _, h := range baseCrawl.Crawled {
+		baseSet[h] = true
+	}
+	resilSet := map[string]bool{}
+	for _, h := range resilCrawl.Crawled {
+		resilSet[h] = true
+	}
+	var lost, recovered int
+	for _, h := range corpus.Porn {
+		if !base.Eco.FaultKindFor(h).TransientFault() || baseSet[h] {
+			continue
+		}
+		lost++
+		if resilSet[h] {
+			recovered++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("baseline lost no transiently-faulty site; fault injection looks inert")
+	}
+	ratio := float64(recovered) / float64(lost)
+	t.Logf("baseline crawled %d/%d, resilient %d/%d; transient losses %d, recovered %d (%.0f%%)",
+		len(baseCrawl.Crawled), len(corpus.Porn), len(resilCrawl.Crawled), len(corpus.Porn),
+		lost, recovered, 100*ratio)
+	if ratio < 0.9 {
+		t.Errorf("retries recovered %d of %d transiently-lost sites (%.0f%%), want >= 90%%",
+			recovered, lost, 100*ratio)
+	}
+	if len(resilCrawl.Crawled) <= len(baseCrawl.Crawled) {
+		t.Errorf("resilient crawl reached %d sites, baseline %d; retries should strictly help",
+			len(resilCrawl.Crawled), len(baseCrawl.Crawled))
+	}
+}
+
+// TestFaultTaxonomyAllClasses crawls a hand-picked host list against an
+// everything-enabled persistent chaos profile and asserts each failure
+// class surfaces both in the aggregated Results and in the /metrics
+// exposition.
+func TestFaultTaxonomyAllClasses(t *testing.T) {
+	prof := webgen.FaultProfile{
+		Enabled:          true,
+		ServerErrorFrac:  0.08,
+		DropFrac:         0.08,
+		TruncateFrac:     0.06,
+		ResetFrac:        0.06,
+		RedirectLoopFrac: 0.05,
+		LatencyFrac:      0.05,
+		Latency:          2 * time.Second, // far beyond the request timeout
+		Burst:            99,              // effectively permanent: nothing recovers
+		Geo451:           true,
+	}
+	pol := fastRetry(2)
+	pol.BreakerThreshold = 2
+	pol.BreakerCooldown = 10 * time.Second
+	st, err := NewStudy(Config{
+		Params:     webgen.Params{Seed: 7, Scale: 0.05, Faults: prof},
+		Workers:    4,
+		Timeout:    300 * time.Millisecond,
+		Resilience: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const country = "IN"
+	// Pick a couple of healthy sites per fault kind, plus a fault-free
+	// site that is geo-blocked from the vantage.
+	byKind := map[webgen.FaultKind][]string{}
+	var geoBlocked []string
+	for _, s := range st.Eco.PornSites {
+		if s.Flaky || s.Unresponsive {
+			continue
+		}
+		k := st.Eco.FaultKindFor(s.Host)
+		if k == webgen.FaultNone {
+			if s.BlockedIn[country] && len(geoBlocked) < 2 {
+				geoBlocked = append(geoBlocked, s.Host)
+			}
+			continue
+		}
+		if len(s.BlockedIn) > 0 {
+			continue
+		}
+		if k == webgen.FaultDrop && st.Eco.FaultFor(s.Host, country, webgen.PhaseCrawl).Kind != webgen.FaultDrop {
+			continue // this drop host does not drop from our vantage
+		}
+		if len(byKind[k]) < 2 {
+			byKind[k] = append(byKind[k], s.Host)
+		}
+	}
+	var hosts []string
+	for k, hs := range byKind {
+		if len(hs) == 0 {
+			t.Fatalf("no usable host for fault kind %s", k)
+		}
+		hosts = append(hosts, hs...)
+	}
+	if len(geoBlocked) == 0 {
+		t.Fatal("no fault-free geo-blocked site at this scale")
+	}
+	hosts = append(hosts, geoBlocked...)
+
+	cr, err := st.Crawl(context.Background(), hosts, country)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob := st.AnalyzeRobustness(map[string]*CrawlResult{country: cr})
+	if !rob.RetriesEnabled || !rob.FaultsInjected || rob.MaxAttempts != 2 {
+		t.Fatalf("robustness self-description wrong: %+v", rob)
+	}
+
+	want := []resilience.Class{
+		resilience.ClassTimeout, resilience.ClassRefused, resilience.ClassReset,
+		resilience.ClassTruncated, resilience.Class5xx, resilience.ClassRedirectLoop,
+		resilience.ClassBreakerOpen, resilience.ClassGeoBlocked,
+	}
+	for _, c := range want {
+		if rob.VisitFailures[string(c)] == 0 && rob.RequestFailures[string(c)] == 0 {
+			t.Errorf("class %s absent from aggregated results (visits=%v requests=%v)",
+				c, rob.VisitFailures, rob.RequestFailures)
+		}
+	}
+
+	var sb strings.Builder
+	if err := st.Metrics.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp := sb.String()
+	for _, c := range want {
+		re := regexp.MustCompile(fmt.Sprintf(
+			`crawler_request_failures_total\{class="%s",country="%s"\} [1-9]`, c, country))
+		if !re.MatchString(exp) {
+			t.Errorf("class %s not visible in /metrics exposition", c)
+		}
+	}
+	for _, kind := range []string{"server-error", "truncate", "reset", "redirect-loop", "latency"} {
+		if !strings.Contains(exp, fmt.Sprintf(`webserver_faults_injected_total{kind=%q}`, kind)) {
+			t.Errorf("injected fault kind %s not visible in exposition", kind)
+		}
+	}
+	if !strings.Contains(exp, `crawler_breaker_transitions_total{country="IN",state="open"}`) {
+		t.Error("breaker transitions not visible in exposition")
+	}
+}
+
+// TestCanceledCrawlReturnsPromptly proves forEach stops dispatching when
+// the context dies: a crawl over uniformly slow hosts, canceled early,
+// must return quickly with only the visits that were in flight.
+func TestCanceledCrawlReturnsPromptly(t *testing.T) {
+	prof := webgen.FaultProfile{Enabled: true, LatencyFrac: 1.0, Latency: 300 * time.Millisecond}
+	st, err := NewStudy(Config{
+		Params:  webgen.Params{Seed: 7, Scale: 0.01, Faults: prof},
+		Workers: 2,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var hosts []string
+	for _, s := range st.Eco.PornSites {
+		if s.Flaky || s.Unresponsive {
+			continue
+		}
+		hosts = append(hosts, s.Host)
+		if len(hosts) == 30 {
+			break
+		}
+	}
+	if len(hosts) < 10 {
+		t.Fatalf("only %d hosts at this scale", len(hosts))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	cr, err := st.Crawl(ctx, hosts, "ES")
+	took := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took > 3*time.Second {
+		t.Errorf("canceled crawl took %v; should return promptly", took)
+	}
+	if len(cr.Visits) == 0 {
+		t.Error("canceled crawl returned no partial visits")
+	}
+	if len(cr.Visits) >= len(hosts) {
+		t.Errorf("canceled crawl visited all %d hosts; cancellation did not stop dispatch", len(hosts))
+	}
+	if cr.Attempted != len(hosts) {
+		t.Errorf("Attempted = %d, want %d", cr.Attempted, len(hosts))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"pornweb/internal/crawler"
 	"pornweb/internal/obs"
 	"pornweb/internal/ranking"
+	"pornweb/internal/resilience"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
 )
@@ -51,6 +52,13 @@ type Config struct {
 	MetricsAddr string
 	// SpanBuffer is the tracing ring-buffer capacity (default 4096).
 	SpanBuffer int
+	// Resilience configures bounded retries and the per-host circuit
+	// breaker for every crawl session. The zero value keeps the
+	// historical single-shot behaviour.
+	Resilience resilience.Policy
+	// PageBudget bounds one full page visit including retries; 0 derives
+	// 4×Timeout when Resilience is active.
+	PageBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +176,8 @@ func (st *Study) session(country, phase string) (*crawler.Session, error) {
 		Phase:       phase,
 		Timeout:     st.Cfg.Timeout,
 		Metrics:     st.Metrics,
+		Retry:       st.Cfg.Resilience,
+		PageBudget:  st.Cfg.PageBudget,
 	})
 }
 

@@ -15,17 +15,20 @@ import (
 	"context"
 	"crypto/tls"
 	"crypto/x509"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/cookiejar"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"pornweb/internal/obs"
+	"pornweb/internal/resilience"
 )
 
 // Initiator describes what caused a request.
@@ -67,6 +70,9 @@ type Record struct {
 	SetCookies  []CookieRecord
 	CertOrg     string // organization from the TLS peer certificate
 	Err         string
+	// Attempt is the 1-based retry attempt this record belongs to (0 in
+	// sessions without a retry policy).
+	Attempt int `json:",omitempty"`
 }
 
 // Result is the outcome of a (redirect-following) fetch.
@@ -103,6 +109,14 @@ type Config struct {
 	// resolved once at session creation, so the per-request cost is an
 	// atomic add — and a nil check when disabled.
 	Metrics *obs.Registry
+	// Retry configures bounded retries with backoff and the per-host
+	// circuit breaker. The zero value keeps the historical single-shot
+	// behaviour.
+	Retry resilience.Policy
+	// PageBudget bounds one full page visit (document plus every retry
+	// and subresource), so retries can never blow the page deadline.
+	// Defaults to 4×Timeout when Retry is active, otherwise disabled.
+	PageBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.Country == "" {
 		c.Country = "ES"
 	}
+	if c.PageBudget == 0 && c.Retry.Active() {
+		c.PageBudget = 4 * c.Timeout
+	}
 	return c
 }
 
@@ -130,21 +147,27 @@ type Session struct {
 	client *http.Client
 	jar    *cookiejar.Jar
 	met    sessionMetrics
+	res    *resilience.Controller // nil without a retry policy
 
-	mu       sync.Mutex
-	log      []Record
-	certOrgs map[string]string // host -> cert org
-	seq      int
+	mu         sync.Mutex
+	log        []Record
+	certOrgs   map[string]string // host -> cert org
+	seq        int
+	failCounts map[string]uint64 // failure class -> terminal failures
 }
 
 // sessionMetrics holds the session's pre-resolved instruments. All fields
 // are nil without a registry, making every update a no-op.
 type sessionMetrics struct {
-	latency    *obs.Histogram
-	byClass    [6]*obs.Counter // index statusClassIdx: 1xx..5xx, error
-	transport  *obs.Counter
-	downgrades *obs.Counter
-	cookies    *obs.Counter
+	latency     *obs.Histogram
+	byClass     [6]*obs.Counter // index statusClassIdx: 1xx..5xx, error
+	transport   *obs.Counter
+	downgrades  *obs.Counter
+	cookies     *obs.Counter
+	retries     *obs.Counter
+	retryDelay  *obs.Histogram
+	breakerFast *obs.Counter
+	failures    map[resilience.Class]*obs.Counter
 }
 
 // statusClassIdx maps an HTTP status (or 0 for transport error) to the
@@ -167,14 +190,25 @@ func newSessionMetrics(reg *obs.Registry, country string) sessionMetrics {
 	reg.Describe("crawler_transport_errors_total", "requests that died before an HTTP status")
 	reg.Describe("crawler_https_downgrades_total", "page loads that fell back from HTTPS to HTTP")
 	reg.Describe("crawler_cookies_set_total", "Set-Cookie headers received")
+	reg.Describe("crawler_retries_total", "request attempts beyond the first")
+	reg.Describe("crawler_retry_delay_seconds", "backoff slept before a retry")
+	reg.Describe("crawler_request_failures_total", "requests that failed terminally, by taxonomy class")
+	reg.Describe("crawler_breaker_fastfail_total", "requests rejected without an attempt by an open breaker")
 	m := sessionMetrics{
-		latency:    reg.Histogram("crawler_request_seconds", obs.LatencyBuckets, "country", country),
-		transport:  reg.Counter("crawler_transport_errors_total", "country", country),
-		downgrades: reg.Counter("crawler_https_downgrades_total", "country", country),
-		cookies:    reg.Counter("crawler_cookies_set_total", "country", country),
+		latency:     reg.Histogram("crawler_request_seconds", obs.LatencyBuckets, "country", country),
+		transport:   reg.Counter("crawler_transport_errors_total", "country", country),
+		downgrades:  reg.Counter("crawler_https_downgrades_total", "country", country),
+		cookies:     reg.Counter("crawler_cookies_set_total", "country", country),
+		retries:     reg.Counter("crawler_retries_total", "country", country),
+		retryDelay:  reg.Histogram("crawler_retry_delay_seconds", obs.LatencyBuckets, "country", country),
+		breakerFast: reg.Counter("crawler_breaker_fastfail_total", "country", country),
+		failures:    map[resilience.Class]*obs.Counter{},
 	}
 	for i, class := range statusClassName {
 		m.byClass[i] = reg.Counter("crawler_requests_total", "country", country, "class", class)
+	}
+	for _, c := range resilience.Classes() {
+		m.failures[c] = reg.Counter("crawler_request_failures_total", "country", country, "class", string(c))
 	}
 	return m
 }
@@ -207,10 +241,31 @@ func NewSession(cfg Config) (*Session, error) {
 		tr.TLSClientConfig = &tls.Config{RootCAs: cfg.RootCAs}
 	}
 	s := &Session{
-		cfg:      cfg,
-		jar:      jar,
-		met:      newSessionMetrics(cfg.Metrics, cfg.Country),
-		certOrgs: map[string]string{},
+		cfg:        cfg,
+		jar:        jar,
+		met:        newSessionMetrics(cfg.Metrics, cfg.Country),
+		certOrgs:   map[string]string{},
+		failCounts: map[string]uint64{},
+		res:        resilience.NewController(cfg.Retry),
+	}
+	if s.res != nil && cfg.Metrics != nil {
+		reg := cfg.Metrics
+		reg.Describe("crawler_breaker_transitions_total", "circuit breaker state transitions by target state")
+		reg.Describe("crawler_breakers_open", "hosts whose breaker is currently open or half-open")
+		trans := map[resilience.State]*obs.Counter{}
+		for _, st := range []resilience.State{resilience.Closed, resilience.Open, resilience.HalfOpen} {
+			trans[st] = reg.Counter("crawler_breaker_transitions_total", "country", cfg.Country, "state", st.String())
+		}
+		open := reg.Gauge("crawler_breakers_open", "country", cfg.Country)
+		s.res.OnTransition(func(host string, from, to resilience.State) {
+			trans[to].Inc()
+			switch {
+			case from == resilience.Closed && to != resilience.Closed:
+				open.Add(1)
+			case from != resilience.Closed && to == resilience.Closed:
+				open.Add(-1)
+			}
+		})
 	}
 	s.client = &http.Client{
 		Transport: tr,
@@ -256,6 +311,31 @@ func (s *Session) Metrics() *obs.Registry { return s.cfg.Metrics }
 // Country returns the session's vantage country.
 func (s *Session) Country() string { return s.cfg.Country }
 
+// PageBudget returns the per-page deadline budget (0 when disabled).
+func (s *Session) PageBudget() time.Duration { return s.cfg.PageBudget }
+
+// FailureCounts snapshots terminal request failures by taxonomy class.
+func (s *Session) FailureCounts() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.failCounts))
+	for k, v := range s.failCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// countFailure records one terminal request failure of the given class.
+func (s *Session) countFailure(class resilience.Class) {
+	if class == "" {
+		return
+	}
+	s.met.failures[class].Inc()
+	s.mu.Lock()
+	s.failCounts[string(class)]++
+	s.mu.Unlock()
+}
+
 func (s *Session) record(r Record) {
 	if r.Status == 0 {
 		s.met.transport.Inc()
@@ -273,53 +353,146 @@ func (s *Session) record(r Record) {
 
 // Fetch retrieves rawURL, following redirects and logging every hop.
 // siteHost attributes the request to the visited site; initiator and
-// parentURL describe provenance.
+// parentURL describe provenance. Revisiting an absolute URL inside one
+// chain fails fast with an error wrapping resilience.ErrRedirectLoop —
+// a looping tracker otherwise burns the whole hop budget (and, with
+// retries enabled, the page deadline) before failing.
 func (s *Session) Fetch(ctx context.Context, rawURL, siteHost string, initiator Initiator, parentURL string) (*Result, error) {
 	cur := rawURL
 	ref := parentURL
 	init := initiator
-	var res *Result
+	seen := map[string]bool{}
 	for hop := 0; hop <= s.cfg.MaxRedirects; hop++ {
-		rec, resp, err := s.doOne(ctx, cur, siteHost, init, ref)
+		if seen[cur] {
+			s.countFailure(resilience.ClassRedirectLoop)
+			return nil, fmt.Errorf("crawler: %w: revisited %s", resilience.ErrRedirectLoop, cur)
+		}
+		seen[cur] = true
+		rec, att, err := s.fetchHop(ctx, cur, siteHost, init, ref)
 		if err != nil {
 			s.record(rec)
 			return nil, err
 		}
-		loc := rec.RedirectTo
-		if loc == "" {
-			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-			resp.Body.Close()
-			if rerr != nil {
-				rec.Err = rerr.Error()
-			}
+		if att.redirectTo == "" {
 			s.record(rec)
-			res = &Result{
+			if cls := resilience.ClassifyStatus(rec.Status); cls != "" {
+				s.countFailure(cls)
+			}
+			return &Result{
 				FinalURL:    cur,
 				Status:      rec.Status,
-				Body:        string(body),
+				Body:        string(att.body),
 				ContentType: rec.ContentType,
 				Hops:        hop,
 				Secure:      rec.Scheme == "https",
-			}
-			return res, nil
+			}, nil
 		}
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		resp.Body.Close()
 		s.record(rec)
-		next, err := url.Parse(loc)
+		next, err := url.Parse(att.redirectTo)
 		if err != nil {
-			return nil, fmt.Errorf("crawler: bad redirect %q: %w", loc, err)
+			s.countFailure(resilience.Classify(err))
+			return nil, fmt.Errorf("crawler: bad redirect %q: %w", att.redirectTo, err)
 		}
 		base, _ := url.Parse(cur)
 		cur = base.ResolveReference(next).String()
 		ref = rec.URL
 		init = InitRedirect
 	}
-	return nil, fmt.Errorf("crawler: too many redirects from %s", rawURL)
+	s.countFailure(resilience.ClassRedirectLoop)
+	return nil, fmt.Errorf("crawler: too many redirects from %s: %w", rawURL, resilience.ErrRedirectLoop)
 }
 
-// doOne performs a single request without following redirects.
-func (s *Session) doOne(ctx context.Context, rawURL, siteHost string, initiator Initiator, referer string) (Record, *http.Response, error) {
+// attempt is the payload of one successful (or 5xx) request attempt.
+type attempt struct {
+	body       []byte
+	redirectTo string
+	retryAfter time.Duration // parsed Retry-After hint, if any
+}
+
+// fetchHop fetches one hop of a redirect chain, applying the session's
+// retry policy and circuit breaker. On success (including a served
+// redirect) the returned Record is NOT yet logged — the caller records
+// it; intermediate failed attempts are logged here as they happen. When
+// every retry of a retryable status (e.g. 503) is exhausted, the last
+// response is returned with a nil error so the page layer sees the
+// status. When the breaker opens mid-sequence on this host's own
+// failures, the concrete cause is returned, not ErrBreakerOpen — only a
+// first-attempt rejection (the host was already condemned by earlier
+// pages) surfaces as breaker-open.
+func (s *Session) fetchHop(ctx context.Context, rawURL, siteHost string, init Initiator, ref string) (Record, *attempt, error) {
+	pol := s.res.Policy()
+	host := ""
+	if u, perr := url.Parse(rawURL); perr == nil {
+		host = strings.ToLower(u.Hostname())
+	}
+	if err := s.res.Allow(host); err != nil {
+		s.met.breakerFast.Inc()
+		s.countFailure(resilience.ClassBreakerOpen)
+		return Record{URL: rawURL, Host: host, SiteHost: siteHost, Country: s.cfg.Country,
+			Initiator: init, ParentURL: ref, Referer: ref, Err: err.Error(), Attempt: 1}, nil, err
+	}
+	for try := 1; ; try++ {
+		rec, att, err := s.doAttempt(ctx, rawURL, siteHost, init, ref)
+		if s.res != nil {
+			rec.Attempt = try
+		}
+		ok := err == nil && rec.Status < 500
+		s.res.Report(host, ok)
+		if err == nil && !resilience.RetryableStatus(rec.Status) {
+			if cls := resilience.ClassifyStatus(rec.Status); cls != "" {
+				s.countFailure(cls)
+			}
+			return rec, att, nil
+		}
+		// This attempt failed (transport error or retryable status).
+		retryable := err == nil || resilience.Retryable(err)
+		if !retryable || try >= pol.MaxAttempts || ctx.Err() != nil {
+			return s.finishHop(rec, att, err)
+		}
+		var ra time.Duration
+		if att != nil {
+			ra = att.retryAfter
+		}
+		delay := s.res.Delay(try, ra)
+		if dl, has := ctx.Deadline(); has && time.Until(dl) <= delay {
+			// Not enough budget left to sleep and try again.
+			return s.finishHop(rec, att, err)
+		}
+		if s.res.Allow(host) != nil {
+			// The breaker opened on this host's own failures: stop
+			// retrying and surface the concrete cause.
+			return s.finishHop(rec, att, err)
+		}
+		s.record(rec)
+		s.met.retries.Inc()
+		s.met.retryDelay.Observe(delay.Seconds())
+		if !resilience.Sleep(ctx, delay) {
+			cerr := ctx.Err()
+			s.countFailure(resilience.Classify(cerr))
+			return Record{URL: rawURL, Host: host, SiteHost: siteHost, Country: s.cfg.Country,
+				Initiator: init, ParentURL: ref, Referer: ref, Err: cerr.Error(), Attempt: try}, nil, cerr
+		}
+	}
+}
+
+// finishHop counts and returns a terminal attempt outcome.
+func (s *Session) finishHop(rec Record, att *attempt, err error) (Record, *attempt, error) {
+	if err != nil {
+		s.countFailure(resilience.Classify(err))
+		return rec, nil, err
+	}
+	// Retries exhausted on a retryable status: hand the last response
+	// back so the page layer records the status it saw.
+	if cls := resilience.ClassifyStatus(rec.Status); cls != "" {
+		s.countFailure(cls)
+	}
+	return rec, att, nil
+}
+
+// doAttempt performs a single request without following redirects and
+// reads its body, so a truncated or reset stream fails the attempt
+// (and can be retried) instead of silently yielding a partial page.
+func (s *Session) doAttempt(ctx context.Context, rawURL, siteHost string, initiator Initiator, referer string) (Record, *attempt, error) {
 	u, err := url.Parse(rawURL)
 	if err != nil {
 		return Record{URL: rawURL, SiteHost: siteHost, Err: err.Error()}, nil, err
@@ -381,13 +554,40 @@ func (s *Session) doOne(ctx context.Context, rawURL, siteHost string, initiator 
 			s.mu.Unlock()
 		}
 	}
-	return rec, resp, nil
+	att := &attempt{redirectTo: rec.RedirectTo}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, aerr := strconv.Atoi(ra); aerr == nil && secs >= 0 {
+			att.retryAfter = time.Duration(secs) * time.Second
+		} else if t, perr := http.ParseTime(ra); perr == nil {
+			att.retryAfter = time.Until(t)
+		}
+	}
+	if att.redirectTo != "" {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return rec, att, nil
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	resp.Body.Close()
+	if rerr != nil {
+		if strings.Contains(rerr.Error(), "unexpected EOF") {
+			rerr = fmt.Errorf("%s: %w", rec.Host, resilience.ErrTruncated)
+		}
+		rec.Err = rerr.Error()
+		return rec, nil, rerr
+	}
+	att.body = body
+	return rec, att, nil
 }
 
 // FetchPage retrieves a site's landing page (or an arbitrary path on it),
 // probing HTTPS first and downgrading to HTTP on handshake failure, as the
 // paper's crawler does. It returns the result and whether the site
 // ultimately supported HTTPS.
+//
+// A canceled or expired context says nothing about the site's HTTPS
+// support, so no plain-HTTP probe is made (and no downgrade counted)
+// when the HTTPS failure was caller-induced.
 func (s *Session) FetchPage(ctx context.Context, host, path string) (*Result, bool, error) {
 	if path == "" {
 		path = "/"
@@ -396,10 +596,21 @@ func (s *Session) FetchPage(ctx context.Context, host, path string) (*Result, bo
 	if err == nil {
 		return res, true, nil
 	}
+	// Only the caller's context matters here: a per-request Client.Timeout
+	// also unwraps to DeadlineExceeded but says nothing about the caller.
+	if ctx.Err() != nil {
+		return nil, false, fmt.Errorf("crawler: %s unreachable: %w", host, err)
+	}
 	res, err2 := s.Fetch(ctx, "http://"+host+path, host, InitDocument, "")
 	if err2 == nil {
 		s.met.downgrades.Inc()
 		return res, false, nil
 	}
-	return nil, false, fmt.Errorf("crawler: %s unreachable: https: %v; http: %v", host, err, err2)
+	// Wrap the more informative of the two causes: a breaker rejection
+	// says less than the failure that opened the breaker.
+	cause, other := err2, fmt.Sprintf("https: %v", err)
+	if errors.Is(err2, resilience.ErrBreakerOpen) && !errors.Is(err, resilience.ErrBreakerOpen) {
+		cause, other = err, fmt.Sprintf("http: %v", err2)
+	}
+	return nil, false, fmt.Errorf("crawler: %s unreachable (%s): %w", host, other, cause)
 }

@@ -306,6 +306,37 @@ func truncateURL(u string, n int) string {
 	return u[:n] + "..."
 }
 
+// Robustness prints the crawl-path failure taxonomy and per-vantage
+// site loss.
+func Robustness(w io.Writer, r core.RobustnessResult) {
+	header(w, "Crawl robustness (failure taxonomy)")
+	mode := "single-shot"
+	if r.RetriesEnabled {
+		mode = fmt.Sprintf("retries enabled (max %d attempts)", r.MaxAttempts)
+	}
+	faults := "no injected faults"
+	if r.FaultsInjected {
+		faults = "substrate fault injection on"
+	}
+	fmt.Fprintf(w, "%s; %s\n", mode, faults)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-3s attempted %5d  crawled %5d  lost %6s\n",
+			row.Country, row.Attempted, row.Crawled, percent(row.LossRate))
+	}
+	any := false
+	for _, class := range core.TaxonomyOrder() {
+		v, q := r.VisitFailures[class], r.RequestFailures[class]
+		if v == 0 && q == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "%-14s %6d page visits  %8d requests\n", class, v, q)
+	}
+	if !any {
+		fmt.Fprintf(w, "no failed visits or requests recorded\n")
+	}
+}
+
 // Validation prints the ground-truth precision/recall scores.
 func Validation(w io.Writer, v core.Validation) {
 	header(w, "Ground-truth validation (exact, where the paper sampled manually)")
@@ -349,6 +380,7 @@ func All(w io.Writer, r *core.Results) {
 	RTA(w, r.RTA)
 	Chains(w, r.Chains)
 	Storage(w, r.Storage)
+	Robustness(w, r.Robustness)
 	Validation(w, r.Validation)
 }
 

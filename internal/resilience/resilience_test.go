@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ""},
+		{fmt.Errorf("wrap: %w", ErrBreakerOpen), ClassBreakerOpen},
+		{fmt.Errorf("wrap: %w", ErrRedirectLoop), ClassRedirectLoop},
+		{fmt.Errorf("wrap: %w", ErrTruncated), ClassTruncated},
+		{context.Canceled, ClassCanceled},
+		{context.DeadlineExceeded, ClassTimeout},
+		{errors.New(`Get "http://x/": EOF`), ClassRefused},
+		{errors.New("read: connection reset by peer"), ClassReset},
+		{errors.New("unexpected EOF"), ClassTruncated},
+		{errors.New("context deadline exceeded (Client.Timeout exceeded while awaiting headers)"), ClassTimeout},
+		{errors.New("dial tcp: lookup x: no such host"), ClassRefused},
+		{errors.New("crawler: x.com refused"), ClassRefused},
+		{errors.New("something strange"), ClassOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestClassifyStatus(t *testing.T) {
+	if got := ClassifyStatus(451); got != ClassGeoBlocked {
+		t.Errorf("451 -> %q", got)
+	}
+	if got := ClassifyStatus(503); got != Class5xx {
+		t.Errorf("503 -> %q", got)
+	}
+	for _, st := range []int{200, 204, 302, 404, 429} {
+		if got := ClassifyStatus(st); got != "" {
+			t.Errorf("%d -> %q, want no class", st, got)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if Retryable(nil) {
+		t.Error("nil retryable")
+	}
+	if Retryable(context.Canceled) || Retryable(context.DeadlineExceeded) {
+		t.Error("caller aborts must not be retried")
+	}
+	if Retryable(fmt.Errorf("x: %w", ErrBreakerOpen)) {
+		t.Error("breaker rejection must not be retried")
+	}
+	if !Retryable(errors.New(`Get "http://x/": EOF`)) {
+		t.Error("refused connection should be retried")
+	}
+	if !Retryable(fmt.Errorf("x: %w", ErrTruncated)) {
+		t.Error("truncation should be retried")
+	}
+	if !RetryableStatus(503) || !RetryableStatus(429) || RetryableStatus(404) || RetryableStatus(200) {
+		t.Error("status retryability wrong")
+	}
+}
+
+func TestInactivePolicyNilController(t *testing.T) {
+	c := NewController(Policy{})
+	if c != nil {
+		t.Fatal("inactive policy should produce a nil controller")
+	}
+	// Every method of a nil controller must be a safe no-op.
+	if err := c.Allow("x.com"); err != nil {
+		t.Errorf("nil Allow = %v", err)
+	}
+	c.Report("x.com", false)
+	if st := c.StateOf("x.com"); st != Closed {
+		t.Errorf("nil StateOf = %v", st)
+	}
+	if d := c.Delay(3, time.Second); d != 0 {
+		t.Errorf("nil Delay = %v", d)
+	}
+	if p := c.Policy(); p.MaxAttempts != 1 {
+		t.Errorf("nil Policy = %+v", p)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	c := NewController(Policy{
+		MaxAttempts:      3,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+		Seed:             1,
+	})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	type tr struct{ from, to State }
+	var transitions []tr
+	c.OnTransition(func(host string, from, to State) {
+		transitions = append(transitions, tr{from, to})
+	})
+
+	host := "flaky.com"
+	// Closed: failures below threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if err := c.Allow(host); err != nil {
+			t.Fatalf("closed breaker rejected attempt %d: %v", i, err)
+		}
+		c.Report(host, false)
+	}
+	if st := c.StateOf(host); st != Closed {
+		t.Fatalf("state after 2 failures = %v", st)
+	}
+	// Third consecutive failure opens.
+	c.Report(host, false)
+	if st := c.StateOf(host); st != Open {
+		t.Fatalf("state after threshold = %v", st)
+	}
+	if err := c.Allow(host); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted: %v", err)
+	}
+	// After the cooldown one probe is admitted (half-open), further
+	// requests are rejected until the probe reports.
+	now = now.Add(2 * time.Minute)
+	if err := c.Allow(host); err != nil {
+		t.Fatalf("half-open rejected the probe: %v", err)
+	}
+	if st := c.StateOf(host); st != HalfOpen {
+		t.Fatalf("state during probe = %v", st)
+	}
+	if err := c.Allow(host); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open admitted a second concurrent probe")
+	}
+	// Failed probe reopens…
+	c.Report(host, false)
+	if st := c.StateOf(host); st != Open {
+		t.Fatalf("state after failed probe = %v", st)
+	}
+	// …and a later successful probe closes.
+	now = now.Add(2 * time.Minute)
+	if err := c.Allow(host); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	c.Report(host, true)
+	if st := c.StateOf(host); st != Closed {
+		t.Fatalf("state after successful probe = %v", st)
+	}
+	if err := c.Allow(host); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+
+	want := []tr{{Closed, Open}, {Open, HalfOpen}, {HalfOpen, Open}, {Open, HalfOpen}, {HalfOpen, Closed}}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakersArePerHost(t *testing.T) {
+	c := NewController(Policy{MaxAttempts: 2, BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	c.Report("bad.com", false)
+	if err := c.Allow("bad.com"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("bad.com breaker should be open")
+	}
+	if err := c.Allow("good.com"); err != nil {
+		t.Fatalf("good.com affected by bad.com: %v", err)
+	}
+}
+
+func TestDelayBoundsAndRetryAfter(t *testing.T) {
+	pol := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42}
+	c := NewController(pol)
+	for attempt := 1; attempt <= 6; attempt++ {
+		ceil := pol.BaseDelay << (attempt - 1)
+		if ceil > pol.MaxDelay {
+			ceil = pol.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			if d := c.Delay(attempt, 0); d < 0 || d > ceil {
+				t.Fatalf("Delay(%d) = %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// Retry-After raises the floor but MaxDelay still caps.
+	if d := c.Delay(1, 60*time.Millisecond); d < 60*time.Millisecond {
+		t.Errorf("Retry-After not honored: %v", d)
+	}
+	if d := c.Delay(1, time.Hour); d != pol.MaxDelay {
+		t.Errorf("Retry-After above MaxDelay not capped: %v", d)
+	}
+}
+
+func TestDelayDeterministicBySeed(t *testing.T) {
+	seq := func() []time.Duration {
+		c := NewController(Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Second, Seed: 7})
+		var out []time.Duration
+		for i := 1; i <= 8; i++ {
+			out = append(out, c.Delay(i, 0))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if Sleep(ctx, time.Minute) {
+		t.Fatal("sleep completed despite canceled context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("sleep did not return promptly on cancellation")
+	}
+	if !Sleep(context.Background(), time.Millisecond) {
+		t.Fatal("uncanceled sleep reported interruption")
+	}
+}

@@ -1,0 +1,226 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// hostKey normalizes a hostname the way the router does.
+func hostKey(h string) string { return strings.ToLower(h) }
+
+// FaultKind is one class of injected chaos a virtual host can exhibit.
+type FaultKind int
+
+// Fault kinds. Each enabled host is assigned at most one kind,
+// deterministically from the generation seed, so a fixed-seed ecosystem
+// always breaks in the same places.
+const (
+	FaultNone         FaultKind = iota
+	FaultServerError            // transient 503 burst (with optional Retry-After)
+	FaultDrop                   // connection dropped before any response
+	FaultTruncate               // body cut short of its declared Content-Length
+	FaultReset                  // mid-stream TCP reset after partial body
+	FaultRedirectLoop           // 302 cycle between two paths
+	FaultLatency                // slow-loris: response delayed by Latency
+)
+
+var faultKindNames = [...]string{"none", "server-error", "drop", "truncate", "reset", "redirect-loop", "latency"}
+
+func (k FaultKind) String() string {
+	if k < 0 || int(k) >= len(faultKindNames) {
+		return "unknown"
+	}
+	return faultKindNames[k]
+}
+
+// Fault is one injected fault decision for one request.
+type Fault struct {
+	Kind FaultKind
+	// Delay is the injected latency for FaultLatency.
+	Delay time.Duration
+	// RetryAfter, when non-zero, is the hint a FaultServerError 503
+	// carries in its Retry-After header.
+	RetryAfter time.Duration
+}
+
+// FaultProfile configures the chaos model. The zero value disables
+// injection entirely, so existing ecosystems behave exactly as before.
+// Fractions partition the host population: a host draws one uniform
+// value from the seed and falls into the first band it fits, so the
+// fault classes are disjoint and their populations scale with the
+// corpus.
+type FaultProfile struct {
+	// Enabled turns injection on.
+	Enabled bool
+
+	// ServerErrorFrac is the fraction of hosts answering a 503 burst.
+	ServerErrorFrac float64
+	// DropFrac is the fraction of hosts whose connections drop — but
+	// only from a per-host subset of vantage countries, modeling the
+	// intermittent geographic unreachability the paper hit (Section 6).
+	DropFrac float64
+	// TruncateFrac is the fraction of hosts serving truncated bodies.
+	TruncateFrac float64
+	// ResetFrac is the fraction of hosts resetting mid-stream.
+	ResetFrac float64
+	// RedirectLoopFrac is the fraction of hosts caught in a 302 cycle.
+	RedirectLoopFrac float64
+	// LatencyFrac is the fraction of hosts answering after Latency.
+	LatencyFrac float64
+	// Latency is the injected delay for latency hosts (default 100ms).
+	Latency time.Duration
+
+	// Burst is how many attempts per (host, country) a transient fault
+	// survives before the host recovers (default 2); latency and
+	// redirect-loop hosts are permanently slow/looping instead.
+	Burst int
+	// RetryAfter, when non-zero, is advertised by 503 responses.
+	RetryAfter time.Duration
+
+	// Geo451, when set, makes geo-blocked sites answer HTTP 451
+	// (Unavailable For Legal Reasons) like modern CDN blocks, instead of
+	// silently dropping the connection — which lets the crawler tell
+	// censorship apart from dead hosts.
+	Geo451 bool
+}
+
+// DefaultFaultProfile is a moderate chaos mix: roughly a fifth of hosts
+// transiently faulty, all recoverable within Burst retries.
+func DefaultFaultProfile() FaultProfile {
+	return FaultProfile{
+		Enabled:          true,
+		ServerErrorFrac:  0.08,
+		DropFrac:         0.05,
+		TruncateFrac:     0.03,
+		ResetFrac:        0.03,
+		RedirectLoopFrac: 0.01,
+		LatencyFrac:      0.03,
+		Latency:          25 * time.Millisecond,
+		Burst:            2,
+	}
+}
+
+// faultInjector assigns fault kinds to hosts and tracks burst
+// consumption per (kind, host, country). Assignment is pure (seeded
+// hash); only the attempt counters are stateful.
+type faultInjector struct {
+	prof FaultProfile
+	seed uint64
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+func newFaultInjector(p Params) *faultInjector {
+	prof := p.Faults
+	if prof.Burst <= 0 {
+		prof.Burst = 2
+	}
+	if prof.Latency <= 0 {
+		prof.Latency = 100 * time.Millisecond
+	}
+	return &faultInjector{prof: prof, seed: p.Seed, attempts: map[string]int{}}
+}
+
+// kindFor is the static fault assignment for a host: one uniform draw
+// against the profile's (disjoint) fraction bands.
+func (fi *faultInjector) kindFor(host string) FaultKind {
+	if !fi.prof.Enabled {
+		return FaultNone
+	}
+	u := float64(fnvHash(fmt.Sprintf("fault|%d|%s", fi.seed, host))%100000) / 100000
+	for _, band := range []struct {
+		frac float64
+		kind FaultKind
+	}{
+		{fi.prof.ServerErrorFrac, FaultServerError},
+		{fi.prof.DropFrac, FaultDrop},
+		{fi.prof.TruncateFrac, FaultTruncate},
+		{fi.prof.ResetFrac, FaultReset},
+		{fi.prof.RedirectLoopFrac, FaultRedirectLoop},
+		{fi.prof.LatencyFrac, FaultLatency},
+	} {
+		if u < band.frac {
+			return band.kind
+		}
+		u -= band.frac
+	}
+	return FaultNone
+}
+
+// dropsFrom reports whether a drop-faulted host drops connections from
+// this country (roughly half the vantages per host, hash-selected).
+func (fi *faultInjector) dropsFrom(host, country string) bool {
+	return fnvHash("dropgeo|"+host+"|"+country)%2 == 0
+}
+
+// next decides the fault (if any) for one incoming request. Transient
+// kinds consume one unit of the per-(host,country) burst and return
+// FaultNone once the burst is exhausted — the host has "recovered", so
+// a retrying client wins where a single-shot one loses. Sanitization
+// never sees faults: the corpus must compile identically with and
+// without chaos.
+func (fi *faultInjector) next(host, country string, phase Phase) Fault {
+	if !fi.prof.Enabled || phase == PhaseSanitize {
+		return Fault{}
+	}
+	kind := fi.kindFor(host)
+	switch kind {
+	case FaultNone:
+		return Fault{}
+	case FaultLatency:
+		return Fault{Kind: kind, Delay: fi.prof.Latency}
+	case FaultRedirectLoop:
+		return Fault{Kind: kind}
+	case FaultDrop:
+		if !fi.dropsFrom(host, country) {
+			return Fault{}
+		}
+	}
+	if !fi.consume(fmt.Sprintf("%d|%s|%s", kind, host, country)) {
+		return Fault{}
+	}
+	f := Fault{Kind: kind}
+	if kind == FaultServerError {
+		f.RetryAfter = fi.prof.RetryAfter
+	}
+	return f
+}
+
+// consume burns one burst unit under key, reporting whether the fault
+// still fires.
+func (fi *faultInjector) consume(key string) bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.attempts[key]++
+	return fi.attempts[key] <= fi.prof.Burst
+}
+
+// FaultFor decides the fault for one request reaching host from country
+// in the given phase. The webserver calls this before routing to
+// Respond; it is safe for concurrent use.
+func (e *Ecosystem) FaultFor(host, country string, phase Phase) Fault {
+	return e.faults.next(hostKey(host), country, phase)
+}
+
+// FaultKindFor exposes the static fault assignment of a host — the
+// ground truth tests compare crawl outcomes against.
+func (e *Ecosystem) FaultKindFor(host string) FaultKind {
+	return e.faults.kindFor(hostKey(host))
+}
+
+// FaultsEnabled reports whether the ecosystem injects chaos at all.
+func (e *Ecosystem) FaultsEnabled() bool { return e.faults.prof.Enabled }
+
+// TransientFault reports whether the kind recovers after the burst (so
+// a retrying crawler should eventually reach the host).
+func (k FaultKind) TransientFault() bool {
+	switch k {
+	case FaultServerError, FaultDrop, FaultTruncate, FaultReset:
+		return true
+	default:
+		return false
+	}
+}

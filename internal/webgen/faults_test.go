@@ -1,0 +1,181 @@
+package webgen
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+func faultyParams(seed uint64) Params {
+	return Params{Seed: seed, Scale: 0.02, Faults: DefaultFaultProfile()}
+}
+
+func TestFaultAssignmentDeterministic(t *testing.T) {
+	a := Generate(faultyParams(7))
+	b := Generate(faultyParams(7))
+	for _, h := range a.AllHosts() {
+		if a.FaultKindFor(h) != b.FaultKindFor(h) {
+			t.Fatalf("fault kind for %s differs across identical seeds", h)
+		}
+	}
+	// A different seed must shuffle the assignment somewhere.
+	c := Generate(faultyParams(8))
+	same := true
+	for _, h := range a.AllHosts() {
+		if _, ok := c.SiteByHost[h]; !ok {
+			continue
+		}
+		if a.FaultKindFor(h) != c.FaultKindFor(h) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("fault assignment identical across different seeds")
+	}
+}
+
+func TestFaultKindsAllPresent(t *testing.T) {
+	e := Generate(faultyParams(7))
+	counts := map[FaultKind]int{}
+	hosts := e.AllHosts()
+	for _, h := range hosts {
+		counts[e.FaultKindFor(h)]++
+	}
+	for _, k := range []FaultKind{FaultServerError, FaultDrop, FaultTruncate,
+		FaultReset, FaultRedirectLoop, FaultLatency} {
+		if counts[k] == 0 {
+			t.Errorf("no host assigned fault kind %s (counts=%v over %d hosts)", k, counts, len(hosts))
+		}
+	}
+	if counts[FaultNone] < len(hosts)/2 {
+		t.Errorf("most hosts should stay healthy: %v", counts)
+	}
+}
+
+func TestFaultsDisabledByDefault(t *testing.T) {
+	e := Generate(Params{Seed: 7, Scale: 0.02})
+	if e.FaultsEnabled() {
+		t.Fatal("zero-value profile must disable injection")
+	}
+	for _, h := range e.AllHosts() {
+		if k := e.FaultKindFor(h); k != FaultNone {
+			t.Fatalf("disabled injector assigned %s to %s", k, h)
+		}
+		if f := e.FaultFor(h, "ES", PhaseCrawl); f.Kind != FaultNone {
+			t.Fatalf("disabled injector fired %s for %s", f.Kind, h)
+		}
+	}
+}
+
+func TestFaultsGatedOffDuringSanitize(t *testing.T) {
+	e := Generate(faultyParams(7))
+	for _, h := range e.AllHosts() {
+		if f := e.FaultFor(h, "ES", PhaseSanitize); f.Kind != FaultNone {
+			t.Fatalf("sanitize phase saw fault %s on %s", f.Kind, h)
+		}
+	}
+}
+
+func TestTransientFaultBurstRecovers(t *testing.T) {
+	e := Generate(faultyParams(7))
+	var host string
+	for _, h := range e.AllHosts() {
+		if e.FaultKindFor(h) == FaultServerError {
+			host = h
+			break
+		}
+	}
+	if host == "" {
+		t.Skip("no server-error host at this scale")
+	}
+	burst := DefaultFaultProfile().Burst
+	for i := 0; i < burst; i++ {
+		if f := e.FaultFor(host, "ES", PhaseCrawl); f.Kind != FaultServerError {
+			t.Fatalf("attempt %d: fault = %s, want server-error", i+1, f.Kind)
+		}
+	}
+	if f := e.FaultFor(host, "ES", PhaseCrawl); f.Kind != FaultNone {
+		t.Fatalf("host did not recover after burst: %s", f.Kind)
+	}
+	// The burst is per country: a fresh vantage sees the fault anew.
+	if f := e.FaultFor(host, "RU", PhaseCrawl); f.Kind != FaultServerError {
+		t.Fatalf("fresh country should see the fault, got %s", f.Kind)
+	}
+}
+
+func TestDropFaultIsPerCountry(t *testing.T) {
+	e := Generate(faultyParams(7))
+	found := false
+	for _, h := range e.AllHosts() {
+		if e.FaultKindFor(h) != FaultDrop {
+			continue
+		}
+		var drops, passes int
+		for _, c := range Countries {
+			if e.faults.dropsFrom(hostKey(h), c) {
+				drops++
+			} else {
+				passes++
+			}
+		}
+		if drops > 0 && passes > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no drop host is intermittent across countries")
+	}
+}
+
+func TestGeo451Profile(t *testing.T) {
+	p := faultyParams(7)
+	p.Faults.Geo451 = true
+	e := Generate(p)
+	var blocked *Site
+	for _, s := range e.PornSites {
+		if len(s.BlockedIn) > 0 && !s.Unresponsive && !s.Flaky {
+			blocked = s
+			break
+		}
+	}
+	if blocked == nil {
+		t.Skip("no geo-blocked site at this scale")
+	}
+	var country string
+	for c := range blocked.BlockedIn {
+		country = c
+	}
+	resp := e.Respond(Request{Host: blocked.Host, Path: "/", Country: country, Phase: PhaseCrawl, Query: url.Values{}})
+	if resp.Status != 451 {
+		t.Fatalf("blocked site with Geo451 answered %d, want 451", resp.Status)
+	}
+	// Without the profile bit the site silently refuses, as before.
+	plain := Generate(Params{Seed: 7, Scale: 0.02})
+	resp = plain.Respond(Request{Host: blocked.Host, Path: "/", Country: country, Phase: PhaseCrawl, Query: url.Values{}})
+	if resp.Status != 0 {
+		t.Fatalf("blocked site without Geo451 answered %d, want refusal", resp.Status)
+	}
+}
+
+func TestLatencyFaultCarriesDelay(t *testing.T) {
+	p := faultyParams(7)
+	p.Faults.Latency = 42 * time.Millisecond
+	e := Generate(p)
+	for _, h := range e.AllHosts() {
+		if e.FaultKindFor(h) != FaultLatency {
+			continue
+		}
+		f := e.FaultFor(h, "ES", PhaseCrawl)
+		if f.Kind != FaultLatency || f.Delay != 42*time.Millisecond {
+			t.Fatalf("latency fault = %+v", f)
+		}
+		// Latency hosts stay slow: no burst consumption.
+		if f2 := e.FaultFor(h, "ES", PhaseCrawl); f2.Kind != FaultLatency {
+			t.Fatal("latency fault should persist")
+		}
+		return
+	}
+	t.Skip("no latency host at this scale")
+}

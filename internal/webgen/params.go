@@ -11,6 +11,11 @@ type Params struct {
 	// Scale scales the population. 1.0 reproduces the paper's corpus sizes
 	// (6,843 porn sites, 9,688 regular sites). Tests use small scales.
 	Scale float64
+	// Faults configures the chaos model: seed-deterministic transient
+	// 5xx bursts, dropped/reset/truncated connections, redirect loops
+	// and injected latency (see FaultProfile). The zero value disables
+	// injection.
+	Faults FaultProfile
 }
 
 // DefaultParams returns paper-scale parameters.

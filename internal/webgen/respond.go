@@ -140,6 +140,12 @@ func (e *Ecosystem) respondSite(s *Site, req Request) Response {
 		return Refused()
 	}
 	if s.BlockedIn[req.Country] {
+		if e.faults.prof.Geo451 {
+			// Modern CDN-fronted blocks answer 451, which lets a vantage
+			// distinguish legal blocking from a dead host.
+			return Response{Status: 451, ContentType: "text/html",
+				Body: "<html><body><h1>451 Unavailable For Legal Reasons</h1></body></html>"}
+		}
 		return Refused()
 	}
 	if s.Flaky && req.Phase != PhaseSanitize {

@@ -29,7 +29,8 @@ type Ecosystem struct {
 	uniqueHosts     map[string]*Site // minted long-tail host -> embedding site
 	extraFirstParty map[string]*Site // extra first-party host -> owning site
 
-	uids *uidStore
+	uids   *uidStore
+	faults *faultInjector
 }
 
 // Generate builds the ecosystem deterministically from the parameters.
@@ -57,6 +58,7 @@ func Generate(p Params) *Ecosystem {
 		uniqueHosts:     map[string]*Site{},
 		extraFirstParty: map[string]*Site{},
 		uids:            newUIDStore(p.Seed ^ 0xc0ffee),
+		faults:          newFaultInjector(p),
 	}
 	ownerSeeds := map[*Company]int64{}
 	for _, s := range e.AllSites() {

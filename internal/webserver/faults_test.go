@@ -1,0 +1,213 @@
+package webserver
+
+import (
+	"crypto/tls"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pornweb/internal/obs"
+	"pornweb/internal/webgen"
+)
+
+// startFaulty serves an ecosystem with every fault class enabled and a
+// registry attached.
+func startFaulty(t *testing.T, prof webgen.FaultProfile) (*Server, *webgen.Ecosystem, *obs.Registry) {
+	t.Helper()
+	eco := webgen.Generate(webgen.Params{Seed: 7, Scale: 0.02, Faults: prof})
+	reg := obs.NewRegistry()
+	srv, err := Start(eco, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, eco, reg
+}
+
+// pickFaultHost finds a healthy site assigned the given fault kind.
+func pickFaultHost(t *testing.T, eco *webgen.Ecosystem, kind webgen.FaultKind) string {
+	t.Helper()
+	for _, s := range eco.PornSites {
+		if s.Flaky || s.Unresponsive || len(s.BlockedIn) > 0 {
+			continue
+		}
+		if eco.FaultKindFor(s.Host) == kind {
+			return s.Host
+		}
+	}
+	t.Skipf("no site with fault %s at this scale", kind)
+	return ""
+}
+
+func TestServerErrorBurstOnWire(t *testing.T) {
+	prof := webgen.DefaultFaultProfile()
+	prof.RetryAfter = 1500 * time.Millisecond // rounded down to 1s in the header
+	srv, eco, reg := startFaulty(t, prof)
+	host := pickFaultHost(t, eco, webgen.FaultServerError)
+	c := client(srv)
+	for i := 0; i < prof.Burst; i++ {
+		resp, err := c.Get("http://" + host + "/")
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i+1, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: status = %d, want 503", i+1, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "1" {
+			t.Fatalf("Retry-After = %q, want \"1\"", ra)
+		}
+	}
+	// The burst is spent: the host recovers.
+	resp, err := c.Get("http://" + host + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-burst status = %d, want 200", resp.StatusCode)
+	}
+	var sb strings.Builder
+	reg.WriteExposition(&sb)
+	if !strings.Contains(sb.String(), `webserver_faults_injected_total{kind="server-error"}`) {
+		t.Error("injected faults not visible in exposition")
+	}
+}
+
+func TestTruncateFaultOnWire(t *testing.T) {
+	srv, eco, _ := startFaulty(t, webgen.DefaultFaultProfile())
+	host := pickFaultHost(t, eco, webgen.FaultTruncate)
+	c := client(srv)
+	resp, err := c.Get("http://" + host + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, rerr := io.ReadAll(resp.Body)
+	if rerr == nil || !strings.Contains(rerr.Error(), "unexpected EOF") {
+		t.Fatalf("body read error = %v, want unexpected EOF", rerr)
+	}
+}
+
+func TestResetFaultOnWire(t *testing.T) {
+	srv, eco, _ := startFaulty(t, webgen.DefaultFaultProfile())
+	host := pickFaultHost(t, eco, webgen.FaultReset)
+	c := client(srv)
+	resp, err := c.Get("http://" + host + "/")
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil || !strings.Contains(rerr.Error(), "connection reset") {
+			t.Fatalf("body read error = %v, want connection reset", rerr)
+		}
+		return
+	}
+	if !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("error = %v, want connection reset", err)
+	}
+}
+
+func TestResetFaultOverTLS(t *testing.T) {
+	srv, eco, _ := startFaulty(t, webgen.DefaultFaultProfile())
+	var host string
+	for _, s := range eco.PornSites {
+		if !s.Flaky && !s.Unresponsive && s.HTTPS && len(s.BlockedIn) == 0 &&
+			eco.FaultKindFor(s.Host) == webgen.FaultReset {
+			host = s.Host
+			break
+		}
+	}
+	if host == "" {
+		t.Skip("no HTTPS reset site at this scale")
+	}
+	tr := &http.Transport{DialContext: srv.DialContext, TLSClientConfig: &tls.Config{RootCAs: srv.CertPool()}}
+	c := &http.Client{Transport: tr}
+	resp, err := c.Get("https://" + host + "/")
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("TLS reset fault produced %v, want connection reset", err)
+	}
+}
+
+func TestRedirectLoopFaultOnWire(t *testing.T) {
+	srv, eco, _ := startFaulty(t, webgen.DefaultFaultProfile())
+	host := pickFaultHost(t, eco, webgen.FaultRedirectLoop)
+	tr := &http.Transport{DialContext: srv.DialContext, TLSClientConfig: &tls.Config{RootCAs: srv.CertPool()}}
+	c := &http.Client{Transport: tr, CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	seen := map[string]int{}
+	path := "/"
+	for i := 0; i < 6; i++ {
+		resp, err := c.Get("http://" + host + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusFound {
+			t.Fatalf("hop %d: status = %d, want 302", i, resp.StatusCode)
+		}
+		path = resp.Header.Get("Location")
+		seen[path]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("loop touched %d paths (%v), want a 2-cycle", len(seen), seen)
+	}
+}
+
+func TestDropFaultRespectsCountry(t *testing.T) {
+	srv, eco, _ := startFaulty(t, webgen.DefaultFaultProfile())
+	host := pickFaultHost(t, eco, webgen.FaultDrop)
+	c := client(srv)
+	var dropCountry, passCountry string
+	for _, country := range webgen.Countries {
+		get := func() error {
+			req, _ := http.NewRequest(http.MethodGet, "http://"+host+"/", nil)
+			req.Header.Set(HeaderCountry, country)
+			resp, err := c.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.Header.Get("X-Refused") == "1" {
+				return io.EOF
+			}
+			return nil
+		}
+		if err := get(); err != nil && dropCountry == "" {
+			dropCountry = country
+		} else if err == nil && passCountry == "" {
+			passCountry = country
+		}
+	}
+	if dropCountry == "" {
+		t.Error("drop host never dropped from any vantage")
+	}
+	if passCountry == "" {
+		t.Error("drop host dropped from every vantage; want per-country intermittency")
+	}
+}
+
+func TestSanitizePhaseSeesNoFaults(t *testing.T) {
+	srv, eco, _ := startFaulty(t, webgen.DefaultFaultProfile())
+	host := pickFaultHost(t, eco, webgen.FaultServerError)
+	c := client(srv)
+	req, _ := http.NewRequest(http.MethodGet, "http://"+host+"/", nil)
+	req.Header.Set(HeaderPhase, "sanitize")
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sanitize phase got %d, want 200", resp.StatusCode)
+	}
+}

@@ -24,10 +24,12 @@ import (
 	"crypto/x509/pkix"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/big"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -91,6 +93,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 	reg.Describe("webserver_certs_minted_total", "leaf certificates minted on demand")
 	reg.Describe("webserver_refused_total", "connections dropped to simulate dead or refusing hosts")
 	reg.Describe("webserver_error_log_lines_total", "lines net/http wrote to the server error log")
+	reg.Describe("webserver_faults_injected_total", "chaos faults injected on the wire, by kind")
+	reg.Describe("webserver_vhost_faults_total", "faults injected per third-party service virtual host")
 	return serverMetrics{
 		reqSite:     reg.Counter("webserver_requests_total", "kind", "site"),
 		reqService:  reg.Counter("webserver_requests_total", "kind", "service"),
@@ -354,7 +358,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	if country == "" {
 		country = "ES" // the paper's physical vantage point
 	}
-	resp := s.Eco.Respond(webgen.Request{
+	req := webgen.Request{
 		Host:     host,
 		Path:     r.URL.Path,
 		Query:    r.URL.Query(),
@@ -364,23 +368,17 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		Referer:  r.Referer(),
 		Secure:   r.TLS != nil,
 		Phase:    phase,
-	})
+	}
+	if f := s.Eco.FaultFor(host, country, phase); f.Kind != webgen.FaultNone {
+		if s.applyFault(w, r, host, f, req) {
+			return
+		}
+	}
+	resp := s.Eco.Respond(req)
 	if resp.Status == 0 {
 		// Connection refused / dead host: cut the TCP stream without an
 		// HTTP response so the client sees a transport error.
-		s.met.refusals.Inc()
-		s.log.Event(obs.LevelDebug, "refusing connection", "host", host)
-		if hj, ok := w.(http.Hijacker); ok {
-			if conn, _, err := hj.Hijack(); err == nil {
-				conn.Close()
-				return
-			}
-		}
-		// TLS connections cannot always hijack; a bare 502 with the
-		// sentinel header is the fallback the crawler also treats as
-		// unreachable.
-		w.Header().Set("X-Refused", "1")
-		w.WriteHeader(http.StatusBadGateway)
+		s.refuse(w, host)
 		return
 	}
 	for _, c := range resp.Cookies {
@@ -415,4 +413,147 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	if resp.Body != "" {
 		w.Write([]byte(resp.Body))
 	}
+}
+
+// refuse cuts the connection without an HTTP response so the client
+// sees a transport error — the wire behaviour of a dead or refusing
+// host.
+func (s *Server) refuse(w http.ResponseWriter, host string) {
+	s.met.refusals.Inc()
+	s.log.Event(obs.LevelDebug, "refusing connection", "host", host)
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	// TLS connections cannot always hijack; a bare 502 with the
+	// sentinel header is the fallback the crawler also treats as
+	// unreachable.
+	w.Header().Set("X-Refused", "1")
+	w.WriteHeader(http.StatusBadGateway)
+}
+
+// countFault records one injected fault, globally by kind and per vhost
+// for service hosts (same cardinality discipline as countRequest).
+func (s *Server) countFault(host string, kind webgen.FaultKind) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter("webserver_faults_injected_total", "kind", kind.String()).Inc()
+	if s.isServiceHost(host) {
+		s.reg.Counter("webserver_vhost_faults_total", "host", host).Inc()
+	}
+}
+
+// applyFault realizes one fault decision on the wire. It reports
+// whether the request was fully handled; latency returns false so the
+// (delayed) normal response still flows.
+func (s *Server) applyFault(w http.ResponseWriter, r *http.Request, host string, f webgen.Fault, req webgen.Request) bool {
+	s.countFault(host, f.Kind)
+	switch f.Kind {
+	case webgen.FaultLatency:
+		// Slow-loris: hold the response open for the injected delay (or
+		// until the client gives up).
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return true
+		}
+		return false
+	case webgen.FaultServerError:
+		if f.RetryAfter > 0 {
+			secs := int(f.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "<html><body><h1>503</h1>transient backend failure</body></html>")
+		return true
+	case webgen.FaultDrop:
+		s.refuse(w, host)
+		return true
+	case webgen.FaultRedirectLoop:
+		// Two paths 302-ing at each other: any client following
+		// redirects revisits a URL after two hops.
+		next := "/fault/loop-a"
+		if r.URL.Path == "/fault/loop-a" {
+			next = "/fault/loop-b"
+		}
+		w.Header().Set("Location", next)
+		w.WriteHeader(http.StatusFound)
+		return true
+	case webgen.FaultTruncate:
+		// Declare the healthy body's length but send only half; the
+		// handler returning early makes net/http cut the connection and
+		// the client's body read fails with unexpected EOF.
+		resp := s.Eco.Respond(req)
+		if resp.Status == 0 || len(resp.Body) < 2 {
+			s.refuse(w, host)
+			return true
+		}
+		if resp.ContentType != "" {
+			w.Header().Set("Content-Type", resp.ContentType)
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)))
+		status := resp.Status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.WriteHeader(status)
+		io.WriteString(w, resp.Body[:len(resp.Body)/2])
+		return true
+	case webgen.FaultReset:
+		s.resetMidStream(w, host, req)
+		return true
+	}
+	return false
+}
+
+// resetMidStream writes a partial raw response and then aborts the TCP
+// stream with an RST, so the client reads "connection reset by peer"
+// instead of a clean EOF.
+func (s *Server) resetMidStream(w http.ResponseWriter, host string, req webgen.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No hijack (should not happen on HTTP/1.1): degrade to refusal.
+		s.refuse(w, host)
+		return
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		s.refuse(w, host)
+		return
+	}
+	resp := s.Eco.Respond(req)
+	body := resp.Body
+	if body == "" {
+		body = "<html><body>partial</body></html>"
+	}
+	fmt.Fprintf(bufrw, "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n%s",
+		len(body), body[:len(body)/2])
+	bufrw.Flush()
+	abortConn(conn)
+}
+
+// abortConn closes conn with a TCP RST (SO_LINGER 0). For TLS streams
+// the raw TCP connection is closed directly — a tls.Conn.Close would
+// send close_notify first, which the client would read as a clean EOF
+// rather than a reset.
+func abortConn(conn net.Conn) {
+	raw := conn
+	if tc, ok := conn.(*tls.Conn); ok {
+		raw = tc.NetConn()
+	}
+	if tcp, ok := raw.(*net.TCPConn); ok {
+		tcp.SetLinger(0)
+		tcp.Close()
+		return
+	}
+	conn.Close()
 }

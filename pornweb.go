@@ -42,6 +42,7 @@ import (
 	"pornweb/internal/core"
 	"pornweb/internal/obs"
 	"pornweb/internal/report"
+	"pornweb/internal/resilience"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
 )
@@ -121,3 +122,31 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewLogger returns a logger writing lines at or above min to w.
 func NewLogger(w io.Writer, min LogLevel) *Logger { return obs.NewLogger(w, min) }
+
+// Robustness. Params.Faults injects deterministic chaos into the
+// generated ecosystem (transient 5xx bursts, dropped connections,
+// truncated bodies, mid-stream resets, redirect loops, latency, HTTP
+// 451 geo-blocks); StudyConfig.Resilience arms the crawl path against
+// it (bounded retries with full-jitter backoff and a per-host circuit
+// breaker). Results.Robustness reports what was lost and why.
+
+// FaultProfile configures fault injection; the zero value disables it.
+type FaultProfile = webgen.FaultProfile
+
+// RetryPolicy configures crawl-path retries and the per-host circuit
+// breaker; the zero value means single-shot requests, no breaker.
+type RetryPolicy = resilience.Policy
+
+// FailureClass is one bucket of the crawl failure taxonomy.
+type FailureClass = resilience.Class
+
+// RobustnessResult is the study's aggregated failure taxonomy:
+// per-vantage site loss plus failed visits and requests by class.
+type RobustnessResult = core.RobustnessResult
+
+// DefaultFaultProfile returns a moderate chaos mix: roughly a fifth of
+// hosts transiently faulty, all recoverable within the retry burst.
+func DefaultFaultProfile() FaultProfile { return webgen.DefaultFaultProfile() }
+
+// FailureClasses lists the failure taxonomy in report order.
+func FailureClasses() []FailureClass { return resilience.Classes() }
