@@ -1,7 +1,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build vet test race bench staticcheck ci
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race bench bench-json fuzz staticcheck ci
 
 all: vet test
 
@@ -20,6 +22,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# bench-json times the full pipeline serial vs scheduled and writes
+# BENCH_pipeline.json: mean ns/op per path plus the speedup ratio (>1
+# means the DAG scheduler is faster; expect ~1.0 on a single core).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Serial|Scheduled)$$' -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	@cat BENCH_pipeline.json
+
+# fuzz gives each native fuzz target a short budget; failing inputs land
+# in testdata/fuzz/ and then fail `make test` forever after.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/blocklist/
+	$(GO) test -run '^$$' -fuzz 'FuzzClassify' -fuzztime $(FUZZTIME) ./internal/domain/
+
 # staticcheck runs via `go run` so nothing is installed into the module;
 # if the tool cannot be fetched (offline CI, no module proxy) the target
 # notes the skip and succeeds — real findings still fail the build.
@@ -30,6 +46,6 @@ staticcheck:
 		echo "staticcheck: tool unavailable (offline?); skipping"; \
 	fi
 
-# ci is the full gate: vet, the test suite, the race detector, and
-# staticcheck when the environment can reach it.
-ci: vet test race staticcheck
+# ci is the full gate: vet, the test suite, the race detector, a short
+# fuzz pass, and staticcheck when the environment can reach it.
+ci: vet test race fuzz staticcheck

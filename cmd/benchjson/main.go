@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// small JSON document on stdout. `make bench-json` pipes the two
+// pipeline benchmarks through it to produce BENCH_pipeline.json:
+// mean ns/op per benchmark plus the serial/scheduled speedup ratio
+// (>1 means the DAG-scheduled pipeline is faster).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkStudyRunSerial-8    3    5833738839 ns/op    389592888 B/op    3670945 allocs/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+type bench struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+}
+
+type output struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]bench `json:"benchmarks"`
+	// SpeedupSerialOverScheduled is serial ns/op divided by scheduled
+	// ns/op; present only when both pipeline benchmarks are in the input.
+	SpeedupSerialOverScheduled float64 `json:"speedup_serial_over_scheduled,omitempty"`
+}
+
+func main() {
+	out := output{Benchmarks: map[string]bench{}}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		sums[m[1]] += ns
+		counts[m[1]]++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	for name, sum := range sums {
+		out.Benchmarks[name] = bench{NsPerOp: sum / float64(counts[name]), Runs: counts[name]}
+	}
+	serial, okS := out.Benchmarks["StudyRunSerial"]
+	sched, okC := out.Benchmarks["StudyRunScheduled"]
+	if okS && okC && sched.NsPerOp > 0 {
+		out.SpeedupSerialOverScheduled = serial.NsPerOp / sched.NsPerOp
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	pornstudy [-scale 0.05] [-seed 2019] [-workers 16] [-timeout 30s] [-v]
+//	          [-serial] [-stage-workers 4]
 //	          [-metrics-addr 127.0.0.1:9090]
 //	          [-faults] [-retries 3] [-breaker-threshold 5] [-page-budget 2m]
+//
+// By default the pipeline runs as a dependency graph: independent crawls
+// and analyses overlap, bounded by -stage-workers (0 = NumCPU). -serial
+// restores the historical strictly sequential stage order; both produce
+// identical results (pinned by the schedule-equivalence tests).
 //
 // -faults injects the default chaos profile into the generated
 // ecosystem (transient 5xx bursts, drops, truncation, resets, redirect
@@ -42,6 +48,8 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
 	seed := flag.Uint64("seed", 2019, "generation seed")
 	workers := flag.Int("workers", 16, "crawl parallelism")
+	serial := flag.Bool("serial", false, "run pipeline stages strictly sequentially (reference schedule)")
+	stageWorkers := flag.Int("stage-workers", 0, "concurrent pipeline stages for the DAG scheduler (0 = NumCPU)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-page timeout")
 	verbose := flag.Bool("v", false, "progress logging")
 	jsonOut := flag.String("json", "", "also write the raw results as JSON to this file")
@@ -60,10 +68,12 @@ func main() {
 		params.Faults.Geo451 = true
 	}
 	cfg := core.Config{
-		Params:      params,
-		Workers:     *workers,
-		Timeout:     *timeout,
-		MetricsAddr: *metricsAddr,
+		Params:       params,
+		Workers:      *workers,
+		Serial:       *serial,
+		StageWorkers: *stageWorkers,
+		Timeout:      *timeout,
+		MetricsAddr:  *metricsAddr,
 		Resilience: resilience.Policy{
 			MaxAttempts:      *retries,
 			Seed:             int64(*seed),

@@ -42,11 +42,26 @@ type Attributor struct {
 func (a *Attributor) index() map[string]string {
 	a.indexOnce.Do(func() {
 		a.certByBase = make(map[string]string, len(a.CertOrgs))
-		for h, org := range a.CertOrgs {
+		// Several observed hosts can share a registrable domain while
+		// their certificates name different organizations (long-tail asset
+		// hosts on different hosting providers). Build the index over
+		// sorted hosts with first-wins so the base-level winner never
+		// depends on map iteration order — attribution must be identical
+		// run to run and across pipeline schedules.
+		hosts := make([]string, 0, len(a.CertOrgs))
+		for h := range a.CertOrgs {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		for _, h := range hosts {
+			org := a.CertOrgs[h]
 			if org == "" || looksLikeDomain(org) {
 				continue
 			}
-			a.certByBase[domain.Base(h)] = org
+			base := domain.Base(h)
+			if _, ok := a.certByBase[base]; !ok {
+				a.certByBase[base] = org
+			}
 		}
 	})
 	return a.certByBase

@@ -173,3 +173,33 @@ func TestLooksLikeDomain(t *testing.T) {
 	}
 	_ = strings.TrimSpace("")
 }
+
+// TestIndexDeterministicOnBaseCollision pins the certByBase tie-break:
+// when several hosts share a registrable domain but carry different cert
+// organizations, the winner must be the lexicographically first host —
+// never map iteration order, which made Figure 3 flip between runs and
+// between pipeline schedules.
+func TestIndexDeterministicOnBaseCollision(t *testing.T) {
+	want := ""
+	for i := 0; i < 50; i++ {
+		a := &Attributor{CertOrgs: map[string]string{
+			"a.cdn-pool.net": "Alpha Hosting",
+			"b.cdn-pool.net": "Beta Hosting",
+			"c.cdn-pool.net": "Gamma Hosting",
+		}}
+		org, ok := a.Organization("unseen.cdn-pool.net")
+		if !ok {
+			t.Fatal("no attribution for colliding base")
+		}
+		if i == 0 {
+			want = org
+			if org != "Alpha Hosting" {
+				t.Fatalf("winner = %q, want the lexicographically first host's org", org)
+			}
+			continue
+		}
+		if org != want {
+			t.Fatalf("iteration %d: winner flipped from %q to %q", i, want, org)
+		}
+	}
+}

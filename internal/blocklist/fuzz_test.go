@@ -1,0 +1,36 @@
+package blocklist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary filter-list text at the ABP-syntax parser
+// and the matcher behind it. Parse must never panic, must never keep
+// comment or cosmetic lines as rules, and the resulting list must answer
+// Match/CoversHost without panicking for any input.
+func FuzzParse(f *testing.F) {
+	f.Add("||tracker.example^$third-party\n! comment\nexample.com##.ad")
+	f.Add("||ads.example^")
+	f.Add("@@||cdn.example^$script")
+	f.Add("/banner/*/img^")
+	f.Add("||x")
+	f.Add("|http://example.com/|")
+	f.Add("$third-party")
+	f.Add("||\x00odd^$bad-option=,,")
+	f.Fuzz(func(t *testing.T, text string) {
+		lines := strings.Split(text, "\n")
+		l := Parse("fuzz", lines)
+		if l == nil {
+			t.Fatal("Parse returned nil")
+		}
+		if l.Len() > len(lines) {
+			t.Fatalf("parsed %d rules from %d lines", l.Len(), len(lines))
+		}
+		// The parsed list must be usable, whatever the rules look like.
+		l.Match(Request{URL: "https://tracker.example/banner/ad.js", SiteHost: "site.example", Type: TypeScript})
+		l.MatchURL("http://ads.example/x", "site.example")
+		l.CoversHost("tracker.example")
+		l.CoversHost(text)
+	})
+}

@@ -129,19 +129,37 @@ func (st *Study) Top50(porn []string) []string {
 	return out
 }
 
+// AgeVantages lists the four vantage countries of the Section 7.2
+// age-verification comparison, in the paper's order.
+func AgeVantages() []string { return []string{"US", "UK", "ES", "RU"} }
+
 // AnalyzeAgeVerification runs the interactive crawler over the top-50 from
-// the four countries of Section 7.2 and compares.
+// the four countries of Section 7.2 and compares. The scheduled pipeline
+// fans the four crawls out as independent stages and calls
+// AnalyzeAgeVisits directly; this wrapper keeps the crawl-then-analyze
+// convenience for the serial path and library callers.
 func (st *Study) AnalyzeAgeVerification(ctx context.Context, porn []string) (AgeResult, error) {
 	top := st.Top50(porn)
-	countries := []string{"US", "UK", "ES", "RU"}
+	visits := map[string]map[string]*browser.InteractiveVisit{}
+	for _, country := range AgeVantages() {
+		v, err := st.InteractiveCrawl(ctx, top, country)
+		if err != nil {
+			return AgeResult{}, err
+		}
+		visits[country] = v
+	}
+	return st.AnalyzeAgeVisits(visits), nil
+}
+
+// AnalyzeAgeVisits is the pure analysis half of Section 7.2: it compares
+// completed interactive crawls keyed by country (one entry per
+// AgeVantages country, each over the same top-50 hosts).
+func (st *Study) AnalyzeAgeVisits(byCountry map[string]map[string]*browser.InteractiveVisit) AgeResult {
 	gatedBy := map[string]map[string]bool{}
 	var res AgeResult
-	for _, country := range countries {
-		visits, err := st.InteractiveCrawl(ctx, top, country)
-		if err != nil {
-			return res, err
-		}
-		ac := AgeCountry{Country: country, Inspected: len(top)}
+	for _, country := range AgeVantages() {
+		visits := byCountry[country]
+		ac := AgeCountry{Country: country, Inspected: len(visits)}
 		gatedBy[country] = map[string]bool{}
 		for host, iv := range visits {
 			if !iv.OK || !iv.GateDetected {
@@ -168,7 +186,7 @@ func (st *Study) AnalyzeAgeVerification(ctx context.Context, porn []string) (Age
 			res.MissingInRU++
 		}
 	}
-	return res, nil
+	return res
 }
 
 func equalSets(a, b map[string]bool) bool {

@@ -47,22 +47,31 @@ type GeoResult struct {
 
 // AnalyzeGeo crawls the porn corpus from every configured vantage country
 // and compares. regularTP is the regular-web third-party set (from the
-// main crawl) for the "web ecosystem" column.
+// main crawl) for the "web ecosystem" column. The scheduled pipeline owns
+// the crawls itself and calls AnalyzeGeoFrom directly; this wrapper keeps
+// the crawl-then-analyze convenience for the serial path and library
+// callers.
 func (st *Study) AnalyzeGeo(ctx context.Context, porn []string, regularTP map[string]bool, crawls map[string]*CrawlResult) (GeoResult, error) {
-	var res GeoResult
-	countries := st.Cfg.Countries
-
 	// Crawl any country not already provided.
-	for _, c := range countries {
+	for _, c := range st.Cfg.Countries {
 		if crawls[c] != nil {
 			continue
 		}
 		cr, err := st.Crawl(ctx, porn, c)
 		if err != nil {
-			return res, err
+			return GeoResult{}, err
 		}
 		crawls[c] = cr
 	}
+	return st.AnalyzeGeoFrom(regularTP, crawls), nil
+}
+
+// AnalyzeGeoFrom is the pure analysis half of Section 6: it compares
+// already-completed vantage crawls. crawls must contain every country in
+// Cfg.Countries.
+func (st *Study) AnalyzeGeoFrom(regularTP map[string]bool, crawls map[string]*CrawlResult) GeoResult {
+	var res GeoResult
+	countries := st.Cfg.Countries
 
 	tpByCountry := map[string]map[string]bool{}
 	for _, c := range countries {
@@ -157,8 +166,8 @@ func (st *Study) AnalyzeGeo(ctx context.Context, porn []string, regularTP map[st
 			res.AlwaysMalSites++
 		}
 	}
-	sort.Slice(res.Rows, func(i, j int) bool { return geoOrder(res.Rows[i].Country) < geoOrder(res.Rows[j].Country) })
-	return res, nil
+	sort.Slice(res.Rows, func(i, j int) bool { return geoLess(res.Rows[i].Country, res.Rows[j].Country) })
+	return res
 }
 
 // geoOrder sorts countries in the paper's Table 7 order.
@@ -168,4 +177,17 @@ func geoOrder(c string) int {
 		return o
 	}
 	return 99
+}
+
+// geoLess orders countries for Table 7 and the robustness rows: the
+// paper's six vantages in its printed order, then every other country
+// alphabetically. The name tie-break matters because geoOrder maps all
+// non-paper countries to the same rank and sort.Slice is unstable — with
+// a custom country list the row order would otherwise vary run to run.
+func geoLess(a, b string) bool {
+	oa, ob := geoOrder(a), geoOrder(b)
+	if oa != ob {
+		return oa < ob
+	}
+	return a < b
 }

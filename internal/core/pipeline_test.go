@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pornweb/internal/blocklist"
+	"pornweb/internal/webgen"
+)
+
+// TestSerialCancellation pins the serial path's cancellation behaviour:
+// a dead context must stop the pipeline between stages instead of
+// grinding through every remaining crawl and analysis.
+func TestSerialCancellation(t *testing.T) {
+	st, err := NewStudy(Config{
+		Params:  webgen.Params{Seed: 11, Scale: 0.01},
+		Workers: 2,
+		Serial:  true,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := st.Run(ctx)
+	if err == nil {
+		t.Fatal("serial Run with a pre-cancelled context returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial Run error = %v, want context.Canceled in its chain", err)
+	}
+	if res != nil {
+		t.Fatalf("serial Run returned partial results %+v after cancellation", res)
+	}
+}
+
+// TestScheduledCancellation does the same for the scheduler-driven path:
+// a pre-cancelled parent context means no stage runs at all.
+func TestScheduledCancellation(t *testing.T) {
+	st, err := NewStudy(Config{
+		Params:  webgen.Params{Seed: 11, Scale: 0.01},
+		Workers: 2,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := st.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("scheduled Run error = %v, want context.Canceled in its chain", err)
+	}
+	if res != nil {
+		t.Fatalf("scheduled Run returned partial results after cancellation")
+	}
+}
+
+// geoTestStudy builds the minimal Study AnalyzeGeoFrom and
+// AnalyzeRobustness need: a country list, an empty blocklist and an empty
+// ecosystem (no server, no crawls).
+func geoTestStudy(countries []string) *Study {
+	return &Study{
+		Cfg:      Config{Countries: countries},
+		Eco:      &webgen.Ecosystem{},
+		EasyList: blocklist.Parse("empty", nil),
+	}
+}
+
+// TestGeoRowOrderCustomCountries is the regression test for the Table 7
+// row order: geoOrder maps every non-paper country to the same rank, and
+// sort.Slice is unstable, so without the name tie-break a custom country
+// list produced rows in a different order run to run.
+func TestGeoRowOrderCustomCountries(t *testing.T) {
+	countries := []string{"ES", "FR", "DE", "AT"}
+	st := geoTestStudy(countries)
+	crawls := map[string]*CrawlResult{}
+	for _, c := range countries {
+		crawls[c] = &CrawlResult{Country: c}
+	}
+
+	// The paper vantage (ES) sorts first; the non-paper countries follow
+	// alphabetically. Repeat to catch order instability.
+	want := []string{"ES", "AT", "DE", "FR"}
+	for i := 0; i < 20; i++ {
+		res := st.AnalyzeGeoFrom(nil, crawls)
+		if len(res.Rows) != len(want) {
+			t.Fatalf("got %d rows, want %d", len(res.Rows), len(want))
+		}
+		for j, w := range want {
+			if res.Rows[j].Country != w {
+				t.Fatalf("iteration %d: row %d = %q, want %q", i, j, res.Rows[j].Country, w)
+			}
+		}
+	}
+
+	// The robustness summary shares the ordering.
+	rob := st.AnalyzeRobustness(crawls)
+	for j, w := range want {
+		if rob.Rows[j].Country != w {
+			t.Fatalf("robustness row %d = %q, want %q", j, rob.Rows[j].Country, w)
+		}
+	}
+}
+
+// TestGeoLess pins the comparator itself: paper order first, then the
+// alphabetical tie-break.
+func TestGeoLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"US", "UK", true},  // paper order, not alphabetical
+		{"SG", "AT", true},  // paper vantage before any custom country
+		{"AT", "FR", true},  // custom countries alphabetical
+		{"FR", "AT", false}, // ...and antisymmetric
+		{"DE", "DE", false}, // irreflexive
+		{"ES", "US", false}, // ES is third in the paper's table
+	}
+	for _, c := range cases {
+		if got := geoLess(c.a, c.b); got != c.want {
+			t.Errorf("geoLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

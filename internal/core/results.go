@@ -3,8 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"pornweb/internal/browser"
 	"pornweb/internal/obs"
+	"pornweb/internal/sched"
 )
 
 // Results holds every reproduced table and figure (see DESIGN.md's
@@ -74,19 +77,51 @@ func (st *Study) SyncEdgeThreshold() int {
 
 // Run executes the complete study: corpus compilation, the main dual
 // crawls from Spain, the US crawl for Table 8, the remaining geographic
-// crawls, and every analysis. Every stage is traced (visible on /spans)
-// and timed into the study_stage_seconds histogram (visible on /metrics).
+// crawls, and every analysis. By default the pipeline runs as a
+// dependency graph on the internal/sched scheduler — the two main crawls
+// overlap, every vantage crawl fans out as soon as the corpus lands, and
+// each analysis fires the moment its inputs resolve — bounded by
+// Config.StageWorkers. Config.Serial preserves the strictly sequential
+// historical order; both paths produce identical Results (pinned by the
+// schedule-equivalence tests). Every stage is traced (visible on /spans)
+// and timed into the study_stage_seconds histogram (visible on /metrics);
+// the scheduled path additionally records per-stage queue wait and the
+// in-flight gauge.
 func (st *Study) Run(ctx context.Context) (*Results, error) {
+	if st.Cfg.Serial {
+		return st.runSerial(ctx)
+	}
+	return st.runScheduled(ctx)
+}
+
+// runSerial is the historical one-stage-at-a-time pipeline, kept as the
+// reference schedule. A cancelled context stops it between stages: the
+// current stage finishes (crawls already dispatch nothing once cancelled)
+// and no further stage starts.
+func (st *Study) runSerial(ctx context.Context) (*Results, error) {
 	ctx = obs.WithTracer(ctx, st.Tracer)
 	ctx, root := obs.StartSpan(ctx, "study/run")
 	defer root.End()
 	res := &Results{}
 
 	// measure wraps one synchronous analysis as a traced, timed stage.
+	// Once the context dies it stops running stages; the error surfaces at
+	// the next checkpoint below, so a cancelled study stops grinding
+	// through the remaining analyses.
 	measure := func(name string, fn func()) {
+		if ctx.Err() != nil {
+			return
+		}
 		_, done := st.stage(ctx, name)
 		fn()
 		done()
+	}
+	// checkpoint returns the context's error, if any, wrapped once.
+	checkpoint := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: pipeline cancelled: %w", err)
+		}
+		return nil
 	}
 
 	st.Log.Infof("compiling corpus...")
@@ -95,6 +130,9 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: corpus: %w", err)
+	}
+	if err := checkpoint(); err != nil {
+		return nil, err
 	}
 	res.Corpus = corpus
 	st.Log.Infof("corpus: %d candidates -> %d porn, %d reference",
@@ -108,6 +146,9 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: porn crawl: %w", err)
+	}
+	if err := checkpoint(); err != nil {
+		return nil, err
 	}
 	sctx, done = st.stage(ctx, "crawl/reference-ES")
 	regES, err := st.Crawl(sctx, corpus.Reference, "ES")
@@ -146,6 +187,9 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 	measure("analysis/rta", func() { res.RTA = st.AnalyzeRTA(pornES) })
 	measure("analysis/chains", func() { res.Chains = st.AnalyzeInclusionChains(pornES) })
 	measure("analysis/storage", func() { res.Storage = st.AnalyzeStorage(pornES) })
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 
 	st.Log.Infof("banner crawl (US)...")
 	sctx, done = st.stage(ctx, "crawl/porn-US")
@@ -158,6 +202,9 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 		res.Table8ES = st.AnalyzeBanners(pornES)
 		res.Table8US = st.AnalyzeBanners(pornUS)
 	})
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 
 	st.Log.Infof("interactive crawl (ES)...")
 	sctx, done = st.stage(ctx, "crawl/interactive-ES")
@@ -172,6 +219,9 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 	})
 	measure("analysis/owners", func() { res.Table1 = st.AnalyzeOwners(pornES, interactive, 15) })
 	measure("analysis/validation", func() { res.Validation = st.ValidateAgainstTruth(pornES, interactive, res.Table1) })
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 
 	st.Log.Infof("age verification (US/UK/ES/RU)...")
 	sctx, done = st.stage(ctx, "analysis/age-verification")
@@ -181,6 +231,9 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 		return nil, fmt.Errorf("core: age verification: %w", err)
 	}
 	res.AgeVerification = age
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 
 	st.Log.Infof("geographic crawls...")
 	sctx, done = st.stage(ctx, "analysis/geo")
@@ -194,9 +247,217 @@ func (st *Study) Run(ctx context.Context) (*Results, error) {
 		return nil, fmt.Errorf("core: geo: %w", err)
 	}
 	res.Table7 = geo
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 
 	// AnalyzeGeo filled crawls with every vantage, so the robustness
 	// summary covers the whole study.
 	measure("analysis/robustness", func() { res.Robustness = st.AnalyzeRobustness(crawls) })
+	return res, nil
+}
+
+// runScheduled executes the pipeline as an explicit dependency graph: the
+// porn and reference crawls overlap, the US, interactive,
+// age-verification and geographic vantage crawls all fan out the moment
+// the corpus lands, and every analysis fires as soon as its inputs
+// resolve. The graph is data-equivalent to runSerial — each Results field
+// is written by exactly one stage, and every edge mirrors a true data
+// dependency — so scheduling changes wall-clock, never results.
+func (st *Study) runScheduled(ctx context.Context) (*Results, error) {
+	ctx = obs.WithTracer(ctx, st.Tracer)
+	ctx, root := obs.StartSpan(ctx, "study/run")
+	defer root.End()
+	res := &Results{}
+
+	// Stage outputs. Each is written by exactly one stage and read only by
+	// stages that declare that writer as a dependency; the scheduler's
+	// completion edges provide the happens-before.
+	var (
+		corpus      *Corpus
+		pornES      *CrawlResult
+		regES       *CrawlResult
+		pornUS      *CrawlResult
+		regularTP   map[string]bool
+		interactive map[string]*browser.InteractiveVisit
+
+		crawlMu sync.Mutex // guards crawls: vantage crawl stages run concurrently
+		crawls  = map[string]*CrawlResult{}
+
+		ageMu     sync.Mutex
+		ageVisits = map[string]map[string]*browser.InteractiveVisit{}
+	)
+	addCrawl := func(country string, cr *CrawlResult) {
+		crawlMu.Lock()
+		crawls[country] = cr
+		crawlMu.Unlock()
+	}
+
+	g := sched.New()
+	// pure adapts a synchronous analysis (which cannot fail) to a stage.
+	pure := func(fn func()) func(context.Context) error {
+		return func(context.Context) error { fn(); return nil }
+	}
+
+	g.MustAdd("corpus", func(ctx context.Context) error {
+		st.Log.Infof("compiling corpus...")
+		c, err := st.CompileCorpus(ctx)
+		if err != nil {
+			return fmt.Errorf("core: corpus: %w", err)
+		}
+		corpus = c
+		res.Corpus = c
+		st.Log.Infof("corpus: %d candidates -> %d porn, %d reference",
+			c.Candidates, len(c.Porn), len(c.Reference))
+		return nil
+	})
+
+	g.MustAdd("analysis/rank-stability", pure(func() { res.Figure1 = st.RankStability(corpus.Porn) }), "corpus")
+
+	g.MustAdd("crawl/porn-ES", func(ctx context.Context) error {
+		st.Log.Infof("main crawl (ES)...")
+		cr, err := st.Crawl(ctx, corpus.Porn, "ES")
+		if err != nil {
+			return fmt.Errorf("core: porn crawl: %w", err)
+		}
+		pornES = cr
+		addCrawl("ES", cr)
+		return nil
+	}, "corpus")
+
+	g.MustAdd("crawl/reference-ES", func(ctx context.Context) error {
+		cr, err := st.Crawl(ctx, corpus.Reference, "ES")
+		if err != nil {
+			return fmt.Errorf("core: regular crawl: %w", err)
+		}
+		regES = cr
+		tp := map[string]bool{}
+		for _, h := range cr.allThirdPartyHosts() {
+			tp[h] = true
+		}
+		regularTP = tp
+		return nil
+	}, "corpus")
+
+	g.MustAdd("crawl/porn-US", func(ctx context.Context) error {
+		st.Log.Infof("banner crawl (US)...")
+		cr, err := st.Crawl(ctx, corpus.Porn, "US")
+		if err != nil {
+			return fmt.Errorf("core: US crawl: %w", err)
+		}
+		pornUS = cr
+		addCrawl("US", cr)
+		return nil
+	}, "corpus")
+
+	g.MustAdd("crawl/interactive-ES", func(ctx context.Context) error {
+		st.Log.Infof("interactive crawl (ES)...")
+		iv, err := st.InteractiveCrawl(ctx, corpus.Porn, "ES")
+		if err != nil {
+			return fmt.Errorf("core: interactive crawl: %w", err)
+		}
+		interactive = iv
+		return nil
+	}, "corpus")
+
+	// Analyses over the main dual crawl.
+	g.MustAdd("analysis/third-parties", pure(func() {
+		res.Table2 = st.AnalyzeThirdParties(pornES, regES)
+		res.Table3 = st.AnalyzePopularityIntervals(pornES)
+		res.SharedAllIntervals, res.SharedAllIntervalsTotal = st.SharedAcrossAllIntervals(pornES)
+	}), "crawl/porn-ES", "crawl/reference-ES")
+
+	g.MustAdd("analysis/organizations", pure(func() {
+		rows, cov := st.AnalyzeOrganizations(pornES, regES, 19)
+		res.Figure3 = rows
+		if cov.Hosts > 0 {
+			res.AttributionRate = float64(cov.Attributed) / float64(cov.Hosts)
+			res.DisconnectOnlyRate = float64(cov.DisconnectOnly) / float64(cov.Hosts)
+		}
+		res.AttributionCompanies = len(cov.Companies)
+	}), "crawl/porn-ES", "crawl/reference-ES")
+
+	g.MustAdd("analysis/cookies", pure(func() { res.CookieCensus, res.Table4 = st.AnalyzeCookies(pornES, regularTP) }),
+		"crawl/porn-ES", "crawl/reference-ES")
+	g.MustAdd("analysis/cookie-sync", pure(func() { res.Figure4 = st.AnalyzeCookieSync(pornES, st.SyncEdgeThreshold()) }),
+		"crawl/porn-ES")
+	g.MustAdd("analysis/fingerprinting", pure(func() { res.Fingerprinting = st.AnalyzeFingerprinting(pornES, regularTP) }),
+		"crawl/porn-ES", "crawl/reference-ES")
+	g.MustAdd("analysis/https", pure(func() { res.Table6 = st.AnalyzeHTTPS(pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/malware", pure(func() { res.Malware = st.AnalyzeMalware(pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/monetization", pure(func() { res.Monetization = st.AnalyzeMonetization(pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/blocking", pure(func() { res.Blocking = st.AnalyzeBlocking(pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/rta", pure(func() { res.RTA = st.AnalyzeRTA(pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/chains", pure(func() { res.Chains = st.AnalyzeInclusionChains(pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/storage", pure(func() { res.Storage = st.AnalyzeStorage(pornES) }), "crawl/porn-ES")
+
+	g.MustAdd("analysis/banners", pure(func() {
+		res.Table8ES = st.AnalyzeBanners(pornES)
+		res.Table8US = st.AnalyzeBanners(pornUS)
+	}), "crawl/porn-ES", "crawl/porn-US")
+
+	// Compliance analyses over the interactive crawl.
+	g.MustAdd("analysis/policies", pure(func() {
+		topTracking := st.TopTrackingSites(pornES, 25)
+		res.Policies = st.AnalyzePolicies(interactive, topTracking, pornES.thirdPartyHostsBySite())
+	}), "crawl/porn-ES", "crawl/interactive-ES")
+	g.MustAdd("analysis/owners", pure(func() { res.Table1 = st.AnalyzeOwners(pornES, interactive, 15) }),
+		"crawl/porn-ES", "crawl/interactive-ES")
+	g.MustAdd("analysis/validation", pure(func() { res.Validation = st.ValidateAgainstTruth(pornES, interactive, res.Table1) }),
+		"analysis/owners")
+
+	// Age verification: four interactive vantage crawls fan out, then the
+	// pure comparison folds them.
+	ageDeps := make([]string, 0, len(AgeVantages()))
+	for _, c := range AgeVantages() {
+		c := c
+		name := "crawl/age-" + c
+		g.MustAdd(name, func(ctx context.Context) error {
+			iv, err := st.InteractiveCrawl(ctx, st.Top50(corpus.Porn), c)
+			if err != nil {
+				return fmt.Errorf("core: age verification: %w", err)
+			}
+			ageMu.Lock()
+			ageVisits[c] = iv
+			ageMu.Unlock()
+			return nil
+		}, "corpus")
+		ageDeps = append(ageDeps, name)
+	}
+	g.MustAdd("analysis/age-verification", pure(func() { res.AgeVerification = st.AnalyzeAgeVisits(ageVisits) }), ageDeps...)
+
+	// Geographic vantage crawls: one stage per remaining country, then the
+	// pure Table 7 comparison. ES and US come from the main stages.
+	geoDeps := []string{"crawl/porn-ES", "crawl/porn-US", "crawl/reference-ES"}
+	for _, c := range st.Cfg.Countries {
+		if c == "ES" || c == "US" {
+			continue
+		}
+		c := c
+		name := "crawl/geo-" + c
+		g.MustAdd(name, func(ctx context.Context) error {
+			cr, err := st.Crawl(ctx, corpus.Porn, c)
+			if err != nil {
+				return fmt.Errorf("core: geo: %w", err)
+			}
+			addCrawl(c, cr)
+			return nil
+		}, "corpus")
+		geoDeps = append(geoDeps, name)
+	}
+	g.MustAdd("analysis/geo", pure(func() { res.Table7 = st.AnalyzeGeoFrom(regularTP, crawls) }), geoDeps...)
+
+	// All vantages are in crawls once analysis/geo resolves, so the
+	// robustness summary covers the whole study.
+	g.MustAdd("analysis/robustness", pure(func() { res.Robustness = st.AnalyzeRobustness(crawls) }), "analysis/geo")
+
+	err := g.Run(ctx, sched.Options{
+		Workers: st.Cfg.StageWorkers,
+		Metrics: st.Metrics,
+		Logger:  st.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }

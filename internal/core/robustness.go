@@ -57,7 +57,7 @@ func (st *Study) AnalyzeRobustness(crawls map[string]*CrawlResult) RobustnessRes
 	for c := range crawls {
 		countries = append(countries, c)
 	}
-	sort.Slice(countries, func(i, j int) bool { return geoOrder(countries[i]) < geoOrder(countries[j]) })
+	sort.Slice(countries, func(i, j int) bool { return geoLess(countries[i], countries[j]) })
 	for _, c := range countries {
 		cr := crawls[c]
 		row := CrawlLossRow{

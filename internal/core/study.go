@@ -27,8 +27,18 @@ type Config struct {
 	// Countries to run the geographic crawls from; defaults to the paper's
 	// six vantage points. The main crawl always runs from Spain.
 	Countries []string
-	// Workers is the crawl parallelism (default 8).
+	// Workers is the crawl parallelism (default 8): how many page visits
+	// one crawl stage runs concurrently.
 	Workers int
+	// StageWorkers bounds how many *pipeline stages* (vantage crawls and
+	// analyses) the DAG scheduler runs concurrently; 0 defaults to
+	// runtime.NumCPU(). Orthogonal to Workers: total in-flight page loads
+	// peak at StageWorkers x Workers.
+	StageWorkers int
+	// Serial disables the DAG scheduler and runs every pipeline stage
+	// strictly sequentially — the historical execution order, kept as the
+	// reference schedule for the equivalence tests.
+	Serial bool
 	// Timeout bounds a single page load (the paper used 120 s; the
 	// loopback substrate needs far less).
 	Timeout time.Duration

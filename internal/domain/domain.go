@@ -49,7 +49,10 @@ func Normalize(host string) string {
 			host = host[:i]
 		}
 	}
-	host = strings.TrimSuffix(host, ".")
+	// TrimRight, not TrimSuffix: degenerate inputs like ".." must still
+	// normalize in one pass (Normalize is idempotent; the fuzz target
+	// pins this).
+	host = strings.TrimRight(host, ".")
 	return host
 }
 

@@ -1,0 +1,54 @@
+package domain
+
+import "testing"
+
+// FuzzClassify feeds arbitrary site/contacted host pairs through the
+// full party-labeling cascade (registrable-domain match, cert-org lookup,
+// Levenshtein similarity) and the helpers under it. Nothing here may
+// panic, Classify must be deterministic, and a host is always first-party
+// to itself.
+func FuzzClassify(f *testing.F) {
+	f.Add("pornsite.com", "cdn.pornsite.com")
+	f.Add("pornsite.com", "tracker.example")
+	f.Add("doublepimp.com", "doublepimpssl.com")
+	f.Add("a.co.uk", "b.co.uk")
+	f.Add("", "")
+	f.Add("xn--bcher-kva.example", "BCHER.example")
+	f.Add("192.168.0.1", "192.168.0.1:8443")
+	f.Add("..", ".")
+	f.Fuzz(func(t *testing.T, site, contacted string) {
+		c := &Classifier{CertOrg: map[string]string{Base(site): "Org", Base(contacted): "Org"}}
+		got := c.Classify(site, contacted)
+		if got != FirstParty && got != ThirdParty {
+			t.Fatalf("Classify(%q, %q) = %v, not a valid Party", site, contacted, got)
+		}
+		if again := c.Classify(site, contacted); again != got {
+			t.Fatalf("Classify(%q, %q) not deterministic: %v then %v", site, contacted, got, again)
+		}
+		// With a shared cert org both directions must agree on first-party.
+		if got == FirstParty {
+			if back := c.Classify(contacted, site); back != FirstParty {
+				// Similarity is symmetric and Base is deterministic, so a
+				// first-party verdict must survive swapping the arguments.
+				t.Fatalf("Classify(%q, %q) = first-party but reverse = %v", site, contacted, back)
+			}
+		}
+		if (&Classifier{}).Classify(site, site) != FirstParty {
+			t.Fatalf("Classify(%q, itself) != first-party", site)
+		}
+		// The helpers must hold their invariants for any input.
+		n := Normalize(site)
+		if n != Normalize(n) {
+			t.Fatalf("Normalize not idempotent for %q: %q vs %q", site, n, Normalize(n))
+		}
+		if s := Similarity(site, contacted); s < 0 || s > 1 {
+			t.Fatalf("Similarity(%q, %q) = %v out of [0,1]", site, contacted, s)
+		}
+		if d := Levenshtein(site, contacted); d < 0 {
+			t.Fatalf("Levenshtein(%q, %q) = %d", site, contacted, d)
+		}
+		Base(contacted)
+		PublicSuffix(site)
+		IsSubdomain(contacted, site)
+	})
+}

@@ -20,6 +20,11 @@ var (
 	// minutes (a paper-scale crawl stage takes over a minute).
 	StageBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1,
 		2.5, 5, 10, 30, 60, 120, 300, 600}
+	// WaitBuckets suits scheduler queue waits: often microseconds when a
+	// worker is free, but up to minutes when a stage sits behind a
+	// paper-scale crawl for its worker slot.
+	WaitBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1,
+		0.5, 1, 5, 15, 60, 300}
 )
 
 // Counter is a monotonically increasing metric.

@@ -211,8 +211,9 @@ func (e *Ecosystem) FaultKindFor(host string) FaultKind {
 	return e.faults.kindFor(hostKey(host))
 }
 
-// FaultsEnabled reports whether the ecosystem injects chaos at all.
-func (e *Ecosystem) FaultsEnabled() bool { return e.faults.prof.Enabled }
+// FaultsEnabled reports whether the ecosystem injects chaos at all. A
+// zero Ecosystem (not built by Generate) injects nothing.
+func (e *Ecosystem) FaultsEnabled() bool { return e.faults != nil && e.faults.prof.Enabled }
 
 // TransientFault reports whether the kind recovers after the burst (so
 // a retrying crawler should eventually reach the host).

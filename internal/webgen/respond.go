@@ -72,11 +72,13 @@ var geoCoords = map[string][2]string{
 // uidStore mints and remembers per-(host,visitor-ish) identifiers. The
 // crawler keeps one browser session, so the visitor key is simply the
 // client IP — good enough for a single-session crawl and deterministic
-// across repeated visits within a crawl.
+// across repeated visits within a crawl. Values are a pure function of
+// (seed, key): concurrent crawl sessions touching keys in any order mint
+// identical identifiers, which is what lets the pipeline promise
+// byte-identical results no matter how its stages are scheduled.
 type uidStore struct {
 	mu   sync.Mutex
 	seed uint64
-	n    uint64
 	m    map[string]string
 }
 
@@ -92,20 +94,26 @@ func (u *uidStore) get(key string, length int) string {
 	if v, ok := u.m[key]; ok {
 		return v
 	}
-	v := u.mint(length)
+	v := u.mint(key, length)
 	u.m[key] = v
 	return v
 }
 
 const uidAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
 
-func (u *uidStore) mint(length int) string {
+func (u *uidStore) mint(key string, length int) string {
 	if length < 8 {
 		length = 8
 	}
 	var b strings.Builder
-	state := u.seed ^ (u.n * 0x9e3779b97f4a7c15)
-	u.n++
+	// FNV-1a over the key, folded with the seed, so the value depends only
+	// on (seed, key) — never on the order keys are first requested in.
+	state := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		state ^= uint64(key[i])
+		state *= 1099511628211
+	}
+	state ^= u.seed * 0x9e3779b97f4a7c15
 	for b.Len() < length {
 		state ^= state << 13
 		state ^= state >> 7

@@ -1,0 +1,44 @@
+// Pipeline-level benchmarks: the whole study end to end, serial vs
+// scheduled. `make bench-json` runs exactly these two and folds the
+// timings into BENCH_pipeline.json (ns/op per path plus the speedup
+// ratio). The scheduled path's advantage scales with cores — on a
+// single-CPU machine the two are expected to tie, since every stage is
+// CPU-bound loopback work.
+package pornweb_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pornweb/internal/core"
+	"pornweb/internal/webgen"
+)
+
+// pipelineBenchScale mirrors the EXPERIMENTS.md reference config at a
+// size where one full run takes a few seconds.
+const pipelineBenchScale = 0.01
+
+func benchStudy(b *testing.B, serial bool) {
+	b.Helper()
+	st, err := core.NewStudy(core.Config{
+		Params:  webgen.Params{Seed: 2019, Scale: pipelineBenchScale},
+		Workers: 8,
+		Serial:  serial,
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyRunSerial(b *testing.B)    { benchStudy(b, true) }
+func BenchmarkStudyRunScheduled(b *testing.B) { benchStudy(b, false) }

@@ -32,6 +32,13 @@
 // 9,688 regular websites); smaller scales shrink the population
 // proportionally while preserving every distribution the analyses measure.
 //
+// Run executes the pipeline as a dependency graph on internal/sched:
+// independent crawls and analyses overlap, bounded by
+// StudyConfig.StageWorkers (default NumCPU). StudyConfig.Serial restores
+// the historical strictly sequential stage order; both paths produce
+// identical results — the schedule-equivalence tests in this package pin
+// a byte-identical report across schedules.
+//
 // This package is a thin facade over the implementation packages; the
 // exported aliases below are the stable public API.
 package pornweb
