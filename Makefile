@@ -3,7 +3,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-json fuzz staticcheck ci
+.PHONY: all build vet test race bench bench-json fuzz staticcheck determinism ci
 
 all: vet test
 
@@ -29,6 +29,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Serial|Scheduled)$$' -benchtime=1x -count=3 . \
 		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 	@cat BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFlightVisit|BenchmarkManifestWrite|BenchmarkMultisetHash|BenchmarkDiff' \
+		-count=3 ./internal/obs/ ./internal/provenance/ \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@cat BENCH_obs.json
 
 # fuzz gives each native fuzz target a short budget; failing inputs land
 # in testdata/fuzz/ and then fail `make test` forever after.
@@ -46,6 +50,18 @@ staticcheck:
 		echo "staticcheck: tool unavailable (offline?); skipping"; \
 	fi
 
+# determinism runs the seeded study twice and requires the two run
+# manifests to be identical — the provenance system's core promise.
+# studydiff exits nonzero naming the earliest diverging pipeline stage
+# if any figure drifted, which fails the build.
+determinism:
+	rm -rf .provgate
+	$(GO) run ./cmd/pornstudy -scale 0.004 -seed 2019 -provenance .provgate/a >/dev/null
+	$(GO) run ./cmd/pornstudy -scale 0.004 -seed 2019 -provenance .provgate/b >/dev/null
+	$(GO) run ./cmd/studydiff .provgate/a .provgate/b
+	rm -rf .provgate
+
 # ci is the full gate: vet, the test suite, the race detector, a short
-# fuzz pass, and staticcheck when the environment can reach it.
-ci: vet test race fuzz staticcheck
+# fuzz pass, the run-manifest determinism gate, and staticcheck when the
+# environment can reach it.
+ci: vet test race fuzz determinism staticcheck

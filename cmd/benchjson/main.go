@@ -2,7 +2,10 @@
 // small JSON document on stdout. `make bench-json` pipes the two
 // pipeline benchmarks through it to produce BENCH_pipeline.json:
 // mean ns/op per benchmark plus the serial/scheduled speedup ratio
-// (>1 means the DAG-scheduled pipeline is faster).
+// (>1 means the DAG-scheduled pipeline is faster). It also feeds the
+// observability benchmarks into BENCH_obs.json: per-visit flight-sink
+// overhead (unsampled, sampled, disabled) and manifest assembly cost,
+// with the unsampled/sampled ratio showing what head sampling buys.
 package main
 
 import (
@@ -33,6 +36,10 @@ type output struct {
 	// SpeedupSerialOverScheduled is serial ns/op divided by scheduled
 	// ns/op; present only when both pipeline benchmarks are in the input.
 	SpeedupSerialOverScheduled float64 `json:"speedup_serial_over_scheduled,omitempty"`
+	// FlightUnsampledOverSampled is unsampled visit-event cost divided by
+	// the cost with head sampling on (>1 means sampling pays for itself);
+	// present only when both flight benchmarks are in the input.
+	FlightUnsampledOverSampled float64 `json:"flight_unsampled_over_sampled,omitempty"`
 }
 
 func main() {
@@ -78,6 +85,11 @@ func main() {
 	sched, okC := out.Benchmarks["StudyRunScheduled"]
 	if okS && okC && sched.NsPerOp > 0 {
 		out.SpeedupSerialOverScheduled = serial.NsPerOp / sched.NsPerOp
+	}
+	full, okF := out.Benchmarks["FlightVisitUnsampled"]
+	sampled, okP := out.Benchmarks["FlightVisitSampled"]
+	if okF && okP && sampled.NsPerOp > 0 {
+		out.FlightUnsampledOverSampled = full.NsPerOp / sampled.NsPerOp
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -77,7 +77,7 @@ func main() {
 	}
 	defer srv.Close()
 	if reg != nil {
-		admin, err := obs.ServeAdmin(*metricsAddr, reg, nil)
+		admin, err := obs.ServeAdmin(*metricsAddr, reg, nil, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crawlsite:", err)
 			os.Exit(1)

@@ -8,6 +8,8 @@
 //	          [-serial] [-stage-workers 4]
 //	          [-metrics-addr 127.0.0.1:9090]
 //	          [-faults] [-retries 3] [-breaker-threshold 5] [-page-budget 2m]
+//	          [-provenance DIR] [-trace-out FILE]
+//	          [-flight-out FILE] [-flight-sample N]
 //
 // By default the pipeline runs as a dependency graph: independent crawls
 // and analyses overlap, bounded by -stage-workers (0 = NumCPU). -serial
@@ -23,7 +25,16 @@
 //
 // With -metrics-addr set, an admin listener exposes live run telemetry:
 // /metrics (Prometheus text format), /spans (recent pipeline-stage spans
-// as JSON) and /debug/pprof/ while the study runs.
+// as JSON), /flight (recent per-visit wide events as NDJSON), /trace
+// (Chrome trace-event export) and /debug/pprof/ while the study runs.
+//
+// -provenance DIR writes the run's manifest.json (deterministic: two runs
+// of the same seeded config are byte-identical) and runinfo.json
+// (wall-clock sidecar) into DIR; compare two such directories with the
+// studydiff command. -trace-out dumps the stage spans as a Chrome
+// trace-event file loadable in Perfetto; -flight-out streams every kept
+// per-visit flight event as NDJSON; -flight-sample N keeps only 1 in N
+// successful visits (failures are always kept).
 //
 // -scale 1.0 reproduces the paper's corpus sizes (6,843 porn sites and
 // 9,688 regular sites) and takes several minutes; the default runs a
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	"pornweb/internal/core"
+	"pornweb/internal/obs"
 	"pornweb/internal/report"
 	"pornweb/internal/resilience"
 	"pornweb/internal/webgen"
@@ -60,6 +72,10 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that open a host's circuit breaker (0 = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open breaker rejects before half-opening")
 	pageBudget := flag.Duration("page-budget", 0, "total deadline per page visit across all retries (0 = 4x timeout when retries are on)")
+	provDir := flag.String("provenance", "", "write manifest.json and runinfo.json into this directory (compare runs with studydiff)")
+	traceOut := flag.String("trace-out", "", "write stage spans as a Chrome trace-event file (load in Perfetto or chrome://tracing)")
+	flightOut := flag.String("flight-out", "", "stream kept per-visit flight events to this file as NDJSON")
+	flightSample := flag.Int("flight-sample", 0, "keep 1 in N successful visit events (failures always kept; <=1 keeps all)")
 	flag.Parse()
 
 	params := webgen.Params{Seed: *seed, Scale: *scale}
@@ -80,7 +96,18 @@ func main() {
 			BreakerThreshold: *breakerThreshold,
 			BreakerCooldown:  *breakerCooldown,
 		},
-		PageBudget: *pageBudget,
+		PageBudget:   *pageBudget,
+		FlightSample: *flightSample,
+	}
+	var flightFile *os.File
+	if *flightOut != "" {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pornstudy:", err)
+			os.Exit(1)
+		}
+		flightFile = f
+		cfg.FlightSink = f
 	}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {
@@ -106,6 +133,34 @@ func main() {
 	fmt.Printf("Tales from the Porn — reproduction run (scale %.3g, seed %d, %s)\n",
 		*scale, *seed, time.Since(start).Round(time.Millisecond))
 	report.All(os.Stdout, res)
+	report.Provenance(os.Stdout, st.Provenance)
+
+	if *provDir != "" {
+		if err := st.WriteProvenance(*provDir); err != nil {
+			fmt.Fprintln(os.Stderr, "pornstudy: provenance:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "provenance written to %s\n", *provDir)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pornstudy:", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, st.Tracer.Recent()); err != nil {
+			fmt.Fprintln(os.Stderr, "pornstudy: trace:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+	}
+	if flightFile != nil {
+		seen, kept, sampledOut := st.Flight.Stats()
+		flightFile.Close()
+		fmt.Fprintf(os.Stderr, "flight events written to %s (%d seen, %d kept, %d sampled out)\n",
+			*flightOut, seen, kept, sampledOut)
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

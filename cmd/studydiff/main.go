@@ -1,0 +1,78 @@
+// Command studydiff compares the provenance manifests of two study runs
+// and reports which figures changed and which pipeline stage diverged
+// first. Point it at two manifest.json files, or at two directories
+// written by pornstudy -provenance (it resolves manifest.json inside).
+//
+// Usage:
+//
+//	studydiff [-json] A B
+//
+// Exit status:
+//
+//	0  the runs are identical (same config fingerprint, corpora,
+//	   stage digests and figure digests)
+//	1  the runs differ; the report names every changed figure and the
+//	   earliest diverging stage(s) in the pipeline DAG
+//	2  usage or I/O error (missing file, unparsable manifest)
+//
+// The exit status makes studydiff usable as a CI determinism gate: run
+// the seeded study twice and require exit 0 (see `make ci`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+import "pornweb/internal/provenance"
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the diff as JSON instead of the human-readable report")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: studydiff [-json] <manifest-or-dir> <manifest-or-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "studydiff:", err)
+		os.Exit(2)
+	}
+	b, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "studydiff:", err)
+		os.Exit(2)
+	}
+
+	d := provenance.Diff(a, b)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fmt.Fprintln(os.Stderr, "studydiff:", err)
+			os.Exit(2)
+		}
+	} else {
+		d.Format(os.Stdout)
+	}
+	if !d.Identical {
+		os.Exit(1)
+	}
+}
+
+// load resolves a path to a manifest: a directory means the
+// manifest.json written into it by pornstudy -provenance.
+func load(path string) (*provenance.Manifest, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, "manifest.json")
+	}
+	return provenance.LoadManifest(path)
+}

@@ -33,6 +33,13 @@ type Browser struct {
 	// Env is the ambient state scripts can observe.
 	Env jsvm.Env
 
+	// Stage and Corpus label the pipeline stage and corpus this browser is
+	// crawling for; Rank resolves a site's toplist rank. All three are
+	// optional flight-recorder enrichments set by the study layer.
+	Stage  string
+	Corpus string
+	Rank   func(host string) int
+
 	met browserMetrics
 }
 
@@ -112,6 +119,9 @@ type PageVisit struct {
 	Traces    []ScriptTrace
 	// Subresources counts fetched embeds by initiator kind.
 	Subresources map[crawler.Initiator]int
+	// SpanID links the visit to its span in the tracer ring (0 when
+	// tracing is off).
+	SpanID uint64
 }
 
 // Visit loads a site's landing page with full instrumentation. When the
@@ -125,6 +135,12 @@ func (b *Browser) Visit(ctx context.Context, host string) *PageVisit {
 	}
 	start := time.Now()
 	pv := &PageVisit{SiteHost: host, Subresources: map[crawler.Initiator]int{}}
+	ctx, span := obs.StartSpan(ctx, "visit")
+	span.SetAttr("site", host)
+	if b.Stage != "" {
+		span.SetAttr("stage", b.Stage)
+	}
+	pv.SpanID = span.ID()
 	defer func() {
 		b.met.pageLoad.Observe(time.Since(start).Seconds())
 		for kind, n := range pv.Subresources {
@@ -137,6 +153,12 @@ func (b *Browser) Visit(ctx context.Context, host string) *PageVisit {
 			if pv.FailClass != "" {
 				b.met.failClass[resilience.Class(pv.FailClass)].Inc()
 			}
+		}
+		span.End()
+		// Gate all event-field gathering on an enabled recorder so the
+		// disabled path stays allocation-free per visit.
+		if b.Session.Flight().Enabled() {
+			b.emitFlight(pv.SiteHost, pv.OK, pv.FailClass, false, time.Since(start), pv.SpanID)
 		}
 	}()
 	res, https, err := b.Session.FetchPage(ctx, host, "/")
@@ -245,6 +267,32 @@ func (b *Browser) runTrace(ctx context.Context, pv *PageVisit, scriptURL, src, d
 	}
 }
 
+// emitFlight assembles and records one flight-recorder wide event for a
+// finished visit. Only called with an enabled recorder.
+func (b *Browser) emitFlight(site string, ok bool, failClass string, interactive bool, wall time.Duration, spanID uint64) {
+	st := b.Session.VisitStats(site)
+	ev := obs.VisitEvent{
+		Site:        site,
+		Corpus:      b.Corpus,
+		Stage:       b.Stage,
+		Country:     b.Session.Country(),
+		Interactive: interactive,
+		OK:          ok,
+		FailClass:   failClass,
+		Attempts:    st.Attempts,
+		Requests:    st.Requests,
+		ThirdParty:  st.ThirdParty,
+		Cookies:     st.Cookies,
+		Bytes:       st.Bytes,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		SpanID:      spanID,
+	}
+	if b.Rank != nil {
+		ev.Rank = b.Rank(site)
+	}
+	b.Session.Flight().RecordVisit(ev)
+}
+
 // InteractiveVisit is the Selenium-analog crawl of one site: detect the
 // age gate, click through when bypassable, then locate and download the
 // privacy policy. It uses the same session (a dedicated interactive
@@ -267,6 +315,10 @@ type InteractiveVisit struct {
 	PolicyFound bool
 	PolicyURL   string
 	PolicyText  string
+
+	// SpanID links the visit to its span in the tracer ring (0 when
+	// tracing is off).
+	SpanID uint64
 }
 
 // VisitInteractive performs the interactive crawl for one site.
@@ -278,6 +330,19 @@ func (b *Browser) VisitInteractive(ctx context.Context, host string) *Interactiv
 	}
 	b.met.interactive.Inc()
 	iv := &InteractiveVisit{SiteHost: host}
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "visit-interactive")
+	span.SetAttr("site", host)
+	if b.Stage != "" {
+		span.SetAttr("stage", b.Stage)
+	}
+	iv.SpanID = span.ID()
+	defer func() {
+		span.End()
+		if b.Session.Flight().Enabled() {
+			b.emitFlight(iv.SiteHost, iv.OK, iv.FailClass, true, time.Since(start), iv.SpanID)
+		}
+	}()
 	res, _, err := b.Session.FetchPage(ctx, host, "/")
 	if err != nil {
 		iv.Err = err.Error()

@@ -30,14 +30,17 @@ func (st *Study) AnalyzeInclusionChains(porn *CrawlResult) ChainStats {
 	stats := ChainStats{DepthCounts: map[int]int{}}
 	cls := porn.classifier()
 
-	// First pass: URL -> record (first occurrence wins, matching how the
-	// browser loaded it).
+	// First pass: URL -> parent. A URL fetched from several contexts (the
+	// same tracker endpoint embedded by many sites) keeps the smallest
+	// parent URL — an order-independent winner, so the chain statistics do
+	// not depend on how concurrent visits interleaved in the log. An empty
+	// parent (the document itself) sorts first and wins.
 	parent := map[string]string{}
 	for _, r := range porn.Log {
 		if r.Status == 0 || r.URL == "" {
 			continue
 		}
-		if _, ok := parent[r.URL]; !ok {
+		if p, ok := parent[r.URL]; !ok || r.ParentURL < p {
 			parent[r.URL] = r.ParentURL
 		}
 	}
@@ -72,7 +75,9 @@ func (st *Study) AnalyzeInclusionChains(porn *CrawlResult) ChainStats {
 		}
 		d := depthOf(r.URL, 0)
 		stats.DepthCounts[d]++
-		if d > stats.MaxDepth {
+		// Ties on depth keep the smallest URL so the reported chain is
+		// independent of log order.
+		if d > stats.MaxDepth || (d == stats.MaxDepth && deepestURL != "" && r.URL < deepestURL) {
 			stats.MaxDepth = d
 			deepestURL = r.URL
 		}

@@ -65,11 +65,22 @@ func (st *Study) AnalyzeBanners(cr *CrawlResult) BannerCounts {
 
 // InteractiveCrawl runs the Selenium-analog over hosts from a country.
 func (st *Study) InteractiveCrawl(ctx context.Context, hosts []string, country string) (map[string]*browser.InteractiveVisit, error) {
+	return st.InteractiveCrawlStage(ctx, hosts, country, "")
+}
+
+// InteractiveCrawlStage is InteractiveCrawl with provenance: a non-empty
+// stageName labels the per-visit flight events and records the session
+// log's record count and content digest under that stage name when the
+// crawl completes.
+func (st *Study) InteractiveCrawlStage(ctx context.Context, hosts []string, country, stageName string) (map[string]*browser.InteractiveVisit, error) {
 	sess, err := st.session(country, "policy")
 	if err != nil {
 		return nil, err
 	}
 	b := browser.New(sess)
+	b.Stage = stageName
+	b.Corpus = "porn"
+	b.Rank = st.Rank.BaseRank
 	out := make(map[string]*browser.InteractiveVisit, len(hosts))
 	var mu sync.Mutex
 	st.forEach(ctx, len(hosts), func(i int) {
@@ -78,6 +89,10 @@ func (st *Study) InteractiveCrawl(ctx context.Context, hosts []string, country s
 		out[hosts[i]] = iv
 		mu.Unlock()
 	})
+	if stageName != "" {
+		n, digest := crawlLogDigest(sess.Log())
+		st.prov.RecordStage(stageName, n, digest)
+	}
 	st.Log.Infof("interactive[%s]: %d sites", country, len(hosts))
 	return out, nil
 }
@@ -142,7 +157,9 @@ func (st *Study) AnalyzeAgeVerification(ctx context.Context, porn []string) (Age
 	top := st.Top50(porn)
 	visits := map[string]map[string]*browser.InteractiveVisit{}
 	for _, country := range AgeVantages() {
-		v, err := st.InteractiveCrawl(ctx, top, country)
+		// The stage label matches the scheduled pipeline's fan-out stages,
+		// so serial and scheduled runs record identical provenance.
+		v, err := st.InteractiveCrawlStage(ctx, top, country, "crawl/age-"+country)
 		if err != nil {
 			return AgeResult{}, err
 		}

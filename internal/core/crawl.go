@@ -48,6 +48,16 @@ type CrawlResult struct {
 // hosts from a country. One browser session is shared across all visits,
 // as in the paper, so cookie state persists between sites.
 func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*CrawlResult, error) {
+	return st.CrawlStage(ctx, hosts, country, "", "")
+}
+
+// CrawlStage is Crawl with provenance: stageName names the pipeline stage
+// (e.g. "crawl/porn-ES") and corpus the corpus being crawled ("porn",
+// "reference"). Both label the per-visit flight events, and a non-empty
+// stageName records the crawl log's record count and content digest into
+// the study's provenance recorder when the crawl completes. An empty
+// stageName records nothing — the library-caller behaviour of Crawl.
+func (st *Study) CrawlStage(ctx context.Context, hosts []string, country, stageName, corpus string) (*CrawlResult, error) {
 	ctx, span := st.Tracer.Start(ctx, "crawl/"+country)
 	defer span.End()
 	sess, err := st.session(country, "crawl")
@@ -55,6 +65,9 @@ func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*Cr
 		return nil, err
 	}
 	b := browser.New(sess)
+	b.Stage = stageName
+	b.Corpus = corpus
+	b.Rank = st.Rank.BaseRank
 	cr := &CrawlResult{
 		Country:         country,
 		Attempted:       len(hosts),
@@ -82,6 +95,10 @@ func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*Cr
 	cr.RequestFailures = sess.FailureCounts()
 	span.SetAttr("sites", fmt.Sprint(len(cr.Crawled)))
 	span.SetAttr("requests", fmt.Sprint(len(cr.Log)))
+	if stageName != "" {
+		n, digest := crawlLogDigest(cr.Log)
+		st.prov.RecordStage(stageName, n, digest)
+	}
 	st.Log.Infof("crawl[%s]: %d/%d sites, %d requests", country, len(cr.Crawled), len(hosts), len(cr.Log))
 	return cr, nil
 }

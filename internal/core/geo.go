@@ -52,12 +52,14 @@ type GeoResult struct {
 // the crawl-then-analyze convenience for the serial path and library
 // callers.
 func (st *Study) AnalyzeGeo(ctx context.Context, porn []string, regularTP map[string]bool, crawls map[string]*CrawlResult) (GeoResult, error) {
-	// Crawl any country not already provided.
+	// Crawl any country not already provided. The stage label matches the
+	// scheduled pipeline's fan-out stages, so serial and scheduled runs
+	// record identical provenance.
 	for _, c := range st.Cfg.Countries {
 		if crawls[c] != nil {
 			continue
 		}
-		cr, err := st.Crawl(ctx, porn, c)
+		cr, err := st.CrawlStage(ctx, porn, c, "crawl/geo-"+c, "porn")
 		if err != nil {
 			return GeoResult{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"pornweb/internal/browser"
 	"pornweb/internal/obs"
@@ -87,11 +88,33 @@ func (st *Study) SyncEdgeThreshold() int {
 // and timed into the study_stage_seconds histogram (visible on /metrics);
 // the scheduled path additionally records per-stage queue wait and the
 // in-flight gauge.
+// Run also assembles the run's provenance: Study.Provenance (the
+// deterministic manifest — config fingerprint, corpus digests, per-stage
+// and per-figure record counts and content digests) and Study.RunInfo
+// (the volatile wall-clock sidecar). Both live on the Study rather than
+// in Results so schedule-equivalence comparisons stay byte-exact.
 func (st *Study) Run(ctx context.Context) (*Results, error) {
+	st.prov.Reset()
+	start := time.Now()
+	var (
+		res *Results
+		err error
+	)
 	if st.Cfg.Serial {
-		return st.runSerial(ctx)
+		res, err = st.runSerial(ctx)
+	} else {
+		res, err = st.runScheduled(ctx)
 	}
-	return st.runScheduled(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m, merr := st.BuildManifest(res)
+	if merr != nil {
+		return nil, fmt.Errorf("core: manifest: %w", merr)
+	}
+	st.Provenance = m
+	st.RunInfo = st.buildRunInfo(start)
+	return res, nil
 }
 
 // runSerial is the historical one-stage-at-a-time pipeline, kept as the
@@ -135,6 +158,7 @@ func (st *Study) runSerial(ctx context.Context) (*Results, error) {
 		return nil, err
 	}
 	res.Corpus = corpus
+	st.recordCorpusStage(corpus)
 	st.Log.Infof("corpus: %d candidates -> %d porn, %d reference",
 		corpus.Candidates, len(corpus.Porn), len(corpus.Reference))
 
@@ -142,7 +166,7 @@ func (st *Study) runSerial(ctx context.Context) (*Results, error) {
 
 	st.Log.Infof("main crawl (ES)...")
 	sctx, done = st.stage(ctx, "crawl/porn-ES")
-	pornES, err := st.Crawl(sctx, corpus.Porn, "ES")
+	pornES, err := st.CrawlStage(sctx, corpus.Porn, "ES", "crawl/porn-ES", "porn")
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: porn crawl: %w", err)
@@ -151,7 +175,7 @@ func (st *Study) runSerial(ctx context.Context) (*Results, error) {
 		return nil, err
 	}
 	sctx, done = st.stage(ctx, "crawl/reference-ES")
-	regES, err := st.Crawl(sctx, corpus.Reference, "ES")
+	regES, err := st.CrawlStage(sctx, corpus.Reference, "ES", "crawl/reference-ES", "reference")
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: regular crawl: %w", err)
@@ -193,7 +217,7 @@ func (st *Study) runSerial(ctx context.Context) (*Results, error) {
 
 	st.Log.Infof("banner crawl (US)...")
 	sctx, done = st.stage(ctx, "crawl/porn-US")
-	pornUS, err := st.Crawl(sctx, corpus.Porn, "US")
+	pornUS, err := st.CrawlStage(sctx, corpus.Porn, "US", "crawl/porn-US", "porn")
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: US crawl: %w", err)
@@ -208,7 +232,7 @@ func (st *Study) runSerial(ctx context.Context) (*Results, error) {
 
 	st.Log.Infof("interactive crawl (ES)...")
 	sctx, done = st.stage(ctx, "crawl/interactive-ES")
-	interactive, err := st.InteractiveCrawl(sctx, corpus.Porn, "ES")
+	interactive, err := st.InteractiveCrawlStage(sctx, corpus.Porn, "ES", "crawl/interactive-ES")
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: interactive crawl: %w", err)
@@ -257,6 +281,36 @@ func (st *Study) runSerial(ctx context.Context) (*Results, error) {
 	return res, nil
 }
 
+// pipeState holds the intermediate outputs flowing between pipeline
+// stages. Each field is written by exactly one stage and read only by
+// stages that declare that writer as a dependency; the scheduler's
+// completion edges provide the happens-before. The two maps collect
+// concurrent fan-out stages under their own mutexes.
+type pipeState struct {
+	res *Results
+
+	corpus      *Corpus
+	pornES      *CrawlResult
+	regES       *CrawlResult
+	pornUS      *CrawlResult
+	regularTP   map[string]bool
+	interactive map[string]*browser.InteractiveVisit
+
+	crawlMu sync.Mutex // guards crawls: vantage crawl stages run concurrently
+	crawls  map[string]*CrawlResult
+
+	ageMu     sync.Mutex
+	ageVisits map[string]map[string]*browser.InteractiveVisit
+}
+
+func newPipeState() *pipeState {
+	return &pipeState{
+		res:       &Results{},
+		crawls:    map[string]*CrawlResult{},
+		ageVisits: map[string]map[string]*browser.InteractiveVisit{},
+	}
+}
+
 // runScheduled executes the pipeline as an explicit dependency graph: the
 // porn and reference crawls overlap, the US, interactive,
 // age-verification and geographic vantage crawls all fan out the moment
@@ -268,29 +322,32 @@ func (st *Study) runScheduled(ctx context.Context) (*Results, error) {
 	ctx = obs.WithTracer(ctx, st.Tracer)
 	ctx, root := obs.StartSpan(ctx, "study/run")
 	defer root.End()
-	res := &Results{}
 
-	// Stage outputs. Each is written by exactly one stage and read only by
-	// stages that declare that writer as a dependency; the scheduler's
-	// completion edges provide the happens-before.
-	var (
-		corpus      *Corpus
-		pornES      *CrawlResult
-		regES       *CrawlResult
-		pornUS      *CrawlResult
-		regularTP   map[string]bool
-		interactive map[string]*browser.InteractiveVisit
+	ps := newPipeState()
+	g := st.buildPipeline(ps)
+	err := g.Run(ctx, sched.Options{
+		Workers: st.Cfg.StageWorkers,
+		Metrics: st.Metrics,
+		Logger:  st.Log,
+		OnStageDone: func(name string, took time.Duration, err error) {
+			st.prov.RecordTiming(name, took)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ps.res, nil
+}
 
-		crawlMu sync.Mutex // guards crawls: vantage crawl stages run concurrently
-		crawls  = map[string]*CrawlResult{}
-
-		ageMu     sync.Mutex
-		ageVisits = map[string]map[string]*browser.InteractiveVisit{}
-	)
+// buildPipeline declares the full study DAG over the given state. It is
+// the single source of truth for the scheduled pipeline's shape; the
+// PipelineDependencies test pins its edges against the documented DAG.
+func (st *Study) buildPipeline(ps *pipeState) *sched.Graph {
+	res := ps.res
 	addCrawl := func(country string, cr *CrawlResult) {
-		crawlMu.Lock()
-		crawls[country] = cr
-		crawlMu.Unlock()
+		ps.crawlMu.Lock()
+		ps.crawls[country] = cr
+		ps.crawlMu.Unlock()
 	}
 
 	g := sched.New()
@@ -305,70 +362,71 @@ func (st *Study) runScheduled(ctx context.Context) (*Results, error) {
 		if err != nil {
 			return fmt.Errorf("core: corpus: %w", err)
 		}
-		corpus = c
+		ps.corpus = c
 		res.Corpus = c
+		st.recordCorpusStage(c)
 		st.Log.Infof("corpus: %d candidates -> %d porn, %d reference",
 			c.Candidates, len(c.Porn), len(c.Reference))
 		return nil
 	})
 
-	g.MustAdd("analysis/rank-stability", pure(func() { res.Figure1 = st.RankStability(corpus.Porn) }), "corpus")
+	g.MustAdd("analysis/rank-stability", pure(func() { res.Figure1 = st.RankStability(ps.corpus.Porn) }), "corpus")
 
 	g.MustAdd("crawl/porn-ES", func(ctx context.Context) error {
 		st.Log.Infof("main crawl (ES)...")
-		cr, err := st.Crawl(ctx, corpus.Porn, "ES")
+		cr, err := st.CrawlStage(ctx, ps.corpus.Porn, "ES", "crawl/porn-ES", "porn")
 		if err != nil {
 			return fmt.Errorf("core: porn crawl: %w", err)
 		}
-		pornES = cr
+		ps.pornES = cr
 		addCrawl("ES", cr)
 		return nil
 	}, "corpus")
 
 	g.MustAdd("crawl/reference-ES", func(ctx context.Context) error {
-		cr, err := st.Crawl(ctx, corpus.Reference, "ES")
+		cr, err := st.CrawlStage(ctx, ps.corpus.Reference, "ES", "crawl/reference-ES", "reference")
 		if err != nil {
 			return fmt.Errorf("core: regular crawl: %w", err)
 		}
-		regES = cr
+		ps.regES = cr
 		tp := map[string]bool{}
 		for _, h := range cr.allThirdPartyHosts() {
 			tp[h] = true
 		}
-		regularTP = tp
+		ps.regularTP = tp
 		return nil
 	}, "corpus")
 
 	g.MustAdd("crawl/porn-US", func(ctx context.Context) error {
 		st.Log.Infof("banner crawl (US)...")
-		cr, err := st.Crawl(ctx, corpus.Porn, "US")
+		cr, err := st.CrawlStage(ctx, ps.corpus.Porn, "US", "crawl/porn-US", "porn")
 		if err != nil {
 			return fmt.Errorf("core: US crawl: %w", err)
 		}
-		pornUS = cr
+		ps.pornUS = cr
 		addCrawl("US", cr)
 		return nil
 	}, "corpus")
 
 	g.MustAdd("crawl/interactive-ES", func(ctx context.Context) error {
 		st.Log.Infof("interactive crawl (ES)...")
-		iv, err := st.InteractiveCrawl(ctx, corpus.Porn, "ES")
+		iv, err := st.InteractiveCrawlStage(ctx, ps.corpus.Porn, "ES", "crawl/interactive-ES")
 		if err != nil {
 			return fmt.Errorf("core: interactive crawl: %w", err)
 		}
-		interactive = iv
+		ps.interactive = iv
 		return nil
 	}, "corpus")
 
 	// Analyses over the main dual crawl.
 	g.MustAdd("analysis/third-parties", pure(func() {
-		res.Table2 = st.AnalyzeThirdParties(pornES, regES)
-		res.Table3 = st.AnalyzePopularityIntervals(pornES)
-		res.SharedAllIntervals, res.SharedAllIntervalsTotal = st.SharedAcrossAllIntervals(pornES)
+		res.Table2 = st.AnalyzeThirdParties(ps.pornES, ps.regES)
+		res.Table3 = st.AnalyzePopularityIntervals(ps.pornES)
+		res.SharedAllIntervals, res.SharedAllIntervalsTotal = st.SharedAcrossAllIntervals(ps.pornES)
 	}), "crawl/porn-ES", "crawl/reference-ES")
 
 	g.MustAdd("analysis/organizations", pure(func() {
-		rows, cov := st.AnalyzeOrganizations(pornES, regES, 19)
+		rows, cov := st.AnalyzeOrganizations(ps.pornES, ps.regES, 19)
 		res.Figure3 = rows
 		if cov.Hosts > 0 {
 			res.AttributionRate = float64(cov.Attributed) / float64(cov.Hosts)
@@ -377,33 +435,33 @@ func (st *Study) runScheduled(ctx context.Context) (*Results, error) {
 		res.AttributionCompanies = len(cov.Companies)
 	}), "crawl/porn-ES", "crawl/reference-ES")
 
-	g.MustAdd("analysis/cookies", pure(func() { res.CookieCensus, res.Table4 = st.AnalyzeCookies(pornES, regularTP) }),
+	g.MustAdd("analysis/cookies", pure(func() { res.CookieCensus, res.Table4 = st.AnalyzeCookies(ps.pornES, ps.regularTP) }),
 		"crawl/porn-ES", "crawl/reference-ES")
-	g.MustAdd("analysis/cookie-sync", pure(func() { res.Figure4 = st.AnalyzeCookieSync(pornES, st.SyncEdgeThreshold()) }),
+	g.MustAdd("analysis/cookie-sync", pure(func() { res.Figure4 = st.AnalyzeCookieSync(ps.pornES, st.SyncEdgeThreshold()) }),
 		"crawl/porn-ES")
-	g.MustAdd("analysis/fingerprinting", pure(func() { res.Fingerprinting = st.AnalyzeFingerprinting(pornES, regularTP) }),
+	g.MustAdd("analysis/fingerprinting", pure(func() { res.Fingerprinting = st.AnalyzeFingerprinting(ps.pornES, ps.regularTP) }),
 		"crawl/porn-ES", "crawl/reference-ES")
-	g.MustAdd("analysis/https", pure(func() { res.Table6 = st.AnalyzeHTTPS(pornES) }), "crawl/porn-ES")
-	g.MustAdd("analysis/malware", pure(func() { res.Malware = st.AnalyzeMalware(pornES) }), "crawl/porn-ES")
-	g.MustAdd("analysis/monetization", pure(func() { res.Monetization = st.AnalyzeMonetization(pornES) }), "crawl/porn-ES")
-	g.MustAdd("analysis/blocking", pure(func() { res.Blocking = st.AnalyzeBlocking(pornES) }), "crawl/porn-ES")
-	g.MustAdd("analysis/rta", pure(func() { res.RTA = st.AnalyzeRTA(pornES) }), "crawl/porn-ES")
-	g.MustAdd("analysis/chains", pure(func() { res.Chains = st.AnalyzeInclusionChains(pornES) }), "crawl/porn-ES")
-	g.MustAdd("analysis/storage", pure(func() { res.Storage = st.AnalyzeStorage(pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/https", pure(func() { res.Table6 = st.AnalyzeHTTPS(ps.pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/malware", pure(func() { res.Malware = st.AnalyzeMalware(ps.pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/monetization", pure(func() { res.Monetization = st.AnalyzeMonetization(ps.pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/blocking", pure(func() { res.Blocking = st.AnalyzeBlocking(ps.pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/rta", pure(func() { res.RTA = st.AnalyzeRTA(ps.pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/chains", pure(func() { res.Chains = st.AnalyzeInclusionChains(ps.pornES) }), "crawl/porn-ES")
+	g.MustAdd("analysis/storage", pure(func() { res.Storage = st.AnalyzeStorage(ps.pornES) }), "crawl/porn-ES")
 
 	g.MustAdd("analysis/banners", pure(func() {
-		res.Table8ES = st.AnalyzeBanners(pornES)
-		res.Table8US = st.AnalyzeBanners(pornUS)
+		res.Table8ES = st.AnalyzeBanners(ps.pornES)
+		res.Table8US = st.AnalyzeBanners(ps.pornUS)
 	}), "crawl/porn-ES", "crawl/porn-US")
 
 	// Compliance analyses over the interactive crawl.
 	g.MustAdd("analysis/policies", pure(func() {
-		topTracking := st.TopTrackingSites(pornES, 25)
-		res.Policies = st.AnalyzePolicies(interactive, topTracking, pornES.thirdPartyHostsBySite())
+		topTracking := st.TopTrackingSites(ps.pornES, 25)
+		res.Policies = st.AnalyzePolicies(ps.interactive, topTracking, ps.pornES.thirdPartyHostsBySite())
 	}), "crawl/porn-ES", "crawl/interactive-ES")
-	g.MustAdd("analysis/owners", pure(func() { res.Table1 = st.AnalyzeOwners(pornES, interactive, 15) }),
+	g.MustAdd("analysis/owners", pure(func() { res.Table1 = st.AnalyzeOwners(ps.pornES, ps.interactive, 15) }),
 		"crawl/porn-ES", "crawl/interactive-ES")
-	g.MustAdd("analysis/validation", pure(func() { res.Validation = st.ValidateAgainstTruth(pornES, interactive, res.Table1) }),
+	g.MustAdd("analysis/validation", pure(func() { res.Validation = st.ValidateAgainstTruth(ps.pornES, ps.interactive, res.Table1) }),
 		"analysis/owners")
 
 	// Age verification: four interactive vantage crawls fan out, then the
@@ -413,18 +471,18 @@ func (st *Study) runScheduled(ctx context.Context) (*Results, error) {
 		c := c
 		name := "crawl/age-" + c
 		g.MustAdd(name, func(ctx context.Context) error {
-			iv, err := st.InteractiveCrawl(ctx, st.Top50(corpus.Porn), c)
+			iv, err := st.InteractiveCrawlStage(ctx, st.Top50(ps.corpus.Porn), c, name)
 			if err != nil {
 				return fmt.Errorf("core: age verification: %w", err)
 			}
-			ageMu.Lock()
-			ageVisits[c] = iv
-			ageMu.Unlock()
+			ps.ageMu.Lock()
+			ps.ageVisits[c] = iv
+			ps.ageMu.Unlock()
 			return nil
 		}, "corpus")
 		ageDeps = append(ageDeps, name)
 	}
-	g.MustAdd("analysis/age-verification", pure(func() { res.AgeVerification = st.AnalyzeAgeVisits(ageVisits) }), ageDeps...)
+	g.MustAdd("analysis/age-verification", pure(func() { res.AgeVerification = st.AnalyzeAgeVisits(ps.ageVisits) }), ageDeps...)
 
 	// Geographic vantage crawls: one stage per remaining country, then the
 	// pure Table 7 comparison. ES and US come from the main stages.
@@ -436,7 +494,7 @@ func (st *Study) runScheduled(ctx context.Context) (*Results, error) {
 		c := c
 		name := "crawl/geo-" + c
 		g.MustAdd(name, func(ctx context.Context) error {
-			cr, err := st.Crawl(ctx, corpus.Porn, c)
+			cr, err := st.CrawlStage(ctx, ps.corpus.Porn, c, name, "porn")
 			if err != nil {
 				return fmt.Errorf("core: geo: %w", err)
 			}
@@ -445,19 +503,11 @@ func (st *Study) runScheduled(ctx context.Context) (*Results, error) {
 		}, "corpus")
 		geoDeps = append(geoDeps, name)
 	}
-	g.MustAdd("analysis/geo", pure(func() { res.Table7 = st.AnalyzeGeoFrom(regularTP, crawls) }), geoDeps...)
+	g.MustAdd("analysis/geo", pure(func() { res.Table7 = st.AnalyzeGeoFrom(ps.regularTP, ps.crawls) }), geoDeps...)
 
 	// All vantages are in crawls once analysis/geo resolves, so the
 	// robustness summary covers the whole study.
-	g.MustAdd("analysis/robustness", pure(func() { res.Robustness = st.AnalyzeRobustness(crawls) }), "analysis/geo")
+	g.MustAdd("analysis/robustness", pure(func() { res.Robustness = st.AnalyzeRobustness(ps.crawls) }), "analysis/geo")
 
-	err := g.Run(ctx, sched.Options{
-		Workers: st.Cfg.StageWorkers,
-		Metrics: st.Metrics,
-		Logger:  st.Log,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return g
 }

@@ -10,11 +10,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"pornweb/internal/blocklist"
 	"pornweb/internal/crawler"
 	"pornweb/internal/obs"
+	"pornweb/internal/provenance"
 	"pornweb/internal/ranking"
 	"pornweb/internal/resilience"
 	"pornweb/internal/webgen"
@@ -69,6 +71,18 @@ type Config struct {
 	// PageBudget bounds one full page visit including retries; 0 derives
 	// 4×Timeout when Resilience is active.
 	PageBudget time.Duration
+	// FlightBuffer is the per-visit flight-recorder ring capacity
+	// (default 4096).
+	FlightBuffer int
+	// FlightSample keeps 1 in N successful visit events; failed visits
+	// are always kept. <= 1 keeps every event.
+	FlightSample int
+	// FlightSink, when non-nil, receives every kept visit event as one
+	// NDJSON line (in addition to the bounded ring served at /flight).
+	FlightSink io.Writer
+	// FlightOff disables the flight recorder entirely; page visits then
+	// skip event assembly (the disabled path is allocation-free).
+	FlightOff bool
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpanBuffer == 0 {
 		c.SpanBuffer = 4096
+	}
+	if c.FlightBuffer == 0 {
+		c.FlightBuffer = 4096
 	}
 	if c.Params.Scale == 0 {
 		c.Params = webgen.DefaultParams()
@@ -110,7 +127,17 @@ type Study struct {
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
 	Log     *obs.Logger
+	// Flight is the per-visit flight recorder (nil when Cfg.FlightOff).
+	Flight *obs.FlightRecorder
 
+	// Provenance and RunInfo are filled by Run: the deterministic run
+	// manifest and its volatile wall-clock sidecar. They live on the
+	// Study, not in Results, so result-equivalence comparisons stay
+	// byte-exact across schedules.
+	Provenance *provenance.Manifest
+	RunInfo    *provenance.RunInfo
+
+	prov  *provenance.Recorder
 	admin *obs.AdminServer
 }
 
@@ -153,9 +180,13 @@ func NewStudy(cfg Config) (*Study, error) {
 		Metrics:  reg,
 		Tracer:   tracer,
 		Log:      logger,
+		prov:     provenance.NewRecorder(),
+	}
+	if !cfg.FlightOff {
+		st.Flight = obs.NewFlightRecorder(cfg.FlightBuffer, cfg.FlightSample, cfg.FlightSink)
 	}
 	if cfg.MetricsAddr != "" {
-		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, tracer)
+		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, tracer, st.Flight)
 		if err != nil {
 			srv.Close()
 			return nil, fmt.Errorf("core: admin listener: %w", err)
@@ -188,6 +219,7 @@ func (st *Study) session(country, phase string) (*crawler.Session, error) {
 		Metrics:     st.Metrics,
 		Retry:       st.Cfg.Resilience,
 		PageBudget:  st.Cfg.PageBudget,
+		Flight:      st.Flight,
 	})
 }
 
@@ -202,6 +234,7 @@ func (st *Study) stage(ctx context.Context, name string) (context.Context, func(
 		d := time.Since(start)
 		h.Observe(d.Seconds())
 		span.End()
+		st.prov.RecordTiming(name, d)
 		st.Log.Event(obs.LevelDebug, "stage done", "stage", name, "took", d.Round(time.Millisecond))
 	}
 }

@@ -70,6 +70,8 @@ type Record struct {
 	SetCookies  []CookieRecord
 	CertOrg     string // organization from the TLS peer certificate
 	Err         string
+	// Bytes is the response-body size read for this request.
+	Bytes int `json:",omitempty"`
 	// Attempt is the 1-based retry attempt this record belongs to (0 in
 	// sessions without a retry policy).
 	Attempt int `json:",omitempty"`
@@ -117,6 +119,11 @@ type Config struct {
 	// and subresource), so retries can never blow the page deadline.
 	// Defaults to 4×Timeout when Retry is active, otherwise disabled.
 	PageBudget time.Duration
+	// Flight, when non-nil, is the per-visit flight recorder the browser
+	// layer emits wide events into. The session itself only carries it
+	// (and aggregates the per-site stats those events need); a nil
+	// recorder keeps the whole path allocation-free.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -145,7 +152,6 @@ func (c Config) withDefaults() Config {
 type Session struct {
 	cfg    Config
 	client *http.Client
-	jar    *cookiejar.Jar
 	met    sessionMetrics
 	res    *resilience.Controller // nil without a retry policy
 
@@ -153,7 +159,21 @@ type Session struct {
 	log        []Record
 	certOrgs   map[string]string // host -> cert org
 	seq        int
-	failCounts map[string]uint64 // failure class -> terminal failures
+	failCounts map[string]uint64     // failure class -> terminal failures
+	siteStats  map[string]VisitStats // site host -> aggregated request stats
+
+	jarsMu sync.Mutex
+	jars   map[string]*cookiejar.Jar // site host -> that visit's cookie jar
+}
+
+// VisitStats aggregates the request log of one visited site into the
+// counts a flight-recorder event carries.
+type VisitStats struct {
+	Requests   int   // records attributed to the site
+	ThirdParty int   // records aimed at hosts other than the site itself
+	Cookies    int   // Set-Cookie headers received
+	Bytes      int64 // response-body volume read
+	Attempts   int   // highest retry attempt any request needed
 }
 
 // sessionMetrics holds the session's pre-resolved instruments. All fields
@@ -213,13 +233,15 @@ func newSessionMetrics(reg *obs.Registry, country string) sessionMetrics {
 	return m
 }
 
-// NewSession builds a session with a fresh cookie jar.
+// NewSession builds a session. Cookie state is kept per visited site —
+// each top-level visit starts from a fresh jar, matching the paper's
+// stateless OpenWPM crawls (a new browser profile per visit). A jar
+// shared across sites would also make the measured numbers depend on
+// scheduling: concurrent visits race on which site's requests already
+// carry a tracker's cookie, and the ecosystem answers first contact and
+// repeat contact differently.
 func NewSession(cfg Config) (*Session, error) {
 	cfg = cfg.withDefaults()
-	jar, err := cookiejar.New(nil)
-	if err != nil {
-		return nil, fmt.Errorf("crawler: cookie jar: %w", err)
-	}
 	// Connection pooling is tuned for a crawl that contacts tens of
 	// thousands of distinct hostnames behind one loopback server. The
 	// transport pools per hostname, so the default small global idle cap
@@ -242,10 +264,11 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	s := &Session{
 		cfg:        cfg,
-		jar:        jar,
 		met:        newSessionMetrics(cfg.Metrics, cfg.Country),
 		certOrgs:   map[string]string{},
 		failCounts: map[string]uint64{},
+		siteStats:  map[string]VisitStats{},
+		jars:       map[string]*cookiejar.Jar{},
 		res:        resilience.NewController(cfg.Retry),
 	}
 	if s.res != nil && cfg.Metrics != nil {
@@ -267,9 +290,10 @@ func NewSession(cfg Config) (*Session, error) {
 			}
 		})
 	}
+	// No Jar on the shared client: doAttempt clones it per request with
+	// the visited site's own jar.
 	s.client = &http.Client{
 		Transport: tr,
-		Jar:       jar,
 		Timeout:   cfg.Timeout,
 		// Redirects are followed manually in Fetch so every hop is logged.
 		CheckRedirect: func(req *http.Request, via []*http.Request) error {
@@ -300,8 +324,22 @@ func (s *Session) CertOrgs() map[string]string {
 	return out
 }
 
-// Jar exposes the session cookie jar (for cookie-census analyses).
-func (s *Session) Jar() *cookiejar.Jar { return s.jar }
+// JarFor exposes the cookie jar of one visited site (for cookie-census
+// analyses), creating it if the site has not been contacted yet.
+func (s *Session) JarFor(siteHost string) *cookiejar.Jar { return s.jarFor(siteHost) }
+
+// jarFor returns the per-visit cookie jar for a site, minting a fresh one
+// on first contact.
+func (s *Session) jarFor(siteHost string) *cookiejar.Jar {
+	s.jarsMu.Lock()
+	defer s.jarsMu.Unlock()
+	j := s.jars[siteHost]
+	if j == nil {
+		j, _ = cookiejar.New(nil) // never fails with nil options
+		s.jars[siteHost] = j
+	}
+	return j
+}
 
 // Metrics exposes the session's registry (nil when uninstrumented) so the
 // layers above — the browser page loader — can register their own
@@ -313,6 +351,9 @@ func (s *Session) Country() string { return s.cfg.Country }
 
 // PageBudget returns the per-page deadline budget (0 when disabled).
 func (s *Session) PageBudget() time.Duration { return s.cfg.PageBudget }
+
+// Flight returns the session's flight recorder (nil when disabled).
+func (s *Session) Flight() *obs.FlightRecorder { return s.cfg.Flight }
 
 // FailureCounts snapshots terminal request failures by taxonomy class.
 func (s *Session) FailureCounts() map[string]uint64 {
@@ -348,7 +389,27 @@ func (s *Session) record(r Record) {
 	s.seq++
 	r.Seq = s.seq
 	s.log = append(s.log, r)
+	if r.SiteHost != "" {
+		st := s.siteStats[r.SiteHost]
+		st.Requests++
+		if r.Host != "" && r.Host != r.SiteHost {
+			st.ThirdParty++
+		}
+		st.Cookies += len(r.SetCookies)
+		st.Bytes += int64(r.Bytes)
+		if r.Attempt > st.Attempts {
+			st.Attempts = r.Attempt
+		}
+		s.siteStats[r.SiteHost] = st
+	}
 	s.mu.Unlock()
+}
+
+// VisitStats returns the aggregated request stats for one visited site.
+func (s *Session) VisitStats(site string) VisitStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.siteStats[site]
 }
 
 // Fetch retrieves rawURL, following redirects and logging every hop.
@@ -519,7 +580,11 @@ func (s *Session) doAttempt(ctx context.Context, rawURL, siteHost string, initia
 		req.Header.Set("Referer", referer)
 	}
 	start := time.Now()
-	resp, err := s.client.Do(req)
+	// Shallow-copy the client so this request uses the visited site's own
+	// cookie jar while sharing the pooled transport.
+	client := *s.client
+	client.Jar = s.jarFor(siteHost)
+	resp, err := client.Do(req)
 	s.met.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		rec.Err = err.Error()
@@ -577,6 +642,7 @@ func (s *Session) doAttempt(ctx context.Context, rawURL, siteHost string, initia
 		return rec, nil, rerr
 	}
 	att.body = body
+	rec.Bytes = len(body)
 	return rec, att, nil
 }
 

@@ -7,19 +7,25 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // AdminHandler serves the observability surface:
 //
 //	/metrics       Prometheus text exposition of reg
-//	/spans         JSON dump of the tracer's recent spans
+//	/spans         JSON dump of the tracer's recent spans (?name= filters
+//	               by substring)
+//	/trace         the span ring as Chrome trace-event JSON, loadable in
+//	               Perfetto or chrome://tracing
+//	/flight        the flight recorder's recent visit events as NDJSON
+//	/healthz       liveness probe
 //	/debug/pprof/  the standard net/http/pprof handlers
 //	/              a tiny index linking the above
 //
-// reg and tr may be nil; the corresponding endpoints then serve empty
+// reg, tr and fr may be nil; the corresponding endpoints then serve empty
 // bodies.
-func AdminHandler(reg *Registry, tr *Tracer) http.Handler {
+func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -28,11 +34,37 @@ func AdminHandler(reg *Registry, tr *Tracer) http.Handler {
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		spans := tr.Recent()
+		if name := r.URL.Query().Get("name"); name != "" {
+			filtered := spans[:0:0]
+			for _, s := range spans {
+				if strings.Contains(s.Name, name) {
+					filtered = append(filtered, s)
+				}
+			}
+			spans = filtered
+		}
 		json.NewEncoder(w).Encode(struct {
 			Capacity int          `json:"capacity"`
 			Count    int          `json:"count"`
 			Spans    []SpanRecord `json:"spans"`
 		}{tr.Capacity(), len(spans), spans})
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="study-trace.json"`)
+		WriteChromeTrace(w, tr.Recent())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		seen, kept, dropped := fr.Stats()
+		w.Header().Set("X-Flight-Seen", fmt.Sprint(seen))
+		w.Header().Set("X-Flight-Kept", fmt.Sprint(kept))
+		w.Header().Set("X-Flight-Sampled-Out", fmt.Sprint(dropped))
+		fr.WriteNDJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -47,7 +79,10 @@ func AdminHandler(reg *Registry, tr *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, `<html><body><h1>pornweb observability</h1><ul>`+
 			`<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>`+
-			`<li><a href="/spans">/spans</a> — recent stage spans (JSON)</li>`+
+			`<li><a href="/spans">/spans</a> — recent stage spans (JSON, ?name= filters)</li>`+
+			`<li><a href="/trace">/trace</a> — span ring as Chrome trace (Perfetto)</li>`+
+			`<li><a href="/flight">/flight</a> — recent visit events (NDJSON)</li>`+
+			`<li><a href="/healthz">/healthz</a> — liveness</li>`+
 			`<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>`+
 			`</ul></body></html>`)
 	})
@@ -62,14 +97,14 @@ type AdminServer struct {
 
 // ServeAdmin binds addr (host:port; port 0 picks a free one) and serves
 // the admin handler until Close.
-func ServeAdmin(addr string, reg *Registry, tr *Tracer) (*AdminServer, error) {
+func ServeAdmin(addr string, reg *Registry, tr *Tracer, fr *FlightRecorder) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	a := &AdminServer{
 		ln:  ln,
-		srv: &http.Server{Handler: AdminHandler(reg, tr), ReadHeaderTimeout: 10 * time.Second},
+		srv: &http.Server{Handler: AdminHandler(reg, tr, fr), ReadHeaderTimeout: 10 * time.Second},
 	}
 	go a.srv.Serve(ln)
 	return a, nil

@@ -65,7 +65,7 @@ func seedRegistry() (*Registry, *Tracer) {
 
 func TestAdminMetricsScrape(t *testing.T) {
 	reg, tr := seedRegistry()
-	srv := httptest.NewServer(AdminHandler(reg, tr))
+	srv := httptest.NewServer(AdminHandler(reg, tr, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -95,7 +95,7 @@ func TestAdminMetricsScrape(t *testing.T) {
 
 func TestAdminSpans(t *testing.T) {
 	reg, tr := seedRegistry()
-	srv := httptest.NewServer(AdminHandler(reg, tr))
+	srv := httptest.NewServer(AdminHandler(reg, tr, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/spans")
@@ -122,7 +122,7 @@ func TestAdminSpans(t *testing.T) {
 
 func TestAdminPprofAndIndex(t *testing.T) {
 	reg, tr := seedRegistry()
-	srv := httptest.NewServer(AdminHandler(reg, tr))
+	srv := httptest.NewServer(AdminHandler(reg, tr, nil))
 	defer srv.Close()
 
 	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/profile?seconds=1"} {
@@ -146,9 +146,123 @@ func TestAdminPprofAndIndex(t *testing.T) {
 	}
 }
 
+func TestAdminSpanNameFilter(t *testing.T) {
+	reg, tr := seedRegistry()
+	srv := httptest.NewServer(AdminHandler(reg, tr, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/spans?name=child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Count int
+		Spans []SpanRecord
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 1 || got.Spans[0].Name != "child" {
+		t.Fatalf("?name=child returned %+v", got)
+	}
+
+	resp2, err := http.Get(srv.URL + "/spans?name=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var none struct{ Count int }
+	if err := json.NewDecoder(resp2.Body).Decode(&none); err != nil {
+		t.Fatal(err)
+	}
+	if none.Count != 0 {
+		t.Fatalf("?name=zzz matched %d spans, want 0", none.Count)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	srv := httptest.NewServer(AdminHandler(nil, nil, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "ok\n" {
+		t.Fatalf("healthz body %q", body)
+	}
+}
+
+func TestAdminTrace(t *testing.T) {
+	reg, tr := seedRegistry()
+	srv := httptest.NewServer(AdminHandler(reg, tr, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Args["span_id"] == "" {
+			t.Errorf("event %q missing span_id arg", ev.Name)
+		}
+	}
+}
+
+func TestAdminFlight(t *testing.T) {
+	fr := NewFlightRecorder(64, 1, nil)
+	fr.RecordVisit(VisitEvent{Site: "a.com", OK: true})
+	fr.RecordVisit(VisitEvent{Site: "b.com", FailClass: "dns"})
+	srv := httptest.NewServer(AdminHandler(nil, nil, fr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+	if got := resp.Header.Get("X-Flight-Kept"); got != "2" {
+		t.Errorf("X-Flight-Kept = %q, want 2", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "a.com") || !strings.Contains(lines[1], "dns") {
+		t.Fatalf("flight body:\n%s", body)
+	}
+}
+
 func TestServeAdminLifecycle(t *testing.T) {
 	reg, tr := seedRegistry()
-	a, err := ServeAdmin("127.0.0.1:0", reg, tr)
+	a, err := ServeAdmin("127.0.0.1:0", reg, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

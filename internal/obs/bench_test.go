@@ -59,6 +59,41 @@ func BenchmarkSpanDisabled(b *testing.B) {
 	}
 }
 
+func benchVisit(i int) VisitEvent {
+	return VisitEvent{
+		Site: "example.com", Rank: i % 1000, Corpus: "porn",
+		Stage: "crawl/porn-ES", Country: "ES", OK: true,
+		Requests: 40, ThirdParty: 25, Cookies: 12, Bytes: 1 << 18,
+		WallMS: 420, SpanID: uint64(i),
+	}
+}
+
+func BenchmarkFlightVisitUnsampled(b *testing.B) {
+	fr := NewFlightRecorder(4096, 1, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr.RecordVisit(benchVisit(i))
+	}
+}
+
+func BenchmarkFlightVisitSampled(b *testing.B) {
+	fr := NewFlightRecorder(4096, 100, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr.RecordVisit(benchVisit(i))
+	}
+}
+
+func BenchmarkFlightVisitDisabled(b *testing.B) {
+	var fr *FlightRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if fr.Enabled() {
+			fr.RecordVisit(benchVisit(i))
+		}
+	}
+}
+
 func BenchmarkLoggerSquelched(b *testing.B) {
 	l := NewLogger(nil, LevelInfo)
 	b.ReportAllocs()

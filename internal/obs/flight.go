@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// VisitEvent is one wide event of the per-visit flight recorder: the
+// complete structured story of a single page visit, the way OpenWPM
+// treats per-visit capture as the primary artifact of a measurement
+// study. One event carries everything an analyst needs to explain why a
+// visit contributed (or failed to contribute) to a figure — no joining
+// across log streams required.
+type VisitEvent struct {
+	// Site is the visited landing host.
+	Site string `json:"site"`
+	// Rank is the site's base toplist rank (0 when unknown).
+	Rank int `json:"rank,omitempty"`
+	// Corpus labels which corpus the visit fed ("porn", "reference").
+	Corpus string `json:"corpus,omitempty"`
+	// Stage is the pipeline stage that issued the visit
+	// (e.g. "crawl/porn-ES").
+	Stage string `json:"stage,omitempty"`
+	// Country is the vantage country.
+	Country string `json:"country,omitempty"`
+	// Interactive marks Selenium-analog visits.
+	Interactive bool `json:"interactive,omitempty"`
+	OK          bool `json:"ok"`
+	// FailClass is the failure-taxonomy class for failed visits.
+	FailClass string `json:"fail_class,omitempty"`
+	// Attempts is the highest retry attempt any request of the visit
+	// needed (0 without a retry policy).
+	Attempts int `json:"attempts,omitempty"`
+	// Requests counts logged requests the visit issued; ThirdParty those
+	// aimed at hosts other than the site itself.
+	Requests   int `json:"requests"`
+	ThirdParty int `json:"third_party"`
+	// Cookies counts Set-Cookie headers received during the visit.
+	Cookies int `json:"cookies"`
+	// Bytes is the total response-body volume read.
+	Bytes int64 `json:"bytes"`
+	// WallMS is the full visit wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SpanID links the event to the visit's span in the tracer ring (and
+	// the /trace export), 0 when tracing is off.
+	SpanID uint64 `json:"span_id,omitempty"`
+}
+
+// FlightRecorder is a bounded wide-event sink: every page visit emits one
+// VisitEvent, head-sampled (the keep/drop decision is made on arrival,
+// never retroactively) with failures always kept — exactly the visits an
+// incident needs are the ones sampling must not lose. Kept events land in
+// a fixed-capacity ring buffer (newest win) and, when a sink writer is
+// configured, stream out as NDJSON lines.
+//
+// A nil *FlightRecorder is a valid disabled recorder: RecordVisit on nil
+// is a no-op, so call sites need no guards and the disabled path costs a
+// nil check — callers that gather event fields should still gate that
+// work on Enabled().
+type FlightRecorder struct {
+	sampleN uint64 // keep 1 in sampleN successful visits; 1 keeps all
+
+	seen    atomic.Uint64 // all events offered
+	kept    atomic.Uint64 // events that passed sampling
+	dropped atomic.Uint64 // successful events sampled away
+
+	mu   sync.Mutex
+	w    io.Writer // optional NDJSON stream
+	buf  []VisitEvent
+	next int
+	full bool
+}
+
+// NewFlightRecorder returns a recorder keeping the most recent capacity
+// events (minimum 64). sampleN <= 1 keeps every event; otherwise one in
+// sampleN successful visits is kept (failures are always kept). sink may
+// be nil; when set, every kept event is written to it as one NDJSON line.
+func NewFlightRecorder(capacity, sampleN int, sink io.Writer) *FlightRecorder {
+	if capacity < 64 {
+		capacity = 64
+	}
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	return &FlightRecorder{
+		sampleN: uint64(sampleN),
+		w:       sink,
+		buf:     make([]VisitEvent, capacity),
+	}
+}
+
+// Enabled reports whether events are being collected; use it to skip
+// event-field gathering entirely when the recorder is nil.
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// RecordVisit offers one event to the recorder. Nil-safe.
+func (f *FlightRecorder) RecordVisit(ev VisitEvent) {
+	if f == nil {
+		return
+	}
+	n := f.seen.Add(1)
+	// Head sampling: successful visits keep every sampleN-th arrival;
+	// failures bypass sampling entirely.
+	if ev.OK && f.sampleN > 1 && n%f.sampleN != 1 {
+		f.dropped.Add(1)
+		return
+	}
+	f.kept.Add(1)
+	f.mu.Lock()
+	f.buf[f.next] = ev
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	if f.w != nil {
+		// Encode and write under the lock so concurrent visits cannot
+		// interleave NDJSON lines.
+		if line, err := json.Marshal(ev); err == nil {
+			f.w.Write(append(line, '\n'))
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (f *FlightRecorder) Events() []VisitEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		out := make([]VisitEvent, f.next)
+		copy(out, f.buf[:f.next])
+		return out
+	}
+	out := make([]VisitEvent, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// WriteNDJSON dumps the buffered events to w, one JSON object per line.
+func (f *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	for _, ev := range f.Events() {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns how many events were offered, kept and sampled away.
+func (f *FlightRecorder) Stats() (seen, kept, dropped uint64) {
+	if f == nil {
+		return 0, 0, 0
+	}
+	return f.seen.Load(), f.kept.Load(), f.dropped.Load()
+}
+
+// Capacity returns the ring-buffer size (0 for a nil recorder).
+func (f *FlightRecorder) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.buf)
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderKeepsEverythingUnsampled(t *testing.T) {
+	var sink bytes.Buffer
+	fr := NewFlightRecorder(128, 1, &sink)
+	for i := 0; i < 10; i++ {
+		fr.RecordVisit(VisitEvent{Site: fmt.Sprintf("s%d.com", i), OK: i%2 == 0})
+	}
+	if got := len(fr.Events()); got != 10 {
+		t.Fatalf("kept %d events, want 10", got)
+	}
+	seen, kept, dropped := fr.Stats()
+	if seen != 10 || kept != 10 || dropped != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 10/10/0", seen, kept, dropped)
+	}
+	// The sink received one valid JSON object per line, in order.
+	sc := bufio.NewScanner(&sink)
+	lines := 0
+	for sc.Scan() {
+		var ev VisitEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if want := fmt.Sprintf("s%d.com", lines); ev.Site != want {
+			t.Fatalf("line %d: site %q, want %q", lines+1, ev.Site, want)
+		}
+		lines++
+	}
+	if lines != 10 {
+		t.Fatalf("sink has %d lines, want 10", lines)
+	}
+}
+
+func TestFlightRecorderSamplingKeepsFailures(t *testing.T) {
+	fr := NewFlightRecorder(1024, 10, nil)
+	for i := 0; i < 100; i++ {
+		fr.RecordVisit(VisitEvent{Site: "ok.com", OK: true})
+	}
+	for i := 0; i < 7; i++ {
+		fr.RecordVisit(VisitEvent{Site: "down.com", OK: false, FailClass: "http-5xx"})
+	}
+	events := fr.Events()
+	okN, failN := 0, 0
+	for _, ev := range events {
+		if ev.OK {
+			okN++
+		} else {
+			failN++
+		}
+	}
+	if failN != 7 {
+		t.Errorf("kept %d failures, want all 7", failN)
+	}
+	if okN != 10 {
+		t.Errorf("kept %d successes of 100 at 1-in-10, want 10", okN)
+	}
+	seen, kept, dropped := fr.Stats()
+	if seen != 107 || kept != 17 || dropped != 90 {
+		t.Errorf("stats = %d/%d/%d, want 107/17/90", seen, kept, dropped)
+	}
+}
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	fr := NewFlightRecorder(64, 1, nil)
+	for i := 0; i < 200; i++ {
+		fr.RecordVisit(VisitEvent{Site: fmt.Sprintf("s%d", i)})
+	}
+	events := fr.Events()
+	if len(events) != 64 {
+		t.Fatalf("ring kept %d, want 64", len(events))
+	}
+	if events[0].Site != "s136" || events[63].Site != "s199" {
+		t.Fatalf("ring order wrong: first %q last %q", events[0].Site, events[63].Site)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	if fr.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	fr.RecordVisit(VisitEvent{Site: "x"}) // must not panic
+	if fr.Events() != nil || fr.Capacity() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+	seen, kept, dropped := fr.Stats()
+	if seen+kept+dropped != 0 {
+		t.Fatal("nil recorder has stats")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	var sink bytes.Buffer
+	fr := NewFlightRecorder(256, 2, &sink)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fr.RecordVisit(VisitEvent{Site: fmt.Sprintf("g%d-%d", g, i), OK: i%3 != 0})
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every sink line must still be a valid standalone JSON object.
+	sc := bufio.NewScanner(&sink)
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("interleaved NDJSON line: %q", sc.Text())
+		}
+	}
+	seen, kept, dropped := fr.Stats()
+	if seen != 800 || kept+dropped != seen {
+		t.Fatalf("stats don't add up: seen=%d kept=%d dropped=%d", seen, kept, dropped)
+	}
+}
+
+func TestFlightWriteNDJSON(t *testing.T) {
+	fr := NewFlightRecorder(64, 1, nil)
+	fr.RecordVisit(VisitEvent{Site: "a.com", OK: true, Requests: 3})
+	fr.RecordVisit(VisitEvent{Site: "b.com", FailClass: "timeout"})
+	var buf bytes.Buffer
+	if err := fr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[1], `"fail_class":"timeout"`) {
+		t.Fatalf("failure event lost detail: %s", lines[1])
+	}
+}
+
+// TestDisabledRecorderAllocationFree pins the acceptance bar for the
+// disabled path: a nil recorder's RecordVisit must not allocate, so a
+// study without flight recording pays nothing per visit.
+func TestDisabledRecorderAllocationFree(t *testing.T) {
+	var fr *FlightRecorder
+	ev := VisitEvent{Site: "x.com", OK: true, Requests: 7}
+	allocs := testing.AllocsPerRun(1000, func() {
+		fr.RecordVisit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled RecordVisit allocates %.1f times per call, want 0", allocs)
+	}
+	if fr.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+}

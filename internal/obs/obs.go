@@ -1,9 +1,12 @@
 // Package obs is the study-wide observability layer: a dependency-free
 // metrics registry (counters, gauges, fixed-bucket latency histograms with
 // quantile summaries), lightweight span tracing into a bounded ring
-// buffer, a structured leveled logger, and an admin HTTP handler that
-// exposes everything — Prometheus text format under /metrics, recent spans
-// as JSON under /spans, and net/http/pprof under /debug/pprof/.
+// buffer, a per-visit flight recorder (one head-sampled wide event per
+// page visit, failures always kept), a structured leveled logger, and an
+// admin HTTP handler that exposes everything — Prometheus text format
+// under /metrics, recent spans as JSON under /spans and as Chrome
+// trace-event (Perfetto-loadable) JSON under /trace, visit events as
+// NDJSON under /flight, and net/http/pprof under /debug/pprof/.
 //
 // The paper's measurement run is a long multi-stage pipeline (dual crawls
 // from six vantage points feeding a dozen analyses); obs makes that

@@ -104,17 +104,32 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 	return context.WithValue(ctx, ctxKeySpan, s), s
 }
 
-// SetAttr attaches a key/value attribute to the span.
+// SetAttr attaches a key/value attribute to the span. After End the call
+// is a no-op: End publishes the attrs map into the tracer's ring buffer,
+// where a concurrent Recent() reader may already be decoding it, so a
+// late write must never reach that shared map.
 func (s *Span) SetAttr(k, v string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
 	if s.attrs == nil {
 		s.attrs = map[string]string{}
 	}
 	s.attrs[k] = v
 	s.mu.Unlock()
+}
+
+// ID returns the span's tracer-unique identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // End records the span into the tracer's ring buffer and returns its

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"testing"
 )
@@ -125,6 +126,43 @@ func TestTracerConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := len(tr.Recent()); got != 128 {
 		t.Fatalf("ring has %d, want full 128", got)
+	}
+}
+
+// Regression for a data race: End publishes the attrs map into the ring
+// buffer, so a SetAttr arriving after End must not mutate the map a
+// concurrent Recent() reader is decoding. Run with -race.
+func TestSpanSetAttrAfterEndRace(t *testing.T) {
+	tr := NewTracer(64)
+	for i := 0; i < 50; i++ {
+		_, s := tr.Start(context.Background(), "racy")
+		s.SetAttr("pre", "end")
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			s.End()
+			s.SetAttr("post", "end") // must be a no-op
+		}()
+		go func() {
+			defer wg.Done()
+			for _, rec := range tr.Recent() {
+				if _, err := json.Marshal(rec.Attrs); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+		wg.Wait()
+
+		recs := tr.Recent()
+		last := recs[len(recs)-1]
+		if last.Attrs["pre"] != "end" {
+			t.Fatalf("pre-End attr lost: %+v", last.Attrs)
+		}
+		if _, ok := last.Attrs["post"]; ok {
+			t.Fatalf("post-End SetAttr reached the published record: %+v", last.Attrs)
+		}
 	}
 }
 

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), loadable by Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`  // microseconds
+	Dur  int64             `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON document.
+// Timestamps are relative to the earliest span so the trace opens at t=0.
+// Spans are packed onto "threads" greedily: each span takes the lowest
+// lane whose previous occupant ended before it started, so concurrent
+// stages and visits render side by side instead of overdrawing.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	sorted := make([]SpanRecord, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+
+	var epoch time.Time
+	if len(sorted) > 0 {
+		epoch = sorted[0].Start
+	}
+	var laneEnds []time.Time
+	events := make([]chromeEvent, 0, len(sorted))
+	for _, s := range sorted {
+		lane := -1
+		for i, end := range laneEnds {
+			if !end.After(s.Start) {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnds)
+			laneEnds = append(laneEnds, time.Time{})
+		}
+		laneEnds[lane] = s.Start.Add(s.Duration)
+
+		args := make(map[string]string, len(s.Attrs)+2)
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		args["span_id"] = strconv.FormatUint(s.ID, 10)
+		if s.ParentID != 0 {
+			args["parent_id"] = strconv.FormatUint(s.ParentID, 10)
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			TS:   s.Start.Sub(epoch).Microseconds(),
+			Dur:  s.Duration.Microseconds(),
+			PID:  1,
+			TID:  lane + 1,
+			Args: args,
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeTraceLanesAndTimes(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	spans := []SpanRecord{
+		// Two overlapping spans must land in different lanes; a third that
+		// starts after the first ends should reuse lane 1.
+		{ID: 1, Name: "stage-a", Start: base, Duration: 100 * time.Millisecond},
+		{ID: 2, Name: "stage-b", Start: base.Add(50 * time.Millisecond), Duration: 100 * time.Millisecond, ParentID: 1,
+			Attrs: map[string]string{"country": "ES"}},
+		{ID: 3, Name: "stage-c", Start: base.Add(120 * time.Millisecond), Duration: 10 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 3 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+	}
+	a, b, c := doc.TraceEvents[byName["stage-a"]], doc.TraceEvents[byName["stage-b"]], doc.TraceEvents[byName["stage-c"]]
+	if a.TS != 0 || a.Dur != 100_000 {
+		t.Errorf("stage-a ts/dur = %d/%d, want 0/100000", a.TS, a.Dur)
+	}
+	if b.TS != 50_000 {
+		t.Errorf("stage-b ts = %d, want 50000", b.TS)
+	}
+	if a.TID == b.TID {
+		t.Errorf("overlapping spans share lane %d", a.TID)
+	}
+	if c.TID != a.TID {
+		t.Errorf("stage-c lane %d, want reuse of stage-a lane %d", c.TID, a.TID)
+	}
+	if b.Args["country"] != "ES" || b.Args["parent_id"] != "1" || b.Args["span_id"] != "2" {
+		t.Errorf("stage-b args = %v", b.Args)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty trace invalid: %s", buf.String())
+	}
+}

@@ -1,0 +1,65 @@
+package provenance
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func benchManifest() *Manifest {
+	m := &Manifest{
+		Version:           ManifestVersion,
+		ConfigFingerprint: "cafe",
+		Seed:              42,
+		Scale:             1,
+		Corpora:           map[string]CorpusInfo{"porn": {Count: 5000, Digest: "aa"}, "reference": {Count: 5000, Digest: "bb"}},
+		Stages:            map[string]StageInfo{},
+		Figures:           map[string]FigureInfo{},
+	}
+	for i := 0; i < 24; i++ {
+		name := fmt.Sprintf("stage-%02d", i)
+		m.Stages[name] = StageInfo{Records: i * 100, Digest: fmt.Sprintf("%016x", i), Inputs: []string{"corpus"}}
+	}
+	for i := 0; i < 16; i++ {
+		m.Figures[fmt.Sprintf("fig-%02d", i)] = FigureInfo{Stages: []string{"stage-00"}, Rows: i, Digest: "ee"}
+	}
+	return m
+}
+
+func BenchmarkManifestWrite(b *testing.B) {
+	dir := b.TempDir()
+	m := benchManifest()
+	path := filepath.Join(dir, "manifest.json")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Write(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultisetHash(b *testing.B) {
+	records := make([]string, 256)
+	for i := range records {
+		records[i] = fmt.Sprintf("GET https://cdn%d.example.com/lib.js 200 1024", i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var m MultisetHash
+		for _, r := range records {
+			m.Add(r)
+		}
+		_ = m.Sum()
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	x, y := benchManifest(), benchManifest()
+	y.Stages["stage-07"] = StageInfo{Records: 701, Digest: "deadbeef", Inputs: []string{"corpus"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if d := Diff(x, y); d.Identical {
+			b.Fatal("diff missed the perturbation")
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package provenance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FigureDelta describes one figure or table that differs between runs.
+type FigureDelta struct {
+	Name string `json:"name"`
+	// Reason is a short human-readable cause ("digest changed",
+	// "rows 120 -> 118", "only in run B").
+	Reason string `json:"reason"`
+	// EarliestStages names the root-cause stages: diverging stages
+	// reachable from the figure's inputs whose own (transitive) inputs all
+	// match. Empty when the figure changed without any stage diverging.
+	EarliestStages []string `json:"earliest_stages,omitempty"`
+}
+
+// DiffResult is the outcome of comparing two manifests.
+type DiffResult struct {
+	Identical     bool          `json:"identical"`
+	VersionSkew   bool          `json:"version_skew,omitempty"`
+	ConfigChanged bool          `json:"config_changed,omitempty"`
+	SeedChanged   bool          `json:"seed_changed,omitempty"`
+	CorporaDiffer []string      `json:"corpora_differ,omitempty"`
+	Figures       []FigureDelta `json:"figures,omitempty"`
+	// StagesDiffer lists every diverging stage; RootStages the subset with
+	// no diverging transitive input — the earliest points of divergence.
+	StagesDiffer []string `json:"stages_differ,omitempty"`
+	RootStages   []string `json:"root_stages,omitempty"`
+}
+
+// Diff compares two manifests and, for every changed figure, walks the
+// stage DAG (StageInfo.Inputs edges) upstream to the earliest diverging
+// stages. A stage diverges when its digest or record count differs or it
+// exists in only one run; it is a root divergence when none of its
+// transitive inputs diverge.
+func Diff(a, b *Manifest) *DiffResult {
+	d := &DiffResult{}
+	if a.Version != b.Version {
+		d.VersionSkew = true
+	}
+	d.ConfigChanged = a.ConfigFingerprint != b.ConfigFingerprint
+	d.SeedChanged = a.Seed != b.Seed || a.Scale != b.Scale
+
+	for _, name := range unionKeys(a.Corpora, b.Corpora) {
+		ca, okA := a.Corpora[name]
+		cb, okB := b.Corpora[name]
+		if !okA || !okB || ca != cb {
+			d.CorporaDiffer = append(d.CorporaDiffer, name)
+		}
+	}
+
+	diverged := map[string]bool{}
+	for _, name := range unionKeys(a.Stages, b.Stages) {
+		sa, okA := a.Stages[name]
+		sb, okB := b.Stages[name]
+		if !okA || !okB || sa.Digest != sb.Digest || sa.Records != sb.Records {
+			diverged[name] = true
+			d.StagesDiffer = append(d.StagesDiffer, name)
+		}
+	}
+
+	// inputsOf prefers run A's view of the DAG and falls back to B's, so
+	// stages present in only one run still have edges to walk.
+	inputsOf := func(name string) []string {
+		if s, ok := a.Stages[name]; ok && len(s.Inputs) > 0 {
+			return s.Inputs
+		}
+		if s, ok := b.Stages[name]; ok {
+			return s.Inputs
+		}
+		return nil
+	}
+
+	// tainted reports whether any transitive input of name diverged.
+	taintedMemo := map[string]int{} // 0 unvisited, 1 in progress, 2 clean, 3 tainted
+	var tainted func(name string) bool
+	tainted = func(name string) bool {
+		switch taintedMemo[name] {
+		case 1: // cycle guard; manifest DAGs are acyclic by construction
+			return false
+		case 2:
+			return false
+		case 3:
+			return true
+		}
+		taintedMemo[name] = 1
+		result := false
+		for _, in := range inputsOf(name) {
+			if diverged[in] || tainted(in) {
+				result = true
+				break
+			}
+		}
+		if result {
+			taintedMemo[name] = 3
+		} else {
+			taintedMemo[name] = 2
+		}
+		return result
+	}
+
+	rootSet := map[string]bool{}
+	for name := range diverged {
+		if !tainted(name) {
+			rootSet[name] = true
+			d.RootStages = append(d.RootStages, name)
+		}
+	}
+
+	// ancestors of a figure: its stages plus everything reachable upstream.
+	ancestorsOf := func(stages []string) map[string]bool {
+		seen := map[string]bool{}
+		var visit func(n string)
+		visit = func(n string) {
+			if seen[n] {
+				return
+			}
+			seen[n] = true
+			for _, in := range inputsOf(n) {
+				visit(in)
+			}
+		}
+		for _, s := range stages {
+			visit(s)
+		}
+		return seen
+	}
+
+	for _, name := range unionKeys(a.Figures, b.Figures) {
+		fa, okA := a.Figures[name]
+		fb, okB := b.Figures[name]
+		var reason string
+		switch {
+		case !okA:
+			reason = "only in run B"
+		case !okB:
+			reason = "only in run A"
+		case fa.Digest != fb.Digest && fa.Rows != fb.Rows:
+			reason = fmt.Sprintf("digest changed, rows %d -> %d", fa.Rows, fb.Rows)
+		case fa.Digest != fb.Digest:
+			reason = "digest changed"
+		case fa.Rows != fb.Rows:
+			reason = fmt.Sprintf("rows %d -> %d", fa.Rows, fb.Rows)
+		default:
+			continue
+		}
+		fd := FigureDelta{Name: name, Reason: reason}
+		var stages []string
+		if okA {
+			stages = fa.Stages
+		} else {
+			stages = fb.Stages
+		}
+		anc := ancestorsOf(stages)
+		for root := range rootSet {
+			if anc[root] {
+				fd.EarliestStages = append(fd.EarliestStages, root)
+			}
+		}
+		sort.Strings(fd.EarliestStages)
+		d.Figures = append(d.Figures, fd)
+	}
+
+	sort.Strings(d.CorporaDiffer)
+	sort.Strings(d.StagesDiffer)
+	sort.Strings(d.RootStages)
+	sort.Slice(d.Figures, func(i, j int) bool { return d.Figures[i].Name < d.Figures[j].Name })
+
+	d.Identical = !d.VersionSkew && !d.ConfigChanged && !d.SeedChanged &&
+		len(d.CorporaDiffer) == 0 && len(d.StagesDiffer) == 0 && len(d.Figures) == 0
+	return d
+}
+
+// Format writes a human-readable diff report.
+func (d *DiffResult) Format(w io.Writer) {
+	if d.Identical {
+		fmt.Fprintln(w, "manifests identical")
+		return
+	}
+	if d.VersionSkew {
+		fmt.Fprintln(w, "manifest schema versions differ")
+	}
+	if d.ConfigChanged {
+		fmt.Fprintln(w, "config fingerprint differs")
+	}
+	if d.SeedChanged {
+		fmt.Fprintln(w, "seed or scale differs")
+	}
+	for _, c := range d.CorporaDiffer {
+		fmt.Fprintf(w, "corpus %s differs\n", c)
+	}
+	if len(d.RootStages) > 0 {
+		fmt.Fprintf(w, "earliest diverging stages: %v\n", d.RootStages)
+	}
+	for _, fd := range d.Figures {
+		fmt.Fprintf(w, "figure %s: %s", fd.Name, fd.Reason)
+		if len(fd.EarliestStages) > 0 {
+			fmt.Fprintf(w, " (diverges from %v)", fd.EarliestStages)
+		}
+		fmt.Fprintln(w)
+	}
+	if n := len(d.StagesDiffer); n > 0 {
+		fmt.Fprintf(w, "%d stage(s) differ in total: %v\n", n, d.StagesDiffer)
+	}
+}
+
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := map[string]bool{}
+	var out []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

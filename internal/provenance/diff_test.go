@@ -1,0 +1,140 @@
+package provenance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testManifest builds a small but realistic pipeline:
+//
+//	corpus -> crawl/porn-ES -> analysis/parties -> fig:parties
+//	corpus -> crawl/reference-ES ^                -> fig:cookies (also from analysis/cookies)
+//	crawl/porn-ES -> analysis/cookies
+func testManifest() *Manifest {
+	return &Manifest{
+		Version:           ManifestVersion,
+		ConfigFingerprint: "cafe",
+		Seed:              42,
+		Scale:             0.01,
+		Corpora: map[string]CorpusInfo{
+			"porn": {Count: 100, Digest: "p1"}, "reference": {Count: 100, Digest: "r1"},
+		},
+		Stages: map[string]StageInfo{
+			"corpus":             {Records: 200, Digest: "c1"},
+			"crawl/porn-ES":      {Records: 4000, Digest: "cp1", Inputs: []string{"corpus"}},
+			"crawl/reference-ES": {Records: 3000, Digest: "cr1", Inputs: []string{"corpus"}},
+			"analysis/parties":   {Records: 40, Digest: "ap1", Inputs: []string{"crawl/porn-ES", "crawl/reference-ES"}},
+			"analysis/cookies":   {Records: 30, Digest: "ac1", Inputs: []string{"crawl/porn-ES"}},
+		},
+		Figures: map[string]FigureInfo{
+			"fig:parties": {Stages: []string{"analysis/parties"}, Rows: 40, Digest: "fp1"},
+			"fig:cookies": {Stages: []string{"analysis/cookies"}, Rows: 30, Digest: "fc1"},
+		},
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	d := Diff(testManifest(), testManifest())
+	if !d.Identical {
+		t.Fatalf("identical manifests diffed: %+v", d)
+	}
+	var buf bytes.Buffer
+	d.Format(&buf)
+	if !strings.Contains(buf.String(), "identical") {
+		t.Fatalf("format: %s", buf.String())
+	}
+}
+
+func TestDiffWalksToEarliestStage(t *testing.T) {
+	a, b := testManifest(), testManifest()
+	// Perturb the porn crawl; everything downstream shifts too, as it
+	// would in a real seed change.
+	b.Stages["crawl/porn-ES"] = StageInfo{Records: 4001, Digest: "cp2", Inputs: []string{"corpus"}}
+	b.Stages["analysis/parties"] = StageInfo{Records: 41, Digest: "ap2", Inputs: []string{"crawl/porn-ES", "crawl/reference-ES"}}
+	b.Stages["analysis/cookies"] = StageInfo{Records: 30, Digest: "ac2", Inputs: []string{"crawl/porn-ES"}}
+	b.Figures["fig:parties"] = FigureInfo{Stages: []string{"analysis/parties"}, Rows: 41, Digest: "fp2"}
+	b.Figures["fig:cookies"] = FigureInfo{Stages: []string{"analysis/cookies"}, Rows: 30, Digest: "fc2"}
+
+	d := Diff(a, b)
+	if d.Identical {
+		t.Fatal("perturbed run compared identical")
+	}
+	if len(d.RootStages) != 1 || d.RootStages[0] != "crawl/porn-ES" {
+		t.Fatalf("root stages = %v, want [crawl/porn-ES]", d.RootStages)
+	}
+	if len(d.Figures) != 2 {
+		t.Fatalf("changed figures = %+v, want 2", d.Figures)
+	}
+	for _, fd := range d.Figures {
+		if len(fd.EarliestStages) != 1 || fd.EarliestStages[0] != "crawl/porn-ES" {
+			t.Errorf("figure %s earliest = %v, want [crawl/porn-ES]", fd.Name, fd.EarliestStages)
+		}
+	}
+	var buf bytes.Buffer
+	d.Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "earliest diverging stages: [crawl/porn-ES]") {
+		t.Fatalf("format did not name the root stage:\n%s", out)
+	}
+}
+
+func TestDiffSeedAndConfig(t *testing.T) {
+	a, b := testManifest(), testManifest()
+	b.Seed = 43
+	b.ConfigFingerprint = "beef"
+	d := Diff(a, b)
+	if !d.SeedChanged || !d.ConfigChanged || d.Identical {
+		t.Fatalf("%+v", d)
+	}
+}
+
+func TestDiffCorpusAndMissingStage(t *testing.T) {
+	a, b := testManifest(), testManifest()
+	b.Corpora["porn"] = CorpusInfo{Count: 101, Digest: "p2"}
+	delete(b.Stages, "analysis/cookies")
+	delete(b.Figures, "fig:cookies")
+	d := Diff(a, b)
+	if len(d.CorporaDiffer) != 1 || d.CorporaDiffer[0] != "porn" {
+		t.Fatalf("corpora differ = %v", d.CorporaDiffer)
+	}
+	var foundStage, foundFigure bool
+	for _, s := range d.StagesDiffer {
+		if s == "analysis/cookies" {
+			foundStage = true
+		}
+	}
+	for _, f := range d.Figures {
+		if f.Name == "fig:cookies" && f.Reason == "only in run A" {
+			foundFigure = true
+		}
+	}
+	if !foundStage || !foundFigure {
+		t.Fatalf("missing stage/figure not reported: %+v", d)
+	}
+}
+
+func TestDiffFigureOnlyChange(t *testing.T) {
+	// A figure digest changes with no stage divergence (e.g. a rendering
+	// change): EarliestStages stays empty rather than inventing a cause.
+	a, b := testManifest(), testManifest()
+	b.Figures["fig:parties"] = FigureInfo{Stages: []string{"analysis/parties"}, Rows: 40, Digest: "fp9"}
+	d := Diff(a, b)
+	if len(d.Figures) != 1 || d.Figures[0].Name != "fig:parties" {
+		t.Fatalf("%+v", d.Figures)
+	}
+	if len(d.Figures[0].EarliestStages) != 0 {
+		t.Fatalf("invented a root cause: %v", d.Figures[0].EarliestStages)
+	}
+	if len(d.RootStages) != 0 {
+		t.Fatalf("root stages %v with no stage divergence", d.RootStages)
+	}
+}
+
+func TestDiffVersionSkew(t *testing.T) {
+	a, b := testManifest(), testManifest()
+	b.Version = ManifestVersion + 1
+	if d := Diff(a, b); !d.VersionSkew || d.Identical {
+		t.Fatalf("%+v", d)
+	}
+}

@@ -1,0 +1,65 @@
+// Package provenance gives every study run a verifiable identity: stable
+// content digests for corpora, crawl logs and analysis outputs, a
+// Recorder that stages feed as they complete, a Manifest written next to
+// the report, and a Diff that compares two manifests and walks the stage
+// DAG back to the earliest diverging stage — turning "the numbers
+// changed" into "the numbers changed because crawl/porn-ES changed".
+//
+// Manifests are byte-deterministic: two runs with the same config, seed
+// and corpus produce identical manifest.json files, so a plain byte
+// comparison (or the studydiff tool) works as a CI determinism gate.
+// Everything volatile — wall-clock stage timings, start time — lives in a
+// separate runinfo.json sidecar that diffing ignores.
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// HashJSON digests v's JSON rendering with FNV-1a 64. encoding/json
+// renders map keys in sorted order, so the digest is stable for any value
+// whose JSON form is deterministic. The returned form is 16 hex digits.
+func HashJSON(v any) (string, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("provenance: hash: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// HashString digests a single string with FNV-1a 64.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// MultisetHash accumulates an order-independent digest over a set of
+// records: the wrapping sum of each record's FNV-1a 64 hash, folded with
+// the record count. Two record streams digest equal iff they contain the
+// same records with the same multiplicities, regardless of order — so a
+// crawl log digested under a concurrent schedule matches the same log
+// digested serially.
+type MultisetHash struct {
+	sum uint64
+	n   uint64
+}
+
+// Add folds one record into the multiset.
+func (m *MultisetHash) Add(record string) {
+	m.sum += HashString(record)
+	m.n++
+}
+
+// Count returns how many records were added.
+func (m *MultisetHash) Count() int { return int(m.n) }
+
+// Sum returns the digest as 16 hex digits.
+func (m *MultisetHash) Sum() string {
+	// Mix the count in so {a} and {a, ""} with a zero-hash filler differ.
+	return fmt.Sprintf("%016x", m.sum^(m.n*0x9e3779b97f4a7c15))
+}

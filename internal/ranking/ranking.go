@@ -66,6 +66,13 @@ func (d *Dataset) Add(s Site) {
 // Len returns the number of registered sites.
 func (d *Dataset) Len() int { return len(d.sites) }
 
+// BaseRank returns a site's central popularity rank (0 when unknown).
+// Unlike StatsFor it is a plain map lookup, cheap enough for per-visit
+// callers like the flight recorder.
+func (d *Dataset) BaseRank(host string) int {
+	return d.sites[strings.ToLower(host)].BaseRank
+}
+
 // Hosts returns all registered hosts, sorted.
 func (d *Dataset) Hosts() []string {
 	out := make([]string, 0, len(d.sites))

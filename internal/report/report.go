@@ -7,9 +7,11 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"pornweb/internal/core"
+	"pornweb/internal/provenance"
 )
 
 // percent renders a fraction as the paper does.
@@ -382,6 +384,29 @@ func All(w io.Writer, r *core.Results) {
 	Storage(w, r.Storage)
 	Robustness(w, r.Robustness)
 	Validation(w, r.Validation)
+}
+
+// Provenance prints the run's identity footer: the manifest facts a
+// reader needs to reproduce or diff the run. It renders nothing for a nil
+// manifest, so callers can pass Study.Provenance unconditionally.
+func Provenance(w io.Writer, m *provenance.Manifest) {
+	if m == nil {
+		return
+	}
+	header(w, "Provenance")
+	fmt.Fprintf(w, "config fingerprint:  %s\n", m.ConfigFingerprint)
+	fmt.Fprintf(w, "seed / scale:        %d / %g\n", m.Seed, m.Scale)
+	names := make([]string, 0, len(m.Corpora))
+	for name := range m.Corpora {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ci := m.Corpora[name]
+		fmt.Fprintf(w, "corpus %-13s %6d sites, digest %s\n", name+":", ci.Count, ci.Digest)
+	}
+	fmt.Fprintf(w, "pipeline stages:     %6d digested, %d figures\n", len(m.Stages), len(m.Figures))
+	fmt.Fprintf(w, "compare runs with:   studydiff <dirA> <dirB>\n")
 }
 
 func max(a, b int) int {

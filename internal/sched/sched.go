@@ -78,6 +78,17 @@ func (g *Graph) MustAdd(name string, fn func(context.Context) error, deps ...str
 // Len returns the number of declared stages.
 func (g *Graph) Len() int { return len(g.stages) }
 
+// Dependencies returns the declared dependency edges: stage name to its
+// (copied) dependency list. It exposes the graph's shape so callers can
+// assert the wiring matches an expected DAG, or record it as provenance.
+func (g *Graph) Dependencies() map[string][]string {
+	out := make(map[string][]string, len(g.stages))
+	for _, s := range g.stages {
+		out[s.name] = append([]string(nil), s.deps...)
+	}
+	return out
+}
+
 // StageError wraps a stage closure's error with the stage that produced
 // it; errors.Is/As reach the cause through Unwrap.
 type StageError struct {
@@ -102,6 +113,11 @@ type Options struct {
 	Metrics *obs.Registry
 	// Logger, when non-nil, emits a debug event per completed stage.
 	Logger *obs.Logger
+	// OnStageDone, when non-nil, is called after every executed stage with
+	// its name, run time and error (nil on success). Skipped stages (run
+	// already cancelled) do not fire it. Callbacks may run concurrently
+	// when Workers > 1 and must be safe for that.
+	OnStageDone func(name string, took time.Duration, err error)
 }
 
 // validate checks every dependency resolves and the graph is acyclic.
@@ -272,6 +288,9 @@ func (g *Graph) Run(parent context.Context, opts Options) error {
 				if opts.Logger != nil {
 					opts.Logger.Event(obs.LevelDebug, "stage done",
 						"stage", s.name, "took", d.Round(time.Millisecond), "err", err != nil)
+				}
+				if opts.OnStageDone != nil {
+					opts.OnStageDone(s.name, d, err)
 				}
 				done <- doneItem{idx: r.idx, err: err}
 			}

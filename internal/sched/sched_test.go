@@ -310,3 +310,75 @@ func TestRandomizedGraphStress(t *testing.T) {
 		})
 	}
 }
+
+// TestOnStageDone pins the completion hook: every executed stage fires it
+// exactly once with a non-negative duration and its error, and stages
+// skipped by fail-fast do not fire it at all.
+func TestOnStageDone(t *testing.T) {
+	g := New()
+	boom := errors.New("boom")
+	g.MustAdd("a", noop)
+	g.MustAdd("b", func(context.Context) error { return boom }, "a")
+	g.MustAdd("c", noop, "b") // never runs: b fails first
+
+	var mu sync.Mutex
+	got := map[string]error{}
+	err := g.Run(context.Background(), Options{
+		Workers: 1,
+		OnStageDone: func(name string, took time.Duration, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := got[name]; dup {
+				t.Errorf("stage %s fired OnStageDone twice", name)
+			}
+			if took < 0 {
+				t.Errorf("stage %s reported negative duration %v", name, took)
+			}
+			got[name] = err
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if len(got) != 2 {
+		t.Fatalf("OnStageDone fired for %v, want exactly a and b", got)
+	}
+	if got["a"] != nil {
+		t.Errorf("stage a reported error %v, want nil", got["a"])
+	}
+	if !errors.Is(got["b"], boom) {
+		t.Errorf("stage b reported error %v, want %v", got["b"], boom)
+	}
+	if _, ok := got["c"]; ok {
+		t.Error("skipped stage c fired OnStageDone")
+	}
+}
+
+// TestDependencies pins the graph introspection the provenance layer
+// publishes: every stage with a defensive copy of its declared deps.
+func TestDependencies(t *testing.T) {
+	g := New()
+	g.MustAdd("a", noop)
+	g.MustAdd("b", noop, "a")
+	g.MustAdd("c", noop, "a", "b")
+
+	deps := g.Dependencies()
+	if len(deps) != 3 {
+		t.Fatalf("Dependencies has %d entries, want 3", len(deps))
+	}
+	if len(deps["a"]) != 0 {
+		t.Errorf("a deps = %v, want none", deps["a"])
+	}
+	if len(deps["b"]) != 1 || deps["b"][0] != "a" {
+		t.Errorf("b deps = %v, want [a]", deps["b"])
+	}
+	if len(deps["c"]) != 2 {
+		t.Errorf("c deps = %v, want [a b]", deps["c"])
+	}
+
+	// Mutating the returned slices must not corrupt the graph.
+	deps["c"][0] = "mutated"
+	if again := g.Dependencies(); again["c"][0] != "a" {
+		t.Error("Dependencies returned a live reference to internal state")
+	}
+}

@@ -220,13 +220,16 @@ func siteCookieName(s *Site, i int) string {
 	return fmt.Sprintf("pref%d_%x", i, fnvHash(s.Host)&0xfff)
 }
 
-// serviceUID returns the service's main visitor identifier: the value of
-// its primary cookie, reused when the visitor already carries it.
+// serviceUID returns the service's main visitor identifier: the ID
+// portion of its primary cookie. The stored cookie wraps this same value
+// in padding or IP/geo payload (see mainCookieValue), so recomputing it
+// from the uid store is identity-preserving — and, unlike echoing the
+// cookie the visitor happens to carry, independent of jar state. That
+// matters for determinism: concurrent site visits share the session jar,
+// so whether a request already carries the cookie is a scheduling race,
+// and the uid is templated into script bodies whose bytes feed the run
+// manifest digests.
 func (e *Ecosystem) serviceUID(svc *Service, req Request) string {
-	name := cookieNameFor(svc, 0)
-	if v := req.Cookies[name]; v != "" {
-		return v
-	}
 	return e.uids.get("svc:"+svc.Host, idPortionLen(svc))
 }
 

@@ -26,16 +26,16 @@ import (
 const equivScale = 0.02
 
 // runPipeline executes the complete study once and renders the full
-// report. Crawl Workers is pinned to 1: first-contact Set-Cookie
-// attribution and cookie-sync event ordering depend on intra-crawl visit
-// order, so cross-schedule equivalence is only defined for a
-// deterministic visit sequence. Stage-level concurrency (what this
-// harness exercises) is orthogonal to that knob.
+// report. Crawl Workers is deliberately concurrent: per-visit cookie
+// jars and order-independent analyses make results insensitive to
+// intra-crawl visit order, so equivalence must hold even when page
+// visits within a stage interleave freely (this harness used to pin
+// Workers to 1 before visit-order independence was established).
 func runPipeline(t *testing.T, serial bool, stageWorkers int) (*core.Results, []byte) {
 	t.Helper()
 	st, err := core.NewStudy(core.Config{
 		Params:       webgen.Params{Seed: 2019, Scale: equivScale},
-		Workers:      1,
+		Workers:      8,
 		StageWorkers: stageWorkers,
 		Serial:       serial,
 		Timeout:      20 * time.Second,
