@@ -3,9 +3,9 @@ STATICCHECK_VERSION ?= 2023.1.7
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-json fuzz staticcheck determinism ci
+.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism ci
 
-all: vet test
+all: vet lint test
 
 build:
 	$(GO) build ./...
@@ -33,21 +33,41 @@ bench-json:
 		-count=3 ./internal/obs/ ./internal/provenance/ \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@cat BENCH_obs.json
+	$(GO) test -run '^$$' -bench 'BenchmarkLintModule$$' -benchtime=1x -count=3 ./internal/lint/ \
+		| $(GO) run ./cmd/benchjson > BENCH_lint.json
+	@cat BENCH_lint.json
 
 # fuzz gives each native fuzz target a short budget; failing inputs land
 # in testdata/fuzz/ and then fail `make test` forever after.
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/blocklist/
 	$(GO) test -run '^$$' -fuzz 'FuzzClassify' -fuzztime $(FUZZTIME) ./internal/domain/
+	$(GO) test -run '^$$' -fuzz 'FuzzSuppression' -fuzztime $(FUZZTIME) ./internal/lint/
 
-# staticcheck runs via `go run` so nothing is installed into the module;
-# if the tool cannot be fetched (offline CI, no module proxy) the target
-# notes the skip and succeeds — real findings still fail the build.
+# lint runs studylint, the repo's first-party analyzer suite
+# (internal/lint): stdlib-only, no module downloads, so unlike
+# staticcheck it is an always-on gate even in offline CI. Exits
+# nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/studylint
+
+# staticcheck runs via `go run` so nothing is installed into the module.
+# The probe distinguishes "cannot fetch the tool" (offline CI, no module
+# proxy — skip with a note) from "tool ran and failed" (version or
+# toolchain mismatch — fail the build): only download/connectivity
+# errors are skippable, everything else surfaces. Real findings still
+# fail the build via the second invocation.
 staticcheck:
-	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+	@probe=$$($(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version 2>&1); \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then \
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	elif echo "$$probe" | grep -qiE 'dial tcp|proxyconnect|connection refused|i/o timeout|no such host|TLS handshake|could not download|connection reset|unrecognized import path|server misbehaving|404 Not Found|410 Gone'; then \
+		echo "staticcheck: cannot fetch tool (offline?); skipping"; \
 	else \
-		echo "staticcheck: tool unavailable (offline?); skipping"; \
+		echo "staticcheck: probe failed (not a fetch error):" >&2; \
+		echo "$$probe" >&2; \
+		exit $$status; \
 	fi
 
 # determinism runs the seeded study twice and requires the two run
@@ -61,7 +81,7 @@ determinism:
 	$(GO) run ./cmd/studydiff .provgate/a .provgate/b
 	rm -rf .provgate
 
-# ci is the full gate: vet, the test suite, the race detector, a short
-# fuzz pass, the run-manifest determinism gate, and staticcheck when the
-# environment can reach it.
-ci: vet test race fuzz determinism staticcheck
+# ci is the full gate: vet, studylint (always-on, offline-safe), the
+# test suite, the race detector, a short fuzz pass, the run-manifest
+# determinism gate, and staticcheck when the environment can reach it.
+ci: vet lint test race fuzz determinism staticcheck

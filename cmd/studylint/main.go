@@ -1,0 +1,99 @@
+// Command studylint runs the repo's first-party analyzer suite
+// (internal/lint) over every package in the module and exits nonzero
+// on any unsuppressed finding. It is built on go/parser + go/ast +
+// go/types with the source importer only — no x/tools, no module
+// downloads — so `make lint` is an always-on CI gate even fully
+// offline, unlike the network-gated staticcheck target.
+//
+// Usage:
+//
+//	studylint [-root dir] [-json] [-list]
+//
+// Findings print deterministically sorted by file:line:col, one per
+// line (or as a JSON array with -json). Suppress a finding with a
+// written reason on the offending line or the line above:
+//
+//	//studylint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pornweb/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod upward from cwd)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list analyzers and the invariants they guard, then exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatal(err)
+	}
+	findings := lint.Run(lint.DefaultConfig(), pkgs)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := lint.WriteText(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "studylint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to the
+// nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("studylint: no go.mod found upward from the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "studylint:", err)
+	os.Exit(2)
+}

@@ -244,7 +244,16 @@ func (st *Study) AnalyzePolicies(visits map[string]*browser.InteractiveVisit, to
 	var res PolicyResult
 	var texts []string
 	analyses := map[string]consent.PolicyAnalysis{}
-	for host, iv := range visits {
+	// Iterate hosts sorted: texts feeds the similarity corpus, and the
+	// corpus's mean accumulates in document order — float addition must
+	// not follow map iteration order.
+	hosts := make([]string, 0, len(visits))
+	for host := range visits {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
+	for _, host := range hosts {
+		iv := visits[host]
 		if !iv.OK {
 			continue
 		}

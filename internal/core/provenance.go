@@ -325,7 +325,7 @@ func (st *Study) BuildManifest(res *Results) (*provenance.Manifest, error) {
 func (st *Study) buildRunInfo(start time.Time) *provenance.RunInfo {
 	ri := &provenance.RunInfo{
 		StartedAt:    start.UTC(),
-		WallMS:       float64(time.Since(start).Microseconds()) / 1000,
+		WallMS:       float64(st.clock().Sub(start).Microseconds()) / 1000,
 		Serial:       st.Cfg.Serial,
 		StageWorkers: st.Cfg.StageWorkers,
 	}

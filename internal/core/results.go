@@ -95,7 +95,7 @@ func (st *Study) SyncEdgeThreshold() int {
 // in Results so schedule-equivalence comparisons stay byte-exact.
 func (st *Study) Run(ctx context.Context) (*Results, error) {
 	st.prov.Reset()
-	start := time.Now()
+	start := st.clock()
 	var (
 		res *Results
 		err error

@@ -139,6 +139,11 @@ type Study struct {
 
 	prov  *provenance.Recorder
 	admin *obs.AdminServer
+	// clock is the study's injected time source (wall-clock reads are
+	// banned in this package by studylint's wallclock analyzer so the
+	// deterministic manifest can never grow a timing dependency); it
+	// only feeds the volatile runinfo.json sidecar and stage metrics.
+	clock func() time.Time
 }
 
 // NewStudy generates the ecosystem and starts its server.
@@ -181,6 +186,7 @@ func NewStudy(cfg Config) (*Study, error) {
 		Tracer:   tracer,
 		Log:      logger,
 		prov:     provenance.NewRecorder(),
+		clock:    time.Now,
 	}
 	if !cfg.FlightOff {
 		st.Flight = obs.NewFlightRecorder(cfg.FlightBuffer, cfg.FlightSample, cfg.FlightSink)
@@ -203,7 +209,9 @@ func (st *Study) AdminAddr() string { return st.admin.Addr() }
 
 // Close shuts the server (and the admin listener, if any) down.
 func (st *Study) Close() {
-	st.admin.Close()
+	if err := st.admin.Close(); err != nil {
+		st.Log.Event(obs.LevelWarn, "admin listener close failed", "err", err.Error())
+	}
 	st.Srv.Close()
 }
 
@@ -229,9 +237,9 @@ func (st *Study) session(country, phase string) (*crawler.Session, error) {
 func (st *Study) stage(ctx context.Context, name string) (context.Context, func()) {
 	ctx, span := st.Tracer.Start(ctx, "stage/"+name)
 	h := st.Metrics.Histogram("study_stage_seconds", obs.StageBuckets, "stage", name)
-	start := time.Now()
+	start := st.clock()
 	return ctx, func() {
-		d := time.Since(start)
+		d := st.clock().Sub(start)
 		h.Observe(d.Seconds())
 		span.End()
 		st.prov.RecordTiming(name, d)

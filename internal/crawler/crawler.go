@@ -584,6 +584,7 @@ func (s *Session) doAttempt(ctx context.Context, rawURL, siteHost string, initia
 	// cookie jar while sharing the pooled transport.
 	client := *s.client
 	client.Jar = s.jarFor(siteHost)
+	//studylint:ignore rawhttp doAttempt is the single sanctioned transport call: it only ever runs under visit()'s resilience retry/breaker/budget loop, so this Do IS the routed path
 	resp, err := client.Do(req)
 	s.met.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
@@ -628,7 +629,9 @@ func (s *Session) doAttempt(ctx context.Context, rawURL, siteHost string, initia
 		}
 	}
 	if att.redirectTo != "" {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		// Best-effort drain so the pooled connection is reusable; a read
+		// error here only costs connection reuse, never the redirect hop.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 		return rec, att, nil
 	}

@@ -1,0 +1,23 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintModule times one full-module studylint pass — load,
+// parse, type-check (stdlib from GOROOT source), and run all five
+// analyzers — so the cost of the always-on `make lint` CI gate stays
+// visible in BENCH_lint.json.
+func BenchmarkLintModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader("../..")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.LoadModule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := Run(DefaultConfig(), pkgs); len(findings) != 0 {
+			b.Fatalf("tree not clean: %d findings", len(findings))
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRange flags range statements over maps, inside the deterministic
+// packages, whose bodies record output in iteration order: appending
+// to a slice that is never sorted afterwards, writing to a
+// builder/buffer/io.Writer, or first-wins guarded stores into another
+// map. This is the exact shape of the PR 3 certByBase bug, where the
+// base-domain attribution winner depended on map iteration order and
+// Figure 3 flipped run to run. The sanctioned idiom — collect keys,
+// sort, range the sorted slice — is not flagged: the collecting append
+// is exempt when the slice reaches a sort call in the same function.
+func DetRange() *Analyzer {
+	return &Analyzer{
+		Name: "detrange",
+		Doc:  "no order-dependent output from map iteration in deterministic packages",
+		Applies: func(cfg *Config, pkgPath string) bool {
+			return inClass(pkgPath, cfg.Deterministic)
+		},
+		Run: runDetRange,
+	}
+}
+
+func runDetRange(cfg *Config, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedExprs(pkg, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !pkg.isMapType(rs.X) {
+					return true
+				}
+				mapName := types.ExprString(rs.X)
+				out = append(out, mapRangeSinks(pkg, rs, mapName, sorted)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// sortedExprs collects the rendered argument expressions of every
+// sort.* / slices.Sort* call in the function body; appends into these
+// targets are the sanctioned collect-then-sort idiom.
+func sortedExprs(pkg *Package, body *ast.BlockStmt) map[string]bool {
+	sorted := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pkg.calleeOf(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			default:
+				return true
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sort", "SortFunc", "SortStableFunc":
+			default:
+				return true
+			}
+		default:
+			return true
+		}
+		if len(call.Args) > 0 {
+			sorted[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// mapRangeSinks walks one map-range body for order-dependent sinks.
+func mapRangeSinks(pkg *Package, rs *ast.RangeStmt, mapName string, sorted map[string]bool) []Finding {
+	var out []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs && pkg.isMapType(n.X) {
+				// Nested map range reports on its own.
+				return false
+			}
+		case *ast.AssignStmt:
+			// target = append(target, ...) — ordered accumulation unless
+			// the slice is sorted later in the same function.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !pkg.isAppendCall(call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := types.ExprString(n.Lhs[i])
+				if sorted[target] {
+					continue
+				}
+				out = append(out, pkg.finding("detrange", n.Pos(),
+					"appends to %s while ranging over map %s and never sorts it; iterate sorted keys or sort the result",
+					target, mapName))
+			}
+		case *ast.IfStmt:
+			if f, ok := guardedMapStore(pkg, n, mapName); ok {
+				out = append(out, f)
+			}
+		case *ast.CallExpr:
+			if f, ok := orderedWriteCall(pkg, n, mapName); ok {
+				out = append(out, f)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardedMapStore detects the first-wins pattern inside a map range:
+//
+//	if _, ok := dst[k]; !ok { dst[k] = v }
+//
+// Whichever iteration reaches k first wins, so the stored value
+// depends on map order (the certByBase bug). Stores of constants are
+// exempt — any iteration order stores the same thing.
+func guardedMapStore(pkg *Package, ifs *ast.IfStmt, mapName string) (Finding, bool) {
+	init, ok := ifs.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 2 || len(init.Rhs) != 1 {
+		return Finding{}, false
+	}
+	idx, ok := ast.Unparen(init.Rhs[0]).(*ast.IndexExpr)
+	if !ok || !pkg.isMapType(idx.X) {
+		return Finding{}, false
+	}
+	guarded := types.ExprString(idx.X)
+	var found *Finding
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found != nil {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			st, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok || types.ExprString(st.X) != guarded {
+				continue
+			}
+			if i < len(as.Rhs) && isConstExpr(pkg, as.Rhs[i]) {
+				continue
+			}
+			f := pkg.finding("detrange", as.Pos(),
+				"first-wins store into %s while ranging over map %s: the winner depends on map iteration order (the certByBase bug); iterate sorted keys",
+				guarded, mapName)
+			found = &f
+		}
+		return true
+	})
+	if found == nil {
+		return Finding{}, false
+	}
+	return *found, true
+}
+
+// isConstExpr reports whether the checker evaluated expr to a
+// constant.
+func isConstExpr(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// orderedWriteCall flags calls that serialize output in iteration
+// order: fmt.Fprint* to any writer, and Write/WriteString-shaped
+// methods (builders, buffers, hashes, io.Writer implementations).
+// Order-independent accumulators like the provenance multiset hash
+// expose Add, not Write, precisely so they stay legal inside map
+// ranges.
+func orderedWriteCall(pkg *Package, call *ast.CallExpr, mapName string) (Finding, bool) {
+	fn := pkg.calleeOf(call)
+	if fn == nil {
+		return Finding{}, false
+	}
+	if isPkgFunc(fn, "fmt", "Fprint", "Fprintf", "Fprintln") {
+		return pkg.finding("detrange", call.Pos(),
+			"writes output via fmt.%s while ranging over map %s; iterate sorted keys", fn.Name(), mapName), true
+	}
+	named := recvNamed(fn)
+	if named == nil {
+		return Finding{}, false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return pkg.finding("detrange", call.Pos(),
+			"writes to %s.%s while ranging over map %s; iterate sorted keys",
+			named.Obj().Name(), fn.Name(), mapName), true
+	}
+	return Finding{}, false
+}

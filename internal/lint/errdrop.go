@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ErrDrop flags calls to the configured must-check functions whose
+// error result is silently discarded — a bare expression statement or
+// a bare defer — in core and crawler. A dropped error from a manifest
+// write or an export flush turns a failed run into a quietly
+// incomplete one; the provenance gate then diffs two manifests that
+// were never fully written. Explicitly assigning to blank (`_ = f()`)
+// is an acknowledged drop and is not flagged.
+func ErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "error returns from must-check functions are never silently discarded in core/crawler",
+		Applies: func(cfg *Config, pkgPath string) bool {
+			return inClass(pkgPath, cfg.ErrdropPkgs)
+		},
+		Run: runErrDrop,
+	}
+}
+
+func runErrDrop(cfg *Config, pkg *Package) []Finding {
+	must := map[string]bool{}
+	for _, name := range cfg.MustCheck {
+		must[name] = true
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := pkg.calleeOf(call)
+			if fn == nil || !returnsError(fn) {
+				return true
+			}
+			if !must[fn.FullName()] {
+				return true
+			}
+			out = append(out, pkg.finding("errdrop", call.Pos(),
+				"error result of %s is discarded; handle it or acknowledge the drop with an explicit blank assignment",
+				fn.FullName()))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSuppression hammers the //studylint:ignore comment parser with
+// arbitrary comment text. The parser sits on every comment of every
+// file the driver loads, so it must never panic and must uphold its
+// grammar invariants: a well-formed parse always carries at least one
+// non-empty analyzer token and a non-empty trimmed reason, and text
+// that does not start with the directive prefix is never treated as a
+// directive.
+func FuzzSuppression(f *testing.F) {
+	seeds := []string{
+		"// plain comment",
+		"//studylint:ignore detrange keys sorted upstream",
+		"//studylint:ignore rawhttp routed through the resilience loop",
+		"// studylint:ignore wallclock injected clock wired in NewStudy",
+		"//studylint:ignore detrange,wallclock,errdrop generated code",
+		"//studylint:ignore * vendored fixture",
+		"//studylint:ignore",
+		"//studylint:ignore detrange",
+		"//studylint:ignore ,,, odd commas",
+		"//studylint:ignoreX glued suffix",
+		"//\t\tstudylint:ignore errdrop \t tabs everywhere \t",
+		"//studylint:ignore detrange reason with //studylint:ignore inside",
+		"/* block */",
+		"//studylint:ignore \x00 binary",
+		"//studylint:ignore détrange unicode name",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, malformed, ok := ParseSuppression(text)
+		if !ok {
+			if malformed != "" {
+				t.Fatalf("not-a-directive must not be malformed: %q -> %q", text, malformed)
+			}
+			return
+		}
+		if malformed != "" {
+			// Malformed directives carry no usable suppression.
+			return
+		}
+		if len(s.Analyzers) == 0 {
+			t.Fatalf("ok parse with no analyzers: %q", text)
+		}
+		for _, a := range s.Analyzers {
+			if a == "" {
+				t.Fatalf("empty analyzer token from %q", text)
+			}
+			if a != strings.ToLower(a) {
+				t.Fatalf("analyzer %q not lower-cased from %q", a, text)
+			}
+			if strings.ContainsAny(a, " \t\n,") {
+				t.Fatalf("analyzer token %q contains separators from %q", a, text)
+			}
+		}
+		if s.Reason == "" || s.Reason != strings.TrimSpace(s.Reason) {
+			t.Fatalf("reason %q not trimmed/non-empty from %q", s.Reason, text)
+		}
+		if utf8.ValidString(text) {
+			// Parsing is stable: the same text parses the same way twice.
+			s2, m2, ok2 := ParseSuppression(text)
+			if !ok2 || m2 != "" || strings.Join(s2.Analyzers, ",") != strings.Join(s.Analyzers, ",") || s2.Reason != s.Reason {
+				t.Fatalf("unstable parse of %q", text)
+			}
+		}
+	})
+}

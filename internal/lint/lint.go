@@ -1,0 +1,247 @@
+// Package lint is studylint's engine: a stdlib-only static-analysis
+// driver (go/parser + go/ast + go/types, no x/tools) that loads every
+// package in the module and enforces the pipeline's determinism,
+// resilience, and observability invariants at review time instead of
+// run time. Each analyzer guards an invariant a past PR shipped — and,
+// in two cases, a bug class a past PR shipped first:
+//
+//   - detrange: no order-dependent output from ranging a map in the
+//     deterministic packages (the PR 3 certByBase bug class — Figure 3
+//     flipped run to run on map iteration order).
+//   - wallclock: no ambient time or global math/rand in manifest- and
+//     digest-feeding packages; clocks and seeds must be injected.
+//   - rawhttp: crawl-path packages route network I/O through the
+//     internal/resilience retry/breaker contract, never raw net/http.
+//   - metricnames: metric registrations use constant snake_case names
+//     with the _total/_seconds suffix conventions the dashboards key on.
+//   - errdrop: error returns from a configured must-check list are
+//     never silently discarded in core/crawler.
+//
+// Findings can be suppressed with a written reason:
+//
+//	//studylint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the offending line or the line directly above it. A suppression
+// without a reason is itself a finding. Everything here must stay
+// dependency-free so `make lint` runs in offline CI unconditionally.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit, addressable by file:line.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative path
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker. Run is called once per loaded
+// package for which Applies reports true.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description of the guarded invariant.
+	Doc string
+	// Applies reports whether the analyzer runs on the package with the
+	// given import path. Nil means every package.
+	Applies func(cfg *Config, pkgPath string) bool
+	Run     func(cfg *Config, pkg *Package) []Finding
+}
+
+// Config names the package classes and must-check functions the
+// analyzers key on. Paths are module-root-relative import path
+// suffixes ("internal/core" matches "pornweb/internal/core"), so the
+// same config drives both the real module and test fixtures loaded
+// under fixture roots.
+type Config struct {
+	// Deterministic packages must not emit order-dependent output from
+	// map iteration (detrange).
+	Deterministic []string
+	// Wallclock packages feed manifests and digests and must not read
+	// ambient time or global math/rand (wallclock).
+	Wallclock []string
+	// CrawlPath packages must not perform raw net/http I/O (rawhttp).
+	CrawlPath []string
+	// MustCheck lists functions whose error result may never be
+	// discarded in core/crawler (errdrop), in types.Func.FullName form:
+	// "io.Copy", "(*encoding/json.Encoder).Encode".
+	MustCheck []string
+	// ErrdropPkgs is where errdrop applies.
+	ErrdropPkgs []string
+}
+
+// DefaultConfig is the repo's invariant map: which packages promise
+// what. Fixture tests reuse it so fixtures exercise the exact
+// production configuration.
+func DefaultConfig() *Config {
+	return &Config{
+		Deterministic: []string{
+			"internal/core",
+			"internal/provenance",
+			"internal/report",
+			"internal/attribution",
+			"internal/webgen",
+		},
+		Wallclock: []string{
+			"internal/core",
+			"internal/provenance",
+			"internal/report",
+			"internal/attribution",
+			"internal/webgen",
+		},
+		CrawlPath: []string{
+			"internal/crawler",
+			"internal/browser",
+			"internal/core",
+			"internal/vantage",
+		},
+		MustCheck: []string{
+			"io.Copy",
+			"os.WriteFile",
+			"os.MkdirAll",
+			"(*os.File).Close",
+			"(*bufio.Writer).Flush",
+			"(*encoding/json.Encoder).Encode",
+			"(*pornweb/internal/obs.AdminServer).Close",
+			"(*pornweb/internal/core.Study).WriteProvenance",
+			"(*pornweb/internal/provenance.Manifest).Write",
+			"(*pornweb/internal/provenance.RunInfo).Write",
+		},
+		ErrdropPkgs: []string{
+			"internal/core",
+			"internal/crawler",
+		},
+	}
+}
+
+// inClass reports whether pkgPath ends in one of the class suffixes.
+func inClass(pkgPath string, class []string) bool {
+	for _, suffix := range class {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetRange(),
+		WallClock(),
+		RawHTTP(),
+		MetricNames(),
+		ErrDrop(),
+	}
+}
+
+// AnalyzerNames returns the known analyzer names, sorted.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run applies the whole suite to the loaded packages, filters
+// suppressed findings, folds in malformed-suppression findings, and
+// returns the survivors deterministically sorted by file:line:col.
+// Two identical trees produce byte-identical output.
+func Run(cfg *Config, pkgs []*Package) []Finding {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup, bad := pkg.suppressions(known)
+		all = append(all, bad...)
+		for _, a := range Analyzers() {
+			if a.Applies != nil && !a.Applies(cfg, pkg.Path) {
+				continue
+			}
+			for _, f := range a.Run(cfg, pkg) {
+				if sup.covers(a.Name, f.Line, f.File) {
+					continue
+				}
+				all = append(all, f)
+			}
+		}
+	}
+	SortFindings(all)
+	return all
+}
+
+// SortFindings orders findings by file, line, column, analyzer,
+// message — the deterministic output contract.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText renders findings one per line in file:line:col form.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders findings as a JSON array (never null).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}
+
+// position converts a token.Pos into a Finding-ready location using
+// the package's root-relative file naming.
+func (p *Package) position(pos token.Pos) (file string, line, col int) {
+	pp := p.Fset.Position(pos)
+	return p.relFile(pp.Filename), pp.Line, pp.Column
+}
+
+// finding builds a Finding at pos.
+func (p *Package) finding(analyzer string, pos token.Pos, format string, args ...any) Finding {
+	file, line, col := p.position(pos)
+	return Finding{
+		Analyzer: analyzer,
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// MetricNames enforces the observability naming contract on every
+// obs.Registry registration (Counter/Gauge/Histogram/Describe):
+// metric names and label keys must be constant snake_case strings,
+// counters end in _total, histograms end in _seconds, and gauges must
+// not masquerade as counters with a _total suffix. Dashboards, the
+// Prometheus exposition, and the EXPERIMENTS.md recipes all key on
+// these names; a dynamic or misspelled name is invisible until a
+// dashboard quietly reads zero.
+func MetricNames() *Analyzer {
+	return &Analyzer{
+		Name: "metricnames",
+		Doc:  "obs registrations use constant snake_case names with _total/_seconds suffix conventions",
+		Run:  runMetricNames,
+	}
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// obsRegistryPath is where the metrics registry lives; fixtures import
+// the real package so the same match works for them.
+const obsRegistryPath = "pornweb/internal/obs"
+
+func runMetricNames(cfg *Config, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkg.calleeOf(call)
+			if fn == nil || len(call.Args) == 0 {
+				return true
+			}
+			if !isMethodOn(fn, obsRegistryPath, "Registry", "Counter", "Gauge", "Histogram", "Describe") {
+				return true
+			}
+			kind := fn.Name()
+			name, isConst := pkg.constString(call.Args[0])
+			if !isConst {
+				out = append(out, pkg.finding("metricnames", call.Args[0].Pos(),
+					"metric name passed to Registry.%s must be a constant string", kind))
+				return true
+			}
+			out = append(out, checkMetricName(pkg, call, kind, name)...)
+			out = append(out, checkLabelKeys(pkg, call, kind)...)
+			return true
+		})
+	}
+	return out
+}
+
+// constString returns the constant string value of expr, if the
+// checker proved it constant.
+func (p *Package) constString(expr ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkMetricName validates one registered metric name against the
+// naming contract.
+func checkMetricName(pkg *Package, call *ast.CallExpr, kind, name string) []Finding {
+	var out []Finding
+	pos := call.Args[0].Pos()
+	if !snakeCase.MatchString(name) {
+		out = append(out, pkg.finding("metricnames", pos,
+			"metric name %q is not snake_case ([a-z0-9_], starting with a letter)", name))
+		return out // suffix checks on a malformed name just add noise
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(name, "_total") {
+			out = append(out, pkg.finding("metricnames", pos,
+				"counter %q must end in _total", name))
+		}
+	case "Histogram":
+		if !strings.HasSuffix(name, "_seconds") {
+			out = append(out, pkg.finding("metricnames", pos,
+				"histogram %q must end in _seconds", name))
+		}
+	case "Gauge":
+		if strings.HasSuffix(name, "_total") {
+			out = append(out, pkg.finding("metricnames", pos,
+				"gauge %q must not end in _total (that suffix promises a counter)", name))
+		}
+	}
+	return out
+}
+
+// checkLabelKeys validates the alternating key/value label arguments:
+// keys (the even positions) must be constant snake_case strings.
+// Calls that splat a slice (labels...) are skipped — the keys are not
+// statically known.
+func checkLabelKeys(pkg *Package, call *ast.CallExpr, kind string) []Finding {
+	if call.Ellipsis != token.NoPos {
+		return nil
+	}
+	first := 1 // labels start after the name...
+	if kind == "Histogram" {
+		first = 2 // ...and after the bucket slice for histograms
+	}
+	if kind == "Describe" {
+		return nil // second arg is help text, not labels
+	}
+	var out []Finding
+	for i := first; i < len(call.Args); i += 2 {
+		key, isConst := pkg.constString(call.Args[i])
+		if !isConst {
+			out = append(out, pkg.finding("metricnames", call.Args[i].Pos(),
+				"label key passed to Registry.%s must be a constant string", kind))
+			continue
+		}
+		if !snakeCase.MatchString(key) {
+			out = append(out, pkg.finding("metricnames", call.Args[i].Pos(),
+				"label key %q is not snake_case", key))
+		}
+	}
+	return out
+}

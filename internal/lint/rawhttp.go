@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawHTTP flags direct net/http I/O — http.Get/Post/Head/PostForm and
+// Client.Do/Get/Post/Head/PostForm — in crawl-path packages. PR 2's
+// contract is that every crawl request runs under the
+// internal/resilience retry/breaker/budget machinery; a raw call
+// bypasses retries, the per-host circuit breaker, the failure
+// taxonomy, and the metrics the robustness analysis aggregates, so
+// its failures silently vanish from the study. The one sanctioned
+// transport call (the crawler's doAttempt, which *is* the routed
+// path) carries a //studylint:ignore with its reason.
+func RawHTTP() *Analyzer {
+	return &Analyzer{
+		Name: "rawhttp",
+		Doc:  "crawl-path packages route network I/O through internal/resilience, never raw net/http",
+		Applies: func(cfg *Config, pkgPath string) bool {
+			return inClass(pkgPath, cfg.CrawlPath)
+		},
+		Run: runRawHTTP,
+	}
+}
+
+func runRawHTTP(cfg *Config, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkg.calleeOf(call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "net/http", "Get", "Post", "Head", "PostForm"):
+				out = append(out, pkg.finding("rawhttp", call.Pos(),
+					"calls http.%s on the crawl path; route the request through internal/resilience (retries, breaker, failure taxonomy)",
+					fn.Name()))
+			case isMethodOn(fn, "net/http", "Client", "Do", "Get", "Post", "Head", "PostForm"):
+				out = append(out, pkg.finding("rawhttp", call.Pos(),
+					"calls (*http.Client).%s on the crawl path; route the request through internal/resilience (retries, breaker, failure taxonomy)",
+					fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"strings"
+)
+
+// suppressPrefix starts every suppression comment. The full grammar:
+//
+//	//studylint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// <analyzer> is a known analyzer name or "*" for all; <reason> is
+// mandatory free text explaining why the invariant does not apply. A
+// suppression covers findings on its own line and on the line directly
+// below it.
+const suppressPrefix = "studylint:ignore"
+
+// Suppression is one parsed //studylint:ignore comment.
+type Suppression struct {
+	Analyzers []string // lower-case names, or ["*"]
+	Reason    string
+	Line      int // line the comment starts on
+}
+
+// ParseSuppression parses the text of a single comment (with or
+// without the leading "//"). ok is false when the comment is not a
+// studylint directive at all; malformed is non-empty when it is a
+// directive but violates the grammar (missing analyzer or reason).
+func ParseSuppression(text string) (s Suppression, malformed string, ok bool) {
+	body := strings.TrimPrefix(text, "//")
+	body = strings.TrimLeft(body, " \t")
+	if !strings.HasPrefix(body, suppressPrefix) {
+		return Suppression{}, "", false
+	}
+	rest := body[len(suppressPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. "studylint:ignoreX" — some other token, not a directive.
+		return Suppression{}, "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Suppression{}, "missing analyzer and reason", true
+	}
+	names := strings.Split(fields[0], ",")
+	var analyzers []string
+	for _, n := range names {
+		n = strings.TrimSpace(strings.ToLower(n))
+		if n == "" {
+			continue
+		}
+		analyzers = append(analyzers, n)
+	}
+	if len(analyzers) == 0 {
+		return Suppression{}, "missing analyzer name", true
+	}
+	if len(fields) < 2 {
+		return Suppression{Analyzers: analyzers}, "missing reason (suppressions must say why)", true
+	}
+	reason := strings.TrimSpace(strings.Join(fields[1:], " "))
+	return Suppression{Analyzers: analyzers, Reason: reason}, "", true
+}
+
+// suppressionIndex maps file -> line -> suppressions active there.
+type suppressionIndex map[string]map[int][]Suppression
+
+// covers reports whether a finding by analyzer at file:line is
+// suppressed: a valid directive sits on the same line or the line
+// directly above.
+func (idx suppressionIndex) covers(analyzer string, line int, file string) bool {
+	byLine := idx[file]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, s := range byLine[l] {
+			for _, a := range s.Analyzers {
+				if a == "*" || a == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// suppressions walks every comment in the package, indexing valid
+// directives and reporting malformed ones (missing reason, unknown
+// analyzer) as findings — a suppression that cannot say what it
+// suppresses or why is itself an invariant violation.
+func (p *Package) suppressions(known map[string]bool) (suppressionIndex, []Finding) {
+	idx := suppressionIndex{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				s, malformed, ok := ParseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				if malformed != "" {
+					bad = append(bad, p.finding("suppression", c.Pos(),
+						"malformed //studylint:ignore: %s", malformed))
+					continue
+				}
+				unknown := unknownAnalyzers(s.Analyzers, known)
+				if len(unknown) > 0 {
+					bad = append(bad, p.finding("suppression", c.Pos(),
+						"unknown analyzer %q in //studylint:ignore", strings.Join(unknown, ",")))
+					continue
+				}
+				fname, line, _ := p.position(c.Pos())
+				s.Line = line
+				byLine := idx[fname]
+				if byLine == nil {
+					byLine = map[int][]Suppression{}
+					idx[fname] = byLine
+				}
+				byLine[line] = append(byLine[line], s)
+			}
+		}
+	}
+	return idx, bad
+}
+
+func unknownAnalyzers(names []string, known map[string]bool) []string {
+	var out []string
+	for _, n := range names {
+		if n != "*" && !known[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		in        string
+		ok        bool
+		malformed bool
+		analyzers string
+		reason    string
+	}{
+		{"// regular comment", false, false, "", ""},
+		{"//studylint:ignoreX not a directive", false, false, "", ""},
+		{"//studylint:ignore detrange keys are sorted upstream", true, false, "detrange", "keys are sorted upstream"},
+		{"// studylint:ignore rawhttp routed through resilience", true, false, "rawhttp", "routed through resilience"},
+		{"//studylint:ignore detrange,wallclock generated code", true, false, "detrange,wallclock", "generated code"},
+		{"//studylint:ignore * vendored fixture", true, false, "*", "vendored fixture"},
+		{"//studylint:ignore", true, true, "", ""},
+		{"//studylint:ignore detrange", true, true, "", ""},
+		{"//studylint:ignore ,, reason here", true, true, "", ""},
+		{"//\tstudylint:ignore errdrop tab-indented reason", true, false, "errdrop", "tab-indented reason"},
+	}
+	for _, c := range cases {
+		s, malformed, ok := ParseSuppression(c.in)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if (malformed != "") != c.malformed {
+			t.Errorf("%q: malformed = %q, want malformed=%v", c.in, malformed, c.malformed)
+			continue
+		}
+		if !ok || malformed != "" {
+			continue
+		}
+		if got := strings.Join(s.Analyzers, ","); got != c.analyzers {
+			t.Errorf("%q: analyzers = %q, want %q", c.in, got, c.analyzers)
+		}
+		if s.Reason != c.reason {
+			t.Errorf("%q: reason = %q, want %q", c.in, s.Reason, c.reason)
+		}
+	}
+}
+
+func TestSuppressionCovers(t *testing.T) {
+	idx := suppressionIndex{
+		"a.go": {
+			10: []Suppression{{Analyzers: []string{"detrange"}, Reason: "r"}},
+			20: []Suppression{{Analyzers: []string{"*"}, Reason: "r"}},
+		},
+	}
+	for _, c := range []struct {
+		analyzer string
+		line     int
+		file     string
+		want     bool
+	}{
+		{"detrange", 10, "a.go", true},  // same line
+		{"detrange", 11, "a.go", true},  // line below
+		{"detrange", 12, "a.go", false}, // two below: out of reach
+		{"detrange", 9, "a.go", false},  // above
+		{"wallclock", 10, "a.go", false},
+		{"wallclock", 21, "a.go", true}, // wildcard
+		{"detrange", 10, "b.go", false}, // other file
+	} {
+		if got := idx.covers(c.analyzer, c.line, c.file); got != c.want {
+			t.Errorf("covers(%s, %d, %s) = %v, want %v", c.analyzer, c.line, c.file, got, c.want)
+		}
+	}
+}

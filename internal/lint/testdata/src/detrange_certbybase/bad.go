@@ -1,0 +1,39 @@
+// Fixture: byte-for-byte the shape of the PR 3 certByBase bug. The
+// certificate-organization index is built by ranging the CertOrgs map
+// with a first-wins guard, so when several observed hosts share a
+// registrable base the winning organization depends on map iteration
+// order — Figure 3 flipped run to run until PR 3 rebuilt the index
+// over sorted hosts. detrange must flag the guarded store.
+package attribution
+
+type Attributor struct {
+	CertOrgs   map[string]string
+	certByBase map[string]string
+}
+
+func (a *Attributor) index() map[string]string {
+	if a.certByBase != nil {
+		return a.certByBase
+	}
+	a.certByBase = make(map[string]string, len(a.CertOrgs))
+	for h, org := range a.CertOrgs {
+		if org == "" {
+			continue
+		}
+		base := baseOf(h)
+		if _, ok := a.certByBase[base]; !ok {
+			a.certByBase[base] = org
+		}
+	}
+	return a.certByBase
+}
+
+// baseOf stands in for domain.Base: many hosts map to one base.
+func baseOf(host string) string {
+	for i := 0; i < len(host); i++ {
+		if host[i] == '.' {
+			return host[i+1:]
+		}
+	}
+	return host
+}

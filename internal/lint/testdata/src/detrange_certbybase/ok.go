@@ -1,0 +1,28 @@
+// The PR 3 fix: collect hosts, sort them, then build the index
+// first-wins over the sorted slice. The collecting append is the
+// sanctioned idiom (the slice reaches sort.Strings in the same
+// function) and the guarded store now ranges a slice, not a map —
+// detrange must stay silent on this file.
+package attribution
+
+import "sort"
+
+func (a *Attributor) indexSorted() map[string]string {
+	index := make(map[string]string, len(a.CertOrgs))
+	hosts := make([]string, 0, len(a.CertOrgs))
+	for h := range a.CertOrgs {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		org := a.CertOrgs[h]
+		if org == "" {
+			continue
+		}
+		base := baseOf(h)
+		if _, ok := index[base]; !ok {
+			index[base] = org
+		}
+	}
+	return index
+}

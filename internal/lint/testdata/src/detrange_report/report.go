@@ -1,0 +1,43 @@
+// Fixture: report-layer shapes of the detrange bug class — rendering
+// table rows straight out of a map walk. The builder write and the
+// fmt.Fprintf row emit in map iteration order, so the report text
+// (and the per-figure digests fed from it) change run to run. The
+// sorted variant is the sanctioned idiom and must not be flagged.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderCounts is the buggy shape: rows appear in map order.
+func RenderCounts(counts map[string]int) string {
+	var b strings.Builder
+	for name, n := range counts {
+		b.WriteString(fmt.Sprintf("%s %d\n", name, n))
+	}
+	return b.String()
+}
+
+// WriteCounts is the same bug through an io.Writer.
+func WriteCounts(w io.Writer, counts map[string]int) {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s %d\n", name, n)
+	}
+}
+
+// RenderCountsSorted is the fix: collect, sort, then render.
+func RenderCountsSorted(counts map[string]int) string {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(fmt.Sprintf("%s %d\n", name, counts[name]))
+	}
+	return b.String()
+}

@@ -1,0 +1,32 @@
+// Fixture: silently discarded error returns from the must-check list
+// in a core-class package. A dropped export flush or manifest write
+// turns a failed run into a quietly incomplete one. Handled returns
+// and explicit blank assignments are acknowledged and stay silent.
+package core
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// Export drops two must-check errors.
+func Export(dst io.Writer, src io.Reader, f *os.File) {
+	bw := bufio.NewWriter(dst)
+	io.Copy(bw, src)  // dropped: the copy can fail mid-stream
+	defer f.Close()   // dropped: close reports the final flush error
+	bw.Flush()        // dropped: buffered bytes can vanish
+}
+
+// ExportChecked handles or acknowledges every error; no findings.
+func ExportChecked(dst io.Writer, src io.Reader, f *os.File) error {
+	bw := bufio.NewWriter(dst)
+	if _, err := io.Copy(bw, src); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	_ = f.Close() // acknowledged drop
+	return nil
+}

@@ -1,0 +1,32 @@
+// Fixture: every way a metric registration can break the naming
+// contract the dashboards key on — dynamic names, camelCase, missing
+// _total/_seconds suffixes, a gauge masquerading as a counter, and a
+// non-constant label key. The good registrations at the bottom must
+// stay silent. Imports the real obs registry so the receiver match is
+// exercised against production types.
+package crawler
+
+import "pornweb/internal/obs"
+
+func register(reg *obs.Registry, country string) {
+	// Dynamic name: invisible to dashboards until they read zero.
+	reg.Counter("crawler_" + country + "_requests_total")
+	// Not snake_case.
+	reg.Counter("crawlerRequestsTotal")
+	// Counter without _total.
+	reg.Counter("crawler_requests")
+	// Histogram without _seconds.
+	reg.Histogram("crawler_latency", nil)
+	// Gauge pretending to be a counter.
+	reg.Gauge("crawler_breakers_total")
+	// Non-constant label key.
+	reg.Counter("crawler_requests_total", country, "ES")
+	// Label key not snake_case.
+	reg.Counter("crawler_requests_total", "Country", "ES")
+
+	// The contract, satisfied: none of these are findings.
+	reg.Counter("crawler_requests_total", "country", "ES")
+	reg.Histogram("crawler_request_seconds", nil, "country", "ES")
+	reg.Gauge("crawler_breakers_open")
+	reg.Describe("crawler_requests_total", "requests by country")
+}

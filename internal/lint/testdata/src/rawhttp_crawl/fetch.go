@@ -1,0 +1,25 @@
+// Fixture: raw net/http on the crawl path — the PR 2 contract
+// violation. A bare http.Get or Client.Do bypasses retries, the
+// per-host circuit breaker, the failure taxonomy, and the robustness
+// metrics, so its failures vanish from the study. The suppressed call
+// models the crawler's one sanctioned transport site.
+package crawler
+
+import "net/http"
+
+// FetchNaive is the classic violation.
+func FetchNaive(url string) (*http.Response, error) {
+	return http.Get(url)
+}
+
+// FetchClient is the same violation through a client value.
+func FetchClient(c *http.Client, req *http.Request) (*http.Response, error) {
+	return c.Do(req)
+}
+
+// FetchSanctioned models the routed path: the suppression carries the
+// written reason the invariant does not apply here.
+func FetchSanctioned(c *http.Client, req *http.Request) (*http.Response, error) {
+	//studylint:ignore rawhttp fixture model of the crawler's single sanctioned transport call under the resilience loop
+	return c.Do(req)
+}

@@ -1,0 +1,11 @@
+// Fixture: the same raw http.Get, but in a package that is not on the
+// crawl path — rawhttp's Applies gate must keep it silent (and this
+// package is not in detrange/wallclock scope either, so the fixture
+// pins the package-classing logic, not just the AST matching).
+package tools
+
+import "net/http"
+
+func Fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}

@@ -1,0 +1,31 @@
+// Fixture: the suppression grammar itself. A directive that cannot
+// say what it suppresses or why is an invariant violation in its own
+// right; a well-formed one with a reason silences exactly its line
+// and the line below.
+package provenance
+
+import "time"
+
+// Missing reason: a suppression must say why.
+//studylint:ignore wallclock
+func stampNoReason() time.Time {
+	return time.Now()
+}
+
+// Unknown analyzer name.
+//studylint:ignore clockwall typo in the analyzer name
+func stampUnknown() time.Time {
+	return time.Now()
+}
+
+// Missing analyzer and reason entirely.
+//studylint:ignore
+func stampBare() time.Time {
+	return time.Now()
+}
+
+// Well-formed: suppresses the finding on the next line only.
+func stampSanctioned() time.Time {
+	//studylint:ignore wallclock fixture exercises a valid suppression with a reason
+	return time.Now()
+}

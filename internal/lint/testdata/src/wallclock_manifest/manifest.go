@@ -1,0 +1,47 @@
+// Fixture: wall-clock and global-randomness reads in a manifest-
+// feeding package. A stray time.Now or unseeded random draw here
+// silently breaks the byte-identical-manifest promise for whatever
+// field it feeds. The sanctioned patterns — taking time.Now as an
+// injected clock *value* and drawing from a seeded *rand.Rand — must
+// stay legal.
+package provenance
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Recorder struct {
+	clock func() time.Time
+	rng   *rand.Rand
+}
+
+// NewRecorder wires the sanctioned injection points: time.Now as a
+// value (not a call) and a seeded source. Neither is a finding.
+func NewRecorder(seed int64) *Recorder {
+	return &Recorder{
+		clock: time.Now,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Stamp is the bug: an ambient clock read feeding a manifest field.
+func (r *Recorder) Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed doubles down with time.Since.
+func (r *Recorder) Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// SampleID draws from the process-global math/rand source, so two
+// runs with the same seed mint different IDs.
+func (r *Recorder) SampleID() int {
+	return rand.Intn(1 << 20)
+}
+
+// SeededID is the sanctioned draw and must not be flagged.
+func (r *Recorder) SeededID() int {
+	return r.rng.Intn(1 << 20)
+}

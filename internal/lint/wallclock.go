@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags ambient time reads (time.Now / time.Since /
+// time.Until) and global math/rand use inside the manifest- and
+// digest-feeding packages. Run manifests promise byte-identical output
+// for a fixed seed at any worker count; one stray wall-clock read or
+// unseeded random draw in those packages silently breaks that promise
+// for whichever field it feeds. The sanctioned patterns are injection:
+// taking time.Now as a *value* into a clock field (`clock: time.Now`)
+// is legal — calling it inline is not — and randomness must flow from
+// a seeded *rand.Rand (rand.New(rand.NewSource(seed))), never the
+// process-global source.
+func WallClock() *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "no ambient time or global math/rand in manifest- and digest-feeding packages",
+		Applies: func(cfg *Config, pkgPath string) bool {
+			return inClass(pkgPath, cfg.Wallclock)
+		},
+		Run: runWallClock,
+	}
+}
+
+func runWallClock(cfg *Config, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkg.calleeOf(call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "time", "Now", "Since", "Until"):
+				out = append(out, pkg.finding("wallclock", call.Pos(),
+					"calls time.%s in a digest-feeding package; route through an injected clock (assign time.Now to a clock field instead)",
+					fn.Name()))
+			case isGlobalRand(pkg, fn):
+				out = append(out, pkg.finding("wallclock", call.Pos(),
+					"uses the global math/rand source (rand.%s); draw from a seeded *rand.Rand so runs are reproducible",
+					fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isGlobalRand reports whether fn is a math/rand (or math/rand/v2)
+// package-level function other than the seeded constructors — methods
+// on an injected *rand.Rand never match because they have receivers.
+func isGlobalRand(pkg *Package, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}

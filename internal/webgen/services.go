@@ -2,6 +2,7 @@ package webgen
 
 import (
 	"math/rand"
+	"sort"
 
 	"pornweb/internal/domain"
 )
@@ -460,7 +461,7 @@ func pickWeighted(rng *rand.Rand, weights map[string]float64) string {
 		keys = append(keys, k)
 	}
 	// Deterministic ordering for reproducibility.
-	sortStrings(keys)
+	sort.Strings(keys)
 	for _, k := range keys {
 		total += weights[k]
 	}
@@ -472,12 +473,4 @@ func pickWeighted(rng *rand.Rand, weights map[string]float64) string {
 		}
 	}
 	return keys[len(keys)-1]
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
