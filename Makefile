@@ -3,7 +3,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism ci
+.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism profile ci
 
 all: vet lint test
 
@@ -36,6 +36,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkLintModule$$' -benchtime=1x -count=3 ./internal/lint/ \
 		| $(GO) run ./cmd/benchjson > BENCH_lint.json
 	@cat BENCH_lint.json
+	$(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Scheduled|Profiled)$$' -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson > BENCH_prof.json
+	@cat BENCH_prof.json
 
 # fuzz gives each native fuzz target a short budget; failing inputs land
 # in testdata/fuzz/ and then fail `make test` forever after.
@@ -43,6 +46,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/blocklist/
 	$(GO) test -run '^$$' -fuzz 'FuzzClassify' -fuzztime $(FUZZTIME) ./internal/domain/
 	$(GO) test -run '^$$' -fuzz 'FuzzSuppression' -fuzztime $(FUZZTIME) ./internal/lint/
+	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/profparse/
 
 # lint runs studylint, the repo's first-party analyzer suite
 # (internal/lint): stdlib-only, no module downloads, so unlike
@@ -81,7 +85,15 @@ determinism:
 	$(GO) run ./cmd/studydiff .provgate/a .provgate/b
 	rm -rf .provgate
 
+# profile runs the seeded study under a CPU profile and requires at
+# least 90% of samples to be attributable to a named pipeline stage
+# (measured headroom: 97-99% at this scale). A drop below the floor
+# means a new goroutine family is running outside the stage labels.
+profile:
+	$(GO) run ./cmd/studyprof -scale 0.004 -seed 2019 -top 3 -min-attrib 0.9
+
 # ci is the full gate: vet, studylint (always-on, offline-safe), the
 # test suite, the race detector, a short fuzz pass, the run-manifest
-# determinism gate, and staticcheck when the environment can reach it.
-ci: vet lint test race fuzz determinism staticcheck
+# determinism gate, the profile-attribution gate, and staticcheck when
+# the environment can reach it.
+ci: vet lint test race fuzz determinism profile staticcheck

@@ -6,6 +6,10 @@
 // observability benchmarks into BENCH_obs.json: per-visit flight-sink
 // overhead (unsampled, sampled, disabled) and manifest assembly cost,
 // with the unsampled/sampled ratio showing what head sampling buys.
+// `make bench-prof` feeds the scheduled-vs-profiled pipeline pair into
+// BENCH_prof.json, whose overhead ratio prices the continuous-profiling
+// harness (profiled ns/op over uninstrumented ns/op; ~1.0 means the
+// 100 Hz sampler is effectively free).
 package main
 
 import (
@@ -40,6 +44,11 @@ type output struct {
 	// the cost with head sampling on (>1 means sampling pays for itself);
 	// present only when both flight benchmarks are in the input.
 	FlightUnsampledOverSampled float64 `json:"flight_unsampled_over_sampled,omitempty"`
+	// ProfileOverheadProfiledOverScheduled is the profiled pipeline's
+	// ns/op divided by the uninstrumented scheduled pipeline's — the
+	// price of running the study under the CPU sampler; present only
+	// when both benchmarks are in the input.
+	ProfileOverheadProfiledOverScheduled float64 `json:"profile_overhead_profiled_over_scheduled,omitempty"`
 }
 
 func main() {
@@ -90,6 +99,10 @@ func main() {
 	sampled, okP := out.Benchmarks["FlightVisitSampled"]
 	if okF && okP && sampled.NsPerOp > 0 {
 		out.FlightUnsampledOverSampled = full.NsPerOp / sampled.NsPerOp
+	}
+	prof, okPr := out.Benchmarks["StudyRunProfiled"]
+	if okPr && okC && sched.NsPerOp > 0 {
+		out.ProfileOverheadProfiledOverScheduled = prof.NsPerOp / sched.NsPerOp
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"net/url"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,6 +27,24 @@ import (
 // maxIframeDepth bounds recursive iframe loading (RTB chains nest ads in
 // ads).
 const maxIframeDepth = 3
+
+// Profiling op labels for the browser's two CPU-heavy leaf operations.
+// They layer onto the ambient stage/vantage label set, so a hot-path
+// profile splits a crawl stage's time into HTML tokenization and script
+// interpretation without losing stage attribution.
+var (
+	tokenizeLabels = pprof.Labels("op", "tokenize")
+	jsvmLabels     = pprof.Labels("op", "jsvm")
+)
+
+// parseHTML is htmlx.Parse under the op=tokenize profile label.
+func parseHTML(ctx context.Context, body string) *htmlx.Node {
+	var doc *htmlx.Node
+	pprof.Do(ctx, tokenizeLabels, func(context.Context) {
+		doc = htmlx.Parse(body)
+	})
+	return doc
+}
 
 // Browser drives page loads over one crawl session.
 type Browser struct {
@@ -180,7 +199,7 @@ func (b *Browser) Visit(ctx context.Context, host string) *PageVisit {
 	pv.HTTPS = https
 	pv.FinalURL = res.FinalURL
 	pv.HTML = res.Body
-	pv.DOM = htmlx.Parse(res.Body)
+	pv.DOM = parseHTML(ctx, res.Body)
 	b.loadDocument(ctx, pv, pv.DOM, res.FinalURL, 0)
 	return pv
 }
@@ -222,7 +241,7 @@ func (b *Browser) loadDocument(ctx context.Context, pv *PageVisit, doc *htmlx.No
 				continue
 			}
 			if strings.Contains(res.ContentType, "html") {
-				b.loadDocument(ctx, pv, htmlx.Parse(res.Body), res.FinalURL, depth+1)
+				b.loadDocument(ctx, pv, parseHTML(ctx, res.Body), res.FinalURL, depth+1)
 			}
 		case "link":
 			pv.Subresources[crawler.InitCSS]++
@@ -242,7 +261,10 @@ func (b *Browser) executeScript(ctx context.Context, pv *PageVisit, scriptURL, s
 }
 
 func (b *Browser) runTrace(ctx context.Context, pv *PageVisit, scriptURL, src, docURL string) {
-	tr := jsvm.Execute(scriptURL, src, b.Env)
+	var tr *jsvm.Trace
+	pprof.Do(ctx, jsvmLabels, func(context.Context) {
+		tr = jsvm.Execute(scriptURL, src, b.Env)
+	})
 	host := ""
 	if scriptURL != "" {
 		if u, err := url.Parse(scriptURL); err == nil {
@@ -355,7 +377,7 @@ func (b *Browser) VisitInteractive(ctx context.Context, host string) *Interactiv
 		return iv
 	}
 	iv.OK = true
-	doc := htmlx.Parse(res.Body)
+	doc := parseHTML(ctx, res.Body)
 	base, _ := url.Parse(res.FinalURL)
 
 	// Age gate.
@@ -368,7 +390,7 @@ func (b *Browser) VisitInteractive(ctx context.Context, host string) *Interactiv
 				if err == nil && enterRes.Status < 400 {
 					// Re-load the landing page; the gate cookie is in the jar.
 					if res2, _, err := b.Session.FetchPage(ctx, host, "/"); err == nil {
-						doc2 := htmlx.Parse(res2.Body)
+						doc2 := parseHTML(ctx, res2.Body)
 						if _, still := consent.DetectAgeGate(doc2); !still {
 							iv.GateBypassed = true
 							doc = doc2
@@ -397,7 +419,7 @@ func (b *Browser) VisitInteractive(ctx context.Context, host string) *Interactiv
 		if err != nil || pres.Status >= 400 {
 			continue // HTTP-error policies are the paper's 44 false positives
 		}
-		text := consent.ExtractPolicyText(htmlx.Parse(pres.Body))
+		text := consent.ExtractPolicyText(parseHTML(ctx, pres.Body))
 		if len(strings.Fields(text)) < 50 {
 			continue // abnormally short: sanitized away like the paper's manual check
 		}

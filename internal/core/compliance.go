@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -73,6 +74,12 @@ func (st *Study) InteractiveCrawl(ctx context.Context, hosts []string, country s
 // log's record count and content digest under that stage name when the
 // crawl completes.
 func (st *Study) InteractiveCrawlStage(ctx context.Context, hosts []string, country, stageName string) (map[string]*browser.InteractiveVisit, error) {
+	// Refine the ambient stage label with the interactive crawl's vantage;
+	// the forEach workers below inherit the whole label set.
+	prev := ctx
+	ctx = pprof.WithLabels(ctx, pprof.Labels("vantage", country, "corpus", "porn"))
+	pprof.SetGoroutineLabels(ctx)
+	defer pprof.SetGoroutineLabels(prev)
 	sess, err := st.session(country, "policy")
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -60,6 +61,13 @@ func (st *Study) Crawl(ctx context.Context, hosts []string, country string) (*Cr
 func (st *Study) CrawlStage(ctx context.Context, hosts []string, country, stageName, corpus string) (*CrawlResult, error) {
 	ctx, span := st.Tracer.Start(ctx, "crawl/"+country)
 	defer span.End()
+	// Refine the ambient stage label with the crawl's vantage and corpus,
+	// so profile samples split by where (and over which site set) the CPU
+	// went; the forEach workers below inherit the whole label set.
+	prev := ctx
+	ctx = pprof.WithLabels(ctx, pprof.Labels("vantage", country, "corpus", corpus))
+	pprof.SetGoroutineLabels(ctx)
+	defer pprof.SetGoroutineLabels(prev)
 	sess, err := st.session(country, "crawl")
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"time"
 
 	"pornweb/internal/blocklist"
@@ -233,12 +234,22 @@ func (st *Study) session(country, phase string) (*crawler.Session, error) {
 
 // stage opens a traced, timed pipeline stage: a span named stage/<name>
 // plus an observation in the study_stage_seconds histogram when the
-// returned func runs.
+// returned func runs. The serial path has no worker goroutine to wrap in
+// pprof.Do, so it sets the stage label on the calling goroutine directly
+// (goroutines the stage spawns inherit it) and clears it in the done
+// func; resource snapshots bracket the stage the same way the scheduler
+// brackets its workers, feeding the study_stage_* resource metrics.
 func (st *Study) stage(ctx context.Context, name string) (context.Context, func()) {
+	//studylint:ignore metricnames the serial runner forwards declared stage names; buildPipeline is the single source of the (static) stage set
+	ctx = pprof.WithLabels(ctx, pprof.Labels("stage", name))
+	pprof.SetGoroutineLabels(ctx)
 	ctx, span := st.Tracer.Start(ctx, "stage/"+name)
 	h := st.Metrics.Histogram("study_stage_seconds", obs.StageBuckets, "stage", name)
 	start := st.clock()
+	startRes := obs.TakeResourceSnapshot()
 	return ctx, func() {
+		st.Metrics.RecordStageResources(name, startRes, obs.TakeResourceSnapshot())
+		pprof.SetGoroutineLabels(context.Background())
 		d := st.clock().Sub(start)
 		h.Observe(d.Seconds())
 		span.End()

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"net/http/cookiejar"
 	"net/url"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +31,9 @@ import (
 	"pornweb/internal/obs"
 	"pornweb/internal/resilience"
 )
+
+// fetchLabels is the profile label for the request/response hot path.
+var fetchLabels = pprof.Labels("op", "fetch")
 
 // Initiator describes what caused a request.
 type Initiator string
@@ -493,7 +497,15 @@ func (s *Session) fetchHop(ctx context.Context, rawURL, siteHost string, init In
 			Initiator: init, ParentURL: ref, Referer: ref, Err: err.Error(), Attempt: 1}, nil, err
 	}
 	for try := 1; ; try++ {
-		rec, att, err := s.doAttempt(ctx, rawURL, siteHost, init, ref)
+		var rec Record
+		var att *attempt
+		var err error
+		// op=fetch layers onto the ambient stage/vantage labels so profiles
+		// separate network-side CPU (TLS, header parsing, body reads) from
+		// the browser's tokenize/jsvm work inside the same stage.
+		pprof.Do(ctx, fetchLabels, func(lctx context.Context) {
+			rec, att, err = s.doAttempt(lctx, rawURL, siteHost, init, ref)
+		})
 		if s.res != nil {
 			rec.Attempt = try
 		}

@@ -80,6 +80,13 @@ type Config struct {
 	MustCheck []string
 	// ErrdropPkgs is where errdrop applies.
 	ErrdropPkgs []string
+	// PprofStageForwarders are the packages allowed to pass a dynamic
+	// value for the "stage" pprof label (metricnames): the scheduler
+	// forwards stage names its callers declared statically, so the
+	// dynamic expression there is the plumbing, not the source. Other
+	// packages must either use constant stage names or carry a written
+	// suppression.
+	PprofStageForwarders []string
 }
 
 // DefaultConfig is the repo's invariant map: which packages promise
@@ -122,6 +129,9 @@ func DefaultConfig() *Config {
 		ErrdropPkgs: []string{
 			"internal/core",
 			"internal/crawler",
+		},
+		PprofStageForwarders: []string{
+			"internal/sched",
 		},
 	}
 }

@@ -26,6 +26,7 @@ var fixtures = []struct {
 	{"rawhttp_crawl", "fixture/rawhttp/internal/crawler"},
 	{"rawhttp_elsewhere", "fixture/rawhttp/internal/tools"},
 	{"metricnames_bad", "fixture/metricnames/internal/crawler"},
+	{"pproflabel_bad", "fixture/pproflabel/internal/browser"},
 	{"errdrop_core", "fixture/errdrop/internal/core"},
 	{"suppress_malformed", "fixture/suppress/internal/provenance"},
 }
@@ -216,6 +217,43 @@ func TestAnalyzerNamesStable(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("analyzers = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPprofStageForwarderExempt pins the one sanctioned dynamic-stage
+// call site: the identical fixture loaded under an internal/sched
+// import path loses only the dynamic-stage-value finding (the
+// scheduler forwards names its callers declared statically) — every
+// other pprof label finding still applies there.
+func TestPprofStageForwarderExempt(t *testing.T) {
+	l := sharedLoader(t)
+	asBrowser := runFixture(t, l, "pproflabel_bad", "fixture/pproflabel2/internal/browser")
+	asSched := runFixture(t, l, "pproflabel_bad", "fixture/pproflabel2/internal/sched")
+	count := func(findings []Finding, substr string) int {
+		n := 0
+		for _, f := range findings {
+			if strings.Contains(f.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(asBrowser, "must be a constant stage name"); got != 1 {
+		t.Errorf("browser fixture: %d dynamic-stage findings, want 1", got)
+	}
+	if got := count(asSched, "must be a constant stage name"); got != 0 {
+		t.Errorf("sched fixture: %d dynamic-stage findings, want 0 (forwarder exemption)", got)
+	}
+	// The exemption is surgical: everything else still fires in sched.
+	for _, substr := range []string{
+		"alternating key/value pairs",
+		"pprof label key must be a constant string",
+		`"Stage" is not snake_case`,
+		"does not match the stage naming convention",
+	} {
+		if got := count(asSched, substr); got != 1 {
+			t.Errorf("sched fixture: %d findings matching %q, want 1", got, substr)
 		}
 	}
 }

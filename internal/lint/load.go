@@ -157,6 +157,13 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Honour build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) the same way the compiler does, so platform-split
+		// files — e.g. obs's getrusage reader with its unix/!unix pair —
+		// don't type-check as duplicate declarations.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -16,6 +16,16 @@ import (
 // Prometheus exposition, and the EXPERIMENTS.md recipes all key on
 // these names; a dynamic or misspelled name is invisible until a
 // dashboard quietly reads zero.
+//
+// The same contract extends to profiling labels: runtime/pprof.Labels
+// calls must pass alternating constant snake_case keys, and a "stage"
+// label's value must be a constant matching the pipeline's stage-name
+// convention (lowercase dashed segments separated by "/", e.g.
+// "crawl/porn-ES") — cmd/studyprof aggregates profiles by exactly
+// these strings, so a dynamic or misspelled stage silently lands in
+// the unlabeled row. Packages in Config.PprofStageForwarders (the
+// scheduler) may forward dynamic stage values: they relay names their
+// callers declared statically.
 func MetricNames() *Analyzer {
 	return &Analyzer{
 		Name: "metricnames",
@@ -25,6 +35,11 @@ func MetricNames() *Analyzer {
 }
 
 var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// stageNameRE is the stage naming convention the scheduler's graphs
+// use: lowercase dashed head, optional /-separated qualifier segments
+// that may carry uppercase (country codes: "crawl/porn-ES").
+var stageNameRE = regexp.MustCompile(`^[a-z][a-z0-9-]*(/[A-Za-z0-9-]+)*$`)
 
 // obsRegistryPath is where the metrics registry lives; fixtures import
 // the real package so the same match works for them.
@@ -40,6 +55,10 @@ func runMetricNames(cfg *Config, pkg *Package) []Finding {
 			}
 			fn := pkg.calleeOf(call)
 			if fn == nil || len(call.Args) == 0 {
+				return true
+			}
+			if isPkgFunc(fn, "runtime/pprof", "Labels") {
+				out = append(out, checkPprofLabels(cfg, pkg, call)...)
 				return true
 			}
 			if !isMethodOn(fn, obsRegistryPath, "Registry", "Counter", "Gauge", "Histogram", "Describe") {
@@ -95,6 +114,48 @@ func checkMetricName(pkg *Package, call *ast.CallExpr, kind, name string) []Find
 		if strings.HasSuffix(name, "_total") {
 			out = append(out, pkg.finding("metricnames", pos,
 				"gauge %q must not end in _total (that suffix promises a counter)", name))
+		}
+	}
+	return out
+}
+
+// checkPprofLabels validates one runtime/pprof.Labels call: alternating
+// constant snake_case keys, and constant convention-conforming values
+// for the "stage" key (outside the forwarder packages).
+func checkPprofLabels(cfg *Config, pkg *Package, call *ast.CallExpr) []Finding {
+	if call.Ellipsis != token.NoPos {
+		return nil // splatted label slice: keys not statically known
+	}
+	var out []Finding
+	if len(call.Args)%2 != 0 {
+		out = append(out, pkg.finding("metricnames", call.Pos(),
+			"pprof.Labels takes alternating key/value pairs; got %d arguments", len(call.Args)))
+	}
+	for i := 0; i+1 < len(call.Args); i += 2 {
+		key, isConst := pkg.constString(call.Args[i])
+		if !isConst {
+			out = append(out, pkg.finding("metricnames", call.Args[i].Pos(),
+				"pprof label key must be a constant string"))
+			continue
+		}
+		if !snakeCase.MatchString(key) {
+			out = append(out, pkg.finding("metricnames", call.Args[i].Pos(),
+				"pprof label key %q is not snake_case", key))
+		}
+		if key != "stage" {
+			continue
+		}
+		val, isConst := pkg.constString(call.Args[i+1])
+		if !isConst {
+			if !inClass(pkg.Path, cfg.PprofStageForwarders) {
+				out = append(out, pkg.finding("metricnames", call.Args[i+1].Pos(),
+					"stage pprof label value must be a constant stage name (only the scheduler forwards dynamic stage names)"))
+			}
+			continue
+		}
+		if !stageNameRE.MatchString(val) {
+			out = append(out, pkg.finding("metricnames", call.Args[i+1].Pos(),
+				"stage pprof label %q does not match the stage naming convention (lowercase dashed segments separated by /)", val))
 		}
 	}
 	return out

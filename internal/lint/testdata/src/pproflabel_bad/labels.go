@@ -1,0 +1,35 @@
+// Fixture: every way a pprof label can break the profiling contract
+// cmd/studyprof keys on — odd argument counts, dynamic keys, dynamic
+// stage values outside the scheduler, and stage names that don't match
+// the pipeline convention. The good calls at the bottom must stay
+// silent. Imports the real runtime/pprof so the callee match is
+// exercised against production types.
+package browser
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+func label(ctx context.Context, stage, country string) {
+	// Odd argument count: a key with no value.
+	pprof.Labels("stage")
+	// Dynamic key: the aggregation can't know what to group by.
+	pprof.Labels(country, "ES")
+	// Key not snake_case.
+	pprof.Labels("Stage", "corpus")
+	// Dynamic stage value outside the scheduler: lands wherever the
+	// variable points, invisible to the hot-path table.
+	pprof.Labels("stage", stage)
+	// Stage name violating the convention (uppercase head segment).
+	pprof.Labels("stage", "Crawl/porn-ES")
+	// Suppressed with a written reason: not a finding.
+	//studylint:ignore metricnames fixture demonstrates a justified forward
+	pprof.Labels("stage", stage)
+
+	// The contract, satisfied: none of these are findings.
+	pprof.Do(ctx, pprof.Labels("stage", "crawl/porn-ES"), func(context.Context) {})
+	pprof.Do(ctx, pprof.Labels("op", "tokenize"), func(context.Context) {})
+	// Dynamic values are fine for non-stage keys (vantage is a country).
+	pprof.Labels("vantage", country, "corpus", "porn")
+}

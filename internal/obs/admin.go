@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -65,6 +66,12 @@ func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		// Runtime health summary, mirroring the study_runtime_* gauges, so
+		// a probe sees liveness and saturation in one request.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(w, "goroutines %d\nheap_alloc_bytes %d\nheap_objects %d\ngc_cycles %d\n",
+			runtime.NumGoroutine(), ms.HeapAlloc, ms.HeapObjects, ms.NumGC)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -91,12 +98,15 @@ func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder) http.Handler {
 
 // AdminServer is a started admin listener.
 type AdminServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	poller *RuntimePoller
 }
 
 // ServeAdmin binds addr (host:port; port 0 picks a free one) and serves
-// the admin handler until Close.
+// the admin handler until Close. When reg is non-nil it also starts a
+// runtime health poller feeding the study_runtime_* metrics, so every
+// binary that exposes /metrics reports process health for free.
 func ServeAdmin(addr string, reg *Registry, tr *Tracer, fr *FlightRecorder) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -105,6 +115,9 @@ func ServeAdmin(addr string, reg *Registry, tr *Tracer, fr *FlightRecorder) (*Ad
 	a := &AdminServer{
 		ln:  ln,
 		srv: &http.Server{Handler: AdminHandler(reg, tr, fr), ReadHeaderTimeout: 10 * time.Second},
+	}
+	if reg != nil {
+		a.poller = StartRuntimePoller(reg, time.Second)
 	}
 	go a.srv.Serve(ln)
 	return a, nil
@@ -118,11 +131,12 @@ func (a *AdminServer) Addr() string {
 	return a.ln.Addr().String()
 }
 
-// Close stops the listener.
+// Close stops the runtime poller and the listener.
 func (a *AdminServer) Close() error {
 	if a == nil {
 		return nil
 	}
+	a.poller.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	return a.srv.Shutdown(ctx)

@@ -194,8 +194,13 @@ func TestAdminHealthz(t *testing.T) {
 		t.Fatalf("GET /healthz: %d", resp.StatusCode)
 	}
 	body, _ := io.ReadAll(resp.Body)
-	if string(body) != "ok\n" {
+	if !strings.HasPrefix(string(body), "ok\n") {
 		t.Fatalf("healthz body %q", body)
+	}
+	for _, field := range []string{"goroutines ", "heap_alloc_bytes ", "gc_cycles "} {
+		if !strings.Contains(string(body), field) {
+			t.Errorf("healthz missing runtime field %q in %q", field, body)
+		}
 	}
 }
 

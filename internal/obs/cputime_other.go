@@ -1,0 +1,10 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime has no portable implementation off unix; the CPU column
+// of the stage-resource metrics reads zero there while allocation, GC and
+// goroutine attribution keep working.
+func processCPUTime() time.Duration { return 0 }

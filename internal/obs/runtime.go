@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GCPauseBuckets suits stop-the-world GC pauses: tens of microseconds on
+// a healthy heap, milliseconds when the heap is thrashing.
+var GCPauseBuckets = []float64{0.00001, 0.000025, 0.00005, 0.0001, 0.00025,
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1}
+
+// RuntimePoller samples process runtime health into a registry on a fixed
+// interval:
+//
+//	study_runtime_goroutines        live goroutine count
+//	study_runtime_heap_alloc_bytes  bytes of live heap objects
+//	study_runtime_heap_objects      live heap object count
+//	study_runtime_next_gc_bytes     heap size that triggers the next GC
+//	study_runtime_alloc_bytes_total cumulative heap bytes allocated
+//	study_runtime_gc_cycles_total   completed GC cycles
+//	study_runtime_gc_pause_seconds  stop-the-world pause distribution
+//
+// The poller owns only its ticker goroutine; Stop is idempotent and
+// blocks until the goroutine has exited, so a stopped poller never
+// mutates the registry again (the exposition-determinism tests depend on
+// that quiescence). It reads ambient time only to pace itself — nothing
+// it records feeds provenance manifests, which stay on the injected
+// Study clock.
+type RuntimePoller struct {
+	reg  *Registry
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu         sync.Mutex // serializes Sample against the poll loop
+	lastGC     uint32
+	lastPauses uint64 // NumGC high-water mark for pause-ring draining
+	lastAlloc  uint64
+}
+
+// StartRuntimePoller registers the runtime health metrics in reg, takes
+// one synchronous sample so /metrics is populated immediately, and then
+// samples every interval (default 1s) until Stop. A nil registry returns
+// a poller whose Stop is a no-op.
+func StartRuntimePoller(reg *Registry, interval time.Duration) *RuntimePoller {
+	p := &RuntimePoller{reg: reg, stop: make(chan struct{}), done: make(chan struct{})}
+	if reg == nil {
+		close(p.done)
+		return p
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	reg.Describe("study_runtime_goroutines", "Live goroutine count, sampled by the runtime poller.")
+	reg.Describe("study_runtime_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	reg.Describe("study_runtime_heap_objects", "Live heap object count (runtime.MemStats.HeapObjects).")
+	reg.Describe("study_runtime_next_gc_bytes", "Heap size at which the next GC cycle triggers.")
+	reg.Describe("study_runtime_alloc_bytes_total", "Cumulative heap bytes allocated since process start.")
+	reg.Describe("study_runtime_gc_cycles_total", "Completed garbage-collection cycles.")
+	reg.Describe("study_runtime_gc_pause_seconds", "Stop-the-world GC pause durations.")
+	p.Sample()
+	go p.loop(interval)
+	return p
+}
+
+func (p *RuntimePoller) loop(interval time.Duration) {
+	defer close(p.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.Sample()
+		}
+	}
+}
+
+// Sample takes one reading now. Safe to call concurrently with the
+// poll loop (tests drive it directly).
+func (p *RuntimePoller) Sample() {
+	if p.reg == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.reg.Gauge("study_runtime_goroutines").Set(float64(runtime.NumGoroutine()))
+	p.reg.Gauge("study_runtime_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	p.reg.Gauge("study_runtime_heap_objects").Set(float64(ms.HeapObjects))
+	p.reg.Gauge("study_runtime_next_gc_bytes").Set(float64(ms.NextGC))
+	if d := ms.TotalAlloc - p.lastAlloc; d > 0 {
+		p.reg.Counter("study_runtime_alloc_bytes_total").Add(d)
+		p.lastAlloc = ms.TotalAlloc
+	}
+	if ms.NumGC > p.lastGC {
+		p.reg.Counter("study_runtime_gc_cycles_total").Add(uint64(ms.NumGC - p.lastGC))
+		p.lastGC = ms.NumGC
+	}
+	// Drain newly completed pauses from the 256-entry ring; if more than
+	// 256 cycles passed between samples the oldest are lost, matching the
+	// runtime's own bookkeeping.
+	if n := uint64(ms.NumGC); n > p.lastPauses {
+		lo := p.lastPauses
+		if n > lo+uint64(len(ms.PauseNs)) {
+			lo = n - uint64(len(ms.PauseNs))
+		}
+		h := p.reg.Histogram("study_runtime_gc_pause_seconds", GCPauseBuckets)
+		// Cycle i's pause lives at PauseNs[(i+255)%256] (1-based cycles).
+		for i := lo + 1; i <= n; i++ {
+			h.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e9)
+		}
+		p.lastPauses = n
+	}
+}
+
+// Stop halts the poll loop and waits for it to exit. Idempotent.
+func (p *RuntimePoller) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+}

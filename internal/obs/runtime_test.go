@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimePollerSamples(t *testing.T) {
+	reg := NewRegistry()
+	p := StartRuntimePoller(reg, 5*time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+
+	var buf bytes.Buffer
+	if err := reg.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp := buf.String()
+	for _, name := range []string{
+		"study_runtime_goroutines",
+		"study_runtime_heap_alloc_bytes",
+		"study_runtime_heap_objects",
+		"study_runtime_next_gc_bytes",
+		"study_runtime_alloc_bytes_total",
+	} {
+		if !strings.Contains(exp, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if g := reg.Gauge("study_runtime_goroutines").Value(); g < 1 {
+		t.Errorf("goroutine gauge %v, want >= 1", g)
+	}
+}
+
+func TestRuntimePollerNilRegistry(t *testing.T) {
+	p := StartRuntimePoller(nil, time.Millisecond)
+	p.Sample()
+	p.Stop()
+}
+
+func TestRuntimePollerObservesGC(t *testing.T) {
+	reg := NewRegistry()
+	p := StartRuntimePoller(reg, time.Hour) // sample manually
+	defer p.Stop()
+	runtime.GC()
+	runtime.GC()
+	p.Sample()
+	if c := reg.Counter("study_runtime_gc_cycles_total").Value(); c == 0 {
+		t.Error("gc cycle counter still zero after two forced GCs")
+	}
+	if n := reg.Histogram("study_runtime_gc_pause_seconds", GCPauseBuckets).Count(); n == 0 {
+		t.Error("gc pause histogram empty after two forced GCs")
+	}
+}
+
+func TestTakeResourceSnapshotMonotonic(t *testing.T) {
+	a := TakeResourceSnapshot()
+	// Allocate something measurable between the snapshots.
+	sink := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	b := TakeResourceSnapshot()
+	if b.TotalAlloc <= a.TotalAlloc {
+		t.Errorf("TotalAlloc not monotonic: %d -> %d", a.TotalAlloc, b.TotalAlloc)
+	}
+	if b.CPU < a.CPU {
+		t.Errorf("CPU went backwards: %v -> %v", a.CPU, b.CPU)
+	}
+	if a.Goroutines < 1 || b.Goroutines < 1 {
+		t.Errorf("goroutine counts %d, %d, want >= 1", a.Goroutines, b.Goroutines)
+	}
+}
+
+func TestRecordStageResources(t *testing.T) {
+	reg := NewRegistry()
+	start := ResourceSnapshot{CPU: time.Second, TotalAlloc: 1000, GCCycles: 3, Goroutines: 4}
+	end := ResourceSnapshot{CPU: 3 * time.Second, TotalAlloc: 5000, GCCycles: 5, Goroutines: 9}
+	reg.RecordStageResources("crawl/porn-ES", start, end)
+
+	if v := reg.Gauge("study_stage_cpu_seconds", "stage", "crawl/porn-ES").Value(); v != 2 {
+		t.Errorf("cpu seconds = %v, want 2", v)
+	}
+	if v := reg.Counter("study_stage_alloc_bytes_total", "stage", "crawl/porn-ES").Value(); v != 4000 {
+		t.Errorf("alloc bytes = %d, want 4000", v)
+	}
+	if v := reg.Counter("study_stage_gc_cycles_total", "stage", "crawl/porn-ES").Value(); v != 2 {
+		t.Errorf("gc cycles = %d, want 2", v)
+	}
+	if v := reg.Gauge("study_stage_goroutines_peak", "stage", "crawl/porn-ES").Value(); v != 9 {
+		t.Errorf("goroutine peak = %v, want 9", v)
+	}
+	// A later, smaller boundary reading must not lower the peak.
+	reg.RecordStageResources("crawl/porn-ES", ResourceSnapshot{Goroutines: 2}, ResourceSnapshot{Goroutines: 3})
+	if v := reg.Gauge("study_stage_goroutines_peak", "stage", "crawl/porn-ES").Value(); v != 9 {
+		t.Errorf("goroutine peak lowered to %v, want 9", v)
+	}
+	// Nil registry: all no-ops.
+	var nilReg *Registry
+	nilReg.RecordStageResources("x", start, end)
+}
+
+// TestExpositionDeterministicWithRuntimeMetrics pins the satellite
+// guarantee: a populated registry — stage timings, stage resources and
+// runtime health gauges together — renders byte-identically twice in a
+// row once sampling has stopped.
+func TestExpositionDeterministicWithRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	p := StartRuntimePoller(reg, time.Hour)
+	p.Sample()
+	p.Stop()
+	for _, stage := range []string{"corpus", "crawl/porn-ES", "analysis/geo"} {
+		reg.Histogram("study_stage_seconds", StageBuckets, "stage", stage).Observe(0.25)
+		reg.RecordStageResources(stage,
+			ResourceSnapshot{CPU: time.Second, TotalAlloc: 10, GCCycles: 1, Goroutines: 2},
+			ResourceSnapshot{CPU: 2 * time.Second, TotalAlloc: 99, GCCycles: 2, Goroutines: 7})
+	}
+	var a, b bytes.Buffer
+	if err := reg.WriteExposition(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the same registry differ")
+	}
+	if !strings.Contains(a.String(), `study_stage_cpu_seconds{stage="crawl/porn-ES"}`) {
+		t.Error("stage cpu metric missing from exposition")
+	}
+}

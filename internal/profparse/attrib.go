@@ -1,0 +1,293 @@
+package profparse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// UnlabeledStage is the row collecting samples that carry no stage
+// label: runtime housekeeping (GC, scheduler), profile machinery and
+// goroutines spawned outside any stage. It sorts last so the named
+// stages lead the table.
+const UnlabeledStage = "unlabeled"
+
+// RuntimeStage is the named row for the runtime's background
+// housekeeping goroutines — dedicated GC mark workers, the sweeper and
+// the scavenger. They exist before any stage runs and never inherit
+// stage labels, so they are attributed by stack inspection instead: a
+// label-less sample whose stack passes through one of the well-known
+// runtime entry points lands here rather than in UnlabeledStage.
+const RuntimeStage = "runtime/gc"
+
+// runtimeRoots are the entry points of the runtime's permanent
+// housekeeping goroutines; one of them on the stack identifies the
+// sample as GC/sweep/scavenge work.
+var runtimeRoots = map[string]bool{
+	"runtime.gcBgMarkWorker": true,
+	"runtime.bgsweep":        true,
+	"runtime.bgscavenge":     true,
+}
+
+// isRuntimeHousekeeping reports whether an unlabeled sample's stack
+// runs under one of the runtime's housekeeping roots.
+func isRuntimeHousekeeping(p *Profile, s *Sample) bool {
+	for _, id := range s.LocationIDs {
+		loc := p.Location[id]
+		if loc == nil {
+			continue
+		}
+		for _, ln := range loc.Line {
+			if fn := p.Function[ln.FunctionID]; fn != nil && runtimeRoots[fn.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncRow is one function's share of a stage's CPU.
+type FuncRow struct {
+	Name  string  `json:"name"`
+	Nanos int64   `json:"nanos"`
+	Share float64 `json:"share"` // of the stage's nanos
+}
+
+// OpRow is one op label's share of a stage's CPU (fetch, tokenize,
+// jsvm); samples without an op label fall under "other".
+type OpRow struct {
+	Op    string  `json:"op"`
+	Nanos int64   `json:"nanos"`
+	Share float64 `json:"share"` // of the stage's nanos
+}
+
+// StageRow aggregates every sample carrying one stage label.
+type StageRow struct {
+	Stage   string    `json:"stage"`
+	Nanos   int64     `json:"nanos"`
+	Samples int64     `json:"samples"`
+	Share   float64   `json:"share"` // of the profile's total nanos
+	Ops     []OpRow   `json:"ops,omitempty"`
+	Top     []FuncRow `json:"top"`
+}
+
+// Attribution is the per-stage CPU breakdown of one profile.
+type Attribution struct {
+	// TotalNanos sums the CPU value over every sample.
+	TotalNanos int64 `json:"total_nanos"`
+	// AttributedNanos is the subset carrying a stage label.
+	AttributedNanos int64 `json:"attributed_nanos"`
+	// AttributedShare = AttributedNanos / TotalNanos (0 when the profile
+	// is empty).
+	AttributedShare float64 `json:"attributed_share"`
+	// DurationNanos is the profile's wall-clock span.
+	DurationNanos int64 `json:"duration_nanos"`
+	// Stages is sorted by stage name ascending, UnlabeledStage last —
+	// a value-independent order, so two profiles of the same study
+	// render identically ordered tables even though sample counts
+	// differ run to run.
+	Stages []StageRow `json:"stages"`
+}
+
+// cpuValueIndex picks which Sample.Value column holds CPU nanoseconds:
+// the sample type named "cpu", else the last column (pprof convention —
+// the default sample type comes last).
+func cpuValueIndex(p *Profile) int {
+	for i, st := range p.SampleType {
+		if st.Type == "cpu" {
+			return i
+		}
+	}
+	return len(p.SampleType) - 1
+}
+
+// leafFunction resolves a sample's innermost frame to a function name;
+// samples with unresolvable leaves report "unknown".
+func leafFunction(p *Profile, s *Sample) string {
+	if len(s.LocationIDs) == 0 {
+		return "unknown"
+	}
+	loc := p.Location[s.LocationIDs[0]]
+	if loc == nil || len(loc.Line) == 0 {
+		return "unknown"
+	}
+	fn := p.Function[loc.Line[0].FunctionID]
+	if fn == nil || fn.Name == "" {
+		return "unknown"
+	}
+	return fn.Name
+}
+
+// Attribute aggregates a CPU profile's samples by their stage label,
+// with a per-stage op breakdown and the topN hottest leaf functions.
+// All orderings are deterministic: stages by name (unlabeled last),
+// ops by name, functions by nanos descending then name.
+func Attribute(p *Profile, topN int) *Attribution {
+	a := &Attribution{DurationNanos: p.DurationNanos}
+	vi := cpuValueIndex(p)
+	if vi < 0 {
+		return a
+	}
+	type stageAgg struct {
+		nanos   int64
+		samples int64
+		ops     map[string]int64
+		funcs   map[string]int64
+	}
+	stages := map[string]*stageAgg{}
+	for _, s := range p.Sample {
+		if vi >= len(s.Value) {
+			continue
+		}
+		v := s.Value[vi]
+		a.TotalNanos += v
+		stage := s.Label["stage"]
+		if stage == "" && isRuntimeHousekeeping(p, s) {
+			stage = RuntimeStage
+		}
+		if stage == "" {
+			stage = UnlabeledStage
+		} else {
+			a.AttributedNanos += v
+		}
+		agg := stages[stage]
+		if agg == nil {
+			agg = &stageAgg{ops: map[string]int64{}, funcs: map[string]int64{}}
+			stages[stage] = agg
+		}
+		agg.nanos += v
+		agg.samples++
+		op := s.Label["op"]
+		if op == "" {
+			op = "other"
+		}
+		agg.ops[op] += v
+		agg.funcs[leafFunction(p, s)] += v
+	}
+	if a.TotalNanos > 0 {
+		a.AttributedShare = float64(a.AttributedNanos) / float64(a.TotalNanos)
+	}
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if (names[i] == UnlabeledStage) != (names[j] == UnlabeledStage) {
+			return names[j] == UnlabeledStage
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		agg := stages[name]
+		row := StageRow{Stage: name, Nanos: agg.nanos, Samples: agg.samples}
+		if a.TotalNanos > 0 {
+			row.Share = float64(agg.nanos) / float64(a.TotalNanos)
+		}
+		ops := make([]string, 0, len(agg.ops))
+		for op := range agg.ops {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			or := OpRow{Op: op, Nanos: agg.ops[op]}
+			if agg.nanos > 0 {
+				or.Share = float64(or.Nanos) / float64(agg.nanos)
+			}
+			row.Ops = append(row.Ops, or)
+		}
+		funcs := make([]FuncRow, 0, len(agg.funcs))
+		for fn, n := range agg.funcs {
+			funcs = append(funcs, FuncRow{Name: fn, Nanos: n})
+		}
+		sort.Slice(funcs, func(i, j int) bool {
+			if funcs[i].Nanos != funcs[j].Nanos {
+				return funcs[i].Nanos > funcs[j].Nanos
+			}
+			return funcs[i].Name < funcs[j].Name
+		})
+		if topN > 0 && len(funcs) > topN {
+			funcs = funcs[:topN]
+		}
+		for i := range funcs {
+			if agg.nanos > 0 {
+				funcs[i].Share = float64(funcs[i].Nanos) / float64(agg.nanos)
+			}
+		}
+		row.Top = funcs
+		a.Stages = append(a.Stages, row)
+	}
+	return a
+}
+
+// TopFunctions aggregates a whole profile by leaf function over the
+// value column named typ (falling back to the last column when absent),
+// sorted by value descending then name. It serves label-less profiles —
+// heap snapshots carry no goroutine labels, so per-stage attribution
+// does not apply and a global top-N is the honest summary.
+func TopFunctions(p *Profile, typ string, topN int) []FuncRow {
+	vi := -1
+	for i, st := range p.SampleType {
+		if st.Type == typ {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		vi = len(p.SampleType) - 1
+	}
+	if vi < 0 {
+		return nil
+	}
+	var total int64
+	funcs := map[string]int64{}
+	for _, s := range p.Sample {
+		if vi >= len(s.Value) {
+			continue
+		}
+		funcs[leafFunction(p, s)] += s.Value[vi]
+		total += s.Value[vi]
+	}
+	rows := make([]FuncRow, 0, len(funcs))
+	for fn, n := range funcs {
+		rows = append(rows, FuncRow{Name: fn, Nanos: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Nanos != rows[j].Nanos {
+			return rows[i].Nanos > rows[j].Nanos
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	for i := range rows {
+		if total > 0 {
+			rows[i].Share = float64(rows[i].Nanos) / float64(total)
+		}
+	}
+	return rows
+}
+
+// WriteTable renders the attribution as an aligned text table: one
+// header line per stage with its CPU time, sample count and share,
+// indented op and function lines beneath. The output is a pure function
+// of the Attribution, so identical attributions render byte-identically.
+func WriteTable(w io.Writer, a *Attribution) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stage\tcpu\tsamples\tshare\n")
+	for _, st := range a.Stages {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%.1f%%\n",
+			st.Stage, time.Duration(st.Nanos), st.Samples, 100*st.Share)
+		for _, op := range st.Ops {
+			fmt.Fprintf(tw, "  op=%s\t%v\t\t%.1f%%\n", op.Op, time.Duration(op.Nanos), 100*op.Share)
+		}
+		for _, fn := range st.Top {
+			fmt.Fprintf(tw, "  %s\t%v\t\t%.1f%%\n", fn.Name, time.Duration(fn.Nanos), 100*fn.Share)
+		}
+	}
+	fmt.Fprintf(tw, "total\t%v\t\t\n", time.Duration(a.TotalNanos))
+	fmt.Fprintf(tw, "attributed\t%v\t\t%.1f%%\n", time.Duration(a.AttributedNanos), 100*a.AttributedShare)
+	return tw.Flush()
+}

@@ -1,0 +1,571 @@
+// Package profparse reads pprof CPU (and heap) profiles — the gzipped
+// profile.proto protobuf emitted by runtime/pprof — with nothing but the
+// standard library, and aggregates their samples by the study's pprof
+// labels (stage, op, vantage, corpus) into a deterministic hot-path
+// attribution. cmd/studyprof drives it to answer "where does a study's
+// CPU go, stage by stage, function by function" without importing any
+// external pprof tooling.
+//
+// Only the fields the attribution needs are decoded: sample types,
+// samples with their labels and call stacks, locations, functions and
+// the string table. Mappings, line numbers and comments are skipped.
+// The parser is defensive — it is fuzzed against arbitrary bytes and
+// returns errors rather than panicking, and bounds decompressed input.
+package profparse
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxProfileBytes bounds the decompressed profile size (64 MiB); a
+// seeded study's CPU profile is a few hundred KiB, so the cap only
+// guards against decompression bombs.
+const maxProfileBytes = 64 << 20
+
+// ValueType names one sample dimension, e.g. {Type: "cpu", Unit:
+// "nanoseconds"}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one collected stack with its values and labels.
+type Sample struct {
+	// LocationIDs is the call stack, leaf first.
+	LocationIDs []uint64
+	// Value holds one number per Profile.SampleType entry.
+	Value []int64
+	// Label holds the string-valued pprof labels (stage, op, ...).
+	Label map[string]string
+}
+
+// Line is one source line of a location (inlining expands to several;
+// index 0 is the innermost frame).
+type Line struct {
+	FunctionID uint64
+}
+
+// Location is one resolved program counter.
+type Location struct {
+	ID   uint64
+	Line []Line
+}
+
+// Function is one named function.
+type Function struct {
+	ID       uint64
+	Name     string
+	Filename string
+}
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	SampleType    []ValueType
+	Sample        []*Sample
+	Location      map[uint64]*Location
+	Function      map[uint64]*Function
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+}
+
+// raw holds string-table indexes until the table is fully read; the
+// proto permits the table to follow the messages that reference it.
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct {
+	key, str int64
+}
+
+// Parse decodes a pprof profile, transparently gunzipping (runtime/pprof
+// always gzips; a raw protobuf is accepted too).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profparse: gunzip: %w", err)
+		}
+		defer zr.Close()
+		data, err = io.ReadAll(io.LimitReader(zr, maxProfileBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("profparse: gunzip: %w", err)
+		}
+		if len(data) > maxProfileBytes {
+			return nil, fmt.Errorf("profparse: decompressed profile exceeds %d bytes", maxProfileBytes)
+		}
+	}
+	d := &decoder{buf: data}
+	p := &Profile{Location: map[uint64]*Location{}, Function: map[uint64]*Function{}}
+	var strtab []string
+	var rawTypes []rawValueType
+	var rawPeriod rawValueType
+	var rawSampleLabels [][]rawLabel // parallel to p.Sample
+	var rawFuncs []struct {
+		id             uint64
+		name, filename int64
+	}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type
+			msg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			rawTypes = append(rawTypes, vt)
+		case 2: // sample
+			msg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, err
+			}
+			s, labels, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.Sample = append(p.Sample, s)
+			rawSampleLabels = append(rawSampleLabels, labels)
+		case 4: // location
+			msg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.Location[loc.ID] = loc
+		case 5: // function
+			msg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, err
+			}
+			fn, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			rawFuncs = append(rawFuncs, fn)
+		case 6: // string_table
+			msg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(msg))
+		case 10: // duration_nanos
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = v
+		case 11: // period_type
+			msg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, err
+			}
+			rawPeriod, err = parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+		case 12: // period
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.Period = v
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Resolve string-table indexes now the table is complete.
+	str := func(i int64) (string, error) {
+		if i < 0 || i >= int64(len(strtab)) {
+			return "", fmt.Errorf("profparse: string index %d out of range (table has %d)", i, len(strtab))
+		}
+		return strtab[i], nil
+	}
+	for _, vt := range rawTypes {
+		t, err := str(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleType = append(p.SampleType, ValueType{Type: t, Unit: u})
+	}
+	if rawPeriod != (rawValueType{}) {
+		t, err := str(rawPeriod.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(rawPeriod.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = ValueType{Type: t, Unit: u}
+	}
+	for i, labels := range rawSampleLabels {
+		if len(labels) == 0 {
+			continue
+		}
+		m := make(map[string]string, len(labels))
+		for _, l := range labels {
+			k, err := str(l.key)
+			if err != nil {
+				return nil, err
+			}
+			v, err := str(l.str)
+			if err != nil {
+				return nil, err
+			}
+			if v != "" { // numeric-only labels have no str
+				m[k] = v
+			}
+		}
+		p.Sample[i].Label = m
+	}
+	for _, f := range rawFuncs {
+		name, err := str(f.name)
+		if err != nil {
+			return nil, err
+		}
+		file, err := str(f.filename)
+		if err != nil {
+			return nil, err
+		}
+		p.Function[f.id] = &Function{ID: f.id, Name: name, Filename: file}
+	}
+	return p, nil
+}
+
+func parseValueType(msg []byte) (rawValueType, error) {
+	d := &decoder{buf: msg}
+	var vt rawValueType
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch field {
+		case 1:
+			v, err := d.intField(wire)
+			if err != nil {
+				return vt, err
+			}
+			vt.typ = v
+		case 2:
+			v, err := d.intField(wire)
+			if err != nil {
+				return vt, err
+			}
+			vt.unit = v
+		default:
+			if err := d.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(msg []byte) (*Sample, []rawLabel, error) {
+	d := &decoder{buf: msg}
+	s := &Sample{}
+	var labels []rawLabel
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch field {
+		case 1: // location_id, repeated (possibly packed)
+			ids, err := d.packedUints(wire)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.LocationIDs = append(s.LocationIDs, ids...)
+		case 2: // value, repeated (possibly packed)
+			vals, err := d.packedUints(wire)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, v := range vals {
+				s.Value = append(s.Value, int64(v))
+			}
+		case 3: // label
+			lmsg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, nil, err
+			}
+			l, err := parseLabel(lmsg)
+			if err != nil {
+				return nil, nil, err
+			}
+			labels = append(labels, l)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return s, labels, nil
+}
+
+func parseLabel(msg []byte) (rawLabel, error) {
+	d := &decoder{buf: msg}
+	var l rawLabel
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return l, err
+		}
+		switch field {
+		case 1:
+			v, err := d.intField(wire)
+			if err != nil {
+				return l, err
+			}
+			l.key = v
+		case 2:
+			v, err := d.intField(wire)
+			if err != nil {
+				return l, err
+			}
+			l.str = v
+		default:
+			if err := d.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseLocation(msg []byte) (*Location, error) {
+	d := &decoder{buf: msg}
+	loc := &Location{}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1:
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc.ID = uint64(v)
+		case 4: // line
+			lmsg, err := d.lengthDelim(wire)
+			if err != nil {
+				return nil, err
+			}
+			ln, err := parseLine(lmsg)
+			if err != nil {
+				return nil, err
+			}
+			loc.Line = append(loc.Line, ln)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func parseLine(msg []byte) (Line, error) {
+	d := &decoder{buf: msg}
+	var ln Line
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return ln, err
+		}
+		if field == 1 {
+			v, err := d.intField(wire)
+			if err != nil {
+				return ln, err
+			}
+			ln.FunctionID = uint64(v)
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return ln, err
+		}
+	}
+	return ln, nil
+}
+
+func parseFunction(msg []byte) (struct {
+	id             uint64
+	name, filename int64
+}, error) {
+	var f struct {
+		id             uint64
+		name, filename int64
+	}
+	d := &decoder{buf: msg}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return f, err
+		}
+		switch field {
+		case 1:
+			v, err := d.intField(wire)
+			if err != nil {
+				return f, err
+			}
+			f.id = uint64(v)
+		case 2:
+			v, err := d.intField(wire)
+			if err != nil {
+				return f, err
+			}
+			f.name = v
+		case 4:
+			v, err := d.intField(wire)
+			if err != nil {
+				return f, err
+			}
+			f.filename = v
+		default:
+			if err := d.skip(wire); err != nil {
+				return f, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// decoder is a minimal protobuf wire-format reader over one message.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+var errTruncated = errors.New("profparse: truncated protobuf")
+
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, errTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("profparse: varint overflows 64 bits")
+}
+
+// tag reads a field tag, returning field number and wire type.
+func (d *decoder) tag() (int, int, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// lengthDelim reads a length-delimited payload; wire must be 2.
+func (d *decoder) lengthDelim(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("profparse: wire type %d where length-delimited expected", wire)
+	}
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, errTruncated
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// intField reads a numeric scalar encoded as a varint; wire must be 0.
+func (d *decoder) intField(wire int) (int64, error) {
+	if wire != 0 {
+		return 0, fmt.Errorf("profparse: wire type %d where varint expected", wire)
+	}
+	v, err := d.varint()
+	return int64(v), err
+}
+
+// packedUints reads a repeated integer field: either one varint (wire 0)
+// or a packed run of varints (wire 2).
+func (d *decoder) packedUints(wire int) ([]uint64, error) {
+	switch wire {
+	case 0:
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	case 2:
+		payload, err := d.lengthDelim(wire)
+		if err != nil {
+			return nil, err
+		}
+		sub := &decoder{buf: payload}
+		var out []uint64
+		for !sub.done() {
+			v, err := sub.varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("profparse: wire type %d for repeated int field", wire)
+	}
+}
+
+// skip discards one field of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		if len(d.buf)-d.pos < 8 {
+			return errTruncated
+		}
+		d.pos += 8
+		return nil
+	case 2:
+		_, err := d.lengthDelim(wire)
+		return err
+	case 5:
+		if len(d.buf)-d.pos < 4 {
+			return errTruncated
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("profparse: unsupported wire type %d", wire)
+	}
+}

@@ -1,0 +1,298 @@
+package profparse
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// ---- minimal protobuf writer for golden fixtures ----
+
+type enc struct{ b []byte }
+
+func (e *enc) varint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+func (e *enc) tag(field, wire int) { e.varint(uint64(field<<3 | wire)) }
+
+func (e *enc) intField(field int, v int64) {
+	e.tag(field, 0)
+	e.varint(uint64(v))
+}
+
+func (e *enc) bytesField(field int, b []byte) {
+	e.tag(field, 2)
+	e.varint(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+func (e *enc) msg(field int, build func(*enc)) {
+	var sub enc
+	build(&sub)
+	e.bytesField(field, sub.b)
+}
+
+func (e *enc) packed(field int, vals ...uint64) {
+	var sub enc
+	for _, v := range vals {
+		sub.varint(v)
+	}
+	e.bytesField(field, sub.b)
+}
+
+// goldenProfile hand-encodes a two-sample CPU profile:
+//
+//	strings: 0:"" 1:"samples" 2:"count" 3:"cpu" 4:"nanoseconds"
+//	         5:"stage" 6:"crawl/porn-ES" 7:"op" 8:"fetch" 9:"main.work"
+//	         10:"main.go" 11:"runtime.gc"
+//	sample A: stack [loc1], values [3, 300], stage=crawl/porn-ES op=fetch
+//	sample B: stack [loc2], values [1, 100], no labels
+func goldenProfile() []byte {
+	var e enc
+	e.msg(1, func(s *enc) { s.intField(1, 1); s.intField(2, 2) }) // samples/count
+	e.msg(1, func(s *enc) { s.intField(1, 3); s.intField(2, 4) }) // cpu/nanoseconds
+	e.msg(2, func(s *enc) {                                       // sample A
+		s.packed(1, 1)
+		s.packed(2, 3, 300)
+		s.msg(3, func(l *enc) { l.intField(1, 5); l.intField(2, 6) })
+		s.msg(3, func(l *enc) { l.intField(1, 7); l.intField(2, 8) })
+	})
+	e.msg(2, func(s *enc) { // sample B
+		s.packed(1, 2)
+		s.packed(2, 1, 100)
+	})
+	e.msg(4, func(l *enc) { // location 1 -> function 1
+		l.intField(1, 1)
+		l.msg(4, func(ln *enc) { ln.intField(1, 1) })
+	})
+	e.msg(4, func(l *enc) { // location 2 -> function 2
+		l.intField(1, 2)
+		l.msg(4, func(ln *enc) { ln.intField(1, 2) })
+	})
+	e.msg(5, func(f *enc) { f.intField(1, 1); f.intField(2, 9); f.intField(4, 10) })
+	e.msg(5, func(f *enc) { f.intField(1, 2); f.intField(2, 11) })
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds",
+		"stage", "crawl/porn-ES", "op", "fetch", "main.work", "main.go", "runtime.gc"} {
+		e.bytesField(6, []byte(s))
+	}
+	e.intField(10, 1e9) // duration_nanos
+	e.msg(11, func(s *enc) { s.intField(1, 3); s.intField(2, 4) })
+	e.intField(12, 250000)
+	return e.b
+}
+
+func TestParseGolden(t *testing.T) {
+	p, err := Parse(goldenProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleType) != 2 || p.SampleType[1].Type != "cpu" || p.SampleType[1].Unit != "nanoseconds" {
+		t.Fatalf("sample types = %+v", p.SampleType)
+	}
+	if p.DurationNanos != 1e9 || p.Period != 250000 || p.PeriodType.Type != "cpu" {
+		t.Errorf("duration=%d period=%d periodType=%+v", p.DurationNanos, p.Period, p.PeriodType)
+	}
+	if len(p.Sample) != 2 {
+		t.Fatalf("got %d samples", len(p.Sample))
+	}
+	a := p.Sample[0]
+	if a.Label["stage"] != "crawl/porn-ES" || a.Label["op"] != "fetch" {
+		t.Errorf("sample A labels = %v", a.Label)
+	}
+	if len(a.Value) != 2 || a.Value[1] != 300 {
+		t.Errorf("sample A values = %v", a.Value)
+	}
+	if got := leafFunction(p, a); got != "main.work" {
+		t.Errorf("sample A leaf = %q", got)
+	}
+	if got := leafFunction(p, p.Sample[1]); got != "runtime.gc" {
+		t.Errorf("sample B leaf = %q", got)
+	}
+	if p.Function[1].Filename != "main.go" {
+		t.Errorf("function 1 filename = %q", p.Function[1].Filename)
+	}
+}
+
+func TestAttributeGolden(t *testing.T) {
+	p, err := Parse(goldenProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Attribute(p, 3)
+	if a.TotalNanos != 400 || a.AttributedNanos != 300 {
+		t.Fatalf("total=%d attributed=%d, want 400/300", a.TotalNanos, a.AttributedNanos)
+	}
+	if a.AttributedShare != 0.75 {
+		t.Errorf("share = %v, want 0.75", a.AttributedShare)
+	}
+	if len(a.Stages) != 2 {
+		t.Fatalf("stages = %+v", a.Stages)
+	}
+	// Named stage first, unlabeled forced last.
+	if a.Stages[0].Stage != "crawl/porn-ES" || a.Stages[1].Stage != UnlabeledStage {
+		t.Errorf("stage order = %s, %s", a.Stages[0].Stage, a.Stages[1].Stage)
+	}
+	st := a.Stages[0]
+	if st.Nanos != 300 || st.Samples != 1 {
+		t.Errorf("stage row = %+v", st)
+	}
+	if len(st.Ops) != 1 || st.Ops[0].Op != "fetch" || st.Ops[0].Share != 1 {
+		t.Errorf("ops = %+v", st.Ops)
+	}
+	if len(st.Top) != 1 || st.Top[0].Name != "main.work" {
+		t.Errorf("top = %+v", st.Top)
+	}
+}
+
+// TestAttributeOrderingDeterministic pins the ordering rules against a
+// profile with ties: equal-value functions order by name, stages by
+// name with unlabeled last, independent of map iteration.
+func TestAttributeOrderingDeterministic(t *testing.T) {
+	p := &Profile{
+		SampleType: []ValueType{{Type: "cpu", Unit: "nanoseconds"}},
+		Location:   map[uint64]*Location{},
+		Function:   map[uint64]*Function{},
+		Sample: []*Sample{
+			{Value: []int64{50}, Label: map[string]string{"stage": "b-stage"}},
+			{Value: []int64{50}, Label: map[string]string{"stage": "a-stage"}},
+			{Value: []int64{50}},
+		},
+	}
+	var first string
+	for i := 0; i < 10; i++ {
+		a := Attribute(p, 3)
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			if got := []string{a.Stages[0].Stage, a.Stages[1].Stage, a.Stages[2].Stage}; got[0] != "a-stage" || got[1] != "b-stage" || got[2] != UnlabeledStage {
+				t.Fatalf("stage order = %v", got)
+			}
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("render %d differs from first:\n%s\n----\n%s", i, buf.String(), first)
+		}
+	}
+}
+
+func TestTopFunctionsGolden(t *testing.T) {
+	p, err := Parse(goldenProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TopFunctions(p, "cpu", 10)
+	if len(rows) != 2 || rows[0].Name != "main.work" || rows[1].Name != "runtime.gc" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Nanos != 300 || rows[0].Share != 0.75 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+}
+
+// TestParseLiveProfile round-trips a real runtime/pprof capture: labels
+// applied via pprof.Do while burning CPU must come back out of the
+// parser. CPU sampling is statistical, so the assertions activate only
+// when the profile actually caught labeled samples.
+func TestParseLiveProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	sink := 0
+	pprof.Do(context.Background(), pprof.Labels("stage", "test-burn"), func(context.Context) {
+		for i := 0; i < 5e7; i++ {
+			sink += i % 7
+		}
+	})
+	pprof.StopCPUProfile()
+	_ = sink
+
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// runtime/pprof CPU profiles carry exactly these two sample types.
+	want := []ValueType{{"samples", "count"}, {"cpu", "nanoseconds"}}
+	if len(p.SampleType) != 2 || p.SampleType[0] != want[0] || p.SampleType[1] != want[1] {
+		t.Fatalf("sample types = %+v", p.SampleType)
+	}
+	if len(p.Sample) == 0 {
+		t.Skip("no samples caught (heavily loaded CI); parse path still exercised")
+	}
+	a := Attribute(p, 5)
+	if a.TotalNanos <= 0 {
+		t.Fatalf("total nanos = %d", a.TotalNanos)
+	}
+	var burn *StageRow
+	for i := range a.Stages {
+		if a.Stages[i].Stage == "test-burn" {
+			burn = &a.Stages[i]
+		}
+	}
+	if burn == nil {
+		t.Fatalf("stage test-burn missing from %+v", a.Stages)
+	}
+	if burn.Nanos <= 0 || len(burn.Top) == 0 {
+		t.Errorf("burn row = %+v", burn)
+	}
+	var tbl bytes.Buffer
+	if err := WriteTable(&tbl, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "test-burn") {
+		t.Errorf("table missing stage row:\n%s", tbl.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty-gzip-header": {0x1f, 0x8b},
+		"truncated-tag":     {0x80},
+		"truncated-msg":     {0x12, 0x05, 0x01},
+		"bad-string-index": func() []byte {
+			var e enc
+			e.msg(1, func(s *enc) { s.intField(1, 99); s.intField(2, 2) })
+			e.bytesField(6, nil)
+			return e.b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", name)
+		}
+	}
+	// Empty input is a valid (empty) profile.
+	if _, err := Parse(nil); err != nil {
+		t.Errorf("empty input: %v", err)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(goldenProfile())
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})
+	f.Add([]byte{0x12, 0x03, 0x0a, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must attribute and render without panicking.
+		a := Attribute(p, 3)
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		TopFunctions(p, "cpu", 3)
+	})
+}

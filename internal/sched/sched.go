@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -113,6 +114,11 @@ type Options struct {
 	Metrics *obs.Registry
 	// Logger, when non-nil, emits a debug event per completed stage.
 	Logger *obs.Logger
+	// OnStageStart, when non-nil, is called just before a stage's closure
+	// runs, on the worker goroutine about to run it. Skipped stages (run
+	// already cancelled) do not fire it. Callbacks may run concurrently
+	// when Workers > 1 and must be safe for that.
+	OnStageStart func(name string)
 	// OnStageDone, when non-nil, is called after every executed stage with
 	// its name, run time and error (nil on success). Skipped stages (run
 	// already cancelled) do not fire it. Callbacks may run concurrently
@@ -277,12 +283,27 @@ func (g *Graph) Run(parent context.Context, opts Options) error {
 				opts.Metrics.Histogram("study_stage_wait_seconds", obs.WaitBuckets,
 					"stage", s.name).Observe(time.Since(r.at).Seconds())
 				inflight.Add(1)
-				sctx, span := obs.StartSpan(ctx, "stage/"+s.name)
-				start := time.Now()
-				err := s.fn(sctx)
-				d := time.Since(start)
-				span.End()
+				if opts.OnStageStart != nil {
+					opts.OnStageStart(s.name)
+				}
+				startRes := obs.TakeResourceSnapshot()
+				var err error
+				var d time.Duration
+				// The pprof label makes every CPU sample taken while this
+				// stage (and any goroutine it spawns — crawl workers,
+				// transport connections) runs attributable to it by name;
+				// cmd/studyprof aggregates the profile on exactly this key.
+				// (internal/sched is the one PprofStageForwarders package:
+				// the stage names here were declared statically by callers.)
+				pprof.Do(ctx, pprof.Labels("stage", s.name), func(lctx context.Context) {
+					sctx, span := obs.StartSpan(lctx, "stage/"+s.name)
+					start := time.Now()
+					err = s.fn(sctx)
+					d = time.Since(start)
+					span.End()
+				})
 				inflight.Add(-1)
+				opts.Metrics.RecordStageResources(s.name, startRes, obs.TakeResourceSnapshot())
 				opts.Metrics.Histogram("study_stage_seconds", obs.StageBuckets,
 					"stage", s.name).Observe(d.Seconds())
 				if opts.Logger != nil {

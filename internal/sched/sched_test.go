@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -380,5 +382,100 @@ func TestDependencies(t *testing.T) {
 	deps["c"][0] = "mutated"
 	if again := g.Dependencies(); again["c"][0] != "a" {
 		t.Error("Dependencies returned a live reference to internal state")
+	}
+}
+
+// TestStageLabels pins the resource-attribution contract: every stage
+// closure runs under a pprof label stage=<name> — on its context and,
+// because Run uses pprof.Do, on the worker goroutine itself, so CPU
+// samples taken during the stage (and in any goroutine it spawns,
+// which inherits the label set) are attributable by cmd/studyprof.
+// Goroutine-label inheritance itself is runtime behaviour only
+// observable in a profile; the studyprof integration test covers it.
+func TestStageLabels(t *testing.T) {
+	g := New()
+	var mu sync.Mutex
+	seen := map[string]string{}
+	record := func(name string) func(context.Context) error {
+		return func(ctx context.Context) error {
+			v, _ := pprof.Label(ctx, "stage")
+			mu.Lock()
+			seen[name] = v
+			mu.Unlock()
+			return nil
+		}
+	}
+	g.MustAdd("corpus", record("corpus"))
+	g.MustAdd("crawl/porn-ES", record("crawl/porn-ES"), "corpus")
+	if err := g.Run(context.Background(), Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"corpus", "crawl/porn-ES"} {
+		if seen[name] != name {
+			t.Errorf("stage %q ran with ctx label %q, want its own name", name, seen[name])
+		}
+	}
+}
+
+// TestOnStageStart mirrors TestOnStageDone for the start hook: it fires
+// once per executed stage and never for skipped ones.
+func TestOnStageStart(t *testing.T) {
+	g := New()
+	boom := errors.New("boom")
+	g.MustAdd("a", noop)
+	g.MustAdd("b", func(context.Context) error { return boom }, "a")
+	g.MustAdd("c", noop, "b") // skipped: b fails first
+
+	var mu sync.Mutex
+	var started []string
+	err := g.Run(context.Background(), Options{
+		Workers: 1,
+		OnStageStart: func(name string) {
+			mu.Lock()
+			started = append(started, name)
+			mu.Unlock()
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	sort.Strings(started)
+	if strings.Join(started, ",") != "a,b" {
+		t.Errorf("OnStageStart fired for %v, want exactly [a b]", started)
+	}
+}
+
+// TestStageResourceMetrics checks the scheduler brackets every stage
+// with resource snapshots feeding the study_stage_* metrics.
+func TestStageResourceMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := New()
+	g.MustAdd("a", func(context.Context) error {
+		sink := make([][]byte, 0, 256)
+		for i := 0; i < 256; i++ {
+			sink = append(sink, make([]byte, 4096))
+		}
+		_ = sink
+		return nil
+	})
+	if err := g.Run(context.Background(), Options{Workers: 1, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := reg.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp := buf.String()
+	for _, name := range []string{
+		`study_stage_cpu_seconds{stage="a"}`,
+		`study_stage_alloc_bytes_total{stage="a"}`,
+		`study_stage_goroutines_peak{stage="a"}`,
+	} {
+		if !strings.Contains(exp, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if v := reg.Counter("study_stage_alloc_bytes_total", "stage", "a").Value(); v == 0 {
+		t.Error("stage allocated ~1MiB but study_stage_alloc_bytes_total is zero")
 	}
 }

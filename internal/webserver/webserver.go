@@ -29,6 +29,7 @@ import (
 	"math/big"
 	"net"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +44,10 @@ const (
 	HeaderCountry = "X-Vantage-Country"
 	HeaderPhase   = "X-Crawl-Phase"
 )
+
+// serveLabels attributes request-handling CPU to the synthetic web
+// server rather than leaving it unlabeled in profiles.
+var serveLabels = pprof.Labels("stage", "serve")
 
 // Server hosts an ecosystem.
 type Server struct {
@@ -162,8 +167,17 @@ func Start(eco *webgen.Ecosystem, opts ...Option) (*Server, error) {
 	errLog := log.New(s.log.WithComponent("webserver").StdWriter(obs.LevelDebug, s.met.errLogLines), "", 0)
 	s.httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: errLog}
 	s.httpsSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second, ErrorLog: errLog}
-	go s.httpSrv.Serve(s.httpLn)
-	go s.httpsSrv.Serve(s.httpsLn)
+	// serveUnder labels the accept-loop goroutine; every per-connection
+	// goroutine net/http spawns from it inherits the label set, so the
+	// whole server side — TLS handshakes, request parsing, handlers,
+	// response flushing — profiles under stage=serve, a named row in
+	// studyprof's table distinct from the crawler-side stages.
+	serveUnder := func(srv *http.Server, ln net.Listener) {
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), serveLabels))
+		srv.Serve(ln)
+	}
+	go serveUnder(s.httpSrv, s.httpLn)
+	go serveUnder(s.httpsSrv, s.httpsLn)
 	return s, nil
 }
 

@@ -8,6 +8,8 @@ package pornweb_test
 
 import (
 	"context"
+	"io"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -42,3 +44,33 @@ func benchStudy(b *testing.B, serial bool) {
 
 func BenchmarkStudyRunSerial(b *testing.B)    { benchStudy(b, true) }
 func BenchmarkStudyRunScheduled(b *testing.B) { benchStudy(b, false) }
+
+// BenchmarkStudyRunProfiled is the scheduled pipeline with a CPU
+// profile attached, exactly as cmd/studyprof runs it. Compared against
+// BenchmarkStudyRunScheduled (benchjson's
+// profile_overhead_profiled_over_scheduled ratio, BENCH_prof.json) it
+// prices the continuous-profiling harness: how much the 100 Hz sampler
+// plus label bookkeeping costs relative to an uninstrumented run.
+func BenchmarkStudyRunProfiled(b *testing.B) {
+	st, err := core.NewStudy(core.Config{
+		Params:  webgen.Params{Seed: 2019, Scale: pipelineBenchScale},
+		Workers: 8,
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pprof.StartCPUProfile(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		_, err := st.Run(context.Background())
+		pprof.StopCPUProfile()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
