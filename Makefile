@@ -3,7 +3,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism profile ci
+.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism crashsafety profile ci
 
 all: vet lint test
 
@@ -39,6 +39,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Scheduled|Profiled)$$' -benchtime=1x -count=3 . \
 		| $(GO) run ./cmd/benchjson > BENCH_prof.json
 	@cat BENCH_prof.json
+	( $(GO) test -run '^$$' -bench 'BenchmarkStore(Append|Replay)$$' -count=3 ./internal/store/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Scheduled|StoreBacked)$$' -benchtime=1x -count=3 . ) \
+		| $(GO) run ./cmd/benchjson > BENCH_store.json
+	@cat BENCH_store.json
 
 # fuzz gives each native fuzz target a short budget; failing inputs land
 # in testdata/fuzz/ and then fail `make test` forever after.
@@ -47,6 +51,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzClassify' -fuzztime $(FUZZTIME) ./internal/domain/
 	$(GO) test -run '^$$' -fuzz 'FuzzSuppression' -fuzztime $(FUZZTIME) ./internal/lint/
 	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/profparse/
+	$(GO) test -run '^$$' -fuzz 'FuzzReplay' -fuzztime $(FUZZTIME) ./internal/store/
 
 # lint runs studylint, the repo's first-party analyzer suite
 # (internal/lint): stdlib-only, no module downloads, so unlike
@@ -85,6 +90,30 @@ determinism:
 	$(GO) run ./cmd/studydiff .provgate/a .provgate/b
 	rm -rf .provgate
 
+# crashsafety proves the durable store's central claim end to end: a
+# run killed by a seeded crash at a store append (exit 137, with a torn
+# half-written record on disk) and then resumed against the surviving
+# directory must produce a manifest byte-identical to an uninterrupted
+# run. studydiff checks semantic identity and cmp the exact bytes.
+# Runs fault-free: the injector's burst counters live in the server
+# process, so only deterministic runs can promise byte equality.
+crashsafety:
+	rm -rf .crashgate
+	mkdir -p .crashgate
+	$(GO) build -o .crashgate/pornstudy ./cmd/pornstudy
+	.crashgate/pornstudy -scale 0.004 -seed 2019 -store .crashgate/store-a -provenance .crashgate/a >/dev/null
+	@.crashgate/pornstudy -scale 0.004 -seed 2019 -store .crashgate/store-b \
+		-kill-after-appends 25 -kill-torn >/dev/null 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 137 ]; then \
+		echo "crashsafety: killed run exited $$status, want 137" >&2; exit 1; \
+	fi; \
+	echo "crashsafety: run killed at append 25 (exit 137), resuming"
+	.crashgate/pornstudy -scale 0.004 -seed 2019 -store .crashgate/store-b -resume -provenance .crashgate/b >/dev/null
+	$(GO) run ./cmd/studydiff .crashgate/a .crashgate/b
+	cmp .crashgate/a/manifest.json .crashgate/b/manifest.json
+	rm -rf .crashgate
+
 # profile runs the seeded study under a CPU profile and requires at
 # least 90% of samples to be attributable to a named pipeline stage
 # (measured headroom: 97-99% at this scale). A drop below the floor
@@ -94,6 +123,7 @@ profile:
 
 # ci is the full gate: vet, studylint (always-on, offline-safe), the
 # test suite, the race detector, a short fuzz pass, the run-manifest
-# determinism gate, the profile-attribution gate, and staticcheck when
-# the environment can reach it.
-ci: vet lint test race fuzz determinism profile staticcheck
+# determinism gate, the kill/resume crash-safety gate, the
+# profile-attribution gate, and staticcheck when the environment can
+# reach it.
+ci: vet lint test race fuzz determinism crashsafety profile staticcheck

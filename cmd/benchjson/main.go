@@ -49,6 +49,12 @@ type output struct {
 	// price of running the study under the CPU sampler; present only
 	// when both benchmarks are in the input.
 	ProfileOverheadProfiledOverScheduled float64 `json:"profile_overhead_profiled_over_scheduled,omitempty"`
+	// StoreOverheadStoreBackedOverScheduled is the store-backed
+	// pipeline's ns/op divided by the in-memory scheduled pipeline's —
+	// the price of crash-resumability (serialize + CRC-frame + append +
+	// batched fsync per visit); present only when both benchmarks are
+	// in the input.
+	StoreOverheadStoreBackedOverScheduled float64 `json:"store_overhead_storebacked_over_scheduled,omitempty"`
 }
 
 func main() {
@@ -103,6 +109,10 @@ func main() {
 	prof, okPr := out.Benchmarks["StudyRunProfiled"]
 	if okPr && okC && sched.NsPerOp > 0 {
 		out.ProfileOverheadProfiledOverScheduled = prof.NsPerOp / sched.NsPerOp
+	}
+	backed, okB := out.Benchmarks["StudyRunStoreBacked"]
+	if okB && okC && sched.NsPerOp > 0 {
+		out.StoreOverheadStoreBackedOverScheduled = backed.NsPerOp / sched.NsPerOp
 	}
 
 	enc := json.NewEncoder(os.Stdout)

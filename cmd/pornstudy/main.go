@@ -10,6 +10,8 @@
 //	          [-faults] [-retries 3] [-breaker-threshold 5] [-page-budget 2m]
 //	          [-provenance DIR] [-trace-out FILE]
 //	          [-flight-out FILE] [-flight-sample N]
+//	          [-store DIR] [-resume] [-store-sync N]
+//	          [-kill-after-appends N] [-kill-torn]
 //
 // By default the pipeline runs as a dependency graph: independent crawls
 // and analyses overlap, bounded by -stage-workers (0 = NumCPU). -serial
@@ -22,6 +24,22 @@
 // retries with exponential backoff; -breaker-threshold arms the
 // per-host circuit breaker. The report then includes the robustness
 // section with per-vantage loss and the failure taxonomy.
+//
+// -store DIR opens the durable visit store: every completed visit is
+// appended to an fsync'd log in DIR, so a crashed or interrupted run
+// can be resumed with -resume against the same directory — already
+// durable visits are replayed instead of refetched, and the run
+// manifest comes out byte-identical to an uninterrupted run (the
+// crashsafety make target proves this). Resuming against a store
+// written under a different config or seed exits with status 2.
+// -store-sync N batches N appends per fsync (default 16).
+// -kill-after-appends N is the crash-injection harness: the process
+// dies (exit 137) at the Nth store append, -kill-torn additionally
+// leaves a torn half-written record for replay to truncate.
+//
+// A SIGINT (Ctrl-C) no longer aborts mid-write: the study context is
+// canceled, in-flight stages drain, the flight recorder and provenance
+// files flush, and the store checkpoints before the process exits 130.
 //
 // With -metrics-addr set, an admin listener exposes live run telemetry:
 // /metrics (Prometheus text format), /spans (recent pipeline-stage spans
@@ -44,39 +62,59 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"pornweb/internal/core"
 	"pornweb/internal/obs"
 	"pornweb/internal/report"
 	"pornweb/internal/resilience"
+	"pornweb/internal/store"
 	"pornweb/internal/webgen"
 )
 
 func main() {
-	scale := flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
-	seed := flag.Uint64("seed", 2019, "generation seed")
-	workers := flag.Int("workers", 16, "crawl parallelism")
-	serial := flag.Bool("serial", false, "run pipeline stages strictly sequentially (reference schedule)")
-	stageWorkers := flag.Int("stage-workers", 0, "concurrent pipeline stages for the DAG scheduler (0 = NumCPU)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-page timeout")
-	verbose := flag.Bool("v", false, "progress logging")
-	jsonOut := flag.String("json", "", "also write the raw results as JSON to this file")
-	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
-	faults := flag.Bool("faults", false, "inject the default chaos profile into the generated ecosystem")
-	retries := flag.Int("retries", 0, "max attempts per request (0 or 1 = single-shot)")
-	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that open a host's circuit breaker (0 = disabled)")
-	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open breaker rejects before half-opening")
-	pageBudget := flag.Duration("page-budget", 0, "total deadline per page visit across all retries (0 = 4x timeout when retries are on)")
-	provDir := flag.String("provenance", "", "write manifest.json and runinfo.json into this directory (compare runs with studydiff)")
-	traceOut := flag.String("trace-out", "", "write stage spans as a Chrome trace-event file (load in Perfetto or chrome://tracing)")
-	flightOut := flag.String("flight-out", "", "stream kept per-visit flight events to this file as NDJSON")
-	flightSample := flag.Int("flight-sample", 0, "keep 1 in N successful visit events (failures always kept; <=1 keeps all)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and an exit code, so the exit
+// contract (0 ok, 1 error, 2 store fingerprint mismatch, 130 SIGINT)
+// is testable without forking.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pornstudy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
+	seed := fs.Uint64("seed", 2019, "generation seed")
+	workers := fs.Int("workers", 16, "crawl parallelism")
+	serial := fs.Bool("serial", false, "run pipeline stages strictly sequentially (reference schedule)")
+	stageWorkers := fs.Int("stage-workers", 0, "concurrent pipeline stages for the DAG scheduler (0 = NumCPU)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-page timeout")
+	verbose := fs.Bool("v", false, "progress logging")
+	jsonOut := fs.String("json", "", "also write the raw results as JSON to this file")
+	csvDir := fs.String("csv", "", "also write per-experiment CSV files into this directory")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
+	faults := fs.Bool("faults", false, "inject the default chaos profile into the generated ecosystem")
+	retries := fs.Int("retries", 0, "max attempts per request (0 or 1 = single-shot)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open a host's circuit breaker (0 = disabled)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open breaker rejects before half-opening")
+	pageBudget := fs.Duration("page-budget", 0, "total deadline per page visit across all retries (0 = 4x timeout when retries are on)")
+	provDir := fs.String("provenance", "", "write manifest.json and runinfo.json into this directory (compare runs with studydiff)")
+	traceOut := fs.String("trace-out", "", "write stage spans as a Chrome trace-event file (load in Perfetto or chrome://tracing)")
+	flightOut := fs.String("flight-out", "", "stream kept per-visit flight events to this file as NDJSON")
+	flightSample := fs.Int("flight-sample", 0, "keep 1 in N successful visit events (failures always kept; <=1 keeps all)")
+	storeDir := fs.String("store", "", "persist every completed visit into a durable store in this directory")
+	resume := fs.Bool("resume", false, "resume from an existing -store directory, skipping visits already durable")
+	storeSync := fs.Int("store-sync", 0, "store appends per fsync batch (0 = default 16; 1 syncs every visit)")
+	killAfter := fs.Int("kill-after-appends", 0, "crash injection: die (exit 137) at the Nth store append (0 = off)")
+	killTorn := fs.Bool("kill-torn", false, "crash injection: additionally leave a torn half-written record")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	params := webgen.Params{Seed: *seed, Scale: *scale}
 	if *faults {
@@ -96,92 +134,148 @@ func main() {
 			BreakerThreshold: *breakerThreshold,
 			BreakerCooldown:  *breakerCooldown,
 		},
-		PageBudget:   *pageBudget,
-		FlightSample: *flightSample,
+		PageBudget:     *pageBudget,
+		FlightSample:   *flightSample,
+		StoreDir:       *storeDir,
+		StoreResume:    *resume,
+		StoreSyncEvery: *storeSync,
+	}
+	if *killAfter > 0 {
+		if *storeDir == "" {
+			fmt.Fprintln(stderr, "pornstudy: -kill-after-appends requires -store")
+			return 1
+		}
+		cfg.StoreKill = &store.KillSwitch{After: *killAfter, Torn: *killTorn, Exit: os.Exit}
 	}
 	var flightFile *os.File
 	if *flightOut != "" {
 		f, err := os.Create(*flightOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pornstudy:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pornstudy:", err)
+			return 1
 		}
 		flightFile = f
 		cfg.FlightSink = f
 	}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			fmt.Fprintf(stderr, "# "+format+"\n", args...)
 		}
 	}
 	st, err := core.NewStudy(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pornstudy:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "pornstudy:", err)
+		if errors.Is(err, store.ErrFingerprintMismatch) {
+			return 2
+		}
+		return 1
 	}
 	defer st.Close()
 	if *metricsAddr != "" {
-		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics\n", st.AdminAddr())
+		fmt.Fprintf(stderr, "observability: http://%s/metrics\n", st.AdminAddr())
 	}
 
+	// Graceful SIGINT: cancel the study context so in-flight stages
+	// drain; the deferred st.Close then checkpoints the store and stops
+	// the servers, so an interrupted store-backed run resumes cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	res, err := st.Run(context.Background())
+	res, err := st.Run(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pornstudy:", err)
-		os.Exit(1)
+		if ctx.Err() != nil {
+			fmt.Fprintln(stderr, "pornstudy: interrupted; draining and checkpointing")
+			flushVolatile(st, stderr, flightFile, *flightOut, *traceOut, *provDir)
+			return 130
+		}
+		fmt.Fprintln(stderr, "pornstudy:", err)
+		return 1
 	}
-	fmt.Printf("Tales from the Porn — reproduction run (scale %.3g, seed %d, %s)\n",
+	fmt.Fprintf(stdout, "Tales from the Porn — reproduction run (scale %.3g, seed %d, %s)\n",
 		*scale, *seed, time.Since(start).Round(time.Millisecond))
-	report.All(os.Stdout, res)
-	report.Provenance(os.Stdout, st.Provenance)
+	report.All(stdout, res)
+	report.Provenance(stdout, st.Provenance)
 
 	if *provDir != "" {
 		if err := st.WriteProvenance(*provDir); err != nil {
-			fmt.Fprintln(os.Stderr, "pornstudy: provenance:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pornstudy: provenance:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "provenance written to %s\n", *provDir)
+		fmt.Fprintf(stderr, "provenance written to %s\n", *provDir)
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pornstudy:", err)
-			os.Exit(1)
+		if err := writeTrace(st, *traceOut); err != nil {
+			fmt.Fprintln(stderr, "pornstudy: trace:", err)
+			return 1
 		}
-		if err := obs.WriteChromeTrace(f, st.Tracer.Recent()); err != nil {
-			fmt.Fprintln(os.Stderr, "pornstudy: trace:", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+		fmt.Fprintf(stderr, "trace written to %s\n", *traceOut)
 	}
 	if flightFile != nil {
 		seen, kept, sampledOut := st.Flight.Stats()
 		flightFile.Close()
-		fmt.Fprintf(os.Stderr, "flight events written to %s (%d seen, %d kept, %d sampled out)\n",
+		flightFile = nil
+		fmt.Fprintf(stderr, "flight events written to %s (%d seen, %d kept, %d sampled out)\n",
 			*flightOut, seen, kept, sampledOut)
 	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pornstudy:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pornstudy:", err)
+			return 1
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, "pornstudy: encode:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pornstudy: encode:", err)
+			return 1
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "raw results written to %s\n", *jsonOut)
+		fmt.Fprintf(stderr, "raw results written to %s\n", *jsonOut)
 	}
 	if *csvDir != "" {
 		if err := report.WriteCSVDir(*csvDir, res); err != nil {
-			fmt.Fprintln(os.Stderr, "pornstudy: csv:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pornstudy: csv:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "CSV tables written to %s\n", *csvDir)
+		fmt.Fprintf(stderr, "CSV tables written to %s\n", *csvDir)
 	}
+	return 0
+}
+
+// flushVolatile drains what an interrupted run can still save: the
+// flight-event stream, the stage trace, and — when Run got far enough
+// to assemble one — the provenance pair. The store checkpoint itself
+// happens in the deferred st.Close.
+func flushVolatile(st *core.Study, stderr io.Writer, flightFile *os.File, flightOut, traceOut, provDir string) {
+	if flightFile != nil {
+		seen, kept, sampledOut := st.Flight.Stats()
+		flightFile.Close()
+		fmt.Fprintf(stderr, "flight events written to %s (%d seen, %d kept, %d sampled out)\n",
+			flightOut, seen, kept, sampledOut)
+	}
+	if traceOut != "" {
+		if err := writeTrace(st, traceOut); err != nil {
+			fmt.Fprintln(stderr, "pornstudy: trace:", err)
+		}
+	}
+	if provDir != "" && st.Provenance != nil {
+		if err := st.WriteProvenance(provDir); err != nil {
+			fmt.Fprintln(stderr, "pornstudy: provenance:", err)
+		}
+	}
+}
+
+// writeTrace dumps the tracer's recent spans as a Chrome trace file.
+func writeTrace(st *core.Study, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, st.Tracer.Recent()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// studyArgs is the cheapest full-study invocation the tests run.
+func studyArgs(dir string, extra ...string) []string {
+	args := []string{"-scale", "0.004", "-seed", "11", "-workers", "4",
+		"-timeout", "5s", "-store", dir}
+	return append(args, extra...)
+}
+
+// TestRunStoreBacked: a store-backed run exits 0 and leaves a durable
+// store (segments plus checkpoint) behind, and a resume of the
+// completed run also exits 0 (every visit replays, none are refetched).
+func TestRunStoreBacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full studies")
+	}
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code := run(studyArgs(dir), &out, &errOut); code != 0 {
+		t.Fatalf("store-backed run: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.json")); err != nil {
+		t.Fatalf("no checkpoint after clean run: %v", err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(studyArgs(dir, "-resume"), &out, &errOut); code != 0 {
+		t.Fatalf("resume of completed run: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Tales from the Porn") {
+		t.Fatal("resumed run produced no report")
+	}
+}
+
+// TestResumeMismatchExits2: -resume against a store written under a
+// different seed must exit with status 2, the typed refusal.
+func TestResumeMismatchExits2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full study")
+	}
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code := run(studyArgs(dir), &out, &errOut); code != 0 {
+		t.Fatalf("store-backed run: exit %d\nstderr: %s", code, errOut.String())
+	}
+	errOut.Reset()
+	args := []string{"-scale", "0.004", "-seed", "12", "-workers", "4",
+		"-timeout", "5s", "-store", dir, "-resume"}
+	if code := run(args, &out, &errOut); code != 2 {
+		t.Fatalf("mismatched resume: exit %d, want 2\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "fingerprint mismatch") {
+		t.Fatalf("mismatched resume stderr lacks the typed cause: %s", errOut.String())
+	}
+}
+
+// TestKillRequiresStore: crash injection without a store is a usage
+// error, not a silent no-op.
+func TestKillRequiresStore(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-kill-after-appends", "3"}, &out, &errOut); code != 1 {
+		t.Fatalf("kill without store: exit %d, want 1", code)
+	}
+}

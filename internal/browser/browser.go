@@ -134,8 +134,11 @@ type PageVisit struct {
 	// (resilience.Class), "" on success.
 	FailClass string
 	HTML      string
-	DOM       *htmlx.Node
-	Traces    []ScriptTrace
+	// DOM is never serialized: parent pointers make the tree cyclic,
+	// and htmlx.Parse(HTML) reconstructs it deterministically — which
+	// is exactly what the durable store does when replaying a visit.
+	DOM    *htmlx.Node `json:"-"`
+	Traces []ScriptTrace
 	// Subresources counts fetched embeds by initiator kind.
 	Subresources map[crawler.Initiator]int
 	// SpanID links the visit to its span in the tracer ring (0 when

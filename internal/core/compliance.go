@@ -89,16 +89,33 @@ func (st *Study) InteractiveCrawlStage(ctx context.Context, hosts []string, coun
 	b.Corpus = "porn"
 	b.Rank = st.Rank.BaseRank
 	out := make(map[string]*browser.InteractiveVisit, len(hosts))
+	// Replay durable interactive visits, crawl the rest, persist each
+	// completed visit — the same resume protocol as CrawlStage.
+	pending, replayed := st.hostsToVisit(stageName, "porn", country, hosts, true)
 	var mu sync.Mutex
-	st.forEach(ctx, len(hosts), func(i int) {
-		iv := b.VisitInteractive(ctx, hosts[i])
+	st.forEach(ctx, len(pending), func(i int) {
+		iv := b.VisitInteractive(ctx, pending[i])
 		mu.Lock()
-		out[hosts[i]] = iv
+		out[pending[i]] = iv
 		mu.Unlock()
+		if st.store != nil && stageName != "" {
+			st.persistVisit(storeKey(stageName, "porn", country, pending[i]),
+				interactiveEntry(iv, sess, pending[i]))
+		}
 	})
+	for _, h := range hosts {
+		if e := replayed[h]; e != nil {
+			out[h] = e.Interactive
+		}
+	}
 	if stageName != "" {
-		n, digest := crawlLogDigest(sess.Log())
+		log := sess.Log()
+		if len(replayed) > 0 {
+			log, _, _ = mergeReplayed(hosts, replayed, log, map[string]string{}, map[string]uint64{})
+		}
+		n, digest := crawlLogDigest(log)
 		st.prov.RecordStage(stageName, n, digest)
+		st.checkpointStore()
 	}
 	st.Log.Infof("interactive[%s]: %d sites", country, len(hosts))
 	return out, nil

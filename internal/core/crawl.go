@@ -83,13 +83,26 @@ func (st *Study) CrawlStage(ctx context.Context, hosts []string, country, stageN
 		FailuresByClass: map[string]int{},
 		tpCacheHits:     st.Metrics.Counter("crawl_tp_cache_hits_total", "country", country),
 	}
+	// With a durable store, visits a previous run already persisted are
+	// replayed instead of refetched; only the rest are crawled, and each
+	// completed visit streams into the store as it finishes.
+	pending, replayed := st.hostsToVisit(stageName, corpus, country, hosts, false)
 	var mu sync.Mutex
-	st.forEach(ctx, len(hosts), func(i int) {
-		pv := b.Visit(ctx, hosts[i])
+	st.forEach(ctx, len(pending), func(i int) {
+		pv := b.Visit(ctx, pending[i])
 		mu.Lock()
-		cr.Visits[hosts[i]] = pv
+		cr.Visits[pending[i]] = pv
 		mu.Unlock()
+		if st.store != nil && stageName != "" {
+			st.persistVisit(storeKey(stageName, corpus, country, pending[i]),
+				pageEntry(pv, sess, pending[i]))
+		}
 	})
+	for _, h := range hosts {
+		if e := replayed[h]; e != nil {
+			cr.Visits[h] = e.Page
+		}
+	}
 	for h, pv := range cr.Visits {
 		if pv.OK {
 			cr.Crawled = append(cr.Crawled, h)
@@ -101,11 +114,18 @@ func (st *Study) CrawlStage(ctx context.Context, hosts []string, country, stageN
 	cr.Log = sess.Log()
 	cr.CertOrgs = sess.CertOrgs()
 	cr.RequestFailures = sess.FailureCounts()
+	if len(replayed) > 0 {
+		cr.Log, cr.CertOrgs, cr.RequestFailures =
+			mergeReplayed(hosts, replayed, cr.Log, cr.CertOrgs, cr.RequestFailures)
+	}
 	span.SetAttr("sites", fmt.Sprint(len(cr.Crawled)))
 	span.SetAttr("requests", fmt.Sprint(len(cr.Log)))
 	if stageName != "" {
 		n, digest := crawlLogDigest(cr.Log)
 		st.prov.RecordStage(stageName, n, digest)
+		// A stage boundary is a natural durability point: everything this
+		// stage persisted becomes crash-proof before the next stage starts.
+		st.checkpointStore()
 	}
 	st.Log.Infof("crawl[%s]: %d/%d sites, %d requests", country, len(cr.Crawled), len(hosts), len(cr.Log))
 	return cr, nil

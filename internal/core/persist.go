@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+
+	"pornweb/internal/browser"
+	"pornweb/internal/crawler"
+	"pornweb/internal/htmlx"
+	"pornweb/internal/obs"
+	"pornweb/internal/resilience"
+	"pornweb/internal/store"
+)
+
+// visitEntry is the durable form of one completed visit: the page (or
+// interactive) outcome, the request records the visit generated, its
+// aggregated stats and its terminal request failures by class. One
+// entry is one store record under (stage, corpus, vantage, site); a
+// resumed run rebuilds a crawl stage's full result by replaying these
+// entries for the sites already durable and crawling only the rest.
+type visitEntry struct {
+	Page        *browser.PageVisit        `json:"page,omitempty"`
+	Interactive *browser.InteractiveVisit `json:"interactive,omitempty"`
+	Records     []crawler.Record          `json:"records,omitempty"`
+	Stats       crawler.VisitStats        `json:"stats"`
+	Failures    map[string]uint64         `json:"failures,omitempty"`
+}
+
+// storeKey builds the durable key for one visit of a stage.
+func storeKey(stage, corpus, vantage, site string) store.Key {
+	return store.Key{Stage: stage, Corpus: corpus, Vantage: vantage, Site: site}
+}
+
+// normalizeRecords strips the volatile parts of a visit's request
+// records so the stored bytes are a pure function of (seed, config,
+// site): Seq is global log position — scheduling-dependent — and is
+// renumbered to the record's position *within the visit* (1-based),
+// which preserves the intra-visit ordering the cookie-sync analysis
+// relies on while forgetting where concurrent visits interleaved.
+func normalizeRecords(recs []crawler.Record) []crawler.Record {
+	out := make([]crawler.Record, len(recs))
+	for i, r := range recs {
+		r.Seq = i + 1
+		out[i] = r
+	}
+	return out
+}
+
+// persistVisit streams one completed visit into the durable store. A
+// write failure is an availability problem, not a measurement: it is
+// logged, counted (store_write_errors_total plus the crawl failure
+// taxonomy's store-write class) and the crawl continues — the entry is
+// simply not resumable. It must never leak into manifest-digested
+// counters, or a disk hiccup would change the study's results.
+func (st *Study) persistVisit(k store.Key, e *visitEntry) {
+	raw, err := json.Marshal(e)
+	if err == nil {
+		err = st.store.Append(k, raw)
+	}
+	if err != nil {
+		st.storeErrs.Inc()
+		st.Log.Event(obs.LevelWarn, "store append failed; visit not resumable",
+			"class", string(resilience.ClassStoreWrite),
+			"stage", k.Stage, "site", k.Site, "err", err.Error())
+	}
+}
+
+// pageEntry assembles the durable entry for one instrumented page
+// visit: the visit outcome (span ID zeroed — tracing is volatile),
+// its per-site request records, stats and failure counts.
+func pageEntry(pv *browser.PageVisit, sess *crawler.Session, site string) *visitEntry {
+	cp := *pv
+	cp.SpanID = 0
+	return &visitEntry{
+		Page:     &cp,
+		Records:  normalizeRecords(sess.SiteRecords(site)),
+		Stats:    sess.VisitStats(site),
+		Failures: sess.SiteFailureCounts(site),
+	}
+}
+
+// interactiveEntry is pageEntry for the Selenium-analog crawl.
+func interactiveEntry(iv *browser.InteractiveVisit, sess *crawler.Session, site string) *visitEntry {
+	cp := *iv
+	cp.SpanID = 0
+	return &visitEntry{
+		Interactive: &cp,
+		Records:     normalizeRecords(sess.SiteRecords(site)),
+		Stats:       sess.VisitStats(site),
+		Failures:    sess.SiteFailureCounts(site),
+	}
+}
+
+// loadDurable reads back the entries a previous run persisted for one
+// stage, keyed by site. Only entries of the wanted kind count (a page
+// entry cannot satisfy an interactive stage); anything unreadable is
+// treated as missing so the visit is simply redone.
+func (st *Study) loadDurable(stage, corpus, vantage string, hosts []string, interactive bool) map[string]*visitEntry {
+	out := map[string]*visitEntry{}
+	for _, h := range hosts {
+		raw, ok, err := st.store.Get(storeKey(stage, corpus, vantage, h))
+		if err != nil || !ok {
+			continue
+		}
+		var e visitEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			st.Log.Event(obs.LevelWarn, "durable visit unreadable; revisiting",
+				"stage", stage, "site", h, "err", err.Error())
+			continue
+		}
+		if interactive {
+			if e.Interactive == nil {
+				continue
+			}
+		} else {
+			if e.Page == nil {
+				continue
+			}
+			// The DOM is never serialized (parent pointers make it cyclic);
+			// reparsing the stored HTML reconstructs it deterministically.
+			if e.Page.HTML != "" {
+				e.Page.DOM = htmlx.Parse(e.Page.HTML)
+			}
+		}
+		out[h] = &e
+	}
+	return out
+}
+
+// mergeReplayed folds the replayed entries of one crawl stage into the
+// live session's view, producing exactly what an uninterrupted run
+// would have measured: records are appended with fresh Seq numbers
+// continuing past the live log (intra-visit order preserved), cert
+// organizations are rebuilt from the records that carried them, and
+// per-class request failures are added to the session's counters.
+// Iteration follows the caller's host order, never map order.
+func mergeReplayed(hosts []string, replayed map[string]*visitEntry,
+	log []crawler.Record, certOrgs map[string]string, failures map[string]uint64) ([]crawler.Record, map[string]string, map[string]uint64) {
+	next := 0
+	for _, r := range log {
+		if r.Seq > next {
+			next = r.Seq
+		}
+	}
+	for _, h := range hosts {
+		e := replayed[h]
+		if e == nil {
+			continue
+		}
+		for _, r := range e.Records {
+			next++
+			r.Seq = next
+			log = append(log, r)
+			if r.CertOrg != "" {
+				certOrgs[r.Host] = r.CertOrg
+			}
+		}
+		for class, n := range e.Failures {
+			failures[class] += n
+		}
+	}
+	return log, certOrgs, failures
+}
+
+// hostsToVisit partitions a stage's hosts into those already durable
+// in the store (returned as replayed entries) and those still to be
+// crawled. With no store (or an unnamed stage) everything is pending.
+func (st *Study) hostsToVisit(stage, corpus, vantage string, hosts []string, interactive bool) ([]string, map[string]*visitEntry) {
+	if st.store == nil || stage == "" {
+		return hosts, nil
+	}
+	replayed := st.loadDurable(stage, corpus, vantage, hosts, interactive)
+	if len(replayed) == 0 {
+		return hosts, nil
+	}
+	pending := make([]string, 0, len(hosts)-len(replayed))
+	for _, h := range hosts {
+		if replayed[h] == nil {
+			pending = append(pending, h)
+		}
+	}
+	st.Log.Infof("store: %s resumes %d/%d visits from durable log", stage, len(replayed), len(hosts))
+	return pending, replayed
+}
+
+// checkpointStore syncs and checkpoints the durable store if one is
+// open; failures are logged, never fatal — the segments alone are
+// authoritative and a resume works without a checkpoint.
+func (st *Study) checkpointStore() {
+	if st.store == nil {
+		return
+	}
+	if err := st.store.Checkpoint(); err != nil {
+		st.storeErrs.Inc()
+		st.Log.Event(obs.LevelWarn, "store checkpoint failed",
+			"class", string(resilience.ClassStoreWrite), "err", err.Error())
+	}
+}
+
+// storeInfo exposes the open store's digest for the run manifest;
+// (0, "", false) without a store.
+func (st *Study) storeInfo() (int, string, bool) {
+	if st.store == nil {
+		return 0, "", false
+	}
+	n, digest := st.store.Digest()
+	return n, digest, true
+}

@@ -316,6 +316,9 @@ func (st *Study) BuildManifest(res *Results) (*provenance.Manifest, error) {
 			m.Failures[class] = n
 		}
 	}
+	if n, digest, ok := st.storeInfo(); ok {
+		m.Store = &provenance.StoreInfo{Entries: n, Digest: digest}
+	}
 	return m, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"pornweb/internal/provenance"
 	"pornweb/internal/ranking"
 	"pornweb/internal/resilience"
+	"pornweb/internal/store"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
 )
@@ -84,6 +85,23 @@ type Config struct {
 	// FlightOff disables the flight recorder entirely; page visits then
 	// skip event assembly (the disabled path is allocation-free).
 	FlightOff bool
+
+	// StoreDir, when non-empty, opens the durable visit store in that
+	// directory: every completed visit is appended as it finishes, so a
+	// crashed run can resume instead of starting over. Empty keeps the
+	// historical in-memory-only behaviour.
+	StoreDir string
+	// StoreResume reopens an existing store directory, replays its log
+	// (truncating a torn tail) and lets crawl stages skip the visits
+	// already durable. The store's fingerprint and seed must match this
+	// config: a mismatch fails NewStudy with store.ErrFingerprintMismatch.
+	StoreResume bool
+	// StoreSyncEvery overrides the store's batched-fsync cadence
+	// (default 16 appends per fsync; 1 syncs every visit).
+	StoreSyncEvery int
+	// StoreKill injects a crash at a seeded store append — the
+	// crash-safety harness's lever. Nil in production.
+	StoreKill *store.KillSwitch
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +155,11 @@ type Study struct {
 	// byte-exact across schedules.
 	Provenance *provenance.Manifest
 	RunInfo    *provenance.RunInfo
+
+	// store is the durable visit log (nil without Cfg.StoreDir); storeErrs
+	// counts persistence failures the crawl survived.
+	store     store.Store
+	storeErrs *obs.Counter
 
 	prov  *provenance.Recorder
 	admin *obs.AdminServer
@@ -192,6 +215,33 @@ func NewStudy(cfg Config) (*Study, error) {
 	if !cfg.FlightOff {
 		st.Flight = obs.NewFlightRecorder(cfg.FlightBuffer, cfg.FlightSample, cfg.FlightSink)
 	}
+	if cfg.StoreDir != "" {
+		fp, err := st.configFingerprint()
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("core: fingerprint config: %w", err)
+		}
+		vs, err := store.Open(cfg.StoreDir, store.Options{
+			Fingerprint: fp,
+			Seed:        int64(cfg.Params.Seed),
+			Resume:      cfg.StoreResume,
+			SyncEvery:   cfg.StoreSyncEvery,
+			Metrics:     reg,
+			Tracer:      tracer,
+			Kill:        cfg.StoreKill,
+		})
+		if err != nil {
+			srv.Close()
+			// Typed errors (store.ErrFingerprintMismatch in particular)
+			// stay unwrappable for the caller's exit-code decision.
+			return nil, fmt.Errorf("core: open visit store: %w", err)
+		}
+		st.store = vs
+		reg.Describe("study_store_visit_errors_total", "visits the crawl completed but the store failed to persist")
+		st.storeErrs = reg.Counter("study_store_visit_errors_total")
+		n, _ := vs.Digest()
+		logger.Infof("store: %s open (%d durable visits)", cfg.StoreDir, n)
+	}
 	if cfg.MetricsAddr != "" {
 		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, tracer, st.Flight)
 		if err != nil {
@@ -208,13 +258,24 @@ func NewStudy(cfg Config) (*Study, error) {
 // was unset.
 func (st *Study) AdminAddr() string { return st.admin.Addr() }
 
-// Close shuts the server (and the admin listener, if any) down.
+// Close shuts the server (and the admin listener, if any) down and
+// checkpoints and closes the durable store when one is open.
 func (st *Study) Close() {
 	if err := st.admin.Close(); err != nil {
 		st.Log.Event(obs.LevelWarn, "admin listener close failed", "err", err.Error())
 	}
+	if st.store != nil {
+		if err := st.store.Close(); err != nil {
+			st.Log.Event(obs.LevelWarn, "store close failed", "err", err.Error())
+		}
+	}
 	st.Srv.Close()
 }
+
+// VisitStore exposes the durable visit store, nil when Cfg.StoreDir
+// was unset. Callers may read (Get/Has/Scan/Digest) freely; writes are
+// the crawl stages' job.
+func (st *Study) VisitStore() store.Store { return st.store }
 
 // session opens an instrumented session for a vantage country and crawl
 // phase.

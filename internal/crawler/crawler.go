@@ -163,8 +163,10 @@ type Session struct {
 	log        []Record
 	certOrgs   map[string]string // host -> cert org
 	seq        int
-	failCounts map[string]uint64     // failure class -> terminal failures
-	siteStats  map[string]VisitStats // site host -> aggregated request stats
+	failCounts map[string]uint64            // failure class -> terminal failures
+	siteFails  map[string]map[string]uint64 // site host -> failure class -> count
+	siteStats  map[string]VisitStats        // site host -> aggregated request stats
+	siteRecs   map[string][]int             // site host -> indices into log
 
 	jarsMu sync.Mutex
 	jars   map[string]*cookiejar.Jar // site host -> that visit's cookie jar
@@ -271,7 +273,9 @@ func NewSession(cfg Config) (*Session, error) {
 		met:        newSessionMetrics(cfg.Metrics, cfg.Country),
 		certOrgs:   map[string]string{},
 		failCounts: map[string]uint64{},
+		siteFails:  map[string]map[string]uint64{},
 		siteStats:  map[string]VisitStats{},
+		siteRecs:   map[string][]int{},
 		jars:       map[string]*cookiejar.Jar{},
 		res:        resilience.NewController(cfg.Retry),
 	}
@@ -370,15 +374,55 @@ func (s *Session) FailureCounts() map[string]uint64 {
 	return out
 }
 
-// countFailure records one terminal request failure of the given class.
-func (s *Session) countFailure(class resilience.Class) {
+// countFailure records one terminal request failure of the given
+// class, attributed to the visited site (so a resumed run can
+// reconstruct per-visit failure totals from the durable store).
+func (s *Session) countFailure(class resilience.Class, siteHost string) {
 	if class == "" {
 		return
 	}
 	s.met.failures[class].Inc()
 	s.mu.Lock()
 	s.failCounts[string(class)]++
+	if siteHost != "" {
+		m := s.siteFails[siteHost]
+		if m == nil {
+			m = map[string]uint64{}
+			s.siteFails[siteHost] = m
+		}
+		m[string(class)]++
+	}
 	s.mu.Unlock()
+}
+
+// SiteFailureCounts snapshots the terminal failures attributed to one
+// visited site, by taxonomy class (nil when the site saw none).
+func (s *Session) SiteFailureCounts(site string) map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src := s.siteFails[site]
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// SiteRecords returns the request records attributed to one visited
+// site, in log order. Concurrent visits interleave in the session log;
+// this is the per-visit view the durable store persists.
+func (s *Session) SiteRecords(site string) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.siteRecs[site]
+	out := make([]Record, len(idx))
+	for i, j := range idx {
+		out[i] = s.log[j]
+	}
+	return out
 }
 
 func (s *Session) record(r Record) {
@@ -394,6 +438,7 @@ func (s *Session) record(r Record) {
 	r.Seq = s.seq
 	s.log = append(s.log, r)
 	if r.SiteHost != "" {
+		s.siteRecs[r.SiteHost] = append(s.siteRecs[r.SiteHost], len(s.log)-1)
 		st := s.siteStats[r.SiteHost]
 		st.Requests++
 		if r.Host != "" && r.Host != r.SiteHost {
@@ -429,7 +474,7 @@ func (s *Session) Fetch(ctx context.Context, rawURL, siteHost string, initiator 
 	seen := map[string]bool{}
 	for hop := 0; hop <= s.cfg.MaxRedirects; hop++ {
 		if seen[cur] {
-			s.countFailure(resilience.ClassRedirectLoop)
+			s.countFailure(resilience.ClassRedirectLoop, siteHost)
 			return nil, fmt.Errorf("crawler: %w: revisited %s", resilience.ErrRedirectLoop, cur)
 		}
 		seen[cur] = true
@@ -441,7 +486,7 @@ func (s *Session) Fetch(ctx context.Context, rawURL, siteHost string, initiator 
 		if att.redirectTo == "" {
 			s.record(rec)
 			if cls := resilience.ClassifyStatus(rec.Status); cls != "" {
-				s.countFailure(cls)
+				s.countFailure(cls, siteHost)
 			}
 			return &Result{
 				FinalURL:    cur,
@@ -455,7 +500,7 @@ func (s *Session) Fetch(ctx context.Context, rawURL, siteHost string, initiator 
 		s.record(rec)
 		next, err := url.Parse(att.redirectTo)
 		if err != nil {
-			s.countFailure(resilience.Classify(err))
+			s.countFailure(resilience.Classify(err), siteHost)
 			return nil, fmt.Errorf("crawler: bad redirect %q: %w", att.redirectTo, err)
 		}
 		base, _ := url.Parse(cur)
@@ -463,7 +508,7 @@ func (s *Session) Fetch(ctx context.Context, rawURL, siteHost string, initiator 
 		ref = rec.URL
 		init = InitRedirect
 	}
-	s.countFailure(resilience.ClassRedirectLoop)
+	s.countFailure(resilience.ClassRedirectLoop, siteHost)
 	return nil, fmt.Errorf("crawler: too many redirects from %s: %w", rawURL, resilience.ErrRedirectLoop)
 }
 
@@ -492,7 +537,7 @@ func (s *Session) fetchHop(ctx context.Context, rawURL, siteHost string, init In
 	}
 	if err := s.res.Allow(host); err != nil {
 		s.met.breakerFast.Inc()
-		s.countFailure(resilience.ClassBreakerOpen)
+		s.countFailure(resilience.ClassBreakerOpen, siteHost)
 		return Record{URL: rawURL, Host: host, SiteHost: siteHost, Country: s.cfg.Country,
 			Initiator: init, ParentURL: ref, Referer: ref, Err: err.Error(), Attempt: 1}, nil, err
 	}
@@ -513,7 +558,7 @@ func (s *Session) fetchHop(ctx context.Context, rawURL, siteHost string, init In
 		s.res.Report(host, ok)
 		if err == nil && !resilience.RetryableStatus(rec.Status) {
 			if cls := resilience.ClassifyStatus(rec.Status); cls != "" {
-				s.countFailure(cls)
+				s.countFailure(cls, siteHost)
 			}
 			return rec, att, nil
 		}
@@ -541,7 +586,7 @@ func (s *Session) fetchHop(ctx context.Context, rawURL, siteHost string, init In
 		s.met.retryDelay.Observe(delay.Seconds())
 		if !resilience.Sleep(ctx, delay) {
 			cerr := ctx.Err()
-			s.countFailure(resilience.Classify(cerr))
+			s.countFailure(resilience.Classify(cerr), siteHost)
 			return Record{URL: rawURL, Host: host, SiteHost: siteHost, Country: s.cfg.Country,
 				Initiator: init, ParentURL: ref, Referer: ref, Err: cerr.Error(), Attempt: try}, nil, cerr
 		}
@@ -551,13 +596,13 @@ func (s *Session) fetchHop(ctx context.Context, rawURL, siteHost string, init In
 // finishHop counts and returns a terminal attempt outcome.
 func (s *Session) finishHop(rec Record, att *attempt, err error) (Record, *attempt, error) {
 	if err != nil {
-		s.countFailure(resilience.Classify(err))
+		s.countFailure(resilience.Classify(err), rec.SiteHost)
 		return rec, nil, err
 	}
 	// Retries exhausted on a retryable status: hand the last response
 	// back so the page layer records the status it saw.
 	if cls := resilience.ClassifyStatus(rec.Status); cls != "" {
-		s.countFailure(cls)
+		s.countFailure(cls, rec.SiteHost)
 	}
 	return rec, att, nil
 }

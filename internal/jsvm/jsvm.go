@@ -14,6 +14,7 @@
 package jsvm
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -41,6 +42,57 @@ type CanvasRecord struct {
 	Save             int             // ctx.save calls
 	Restore          int             // ctx.restore calls
 	AddEventListener int             // canvas.addEventListener calls
+}
+
+// canvasJSON is CanvasRecord's serialized form: the Text builder
+// flattens to a plain string, so a trace that round-trips through the
+// durable visit store keeps the drawn text the canvas-fingerprinting
+// heuristics count (a bare strings.Builder marshals to nothing).
+type canvasJSON struct {
+	Width, Height    int
+	Colors           map[string]bool
+	Text             string
+	ToDataURL        int
+	GetImageData     int
+	GetImageDataArea int
+	Save             int
+	Restore          int
+	AddEventListener int
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *CanvasRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(canvasJSON{
+		Width: c.Width, Height: c.Height,
+		Colors:           c.Colors,
+		Text:             c.Text.String(),
+		ToDataURL:        c.ToDataURL,
+		GetImageData:     c.GetImageData,
+		GetImageDataArea: c.GetImageDataArea,
+		Save:             c.Save,
+		Restore:          c.Restore,
+		AddEventListener: c.AddEventListener,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *CanvasRecord) UnmarshalJSON(raw []byte) error {
+	var j canvasJSON
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return err
+	}
+	*c = CanvasRecord{
+		Width: j.Width, Height: j.Height,
+		Colors:           j.Colors,
+		ToDataURL:        j.ToDataURL,
+		GetImageData:     j.GetImageData,
+		GetImageDataArea: j.GetImageDataArea,
+		Save:             j.Save,
+		Restore:          j.Restore,
+		AddEventListener: j.AddEventListener,
+	}
+	c.Text.WriteString(j.Text)
+	return nil
 }
 
 // DistinctTextChars returns the number of distinct characters drawn onto the

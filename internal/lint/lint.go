@@ -125,10 +125,23 @@ func DefaultConfig() *Config {
 			"(*pornweb/internal/core.Study).WriteProvenance",
 			"(*pornweb/internal/provenance.Manifest).Write",
 			"(*pornweb/internal/provenance.RunInfo).Write",
+			// The durable visit store: a dropped error here is a visit that
+			// looked persisted but was not — the exact failure mode the
+			// crash-safety gate exists to rule out. Both the interface and
+			// the concrete methods are listed so neither call form escapes.
+			"(pornweb/internal/store.Store).Append",
+			"(pornweb/internal/store.Store).Sync",
+			"(pornweb/internal/store.Store).Checkpoint",
+			"(pornweb/internal/store.Store).Close",
+			"(*pornweb/internal/store.Log).Append",
+			"(*pornweb/internal/store.Log).Sync",
+			"(*pornweb/internal/store.Log).Checkpoint",
+			"(*pornweb/internal/store.Log).Close",
 		},
 		ErrdropPkgs: []string{
 			"internal/core",
 			"internal/crawler",
+			"internal/store",
 		},
 		PprofStageForwarders: []string{
 			"internal/sched",

@@ -28,6 +28,7 @@ var fixtures = []struct {
 	{"metricnames_bad", "fixture/metricnames/internal/crawler"},
 	{"pproflabel_bad", "fixture/pproflabel/internal/browser"},
 	{"errdrop_core", "fixture/errdrop/internal/core"},
+	{"errdrop_store", "fixture/errdrop/internal/store"},
 	{"suppress_malformed", "fixture/suppress/internal/provenance"},
 }
 

@@ -1,0 +1,30 @@
+// Fixture: silently discarded error returns from the durable visit
+// store's must-check list. A dropped Append is a visit that looked
+// persisted but was not — the resumed run re-crawls it at best and
+// diverges from the uninterrupted manifest at worst; a dropped Sync or
+// Checkpoint quietly shrinks the durable prefix a crash can recover.
+// Both the Store interface and the concrete *Log forms are flagged.
+package store
+
+import "pornweb/internal/store"
+
+// Persist drops every store error.
+func Persist(s store.Store, l *store.Log, k store.Key, v []byte) {
+	s.Append(k, v)       // dropped: the visit may never become durable
+	l.Append(k, v)       // dropped: same call through the concrete type
+	s.Sync()             // dropped: the batch may never reach disk
+	defer l.Checkpoint() // dropped: the checkpoint stays stale
+	s.Close()            // dropped: close reports the final flush error
+}
+
+// PersistChecked handles or acknowledges every error; no findings.
+func PersistChecked(s store.Store, k store.Key, v []byte) error {
+	if err := s.Append(k, v); err != nil {
+		return err
+	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	_ = s.Close() // acknowledged drop
+	return nil
+}

@@ -30,6 +30,11 @@ type DiffResult struct {
 	// no diverging transitive input — the earliest points of divergence.
 	StagesDiffer []string `json:"stages_differ,omitempty"`
 	RootStages   []string `json:"root_stages,omitempty"`
+	// StoreDiffers is set when both runs were store-backed and their
+	// durable visit logs disagree (entry count or content digest). A run
+	// without store info is not compared — resuming proves equality only
+	// against another store-backed run.
+	StoreDiffers bool `json:"store_differs,omitempty"`
 }
 
 // Diff compares two manifests and, for every changed figure, walks the
@@ -44,6 +49,9 @@ func Diff(a, b *Manifest) *DiffResult {
 	}
 	d.ConfigChanged = a.ConfigFingerprint != b.ConfigFingerprint
 	d.SeedChanged = a.Seed != b.Seed || a.Scale != b.Scale
+	if a.Store != nil && b.Store != nil && *a.Store != *b.Store {
+		d.StoreDiffers = true
+	}
 
 	for _, name := range unionKeys(a.Corpora, b.Corpora) {
 		ca, okA := a.Corpora[name]
@@ -170,7 +178,7 @@ func Diff(a, b *Manifest) *DiffResult {
 	sort.Strings(d.RootStages)
 	sort.Slice(d.Figures, func(i, j int) bool { return d.Figures[i].Name < d.Figures[j].Name })
 
-	d.Identical = !d.VersionSkew && !d.ConfigChanged && !d.SeedChanged &&
+	d.Identical = !d.VersionSkew && !d.ConfigChanged && !d.SeedChanged && !d.StoreDiffers &&
 		len(d.CorporaDiffer) == 0 && len(d.StagesDiffer) == 0 && len(d.Figures) == 0
 	return d
 }
@@ -189,6 +197,9 @@ func (d *DiffResult) Format(w io.Writer) {
 	}
 	if d.SeedChanged {
 		fmt.Fprintln(w, "seed or scale differs")
+	}
+	if d.StoreDiffers {
+		fmt.Fprintln(w, "durable visit stores differ (entry count or digest)")
 	}
 	for _, c := range d.CorporaDiffer {
 		fmt.Fprintf(w, "corpus %s differs\n", c)

@@ -26,6 +26,16 @@ type FigureInfo struct {
 	Digest string   `json:"digest"`
 }
 
+// StoreInfo summarizes the durable visit store backing a run: how many
+// visit entries it holds and the order-independent content digest over
+// all of them. Because every stored entry is a pure function of (seed,
+// config, site), a killed-and-resumed run must reproduce the exact
+// digest of an uninterrupted one — the crash-safety gate's claim.
+type StoreInfo struct {
+	Entries int    `json:"entries"`
+	Digest  string `json:"digest"`
+}
+
 // Manifest is the complete deterministic provenance of one study run.
 // Everything in it is a pure function of (config, seed, corpus), so two
 // runs of the same study produce byte-identical manifests — the property
@@ -40,6 +50,9 @@ type Manifest struct {
 	Figures           map[string]FigureInfo `json:"figures"`
 	// Failures totals failed visits by taxonomy class across all crawls.
 	Failures map[string]int `json:"failures,omitempty"`
+	// Store is present only for store-backed runs; Diff compares it only
+	// when both manifests carry it.
+	Store *StoreInfo `json:"store,omitempty"`
 }
 
 // Write renders the manifest as stable, indented JSON at path.

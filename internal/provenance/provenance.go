@@ -55,6 +55,16 @@ func (m *MultisetHash) Add(record string) {
 	m.n++
 }
 
+// Remove folds one previously added record back out, inverting Add —
+// the sum is wrapping addition, so subtraction is exact. Removing a
+// record that was never added corrupts the digest; callers own that
+// invariant (the store uses Remove only to supersede a replayed
+// duplicate it just re-read).
+func (m *MultisetHash) Remove(record string) {
+	m.sum -= HashString(record)
+	m.n--
+}
+
 // Count returns how many records were added.
 func (m *MultisetHash) Count() int { return int(m.n) }
 

@@ -39,6 +39,7 @@ const (
 	ClassRedirectLoop Class = "redirect-loop" // redirect cycle or hop-limit hit
 	ClassBreakerOpen  Class = "breaker-open"  // circuit breaker rejected the request
 	ClassGeoBlocked   Class = "geo-blocked"   // HTTP 451 from this vantage
+	ClassStoreWrite   Class = "store-write"   // durable visit-store append/sync failed
 	ClassCanceled     Class = "canceled"      // the crawl itself was canceled
 	ClassOther        Class = "other"
 )
@@ -47,7 +48,7 @@ const (
 func Classes() []Class {
 	return []Class{ClassTimeout, ClassRefused, ClassReset, ClassTruncated,
 		Class5xx, ClassRedirectLoop, ClassBreakerOpen, ClassGeoBlocked,
-		ClassCanceled, ClassOther}
+		ClassStoreWrite, ClassCanceled, ClassOther}
 }
 
 // Sentinel errors the crawl layer wraps into its failures so Classify

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchValue approximates one serialized VisitEntry at study scale
+// (page HTML + records); 4 KiB keeps the benchmark honest about
+// framing and CRC cost without turning it into a pure disk test.
+var benchValue = make([]byte, 4096)
+
+// BenchmarkStoreAppend measures append throughput with the default
+// batched-fsync cadence — the cost the crawler pays per visit.
+func BenchmarkStoreAppend(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{Fingerprint: "00ddba11fee1dead", Seed: 2019})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.SetBytes(int64(len(benchValue)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := Key{Stage: "crawl/porn-ES", Corpus: "porn", Vantage: "ES",
+			Site: fmt.Sprintf("site-%08d.example", i)}
+		if err := l.Append(key, benchValue); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreReplay measures replay rate: how fast a resumed run
+// re-indexes an existing log. The log is built once per benchmark run.
+func BenchmarkStoreReplay(b *testing.B) {
+	const entries = 512
+	dir := b.TempDir()
+	opts := Options{Fingerprint: "00ddba11fee1dead", Seed: 2019}
+	l, err := Open(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		key := Key{Stage: "crawl/porn-ES", Corpus: "porn", Vantage: "ES",
+			Site: fmt.Sprintf("site-%08d.example", i)}
+		if err := l.Append(key, benchValue); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	ropts := opts
+	ropts.Resume = true
+	b.SetBytes(int64(entries * len(benchValue)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(dir, ropts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != entries {
+			b.Fatalf("replayed %d, want %d", r.Len(), entries)
+		}
+		b.StopTimer()
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -45,6 +45,37 @@ func benchStudy(b *testing.B, serial bool) {
 func BenchmarkStudyRunSerial(b *testing.B)    { benchStudy(b, true) }
 func BenchmarkStudyRunScheduled(b *testing.B) { benchStudy(b, false) }
 
+// BenchmarkStudyRunStoreBacked is the scheduled pipeline with the
+// durable visit store attached: every completed visit is serialized,
+// CRC-framed, appended and batch-fsync'd as the crawl runs. Compared
+// against BenchmarkStudyRunScheduled (benchjson's
+// store_overhead_storebacked_over_scheduled ratio, BENCH_store.json)
+// it prices crash-resumability per study run. Each iteration gets a
+// fresh store directory — reusing one would let the second run resume
+// from the first and measure replay instead of persistence.
+func BenchmarkStudyRunStoreBacked(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := core.NewStudy(core.Config{
+			Params:   webgen.Params{Seed: 2019, Scale: pipelineBenchScale},
+			Workers:  8,
+			Timeout:  20 * time.Second,
+			StoreDir: b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := st.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
+	}
+}
+
 // BenchmarkStudyRunProfiled is the scheduled pipeline with a CPU
 // profile attached, exactly as cmd/studyprof runs it. Compared against
 // BenchmarkStudyRunScheduled (benchjson's
