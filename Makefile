@@ -3,7 +3,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism crashsafety profile ci
+.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism crashsafety shardci profile ci
 
 all: vet lint test
 
@@ -43,6 +43,9 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Scheduled|StoreBacked)$$' -benchtime=1x -count=3 . ) \
 		| $(GO) run ./cmd/benchjson > BENCH_store.json
 	@cat BENCH_store.json
+	$(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Serial|Sharded[124])$$' -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson > BENCH_shard.json
+	@cat BENCH_shard.json
 
 # fuzz gives each native fuzz target a short budget; failing inputs land
 # in testdata/fuzz/ and then fail `make test` forever after.
@@ -52,6 +55,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzSuppression' -fuzztime $(FUZZTIME) ./internal/lint/
 	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/profparse/
 	$(GO) test -run '^$$' -fuzz 'FuzzReplay' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^$$' -fuzz 'FuzzShardCodec' -fuzztime $(FUZZTIME) ./internal/shard/
 
 # lint runs studylint, the repo's first-party analyzer suite
 # (internal/lint): stdlib-only, no module downloads, so unlike
@@ -114,6 +118,36 @@ crashsafety:
 	cmp .crashgate/a/manifest.json .crashgate/b/manifest.json
 	rm -rf .crashgate
 
+# shardci proves shard equivalence end to end with real process
+# isolation: a serial run and a coordinator + 3 worker processes over
+# loopback must produce byte-identical manifest.json files — the
+# workers rebuild the same deterministic ecosystem from (seed, config)
+# and return each visit in its durable serialized form, so the merge
+# reproduces the serial crawl exactly. studydiff checks semantic
+# identity (including the shards.json sidecar rules) and cmp the bytes.
+shardci:
+	rm -rf .shardgate
+	mkdir -p .shardgate
+	$(GO) build -o .shardgate/pornstudy ./cmd/pornstudy
+	.shardgate/pornstudy -scale 0.004 -seed 2019 -provenance .shardgate/serial >/dev/null
+	@set -e; \
+	.shardgate/pornstudy -scale 0.004 -seed 2019 -shards 4 \
+		-coordinator-addr 127.0.0.1:19733 -shard-min-workers 3 \
+		-provenance .shardgate/sharded >/dev/null & coord=$$!; \
+	.shardgate/pornstudy -worker -coordinator 127.0.0.1:19733 \
+		-scale 0.004 -seed 2019 >/dev/null 2>&1 & w1=$$!; \
+	.shardgate/pornstudy -worker -coordinator 127.0.0.1:19733 \
+		-scale 0.004 -seed 2019 >/dev/null 2>&1 & w2=$$!; \
+	.shardgate/pornstudy -worker -coordinator 127.0.0.1:19733 \
+		-scale 0.004 -seed 2019 >/dev/null 2>&1 & w3=$$!; \
+	wait $$coord; st=$$?; \
+	wait $$w1 $$w2 $$w3 2>/dev/null || true; \
+	if [ $$st -ne 0 ]; then echo "shardci: coordinator exited $$st" >&2; exit 1; fi; \
+	echo "shardci: coordinator + 3 workers completed"
+	$(GO) run ./cmd/studydiff .shardgate/serial .shardgate/sharded
+	cmp .shardgate/serial/manifest.json .shardgate/sharded/manifest.json
+	rm -rf .shardgate
+
 # profile runs the seeded study under a CPU profile and requires at
 # least 90% of samples to be attributable to a named pipeline stage
 # (measured headroom: 97-99% at this scale). A drop below the floor
@@ -124,6 +158,6 @@ profile:
 # ci is the full gate: vet, studylint (always-on, offline-safe), the
 # test suite, the race detector, a short fuzz pass, the run-manifest
 # determinism gate, the kill/resume crash-safety gate, the
-# profile-attribution gate, and staticcheck when the environment can
-# reach it.
-ci: vet lint test race fuzz determinism crashsafety profile staticcheck
+# coordinator/worker shard-equivalence gate, the profile-attribution
+# gate, and staticcheck when the environment can reach it.
+ci: vet lint test race fuzz determinism crashsafety shardci profile staticcheck

@@ -55,6 +55,12 @@ type output struct {
 	// batched fsync per visit); present only when both benchmarks are
 	// in the input.
 	StoreOverheadStoreBackedOverScheduled float64 `json:"store_overhead_storebacked_over_scheduled,omitempty"`
+	// ShardedOverSerial maps fleet size ("workers_1", "workers_2", ...)
+	// to the sharded pipeline's ns/op divided by the serial pipeline's
+	// at that many workers — the cost (or, below 1, the win) of
+	// partition + dispatch + merge; present only when the serial and at
+	// least one StudyRunShardedN benchmark are in the input.
+	ShardedOverSerial map[string]float64 `json:"sharded_over_serial,omitempty"`
 }
 
 func main() {
@@ -113,6 +119,18 @@ func main() {
 	backed, okB := out.Benchmarks["StudyRunStoreBacked"]
 	if okB && okC && sched.NsPerOp > 0 {
 		out.StoreOverheadStoreBackedOverScheduled = backed.NsPerOp / sched.NsPerOp
+	}
+	if okS && serial.NsPerOp > 0 {
+		for name, b := range out.Benchmarks {
+			w, ok := strings.CutPrefix(name, "StudyRunSharded")
+			if !ok || b.NsPerOp <= 0 {
+				continue
+			}
+			if out.ShardedOverSerial == nil {
+				out.ShardedOverSerial = map[string]float64{}
+			}
+			out.ShardedOverSerial["workers_"+w] = b.NsPerOp / serial.NsPerOp
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -12,6 +12,10 @@
 //	          [-flight-out FILE] [-flight-sample N]
 //	          [-store DIR] [-resume] [-store-sync N]
 //	          [-kill-after-appends N] [-kill-torn]
+//	          [-shards N] [-shard-workers N] [-coordinator-addr ADDR]
+//	          [-shard-min-workers N]
+//	pornstudy -worker -coordinator ADDR [-worker-listen 127.0.0.1:0]
+//	          [-shard-kill-visits N] ...
 //
 // By default the pipeline runs as a dependency graph: independent crawls
 // and analyses overlap, bounded by -stage-workers (0 = NumCPU). -serial
@@ -36,6 +40,22 @@
 // -kill-after-appends N is the crash-injection harness: the process
 // dies (exit 137) at the Nth store append, -kill-torn additionally
 // leaves a torn half-written record for replay to truncate.
+//
+// -shards N (N > 1) shards every named crawl stage by registrable
+// domain and dispatches the shards across a worker fleet; the merged
+// run is byte-identical to a serial run of the same config (the
+// shardci make target and TestShardEquivalence prove this). Without
+// -coordinator-addr the fleet is in-process (-shard-workers many, one
+// per shard by default). With -coordinator-addr the coordinator opens
+// a registration listener and waits for -shard-min-workers worker
+// processes: start those with `pornstudy -worker -coordinator ADDR`
+// plus the *same* scale/seed/crawl flags — a worker refuses
+// assignments from a foreign config fingerprint (exit paths mirror the
+// store's fingerprint binding). -shard-kill-visits N makes a worker
+// die (exit 137) at its Nth visit — the reassignment harness; the
+// coordinator reruns the lost shard on a survivor and the merged
+// output is unchanged. The per-shard digests of a sharded run land in
+// a shards.json sidecar next to manifest.json.
 //
 // A SIGINT (Ctrl-C) no longer aborts mid-write: the study context is
 // canceled, in-flight stages drain, the flight recorder and provenance
@@ -74,6 +94,7 @@ import (
 	"pornweb/internal/obs"
 	"pornweb/internal/report"
 	"pornweb/internal/resilience"
+	"pornweb/internal/shard"
 	"pornweb/internal/store"
 	"pornweb/internal/webgen"
 )
@@ -112,6 +133,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	storeSync := fs.Int("store-sync", 0, "store appends per fsync batch (0 = default 16; 1 syncs every visit)")
 	killAfter := fs.Int("kill-after-appends", 0, "crash injection: die (exit 137) at the Nth store append (0 = off)")
 	killTorn := fs.Bool("kill-torn", false, "crash injection: additionally leave a torn half-written record")
+	shards := fs.Int("shards", 0, "partition each crawl stage into N shards dispatched across a worker fleet (0/1 = serial)")
+	shardWorkers := fs.Int("shard-workers", 0, "in-process shard workers (0 = one per shard; ignored with -coordinator-addr)")
+	coordAddr := fs.String("coordinator-addr", "", "with -shards: listen here for worker-process registrations instead of using in-process workers")
+	shardMinWorkers := fs.Int("shard-min-workers", 0, "with -coordinator-addr: workers to wait for before dispatching (0 = 1)")
+	worker := fs.Bool("worker", false, "run as a shard worker process: serve assignments instead of running the study")
+	workerListen := fs.String("worker-listen", "127.0.0.1:0", "worker mode: address to serve assignments on")
+	coordinator := fs.String("coordinator", "", "worker mode: coordinator registration address to join")
+	shardKillVisits := fs.Int("shard-kill-visits", 0, "worker mode: crash injection — die (exit 137) at the Nth visit (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -134,11 +163,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			BreakerThreshold: *breakerThreshold,
 			BreakerCooldown:  *breakerCooldown,
 		},
-		PageBudget:     *pageBudget,
-		FlightSample:   *flightSample,
-		StoreDir:       *storeDir,
-		StoreResume:    *resume,
-		StoreSyncEvery: *storeSync,
+		PageBudget:      *pageBudget,
+		FlightSample:    *flightSample,
+		StoreDir:        *storeDir,
+		StoreResume:     *resume,
+		StoreSyncEvery:  *storeSync,
+		Shards:          *shards,
+		ShardWorkers:    *shardWorkers,
+		CoordinatorAddr: *coordAddr,
+		ShardMinWorkers: *shardMinWorkers,
+	}
+	if *verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "# "+format+"\n", args...)
+		}
+	}
+	if *worker {
+		return runWorker(cfg, *coordinator, *workerListen, *shardKillVisits, stderr)
 	}
 	if *killAfter > 0 {
 		if *storeDir == "" {
@@ -157,11 +198,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		flightFile = f
 		cfg.FlightSink = f
 	}
-	if *verbose {
-		cfg.Log = func(format string, args ...any) {
-			fmt.Fprintf(stderr, "# "+format+"\n", args...)
-		}
-	}
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "pornstudy:", err)
@@ -173,6 +209,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer st.Close()
 	if *metricsAddr != "" {
 		fmt.Fprintf(stderr, "observability: http://%s/metrics\n", st.AdminAddr())
+	}
+	if *coordAddr != "" && st.Coordinator() != nil {
+		fmt.Fprintf(stderr, "shard coordinator: workers register at %s\n", st.Coordinator().Addr())
 	}
 
 	// Graceful SIGINT: cancel the study context so in-flight stages
@@ -242,6 +281,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "CSV tables written to %s\n", *csvDir)
 	}
 	return 0
+}
+
+// runWorker turns the process into one member of a sharded crawl's
+// worker fleet: build the same deterministic study the coordinator
+// runs (the config fingerprint binds the two — a worker started with
+// different crawl flags answers assignments with 409), serve shard
+// assignments on listen, register with the coordinator, and run until
+// a /shutdown request (exit 0) or SIGINT (exit 130). The worker never
+// opens a store and never shards; the coordinator owns both.
+func runWorker(cfg core.Config, coordinator, listen string, killVisits int, stderr io.Writer) int {
+	if coordinator == "" {
+		fmt.Fprintln(stderr, "pornstudy: -worker requires -coordinator")
+		return 1
+	}
+	cfg.StoreDir = ""
+	cfg.StoreResume = false
+	cfg.StoreKill = nil
+	cfg.Shards = 0
+	cfg.ShardWorkers = 0
+	cfg.CoordinatorAddr = ""
+	cfg.MetricsAddr = ""
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "pornstudy:", err)
+		return 1
+	}
+	defer st.Close()
+
+	srv := &shard.Server{
+		Runner:      st,
+		Fingerprint: st.Fingerprint(),
+		Seed:        int64(cfg.Params.Seed),
+	}
+	if killVisits > 0 {
+		srv.Kill = &shard.KillSwitch{After: killVisits, Exit: os.Exit}
+	}
+	if err := srv.Start(listen); err != nil {
+		fmt.Fprintln(stderr, "pornstudy:", err)
+		return 1
+	}
+	defer srv.Close()
+	srv.Label = "worker@" + srv.Addr()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Registration retries generously: coordinator and workers start
+	// concurrently, so the first attempts may land before its listener.
+	ctrl := resilience.NewController(resilience.Policy{
+		MaxAttempts: 10,
+		Seed:        int64(cfg.Params.Seed),
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	})
+	if err := shard.Register(ctx, nil, ctrl, coordinator, srv.Label, srv.Addr()); err != nil {
+		fmt.Fprintln(stderr, "pornstudy:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "worker %s registered with coordinator %s\n", srv.Label, coordinator)
+	select {
+	case <-srv.Done():
+		return 0
+	case <-ctx.Done():
+		return 130
+	}
 }
 
 // flushVolatile drains what an interrupted run can still save: the

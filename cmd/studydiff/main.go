@@ -52,6 +52,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// When both runs carry a shards.json sidecar, their per-shard digests
+	// are compared too; a serial run has none, and comparing a sharded
+	// run against a serial one rests on the main manifest alone (that is
+	// the equivalence the sidecar exists to keep out of the manifest).
+	sa, sb := loadShards(flag.Arg(0)), loadShards(flag.Arg(1))
+	if sa != nil && sb != nil {
+		if stages := provenance.DiffShardStages(sa, sb); len(stages) > 0 {
+			fmt.Fprintf(os.Stderr, "studydiff: shard digests differ in stages %v\n", stages)
+			os.Exit(1)
+		}
+	}
+
 	d := provenance.Diff(a, b)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -75,4 +87,19 @@ func load(path string) (*provenance.Manifest, error) {
 		path = filepath.Join(path, "manifest.json")
 	}
 	return provenance.LoadManifest(path)
+}
+
+// loadShards resolves a path's shards.json sidecar, nil if absent (a
+// serial run writes none) or when the argument was a manifest file
+// rather than a run directory.
+func loadShards(path string) *provenance.ShardManifest {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return nil
+	}
+	sm, err := provenance.LoadShardManifest(filepath.Join(path, "shards.json"))
+	if err != nil {
+		return nil
+	}
+	return sm
 }

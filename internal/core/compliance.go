@@ -92,6 +92,19 @@ func (st *Study) InteractiveCrawlStage(ctx context.Context, hosts []string, coun
 	// Replay durable interactive visits, crawl the rest, persist each
 	// completed visit — the same resume protocol as CrawlStage.
 	pending, replayed := st.hostsToVisit(stageName, "porn", country, hosts, true)
+	// Sharded dispatch, folded back through the replay path exactly as
+	// in CrawlStage.
+	if st.coord != nil && stageName != "" && len(pending) > 0 {
+		entries, err := st.dispatchShards(ctx, stageName, "porn", country, pending, true)
+		if err != nil {
+			return nil, err
+		}
+		replayed, err = st.foldShardEntries(stageName, "porn", country, pending, entries, replayed, true)
+		if err != nil {
+			return nil, err
+		}
+		pending = nil
+	}
 	var mu sync.Mutex
 	st.forEach(ctx, len(pending), func(i int) {
 		iv := b.VisitInteractive(ctx, pending[i])

@@ -87,6 +87,21 @@ func (st *Study) CrawlStage(ctx context.Context, hosts []string, country, stageN
 	// replayed instead of refetched; only the rest are crawled, and each
 	// completed visit streams into the store as it finishes.
 	pending, replayed := st.hostsToVisit(stageName, corpus, country, hosts, false)
+	// A sharded study dispatches the pending visits across the worker
+	// fleet and folds the merged entries back in through the same
+	// replay path a resumed run uses — machinery the crash-safety gate
+	// already holds to byte-identity, which is why sharded == serial.
+	if st.coord != nil && stageName != "" && len(pending) > 0 {
+		entries, err := st.dispatchShards(ctx, stageName, corpus, country, pending, false)
+		if err != nil {
+			return nil, err
+		}
+		replayed, err = st.foldShardEntries(stageName, corpus, country, pending, entries, replayed, false)
+		if err != nil {
+			return nil, err
+		}
+		pending = nil
+	}
 	var mu sync.Mutex
 	st.forEach(ctx, len(pending), func(i int) {
 		pv := b.Visit(ctx, pending[i])

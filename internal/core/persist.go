@@ -2,6 +2,8 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 
 	"pornweb/internal/browser"
 	"pornweb/internal/crawler"
@@ -64,6 +66,20 @@ func (st *Study) persistVisit(k store.Key, e *visitEntry) {
 	}
 }
 
+// persistRaw streams already-serialized visit bytes into the durable
+// store — the sharded path, where the worker marshaled the entry and
+// the coordinator persists its exact bytes so the store comes out
+// byte-identical to a serial run's. Failure handling matches
+// persistVisit: logged, counted, never fatal.
+func (st *Study) persistRaw(k store.Key, raw []byte) {
+	if err := st.store.Append(k, raw); err != nil {
+		st.storeErrs.Inc()
+		st.Log.Event(obs.LevelWarn, "store append failed; visit not resumable",
+			"class", string(resilience.ClassStoreWrite),
+			"stage", k.Stage, "site", k.Site, "err", err.Error())
+	}
+}
+
 // pageEntry assembles the durable entry for one instrumented page
 // visit: the visit outcome (span ID zeroed — tracing is volatile),
 // its per-site request records, stats and failure counts.
@@ -90,6 +106,38 @@ func interactiveEntry(iv *browser.InteractiveVisit, sess *crawler.Session, site 
 	}
 }
 
+// errWrongKind marks a durable entry of the other visit kind — a page
+// entry under an interactive stage or vice versa. loadDurable treats
+// it as silently missing; the shard path treats it as a protocol
+// violation.
+var errWrongKind = errors.New("entry is the wrong visit kind")
+
+// decodeVisitEntry parses serialized visit bytes back into a replayable
+// entry of the wanted kind. The DOM is never serialized (parent
+// pointers make it cyclic); reparsing the stored HTML reconstructs it
+// deterministically. Both the resume path (loadDurable) and the
+// sharded merge (foldShardEntries) decode through here, so replayed
+// and shard-merged entries are bit-for-bit the same in memory.
+func decodeVisitEntry(raw []byte, interactive bool) (*visitEntry, error) {
+	var e visitEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, fmt.Errorf("core: decode visit entry: %w", err)
+	}
+	if interactive {
+		if e.Interactive == nil {
+			return nil, errWrongKind
+		}
+	} else {
+		if e.Page == nil {
+			return nil, errWrongKind
+		}
+		if e.Page.HTML != "" {
+			e.Page.DOM = htmlx.Parse(e.Page.HTML)
+		}
+	}
+	return &e, nil
+}
+
 // loadDurable reads back the entries a previous run persisted for one
 // stage, keyed by site. Only entries of the wanted kind count (a page
 // entry cannot satisfy an interactive stage); anything unreadable is
@@ -101,27 +149,15 @@ func (st *Study) loadDurable(stage, corpus, vantage string, hosts []string, inte
 		if err != nil || !ok {
 			continue
 		}
-		var e visitEntry
-		if err := json.Unmarshal(raw, &e); err != nil {
-			st.Log.Event(obs.LevelWarn, "durable visit unreadable; revisiting",
-				"stage", stage, "site", h, "err", err.Error())
+		e, err := decodeVisitEntry(raw, interactive)
+		if err != nil {
+			if !errors.Is(err, errWrongKind) {
+				st.Log.Event(obs.LevelWarn, "durable visit unreadable; revisiting",
+					"stage", stage, "site", h, "err", err.Error())
+			}
 			continue
 		}
-		if interactive {
-			if e.Interactive == nil {
-				continue
-			}
-		} else {
-			if e.Page == nil {
-				continue
-			}
-			// The DOM is never serialized (parent pointers make it cyclic);
-			// reparsing the stored HTML reconstructs it deterministically.
-			if e.Page.HTML != "" {
-				e.Page.DOM = htmlx.Parse(e.Page.HTML)
-			}
-		}
-		out[h] = &e
+		out[h] = e
 	}
 	return out
 }

@@ -343,14 +343,22 @@ func (st *Study) buildRunInfo(start time.Time) *provenance.RunInfo {
 	return ri
 }
 
-// WriteProvenance writes manifest.json and runinfo.json into dir.
-// Run must have completed first.
+// WriteProvenance writes manifest.json and runinfo.json into dir. A
+// sharded run additionally writes the shards.json sidecar (per-shard
+// digests depend on the shard count, so they cannot live in the
+// manifest, which must stay byte-identical between serial and sharded
+// runs). Run must have completed first.
 func (st *Study) WriteProvenance(dir string) error {
 	if st.Provenance == nil {
 		return fmt.Errorf("core: no provenance recorded: Run has not completed")
 	}
 	if err := st.Provenance.Write(filepath.Join(dir, "manifest.json")); err != nil {
 		return err
+	}
+	if sm := st.ShardManifest(); sm != nil {
+		if err := sm.Write(filepath.Join(dir, "shards.json")); err != nil {
+			return err
+		}
 	}
 	if st.RunInfo == nil {
 		return nil

@@ -11,7 +11,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"pornweb/internal/blocklist"
@@ -20,6 +22,7 @@ import (
 	"pornweb/internal/provenance"
 	"pornweb/internal/ranking"
 	"pornweb/internal/resilience"
+	"pornweb/internal/shard"
 	"pornweb/internal/store"
 	"pornweb/internal/webgen"
 	"pornweb/internal/webserver"
@@ -102,6 +105,32 @@ type Config struct {
 	// StoreKill injects a crash at a seeded store append — the
 	// crash-safety harness's lever. Nil in production.
 	StoreKill *store.KillSwitch
+
+	// Shards, when > 1, partitions every named crawl stage's host list
+	// by registrable domain into this many shards and dispatches them
+	// across a worker fleet instead of crawling in-process. The merged
+	// results — and the run manifest — are byte-identical to a serial
+	// run's (the shard-equivalence gate's claim). 0 or 1 keeps the
+	// serial path.
+	Shards int
+	// ShardWorkers sizes the in-process local worker fleet (default:
+	// one worker per shard). Ignored when CoordinatorAddr is set —
+	// remote worker processes register themselves instead.
+	ShardWorkers int
+	// CoordinatorAddr, when non-empty, opens the shard coordinator's
+	// registration listener on that address (host:port, port 0 picks a
+	// free one); worker processes started with `pornstudy -worker` join
+	// the fleet by POSTing to /register. Empty keeps the fleet
+	// in-process.
+	CoordinatorAddr string
+	// ShardMinWorkers is how many registered workers each dispatch
+	// waits for before dealing shards (default 1). Only meaningful with
+	// CoordinatorAddr.
+	ShardMinWorkers int
+	// ShardKill injects a worker death at a seeded visit into the first
+	// local worker — the reassignment harness's lever. Nil in
+	// production.
+	ShardKill *shard.KillSwitch
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +190,15 @@ type Study struct {
 	store     store.Store
 	storeErrs *obs.Counter
 
+	// coord is the shard coordinator (nil unless Cfg.Shards > 1);
+	// fingerprint the config fingerprint every shard assignment and the
+	// durable store are bound to. shardStages collects each sharded
+	// stage's per-shard digests for the shards.json sidecar.
+	coord       *shard.Coordinator
+	fingerprint string
+	shardMu     sync.Mutex
+	shardStages map[string]provenance.ShardStage
+
 	prov  *provenance.Recorder
 	admin *obs.AdminServer
 	// clock is the study's injected time source (wall-clock reads are
@@ -215,12 +253,13 @@ func NewStudy(cfg Config) (*Study, error) {
 	if !cfg.FlightOff {
 		st.Flight = obs.NewFlightRecorder(cfg.FlightBuffer, cfg.FlightSample, cfg.FlightSink)
 	}
+	fp, err := st.configFingerprint()
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("core: fingerprint config: %w", err)
+	}
+	st.fingerprint = fp
 	if cfg.StoreDir != "" {
-		fp, err := st.configFingerprint()
-		if err != nil {
-			srv.Close()
-			return nil, fmt.Errorf("core: fingerprint config: %w", err)
-		}
 		vs, err := store.Open(cfg.StoreDir, store.Options{
 			Fingerprint: fp,
 			Seed:        int64(cfg.Params.Seed),
@@ -242,6 +281,45 @@ func NewStudy(cfg Config) (*Study, error) {
 		n, _ := vs.Digest()
 		logger.Infof("store: %s open (%d durable visits)", cfg.StoreDir, n)
 	}
+	if cfg.Shards > 1 {
+		coord := shard.NewCoordinator(reg)
+		coord.MinWorkers = cfg.ShardMinWorkers
+		if cfg.CoordinatorAddr != "" {
+			// Remote fleet: workers are separate processes reached over
+			// loopback; every control-plane hop routes through a resilience
+			// controller (seeded retries plus the per-host breaker), the
+			// same transport contract the crawl path honors.
+			coord.Client = &http.Client{}
+			coord.Ctrl = resilience.NewController(resilience.Policy{
+				MaxAttempts: 5,
+				Seed:        int64(cfg.Params.Seed),
+			})
+			if err := coord.Listen(cfg.CoordinatorAddr); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("core: shard coordinator: %w", err)
+			}
+			logger.Infof("shard: coordinator listening on %s (%d shards, waiting for %d workers)",
+				coord.Addr(), cfg.Shards, cfg.ShardMinWorkers)
+		} else {
+			n := cfg.ShardWorkers
+			if n <= 0 {
+				n = cfg.Shards
+			}
+			for i := 0; i < n; i++ {
+				var kill *shard.KillSwitch
+				if i == 0 {
+					kill = cfg.ShardKill
+				}
+				coord.AddWorker(&shard.LocalWorker{
+					Label:  fmt.Sprintf("local%d", i),
+					Runner: st,
+					Kill:   kill,
+				})
+			}
+			logger.Infof("shard: %d shards across %d in-process workers", cfg.Shards, n)
+		}
+		st.coord = coord
+	}
 	if cfg.MetricsAddr != "" {
 		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, tracer, st.Flight)
 		if err != nil {
@@ -261,6 +339,11 @@ func (st *Study) AdminAddr() string { return st.admin.Addr() }
 // Close shuts the server (and the admin listener, if any) down and
 // checkpoints and closes the durable store when one is open.
 func (st *Study) Close() {
+	if st.coord != nil {
+		if err := st.coord.Close(); err != nil {
+			st.Log.Event(obs.LevelWarn, "shard coordinator close failed", "err", err.Error())
+		}
+	}
 	if err := st.admin.Close(); err != nil {
 		st.Log.Event(obs.LevelWarn, "admin listener close failed", "err", err.Error())
 	}

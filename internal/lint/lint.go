@@ -113,6 +113,11 @@ func DefaultConfig() *Config {
 			"internal/browser",
 			"internal/core",
 			"internal/vantage",
+			// The shard control plane moves crawl work between processes;
+			// its loopback hops obey the same routed-transport contract as
+			// the crawl itself (one sanctioned Do under the resilience
+			// loop, carrying a written suppression).
+			"internal/shard",
 		},
 		MustCheck: []string{
 			"io.Copy",
@@ -137,11 +142,21 @@ func DefaultConfig() *Config {
 			"(*pornweb/internal/store.Log).Sync",
 			"(*pornweb/internal/store.Log).Checkpoint",
 			"(*pornweb/internal/store.Log).Close",
+			// The shard merge: a dropped error here is a shard that looked
+			// merged but was not — a silently incomplete study. Send/Merge
+			// carry the validation verdicts; the Close pair releases the
+			// loopback listeners.
+			"(*pornweb/internal/shard.Merger).Send",
+			"(*pornweb/internal/shard.Merger).Merge",
+			"(*pornweb/internal/shard.Coordinator).Close",
+			"(*pornweb/internal/shard.Server).Close",
+			"(*pornweb/internal/provenance.ShardManifest).Write",
 		},
 		ErrdropPkgs: []string{
 			"internal/core",
 			"internal/crawler",
 			"internal/store",
+			"internal/shard",
 		},
 		PprofStageForwarders: []string{
 			"internal/sched",

@@ -29,6 +29,8 @@ var fixtures = []struct {
 	{"pproflabel_bad", "fixture/pproflabel/internal/browser"},
 	{"errdrop_core", "fixture/errdrop/internal/core"},
 	{"errdrop_store", "fixture/errdrop/internal/store"},
+	{"rawhttp_shard", "fixture/rawhttp/internal/shard"},
+	{"errdrop_shard", "fixture/errdrop/internal/shard"},
 	{"suppress_malformed", "fixture/suppress/internal/provenance"},
 }
 

@@ -1,0 +1,29 @@
+// Fixture: raw net/http on the shard control plane. Assignment
+// dispatch, worker registration and shutdown all move crawl work
+// between processes; a bare http.Post bypasses the resilience loop, so
+// a flaky loopback hop silently loses a shard instead of degrading
+// into measured, policy-driven retries. The suppressed call models
+// postRouted's single sanctioned transport site.
+package shard
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// RegisterNaive is the violation: a bare POST to the coordinator.
+func RegisterNaive(addr string, body []byte) (*http.Response, error) {
+	return http.Post("http://"+addr+"/register", "application/octet-stream", bytes.NewReader(body))
+}
+
+// DispatchNaive is the same violation through a client value.
+func DispatchNaive(c *http.Client, req *http.Request) (*http.Response, error) {
+	return c.Do(req)
+}
+
+// DispatchRouted models postRouted: the one sanctioned Do under the
+// resilience Allow/Report/Delay loop, with the written reason.
+func DispatchRouted(c *http.Client, req *http.Request) (*http.Response, error) {
+	//studylint:ignore rawhttp fixture model of postRouted's single sanctioned transport call under the resilience loop
+	return c.Do(req)
+}

@@ -65,6 +65,14 @@ func (m *MultisetHash) Remove(record string) {
 	m.n--
 }
 
+// Merge folds another multiset into this one — the commutative merge
+// underlying sharded crawls: digesting each shard's records separately
+// and merging equals digesting all records in one pass, in any order.
+func (m *MultisetHash) Merge(o *MultisetHash) {
+	m.sum += o.sum
+	m.n += o.n
+}
+
 // Count returns how many records were added.
 func (m *MultisetHash) Count() int { return int(m.n) }
 

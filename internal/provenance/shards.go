@@ -1,0 +1,105 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ShardManifestVersion identifies the shard sidecar schema.
+const ShardManifestVersion = 1
+
+// ShardInfo summarizes one shard of one sharded stage: how many hosts
+// it was assigned, how many serialized visit entries came back, and
+// the order-independent multiset digest over those entries that the
+// coordinator verified on ingestion.
+type ShardInfo struct {
+	Shard   int    `json:"shard"`
+	Hosts   int    `json:"hosts"`
+	Entries int    `json:"entries"`
+	Digest  string `json:"digest"`
+}
+
+// ShardStage is the sharded execution record of one stage: the shard
+// fan-out, the combined digest over every entry of every shard, and
+// the per-shard rows in shard order.
+type ShardStage struct {
+	Shards int `json:"shards"`
+	// MergedDigest is the multiset digest over all entries of all
+	// shards; because the digest is commutative it equals the digest a
+	// serial run's entries would produce.
+	MergedDigest string      `json:"merged_digest"`
+	Info         []ShardInfo `json:"shard_digests"`
+}
+
+// ShardManifest is the shards.json sidecar of a sharded run. Per-shard
+// digests are a function of the shard count, so they cannot live in
+// manifest.json — the main manifest must stay byte-identical between a
+// serial and a sharded run of the same study (that is the equivalence
+// gate's claim). The sidecar carries them instead: Diff-style
+// comparison applies only when both runs were sharded, exactly as
+// StoreInfo is compared only when both runs were store-backed.
+type ShardManifest struct {
+	Version           int                   `json:"version"`
+	ConfigFingerprint string                `json:"config_fingerprint"`
+	Seed              int64                 `json:"seed"`
+	Stages            map[string]ShardStage `json:"stages"`
+}
+
+// Write renders the shard manifest as stable, indented JSON at path.
+// encoding/json sorts map keys, so equal manifests are equal bytes.
+func (sm *ShardManifest) Write(path string) error {
+	raw, err := json.MarshalIndent(sm, "", "  ")
+	if err != nil {
+		return fmt.Errorf("provenance: marshal shard manifest: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// LoadShardManifest reads a sidecar written by Write.
+func LoadShardManifest(path string) (*ShardManifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sm ShardManifest
+	if err := json.Unmarshal(raw, &sm); err != nil {
+		return nil, fmt.Errorf("provenance: parse %s: %w", path, err)
+	}
+	return &sm, nil
+}
+
+// DiffShardStages compares two shard sidecars stage by stage and
+// returns the sorted names of stages whose sharded execution records
+// disagree — different fan-out, merged digest, or per-shard rows — or
+// stages present in only one run. Nil means the sidecars agree.
+func DiffShardStages(a, b *ShardManifest) []string {
+	var differ []string
+	for _, name := range unionKeys(a.Stages, b.Stages) {
+		sa, okA := a.Stages[name]
+		sb, okB := b.Stages[name]
+		if !okA || !okB || !shardStageEqual(sa, sb) {
+			differ = append(differ, name)
+		}
+	}
+	sort.Strings(differ)
+	return differ
+}
+
+func shardStageEqual(a, b ShardStage) bool {
+	if a.Shards != b.Shards || a.MergedDigest != b.MergedDigest || len(a.Info) != len(b.Info) {
+		return false
+	}
+	for i := range a.Info {
+		if a.Info[i] != b.Info[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// The wire protocol: one message is one frame —
+//
+//	magic(4) "PWS1" | type(1) | length(4, BE) | payload | crc32(4, BE)
+//
+// with the CRC (IEEE) computed over type+length+payload so a bit flip
+// anywhere in the frame is caught, and the payload a JSON rendering of
+// the message struct. Frames travel as HTTP bodies between coordinator
+// and workers; the CRC is defense in depth for torn writes and proxy
+// truncation that HTTP content lengths miss, and it gives the fuzz
+// target a hard contract: torn, truncated, or corrupt frames must
+// error (ErrBadFrame), never panic, and never decode to phantom data.
+
+const (
+	frameMagic = "PWS1"
+	// frameOverhead is every byte that is not payload.
+	frameOverhead = 4 + 1 + 4 + 4
+	// maxFramePayload caps a payload at 256 MiB so a corrupt length
+	// field can never become an allocation bomb.
+	maxFramePayload = 256 << 20
+
+	typeAssignment byte = 1
+	typeResult     byte = 2
+)
+
+// encodeFrame renders v as a framed message of the given type.
+func encodeFrame(typ byte, v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode frame: %w", err)
+	}
+	if len(payload) > maxFramePayload {
+		return nil, fmt.Errorf("shard: encode frame: payload %d bytes exceeds cap", len(payload))
+	}
+	buf := make([]byte, 0, frameOverhead+len(payload))
+	buf = append(buf, frameMagic...)
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf[4 : 4+1+4+len(payload)])
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+	return buf, nil
+}
+
+// decodeFrame verifies framing and returns the payload bytes.
+func decodeFrame(b []byte, typ byte) ([]byte, error) {
+	if len(b) < frameOverhead {
+		return nil, fmt.Errorf("shard: frame truncated at %d bytes: %w", len(b), ErrBadFrame)
+	}
+	if string(b[:4]) != frameMagic {
+		return nil, fmt.Errorf("shard: bad frame magic %q: %w", b[:4], ErrBadFrame)
+	}
+	if b[4] != typ {
+		return nil, fmt.Errorf("shard: frame type %d, want %d: %w", b[4], typ, ErrBadFrame)
+	}
+	n := binary.BigEndian.Uint32(b[5:9])
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("shard: frame claims %d payload bytes, cap %d: %w", n, maxFramePayload, ErrBadFrame)
+	}
+	if len(b) != frameOverhead+int(n) {
+		return nil, fmt.Errorf("shard: frame holds %d bytes, header claims %d: %w",
+			len(b), frameOverhead+int(n), ErrBadFrame)
+	}
+	payload := b[9 : 9+n]
+	want := binary.BigEndian.Uint32(b[9+n:])
+	if got := crc32.ChecksumIEEE(b[4 : 9+n]); got != want {
+		return nil, fmt.Errorf("shard: frame CRC %08x, want %08x: %w", got, want, ErrBadFrame)
+	}
+	return payload, nil
+}
+
+// EncodeAssignment renders an assignment as one wire frame.
+func EncodeAssignment(a *Assignment) ([]byte, error) {
+	return encodeFrame(typeAssignment, a)
+}
+
+// DecodeAssignment parses a wire frame back into an assignment. Torn,
+// truncated, or corrupt frames error with ErrBadFrame; they never
+// panic and never yield a partial assignment.
+func DecodeAssignment(b []byte) (*Assignment, error) {
+	payload, err := decodeFrame(b, typeAssignment)
+	if err != nil {
+		return nil, err
+	}
+	var a Assignment
+	if err := json.Unmarshal(payload, &a); err != nil {
+		return nil, fmt.Errorf("shard: assignment payload: %v: %w", err, ErrBadFrame)
+	}
+	return &a, nil
+}
+
+// EncodeResult renders a result as one wire frame. Entries are sorted
+// first so equal results encode to equal bytes.
+func EncodeResult(r *Result) ([]byte, error) {
+	r.SortEntries()
+	return encodeFrame(typeResult, r)
+}
+
+// DecodeResult parses a wire frame back into a result, under the same
+// contract as DecodeAssignment.
+func DecodeResult(b []byte) (*Result, error) {
+	payload, err := decodeFrame(b, typeResult)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, fmt.Errorf("shard: result payload: %v: %w", err, ErrBadFrame)
+	}
+	return &r, nil
+}

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func testAssignment() *Assignment {
+	return &Assignment{
+		Stage: "crawl/porn-ES", Corpus: "porn", Vantage: "ES",
+		Shard: 2, Shards: 4, Fingerprint: "0011223344556677", Seed: 42,
+		Hosts: []string{"a.example.com", "b.example.org"},
+	}
+}
+
+func testResult() *Result {
+	r := &Result{
+		Stage: "crawl/porn-ES", Shard: 2, Worker: "w1",
+		Entries: []Entry{
+			{Site: "b.example.org", Raw: []byte("raw\x00bytes")},
+			{Site: "a.example.com", Raw: []byte(`{"page":{}}`)},
+		},
+	}
+	r.SortEntries()
+	r.Digest = r.ComputeDigest()
+	return r
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	a := testAssignment()
+	frame, err := EncodeAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAssignment(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Errorf("assignment round-trip: got %+v, want %+v", back, a)
+	}
+
+	r := testResult()
+	frame, err = EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rback, err := DecodeResult(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, rback) {
+		t.Errorf("result round-trip: got %+v, want %+v", rback, r)
+	}
+	// Equal results encode to equal bytes: the wire form is canonical.
+	again, err := EncodeResult(testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(frame) != string(again) {
+		t.Error("equal results encoded to different bytes")
+	}
+}
+
+func TestCodecRejectsDamage(t *testing.T) {
+	frame, err := EncodeResult(testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"torn header", frame[:6]},
+		{"torn payload", frame[:len(frame)/2]},
+		{"truncated tail", frame[:len(frame)-1]},
+		{"trailing garbage", append(append([]byte(nil), frame...), 0xff)},
+		{"bad magic", mutate(frame, 0)},
+		{"wrong type", mutate(frame, 4)},
+		{"corrupt length", mutate(frame, 5)},
+		{"flipped payload bit", mutate(frame, 15)},
+		{"corrupt crc", mutate(frame, len(frame)-1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeResult(c.b); !errors.Is(err, ErrBadFrame) {
+				t.Errorf("DecodeResult(%s) = %v, want ErrBadFrame", c.name, err)
+			}
+		})
+	}
+
+	// A result frame is not an assignment frame.
+	if _, err := DecodeAssignment(frame); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("DecodeAssignment(result frame) = %v, want ErrBadFrame", err)
+	}
+
+	// A frame whose length field claims more than the cap is rejected
+	// before any allocation.
+	huge := append([]byte(nil), frame...)
+	huge[5], huge[6], huge[7], huge[8] = 0xff, 0xff, 0xff, 0xff
+	if _, err := DecodeResult(huge); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized length claim: %v, want ErrBadFrame", err)
+	}
+
+	// Valid framing around an unparsable payload still errors: CRC
+	// protects transport, JSON protects structure.
+	bad, err := encodeFrame(typeResult, "not a result object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(bad); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("non-object payload: %v, want ErrBadFrame", err)
+	}
+}
+
+// mutate flips one bit of b at index i, copying first.
+func mutate(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x01
+	return out
+}

@@ -1,0 +1,315 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"pornweb/internal/obs"
+	"pornweb/internal/resilience"
+)
+
+// Coordinator metric names. Constant snake_case with the suffix
+// conventions the dashboards key on.
+const (
+	metricDispatch      = "shard_dispatch_total"
+	metricReassigned    = "shard_reassigned_total"
+	metricRetired       = "shard_workers_retired_total"
+	metricResultsMerged = "shard_results_merged_total"
+	metricEntriesMerged = "shard_entries_merged_total"
+	metricRegistered    = "shard_workers_registered_total"
+)
+
+// Coordinator owns one crawl's worker fleet: a registry of local and
+// remote workers (remote ones announce themselves on the /register
+// listener), a round-based dispatcher that ships shard assignments to
+// the fleet and reassigns the shards of failed workers to survivors,
+// and the merger that folds per-shard results back together
+// order-independently.
+type Coordinator struct {
+	// MinWorkers is how many workers WaitWorkers blocks for.
+	MinWorkers int
+	// Client and Ctrl are shared by every RemoteWorker the registration
+	// listener mints.
+	Client *http.Client
+	Ctrl   *resilience.Controller
+
+	mu      sync.Mutex
+	workers []Worker
+	retired map[string]bool
+	closed  bool
+	arrived chan struct{} // recreated on each registration; closed to wake waiters
+	ln      net.Listener
+	srv     *http.Server
+
+	metDispatch   *obs.Counter
+	metReassigned *obs.Counter
+	metRetired    *obs.Counter
+	metResults    *obs.Counter
+	metEntries    *obs.Counter
+	metRegistered *obs.Counter
+}
+
+// NewCoordinator builds a coordinator registering its metrics with reg
+// (nil is fine; instruments no-op).
+func NewCoordinator(reg *obs.Registry) *Coordinator {
+	reg.Describe(metricDispatch, "shard assignments dispatched to workers")
+	reg.Describe(metricReassigned, "shards requeued after a worker failure")
+	reg.Describe(metricRetired, "workers retired from the fleet after a failure")
+	reg.Describe(metricResultsMerged, "per-shard results folded into the merge")
+	reg.Describe(metricEntriesMerged, "serialized visit entries received from workers")
+	reg.Describe(metricRegistered, "workers accepted by the registration listener")
+	return &Coordinator{
+		retired:       map[string]bool{},
+		arrived:       make(chan struct{}),
+		metDispatch:   reg.Counter(metricDispatch),
+		metReassigned: reg.Counter(metricReassigned),
+		metRetired:    reg.Counter(metricRetired),
+		metResults:    reg.Counter(metricResultsMerged),
+		metEntries:    reg.Counter(metricEntriesMerged),
+		metRegistered: reg.Counter(metricRegistered),
+	}
+}
+
+// AddWorker registers a worker directly — the in-process path tests
+// and benchmarks use.
+func (c *Coordinator) AddWorker(w Worker) {
+	c.mu.Lock()
+	c.workers = append(c.workers, w)
+	old := c.arrived
+	c.arrived = make(chan struct{})
+	c.mu.Unlock()
+	c.metRegistered.Inc()
+	close(old)
+}
+
+// Listen opens the registration endpoint on addr (use "127.0.0.1:0"
+// for an ephemeral port): worker processes POST {name, addr} to
+// /register and join the fleet as RemoteWorkers.
+func (c *Coordinator) Listen(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.ln != nil {
+		return fmt.Errorf("shard: coordinator already listening on %s", c.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("shard: coordinator listen %s: %w", addr, err)
+	}
+	c.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", c.handleRegister)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	c.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	srv := c.srv
+	go func() { _ = srv.Serve(ln) }() // Serve always errors on Close; nothing to report
+	return nil
+}
+
+// Addr returns the registration listener's bound address, or "" when
+// not listening.
+func (c *Coordinator) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// handleRegister admits one worker into the fleet.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var reg registration
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&reg); err != nil {
+		http.Error(w, fmt.Sprintf("bad registration: %v", err), http.StatusBadRequest)
+		return
+	}
+	if reg.Name == "" || reg.Addr == "" {
+		http.Error(w, "registration needs name and addr", http.StatusBadRequest)
+		return
+	}
+	c.AddWorker(&RemoteWorker{Label: reg.Name, Addr: reg.Addr, Client: c.Client, Ctrl: c.Ctrl})
+	_, _ = io.WriteString(w, "registered\n")
+}
+
+// WaitWorkers blocks until at least n workers have joined (MinWorkers
+// when n <= 0), or ctx expires.
+func (c *Coordinator) WaitWorkers(ctx context.Context, n int) error {
+	if n <= 0 {
+		n = c.MinWorkers
+	}
+	if n <= 0 {
+		n = 1
+	}
+	for {
+		c.mu.Lock()
+		have := len(c.workers)
+		arrived := c.arrived
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		select {
+		case <-arrived:
+		case <-ctx.Done():
+			return fmt.Errorf("shard: waiting for %d workers, have %d: %w", n, have, ctx.Err())
+		}
+	}
+}
+
+// live returns the non-retired workers, in registration order.
+func (c *Coordinator) live() []Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		if !c.retired[w.Name()] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// retire removes a worker from the fleet.
+func (c *Coordinator) retire(w Worker) {
+	c.mu.Lock()
+	already := c.retired[w.Name()]
+	c.retired[w.Name()] = true
+	c.mu.Unlock()
+	if !already {
+		c.metRetired.Inc()
+	}
+}
+
+// Workers reports fleet size as (live, retired).
+func (c *Coordinator) Workers() (live, retired int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers) - len(c.retired), len(c.retired)
+}
+
+// Dispatch runs one stage's assignments to completion in waves: each
+// wave deals at most one shard to each live worker and runs them in
+// parallel (the fleet size, not the shard count, is the parallelism
+// knob); a worker whose shard errors is retired and the shard requeued
+// for the next wave; waves repeat until every shard has merged or the
+// fleet is exhausted (ErrNoWorkers). Because each shard's result is a
+// deterministic function of the assignment, a reassigned shard
+// reproduces exactly the entries its first worker would have returned,
+// so the merged output is independent of which workers survived.
+func (c *Coordinator) Dispatch(ctx context.Context, assignments []Assignment) (*Merged, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	m := NewMerger(assignments)
+	pending := make([]Assignment, len(assignments))
+	copy(pending, assignments)
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("shard: dispatch: %w", err)
+		}
+		fleet := c.live()
+		if len(fleet) == 0 {
+			return nil, fmt.Errorf("shard: %d shards unassigned: %w", len(pending), ErrNoWorkers)
+		}
+
+		wave := pending
+		if len(wave) > len(fleet) {
+			wave = pending[:len(fleet)]
+		}
+		type outcome struct {
+			a   Assignment
+			w   Worker
+			res *Result
+			err error
+		}
+		outcomes := make([]outcome, len(wave))
+		var wg sync.WaitGroup
+		for i, a := range wave {
+			w := fleet[i]
+			c.metDispatch.Inc()
+			wg.Add(1)
+			go func(i int, a Assignment, w Worker) {
+				defer wg.Done()
+				res, err := w.Run(ctx, a)
+				outcomes[i] = outcome{a: a, w: w, res: res, err: err}
+			}(i, a, w)
+		}
+		wg.Wait()
+
+		requeue := append([]Assignment(nil), pending[len(wave):]...)
+		for _, o := range outcomes {
+			if o.err == nil {
+				o.err = m.Send(o.res)
+			}
+			if o.err != nil {
+				// The worker failed the shard — or answered with a result
+				// that fails validation, which is just as disqualifying.
+				// Retire it and give the shard to a survivor next round.
+				c.retire(o.w)
+				c.metReassigned.Inc()
+				requeue = append(requeue, o.a)
+				continue
+			}
+			c.metResults.Inc()
+			c.metEntries.Add(uint64(len(o.res.Entries)))
+		}
+		if _, err := m.Merge(); err != nil {
+			return nil, err
+		}
+		pending = requeue
+	}
+	return m.Finish()
+}
+
+// Close retires the registration listener and asks every live remote
+// worker process to exit — best-effort with a bounded deadline, so
+// shardci and interrupted runs leave no stray processes behind.
+// Idempotent.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	alreadyClosed := c.closed
+	c.closed = true
+	srv := c.srv
+	c.srv = nil
+	c.ln = nil
+	var remotes []*RemoteWorker
+	for _, w := range c.workers {
+		if rw, ok := w.(*RemoteWorker); ok && !c.retired[w.Name()] {
+			remotes = append(remotes, rw)
+		}
+	}
+	c.mu.Unlock()
+	if !alreadyClosed {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, rw := range remotes {
+			_ = rw.Shutdown(ctx) // a worker that already died satisfies the intent
+		}
+	}
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("shard: coordinator close: %w", err)
+	}
+	return nil
+}

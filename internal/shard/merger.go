@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"pornweb/internal/provenance"
+)
+
+// Merger is the coordinator's result-ingestion queue, in the
+// queue-in/batch/drain-and-reset shape: worker goroutines Send results
+// as shards complete (validated, then parked in a pending queue under
+// the mutex), and Merge atomically swaps the queue out, resets it, and
+// folds the drained batch into the accumulated merge state. Because
+// shard host sets are disjoint and the digest is a commutative
+// multiset sum, the merged state is independent of arrival order —
+// workers may finish in any interleaving and the fold lands on the
+// same bytes.
+type Merger struct {
+	mu      sync.Mutex
+	pending []*Result
+	byShard map[int]Assignment // assignment each shard's result must answer
+	merged  map[int]*Result    // folded results by shard index
+	entries int
+	digest  provenance.MultisetHash
+}
+
+// NewMerger builds a merger for one dispatch. expect registers, per
+// shard index, the assignment a result must validate against.
+func NewMerger(expect []Assignment) *Merger {
+	m := &Merger{byShard: make(map[int]Assignment, len(expect)), merged: map[int]*Result{}}
+	for _, a := range expect {
+		m.byShard[a.Shard] = a
+	}
+	return m
+}
+
+// Send validates one shard result — known shard, assigned sites only,
+// digest re-derived and matched against the worker's claim — and
+// queues it for the next Merge. A duplicate result for an
+// already-merged or already-queued shard is an accounting bug and is
+// rejected, never silently folded twice.
+func (m *Merger) Send(r *Result) error {
+	m.mu.Lock()
+	a, ok := m.byShard[r.Shard]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("shard: result for unknown shard %d: %w", r.Shard, ErrBadFrame)
+	}
+	if _, dup := m.merged[r.Shard]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("shard: shard %d already merged: %w", r.Shard, ErrDuplicateShard)
+	}
+	for _, q := range m.pending {
+		if q.Shard == r.Shard {
+			m.mu.Unlock()
+			return fmt.Errorf("shard: shard %d already queued: %w", r.Shard, ErrDuplicateShard)
+		}
+	}
+	m.mu.Unlock()
+
+	// Validation (a full digest recompute) runs outside the lock so slow
+	// verification never serializes the worker goroutines.
+	if err := r.validate(a); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.merged[r.Shard]; dup {
+		return fmt.Errorf("shard: shard %d already merged: %w", r.Shard, ErrDuplicateShard)
+	}
+	m.pending = append(m.pending, r)
+	return nil
+}
+
+// Merge drains the pending queue — swap, reset, fold — and returns how
+// many results the batch folded in. Safe to call concurrently with
+// Send; each queued result is folded exactly once.
+func (m *Merger) Merge() (int, error) {
+	m.mu.Lock()
+	batch := m.pending
+	m.pending = nil
+	for _, r := range batch {
+		if _, dup := m.merged[r.Shard]; dup {
+			m.mu.Unlock()
+			return 0, fmt.Errorf("shard: shard %d already merged: %w", r.Shard, ErrDuplicateShard)
+		}
+		m.merged[r.Shard] = r
+		m.entries += len(r.Entries)
+		var part provenance.MultisetHash
+		for _, e := range r.Entries {
+			part.Add(e.Site + "\x1f" + string(e.Raw))
+		}
+		m.digest.Merge(&part)
+	}
+	m.mu.Unlock()
+	return len(batch), nil
+}
+
+// Complete reports whether every expected shard has been merged.
+func (m *Merger) Complete() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.merged) == len(m.byShard) && len(m.pending) == 0
+}
+
+// Missing lists the shard indexes not yet merged or queued, sorted.
+func (m *Merger) Missing() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	queued := map[int]bool{}
+	for _, r := range m.pending {
+		queued[r.Shard] = true
+	}
+	var out []int
+	for i := range m.byShard {
+		if _, ok := m.merged[i]; !ok && !queued[i] {
+			out = append(out, i)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// Merged is the outcome of a completed dispatch: every entry of every
+// shard keyed by site, plus the per-shard digests and the combined
+// multiset digest over all entries for the shard manifest sidecar.
+type Merged struct {
+	// Entries maps site to its serialized visit entry.
+	Entries map[string][]byte
+	// Shards holds one info row per shard, ordered by shard index.
+	Shards []provenance.ShardInfo
+	// Entries folded, and the combined order-independent digest.
+	Count  int
+	Digest string
+}
+
+// Finish asserts completeness and assembles the merged view. It is the
+// only accessor; calling it before every shard has merged is an error.
+func (m *Merger) Finish() (*Merged, error) {
+	if _, err := m.Merge(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.merged) != len(m.byShard) {
+		return nil, fmt.Errorf("shard: merge incomplete: %d/%d shards", len(m.merged), len(m.byShard))
+	}
+	out := &Merged{
+		Entries: make(map[string][]byte, m.entries),
+		Count:   m.entries,
+		Digest:  m.digest.Sum(),
+	}
+	shards := make([]int, 0, len(m.merged))
+	for i := range m.merged {
+		shards = append(shards, i)
+	}
+	sortInts(shards)
+	for _, i := range shards {
+		r := m.merged[i]
+		for _, e := range r.Entries {
+			out.Entries[e.Site] = e.Raw
+		}
+		out.Shards = append(out.Shards, provenance.ShardInfo{
+			Shard:   i,
+			Hosts:   len(m.byShard[i].Hosts),
+			Entries: len(r.Entries),
+			Digest:  r.Digest,
+		})
+	}
+	return out, nil
+}
+
+// sortInts is sort.Ints without dragging sort's interface machinery
+// into the hot path; shard counts are tiny.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,442 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pornweb/internal/domain"
+	"pornweb/internal/obs"
+	"pornweb/internal/resilience"
+)
+
+// fakeRunner is a deterministic Runner: every host maps to the same
+// entry bytes on every call, so reassigned shards reproduce their
+// results exactly as a real study worker would.
+type fakeRunner struct {
+	mu     sync.Mutex
+	visits int
+}
+
+func (f *fakeRunner) RunShard(ctx context.Context, a Assignment, kill *KillSwitch) (*Result, error) {
+	r := &Result{Stage: a.Stage, Shard: a.Shard}
+	for _, h := range a.Hosts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := kill.Visit(); err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		f.visits++
+		f.mu.Unlock()
+		r.Entries = append(r.Entries, Entry{Site: h, Raw: []byte("entry\x00for:" + h)})
+	}
+	r.SortEntries()
+	r.Digest = r.ComputeDigest()
+	return r, nil
+}
+
+func testHosts(n int) []string {
+	hosts := make([]string, n)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("site%03d.example%d.com", i, i%7)
+	}
+	return hosts
+}
+
+func testAssignments(hosts []string, shards int) []Assignment {
+	parts := Partition(hosts, shards)
+	out := make([]Assignment, len(parts))
+	for i, p := range parts {
+		out[i] = Assignment{
+			Stage: "crawl/test", Corpus: "porn", Vantage: "ES",
+			Shard: i, Shards: shards, Fingerprint: "fp", Seed: 1, Hosts: p,
+		}
+	}
+	return out
+}
+
+func TestPartition(t *testing.T) {
+	hosts := testHosts(100)
+
+	parts := Partition(hosts, 4)
+	if len(parts) != 4 {
+		t.Fatalf("Partition returned %d shards, want 4", len(parts))
+	}
+	again := Partition(hosts, 4)
+	if !reflect.DeepEqual(parts, again) {
+		t.Error("Partition is not deterministic across calls")
+	}
+
+	// Every host lands in exactly one shard, order preserved within it.
+	seen := map[string]int{}
+	for i, p := range parts {
+		prev := -1
+		for _, h := range p {
+			seen[h]++
+			idx := -1
+			for j, orig := range hosts {
+				if orig == h {
+					idx = j
+					break
+				}
+			}
+			if idx < prev {
+				t.Errorf("shard %d does not preserve caller host order", i)
+			}
+			prev = idx
+		}
+	}
+	for _, h := range hosts {
+		if seen[h] != 1 {
+			t.Errorf("host %s appears in %d shards, want 1", h, seen[h])
+		}
+	}
+
+	// Hosts sharing a registrable domain co-locate: a site's subresource
+	// hosts ride with it.
+	withSubs := []string{"www.alpha.com", "cdn.alpha.com", "tracker.alpha.com", "beta.org"}
+	parts = Partition(withSubs, 8)
+	var alphaShard = -1
+	for i, p := range parts {
+		for _, h := range p {
+			if domain.Base(h) == "alpha.com" {
+				if alphaShard == -1 {
+					alphaShard = i
+				} else if alphaShard != i {
+					t.Errorf("alpha.com hosts split across shards %d and %d", alphaShard, i)
+				}
+			}
+		}
+	}
+
+	// Degenerate shard counts collapse to one shard.
+	if got := Partition(hosts, 0); len(got) != 1 || len(got[0]) != len(hosts) {
+		t.Errorf("Partition(_, 0) = %d shards, want everything in 1", len(got))
+	}
+}
+
+func TestKillSwitch(t *testing.T) {
+	var nilSwitch *KillSwitch
+	if err := nilSwitch.Visit(); err != nil {
+		t.Errorf("nil KillSwitch.Visit() = %v, want nil", err)
+	}
+	if nilSwitch.Dead() {
+		t.Error("nil KillSwitch reports dead")
+	}
+
+	k := &KillSwitch{After: 3}
+	for i := 1; i <= 2; i++ {
+		if err := k.Visit(); err != nil {
+			t.Fatalf("visit %d: %v, want nil", i, err)
+		}
+	}
+	if k.Dead() {
+		t.Error("switch dead before the seeded visit")
+	}
+	if err := k.Visit(); !errors.Is(err, ErrWorkerKilled) {
+		t.Fatalf("visit 3: %v, want ErrWorkerKilled", err)
+	}
+	if !k.Dead() {
+		t.Error("switch not dead after firing")
+	}
+	// Dead stays dead: the worker never recovers.
+	if err := k.Visit(); !errors.Is(err, ErrWorkerKilled) {
+		t.Errorf("visit after death: %v, want ErrWorkerKilled", err)
+	}
+
+	exited := 0
+	ke := &KillSwitch{After: 1, Exit: func(code int) {
+		exited = code
+	}}
+	if err := ke.Visit(); !errors.Is(err, ErrWorkerKilled) {
+		t.Fatalf("Visit with Exit: %v, want ErrWorkerKilled", err)
+	}
+	if exited != 137 {
+		t.Errorf("Exit called with %d, want 137", exited)
+	}
+}
+
+func TestMergerOrderIndependent(t *testing.T) {
+	hosts := testHosts(60)
+	run := &fakeRunner{}
+	assignments := testAssignments(hosts, 4)
+
+	results := make([]*Result, len(assignments))
+	for i, a := range assignments {
+		r, err := run.RunShard(context.Background(), a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+	}
+
+	mergeIn := func(order []int) *Merged {
+		m := NewMerger(assignments)
+		for _, i := range order {
+			if err := m.Send(results[i]); err != nil {
+				t.Fatalf("Send shard %d: %v", i, err)
+			}
+		}
+		out, err := m.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	fwd := mergeIn([]int{0, 1, 2, 3})
+	rev := mergeIn([]int{3, 2, 1, 0})
+	if fwd.Digest != rev.Digest {
+		t.Errorf("merge digest depends on arrival order: %s vs %s", fwd.Digest, rev.Digest)
+	}
+	if !reflect.DeepEqual(fwd.Entries, rev.Entries) {
+		t.Error("merged entries depend on arrival order")
+	}
+	if !reflect.DeepEqual(fwd.Shards, rev.Shards) {
+		t.Error("shard manifest rows depend on arrival order")
+	}
+	if fwd.Count != len(hosts) {
+		t.Errorf("merged %d entries, want %d", fwd.Count, len(hosts))
+	}
+}
+
+func TestMergerRejects(t *testing.T) {
+	hosts := testHosts(20)
+	run := &fakeRunner{}
+	assignments := testAssignments(hosts, 2)
+	r0, err := run.RunShard(context.Background(), assignments[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMerger(assignments)
+	if err := m.Send(r0); err != nil {
+		t.Fatalf("first Send: %v", err)
+	}
+	if err := m.Send(r0); !errors.Is(err, ErrDuplicateShard) {
+		t.Errorf("duplicate Send: %v, want ErrDuplicateShard", err)
+	}
+	if _, err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(r0); !errors.Is(err, ErrDuplicateShard) {
+		t.Errorf("Send after merge: %v, want ErrDuplicateShard", err)
+	}
+
+	unknown := &Result{Stage: "crawl/test", Shard: 9}
+	if err := m.Send(unknown); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("unknown shard Send: %v, want ErrBadFrame", err)
+	}
+
+	// A tampered entry must fail the digest re-derivation.
+	r1, err := run.RunShard(context.Background(), assignments[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Entries) == 0 {
+		t.Fatal("shard 1 is empty; enlarge the host list")
+	}
+	r1.Entries[0].Raw = append([]byte(nil), "tampered"...)
+	if err := m.Send(r1); !errors.Is(err, ErrDigestMismatch) {
+		t.Errorf("tampered Send: %v, want ErrDigestMismatch", err)
+	}
+
+	// An entry outside the assigned host set is rejected even if the
+	// digest is internally consistent.
+	stray := &Result{Stage: "crawl/test", Shard: 1,
+		Entries: []Entry{{Site: "not-assigned.example.com", Raw: []byte("x")}}}
+	stray.Digest = stray.ComputeDigest()
+	if err := m.Send(stray); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("stray-site Send: %v, want ErrBadFrame", err)
+	}
+
+	if _, err := m.Finish(); err == nil {
+		t.Error("Finish with a missing shard did not error")
+	}
+	if got := m.Missing(); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Missing() = %v, want [1]", got)
+	}
+}
+
+func TestCoordinatorDispatch(t *testing.T) {
+	hosts := testHosts(40)
+	run := &fakeRunner{}
+	assignments := testAssignments(hosts, 4)
+
+	c := NewCoordinator(obs.NewRegistry())
+	for i := 0; i < 3; i++ {
+		c.AddWorker(&LocalWorker{Label: fmt.Sprintf("w%d", i), Runner: run})
+	}
+	merged, err := c.Dispatch(context.Background(), assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != len(hosts) {
+		t.Fatalf("dispatch merged %d entries, want %d", merged.Count, len(hosts))
+	}
+	if len(merged.Shards) != 4 {
+		t.Fatalf("dispatch produced %d shard rows, want 4", len(merged.Shards))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Dispatch(context.Background(), assignments); !errors.Is(err, ErrClosed) {
+		t.Errorf("Dispatch after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCoordinatorReassignment(t *testing.T) {
+	hosts := testHosts(40)
+	run := &fakeRunner{}
+	assignments := testAssignments(hosts, 3)
+
+	// Baseline: an all-healthy fleet.
+	healthy := NewCoordinator(obs.NewRegistry())
+	for i := 0; i < 3; i++ {
+		healthy.AddWorker(&LocalWorker{Label: fmt.Sprintf("w%d", i), Runner: run})
+	}
+	want, err := healthy.Dispatch(context.Background(), assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same fleet, but worker 0 dies mid-shard.
+	reg := obs.NewRegistry()
+	faulty := NewCoordinator(reg)
+	faulty.AddWorker(&LocalWorker{Label: "w0", Runner: run, Kill: &KillSwitch{After: 2}})
+	faulty.AddWorker(&LocalWorker{Label: "w1", Runner: run})
+	faulty.AddWorker(&LocalWorker{Label: "w2", Runner: run})
+	got, err := faulty.Dispatch(context.Background(), assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Digest != want.Digest {
+		t.Errorf("recovered dispatch digest %s, healthy %s", got.Digest, want.Digest)
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Error("recovered dispatch entries differ from healthy run")
+	}
+	if live, retired := faulty.Workers(); retired != 1 || live != 2 {
+		t.Errorf("fleet after recovery: %d live, %d retired; want 2 live, 1 retired", live, retired)
+	}
+	if n := reg.Counter(metricReassigned).Value(); n == 0 {
+		t.Error("no shards counted as reassigned")
+	}
+	if n := reg.Counter(metricRetired).Value(); n != 1 {
+		t.Errorf("%d workers counted retired, want 1", n)
+	}
+
+	// A fleet that dies entirely surfaces ErrNoWorkers, not a hang.
+	doomed := NewCoordinator(obs.NewRegistry())
+	doomed.AddWorker(&LocalWorker{Label: "d0", Runner: run, Kill: &KillSwitch{After: 1}})
+	if _, err := doomed.Dispatch(context.Background(), assignments); !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("exhausted fleet: %v, want ErrNoWorkers", err)
+	}
+	if err := doomed.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteLoopback(t *testing.T) {
+	hosts := testHosts(30)
+	run := &fakeRunner{}
+	assignments := testAssignments(hosts, 2)
+
+	// Serial truth to compare the remote dispatch against.
+	serial := NewMerger(assignments)
+	for _, a := range assignments {
+		r, err := run.RunShard(context.Background(), a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.Send(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := serial.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl := resilience.NewController(resilience.Policy{MaxAttempts: 5, Seed: 1,
+		BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	coord := NewCoordinator(obs.NewRegistry())
+	coord.Client = client
+	coord.Ctrl = ctrl
+	if err := coord.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := coord.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var servers []*Server
+	for i := 0; i < 2; i++ {
+		srv := &Server{Label: fmt.Sprintf("remote%d", i), Runner: run, Fingerprint: "fp", Seed: 1}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer func(s *Server) {
+			if err := s.Close(); err != nil {
+				t.Error(err)
+			}
+		}(srv)
+		servers = append(servers, srv)
+		if err := Register(context.Background(), client, ctrl, coord.Addr(), srv.Label, srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.WaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Dispatch(ctx, assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != want.Digest {
+		t.Errorf("remote dispatch digest %s, serial %s", got.Digest, want.Digest)
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Error("remote dispatch entries differ from serial merge")
+	}
+
+	// A worker built for a different study refuses foreign work with a
+	// fingerprint conflict, never a silent wrong answer.
+	foreign := assignments[0]
+	foreign.Fingerprint = "other-config"
+	w := &RemoteWorker{Label: "remote0", Addr: servers[0].Addr(), Client: client, Ctrl: ctrl}
+	if _, err := w.Run(ctx, foreign); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("foreign assignment: %v, want ErrFingerprintMismatch", err)
+	}
+
+	// Shutdown flips the server's Done channel for the worker main loop.
+	if err := w.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-servers[0].Done():
+	case <-ctx.Done():
+		t.Error("Done() not closed after Shutdown")
+	}
+}

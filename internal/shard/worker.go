@@ -1,0 +1,338 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pornweb/internal/resilience"
+)
+
+// Runner executes one shard assignment against a study: visit every
+// host of the shard and return the visits in their durable serialized
+// form. *core.Study implements it; tests substitute fakes.
+type Runner interface {
+	RunShard(ctx context.Context, a Assignment, kill *KillSwitch) (*Result, error)
+}
+
+// Worker is a coordinator's handle on one member of the fleet, local
+// or remote. Run executes one assignment to completion; an error
+// retires the worker and requeues the shard.
+type Worker interface {
+	Name() string
+	Run(ctx context.Context, a Assignment) (*Result, error)
+}
+
+// LocalWorker runs assignments in-process against a Runner — the
+// cheap fleet for tests and benchmarks, where N workers share one
+// study and true process isolation is the shardci gate's job. Kill,
+// when set, injects the seeded worker death.
+type LocalWorker struct {
+	Label  string
+	Runner Runner
+	Kill   *KillSwitch
+}
+
+// Name implements Worker.
+func (w *LocalWorker) Name() string { return w.Label }
+
+// Run implements Worker: a dead worker fails immediately (a crashed
+// process does not answer), a live one runs the shard under its kill
+// switch and stamps the result with its name.
+func (w *LocalWorker) Run(ctx context.Context, a Assignment) (*Result, error) {
+	if w.Kill.Dead() {
+		return nil, fmt.Errorf("shard: worker %s: %w", w.Label, ErrWorkerKilled)
+	}
+	r, err := w.Runner.RunShard(ctx, a, w.Kill)
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker %s: %w", w.Label, err)
+	}
+	r.Worker = w.Label
+	return r, nil
+}
+
+// RemoteWorker is a coordinator's handle on a worker process reached
+// over loopback HTTP. Every request routes through the resilience
+// controller — bounded seeded-jitter retries and the per-host breaker
+// — per the crawl path's transport contract.
+type RemoteWorker struct {
+	Label string
+	// Addr is the worker server's host:port.
+	Addr   string
+	Client *http.Client
+	Ctrl   *resilience.Controller
+}
+
+// Name implements Worker.
+func (w *RemoteWorker) Name() string { return w.Label }
+
+// Run implements Worker: frame the assignment, POST it to the worker's
+// /run endpoint, and decode the framed result. A 409 is the worker
+// refusing a foreign config fingerprint and is never retried.
+func (w *RemoteWorker) Run(ctx context.Context, a Assignment) (*Result, error) {
+	frame, err := EncodeAssignment(&a)
+	if err != nil {
+		return nil, err
+	}
+	status, body, err := postRouted(ctx, w.Client, w.Ctrl, "http://"+w.Addr+"/run", frame)
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker %s: %w", w.Label, err)
+	}
+	switch status {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return nil, fmt.Errorf("shard: worker %s: %s: %w", w.Label,
+			strings.TrimSpace(string(body)), ErrFingerprintMismatch)
+	default:
+		return nil, fmt.Errorf("shard: worker %s: HTTP %d: %s", w.Label, status,
+			strings.TrimSpace(string(body)))
+	}
+	r, err := DecodeResult(body)
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker %s: %w", w.Label, err)
+	}
+	return r, nil
+}
+
+// Shutdown asks the worker process to exit cleanly. Best-effort: a
+// worker that already died satisfies the intent.
+func (w *RemoteWorker) Shutdown(ctx context.Context) error {
+	status, body, err := postRouted(ctx, w.Client, w.Ctrl, "http://"+w.Addr+"/shutdown", nil)
+	if err != nil {
+		return fmt.Errorf("shard: worker %s shutdown: %w", w.Label, err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("shard: worker %s shutdown: HTTP %d: %s", w.Label, status,
+			strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// registration is the JSON body a worker POSTs to the coordinator's
+// /register endpoint.
+type registration struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// Register announces a worker to the coordinator and retries (through
+// the controller's policy) until the coordinator answers — workers and
+// coordinator start concurrently, so the first attempts may land
+// before the registration listener is up.
+func Register(ctx context.Context, client *http.Client, ctrl *resilience.Controller, coordinatorAddr, name, workerAddr string) error {
+	body, err := json.Marshal(registration{Name: name, Addr: workerAddr})
+	if err != nil {
+		return fmt.Errorf("shard: register: %w", err)
+	}
+	status, resp, err := postRouted(ctx, client, ctrl, "http://"+coordinatorAddr+"/register", body)
+	if err != nil {
+		return fmt.Errorf("shard: register %s with %s: %w", name, coordinatorAddr, err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("shard: register %s with %s: HTTP %d: %s", name, coordinatorAddr,
+			status, strings.TrimSpace(string(resp)))
+	}
+	return nil
+}
+
+// postRouted is the package's single transport path: every control-
+// plane POST — assignment dispatch, registration, shutdown — runs
+// through the resilience controller's breaker and bounded retries, so
+// a flaky loopback hop degrades into the same measured, policy-driven
+// behavior as a flaky crawl target. Returns the terminal status and
+// body; err is non-nil only when every attempt failed to produce a
+// response.
+func postRouted(ctx context.Context, client *http.Client, ctrl *resilience.Controller, url string, body []byte) (int, []byte, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	host := url
+	if i := strings.Index(url, "//"); i >= 0 {
+		host = url[i+2:]
+		if j := strings.IndexByte(host, '/'); j >= 0 {
+			host = host[:j]
+		}
+	}
+	attempts := ctrl.Policy().MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if !resilience.Sleep(ctx, ctrl.Delay(attempt-1, 0)) {
+				return 0, nil, ctx.Err()
+			}
+		}
+		if err := ctrl.Allow(host); err != nil {
+			lastErr = err
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			return 0, nil, fmt.Errorf("shard: build request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		//studylint:ignore rawhttp postRouted is the shard control plane's single sanctioned transport call: this Do runs under the resilience Allow/Report/Delay retry loop, so it IS the routed path
+		resp, err := client.Do(req)
+		if err != nil {
+			ctrl.Report(host, false)
+			lastErr = err
+			if !resilience.Retryable(err) {
+				break
+			}
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxFramePayload+frameOverhead))
+		if cerr := resp.Body.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			ctrl.Report(host, false)
+			lastErr = err
+			continue
+		}
+		if resilience.RetryableStatus(resp.StatusCode) && attempt < attempts {
+			ctrl.Report(host, false)
+			lastErr = fmt.Errorf("shard: HTTP %d from %s", resp.StatusCode, url)
+			continue
+		}
+		ctrl.Report(host, true)
+		return resp.StatusCode, respBody, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shard: no attempts admitted to %s", url)
+	}
+	return 0, nil, lastErr
+}
+
+// Server is the worker process's face: a loopback HTTP listener
+// answering /run (execute a framed assignment), /healthz, and
+// /shutdown (signal the process to exit). It refuses assignments whose
+// config fingerprint or seed differ from its own, the same binding the
+// durable store's segment header enforces, with HTTP 409.
+type Server struct {
+	// Label names the worker in results and logs.
+	Label string
+	// Runner executes assignments; Fingerprint and Seed are the study
+	// identity the server will accept work for.
+	Runner      Runner
+	Fingerprint string
+	Seed        int64
+	// Kill, when set, injects the seeded worker death into every run.
+	Kill *KillSwitch
+
+	mu   sync.Mutex
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	once sync.Once
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves in the background. Addr reports the bound address.
+func (s *Server) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return fmt.Errorf("shard: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("shard: worker listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.done = make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		_, _ = io.WriteString(w, "shutting down\n")
+		s.once.Do(func() { close(s.done) })
+	})
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }() // Serve always errors on Close; nothing to report
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Done is closed when a /shutdown request arrives.
+func (s *Server) Done() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// Close tears the listener down. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	s.once.Do(func() { close(s.done) })
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("shard: worker close: %w", err)
+	}
+	return nil
+}
+
+// handleRun executes one framed assignment and answers with the framed
+// result.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxFramePayload+frameOverhead))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read assignment: %v", err), http.StatusBadRequest)
+		return
+	}
+	a, err := DecodeAssignment(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if a.Fingerprint != s.Fingerprint || a.Seed != s.Seed {
+		http.Error(w, fmt.Sprintf("assignment fingerprint %s seed %d, worker built for %s seed %d",
+			a.Fingerprint, a.Seed, s.Fingerprint, s.Seed), http.StatusConflict)
+		return
+	}
+	res, err := s.Runner.RunShard(r.Context(), *a, s.Kill)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	res.Worker = s.Label
+	frame, err := EncodeResult(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(frame)
+}

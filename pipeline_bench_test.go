@@ -45,6 +45,39 @@ func benchStudy(b *testing.B, serial bool) {
 func BenchmarkStudyRunSerial(b *testing.B)    { benchStudy(b, true) }
 func BenchmarkStudyRunScheduled(b *testing.B) { benchStudy(b, false) }
 
+// benchShardedStudy is the pipeline with every crawl stage partitioned
+// into 8 shards dispatched across an in-process fleet of the given
+// size. The fleet size — not the shard count — is the parallelism knob
+// (each wave deals one shard per live worker, and a worker visits its
+// shard sequentially), so the workers-1/2/4 series in BENCH_shard.json
+// shows how crawl wall-clock scales with fleet size while the merged
+// results stay byte-identical to serial.
+func benchShardedStudy(b *testing.B, workers int) {
+	b.Helper()
+	st, err := core.NewStudy(core.Config{
+		Params:       webgen.Params{Seed: 2019, Scale: pipelineBenchScale},
+		Workers:      8,
+		Timeout:      20 * time.Second,
+		Shards:       8,
+		ShardWorkers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyRunSharded1(b *testing.B) { benchShardedStudy(b, 1) }
+func BenchmarkStudyRunSharded2(b *testing.B) { benchShardedStudy(b, 2) }
+func BenchmarkStudyRunSharded4(b *testing.B) { benchShardedStudy(b, 4) }
+
 // BenchmarkStudyRunStoreBacked is the scheduled pipeline with the
 // durable visit store attached: every completed visit is serialized,
 // CRC-framed, appended and batch-fsync'd as the crawl runs. Compared
