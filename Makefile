@@ -46,6 +46,14 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Serial|Sharded[124])$$' -benchtime=1x -count=3 . \
 		| $(GO) run ./cmd/benchjson > BENCH_shard.json
 	@cat BENCH_shard.json
+# The fleet pair runs interleaved in separate processes: back-to-back
+# -count=3 in one process lets heap state from one variant bleed into
+# the other's timings and bias the on/off ratio.
+	for i in 1 2 3; do \
+		$(GO) test -run '^$$' -bench 'BenchmarkStudyRunFleetTelemetryOn$$' -benchtime=1x -count=1 .; \
+		$(GO) test -run '^$$' -bench 'BenchmarkStudyRunFleetTelemetryOff$$' -benchtime=1x -count=1 .; \
+	done | $(GO) run ./cmd/benchjson > BENCH_fleet.json
+	@cat BENCH_fleet.json
 
 # fuzz gives each native fuzz target a short budget; failing inputs land
 # in testdata/fuzz/ and then fail `make test` forever after.
@@ -125,15 +133,22 @@ crashsafety:
 # and return each visit in its durable serialized form, so the merge
 # reproduces the serial crawl exactly. studydiff checks semantic
 # identity (including the shards.json sidecar rules) and cmp the bytes.
+# fleetcheck scrapes the coordinator's /fleet, /metrics and /trace
+# while the run is live and fails the gate if any registered worker is
+# missing from the federated metrics, under-accounted in visits, or
+# absent from the merged single-trace-ID fleet trace.
 shardci:
 	rm -rf .shardgate
 	mkdir -p .shardgate
 	$(GO) build -o .shardgate/pornstudy ./cmd/pornstudy
+	$(GO) build -o .shardgate/fleetcheck ./cmd/fleetcheck
 	.shardgate/pornstudy -scale 0.004 -seed 2019 -provenance .shardgate/serial >/dev/null
 	@set -e; \
 	.shardgate/pornstudy -scale 0.004 -seed 2019 -shards 4 \
 		-coordinator-addr 127.0.0.1:19733 -shard-min-workers 3 \
+		-metrics-addr 127.0.0.1:19734 \
 		-provenance .shardgate/sharded >/dev/null & coord=$$!; \
+	.shardgate/fleetcheck -addr 127.0.0.1:19734 -min-workers 3 & check=$$!; \
 	.shardgate/pornstudy -worker -coordinator 127.0.0.1:19733 \
 		-scale 0.004 -seed 2019 >/dev/null 2>&1 & w1=$$!; \
 	.shardgate/pornstudy -worker -coordinator 127.0.0.1:19733 \
@@ -143,7 +158,9 @@ shardci:
 	wait $$coord; st=$$?; \
 	wait $$w1 $$w2 $$w3 2>/dev/null || true; \
 	if [ $$st -ne 0 ]; then echo "shardci: coordinator exited $$st" >&2; exit 1; fi; \
-	echo "shardci: coordinator + 3 workers completed"
+	wait $$check; chk=$$?; \
+	if [ $$chk -ne 0 ]; then echo "shardci: fleetcheck exited $$chk" >&2; exit 1; fi; \
+	echo "shardci: coordinator + 3 workers completed, fleet observability verified"
 	$(GO) run ./cmd/studydiff .shardgate/serial .shardgate/sharded
 	cmp .shardgate/serial/manifest.json .shardgate/sharded/manifest.json
 	rm -rf .shardgate

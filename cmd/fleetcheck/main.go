@@ -1,0 +1,255 @@
+// Command fleetcheck validates a sharded run's fleet observability
+// plane from the outside, the way `make shardci` uses it: started
+// alongside the coordinator, it polls the coordinator's admin listener
+// (/fleet, /metrics, /trace) for as long as the run lasts, keeps the
+// last successful scrape of each, and — once the listener goes away
+// with the run's exit — asserts the federation actually happened:
+//
+//   - every registered worker appears in the /fleet report, has
+//     completed at least one shard, and reports telemetry "ok";
+//   - every worker appears as a worker="NAME" label in the federated
+//     /metrics exposition;
+//   - the federated per-visit series (browser_page_loads_total plus
+//     browser_interactive_visits_total, merged from worker deltas)
+//     account for at least -coverage (default 0.99) of the visits the
+//     coordinator counted per worker in fleet_worker_visits_total;
+//   - the merged /trace holds a coordinator process row plus one row
+//     per telemetry-bearing worker, and every span that carries a
+//     trace_id carries the run's single propagated trace ID.
+//
+// Exit 0 when all hold; exit 1 with a diagnosis otherwise. fleetcheck
+// runs nothing itself — it is a pure observer, so passing it proves the
+// observability plane without perturbing the run under test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type workerRow struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Live       bool   `json:"live"`
+	ShardsDone int    `json:"shards_done"`
+	Visits     int    `json:"visits"`
+	Telemetry  string `json:"telemetry"`
+	Spans      int    `json:"spans"`
+}
+
+type fleetReport struct {
+	TraceID string      `json:"trace_id"`
+	Live    int         `json:"live"`
+	Retired int         `json:"retired"`
+	Workers []workerRow `json:"workers"`
+}
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	Args map[string]string `json:"args"`
+}
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "coordinator admin address (host:port) to scrape")
+	minWorkers := flag.Int("min-workers", 3, "registered workers the final fleet report must show")
+	coverage := flag.Float64("coverage", 0.99, "fraction of coordinator-counted visits the federated metrics must account for")
+	interval := flag.Duration("interval", 200*time.Millisecond, "scrape interval")
+	timeout := flag.Duration("timeout", 10*time.Minute, "give up if the run outlives this")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "fleetcheck: -addr required")
+		os.Exit(1)
+	}
+	if err := run(*addr, *minWorkers, *coverage, *interval, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// scrape fetches one path, returning the body only on HTTP 200.
+func scrape(client *http.Client, addr, path string) ([]byte, error) {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func run(addr string, minWorkers int, coverage float64, interval, timeout time.Duration) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var fleet, metrics, trace []byte
+	deadline := time.Now().Add(timeout)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		f, err := scrape(client, addr, "/fleet")
+		if err != nil {
+			if scrapes > 0 {
+				break // the run ended; validate the last good scrape
+			}
+			time.Sleep(interval) // listener not up yet
+			continue
+		}
+		m, errM := scrape(client, addr, "/metrics")
+		tr, errT := scrape(client, addr, "/trace")
+		if errM != nil || errT != nil {
+			// The listener died between paths: keep the previous
+			// consistent triple rather than a torn one.
+			if scrapes > 0 {
+				break
+			}
+			time.Sleep(interval)
+			continue
+		}
+		fleet, metrics, trace = f, m, tr
+		scrapes++
+		time.Sleep(interval)
+	}
+	if scrapes == 0 {
+		return fmt.Errorf("no successful scrape of %s within %s", addr, timeout)
+	}
+	fmt.Printf("fleetcheck: %d scrapes of %s; validating final state\n", scrapes, addr)
+
+	var report fleetReport
+	if err := json.Unmarshal(fleet, &report); err != nil {
+		return fmt.Errorf("parse /fleet: %w", err)
+	}
+	if report.TraceID == "" {
+		return fmt.Errorf("/fleet reports no trace ID")
+	}
+	if len(report.Workers) < minWorkers {
+		return fmt.Errorf("/fleet shows %d workers, want >= %d", len(report.Workers), minWorkers)
+	}
+	for _, w := range report.Workers {
+		if w.ShardsDone == 0 {
+			return fmt.Errorf("worker %s completed no shards", w.Name)
+		}
+		if w.Kind != "local" && w.Telemetry != "ok" {
+			return fmt.Errorf("worker %s telemetry %q, want \"ok\"", w.Name, w.Telemetry)
+		}
+	}
+
+	counted, federated, err := visitCounts(metrics)
+	if err != nil {
+		return err
+	}
+	for _, w := range report.Workers {
+		if w.Kind == "local" {
+			continue
+		}
+		if !workerLabelPresent(metrics, w.Name) {
+			return fmt.Errorf("registered worker %s absent from the federated /metrics exposition", w.Name)
+		}
+		want := counted[w.Name]
+		got := federated[w.Name]
+		if want == 0 {
+			return fmt.Errorf("worker %s has no fleet_worker_visits_total series", w.Name)
+		}
+		if got < coverage*want {
+			return fmt.Errorf("worker %s: federation accounts for %.0f of %.0f visits (%.1f%%), want >= %.0f%%",
+				w.Name, got, want, 100*got/want, 100*coverage)
+		}
+	}
+
+	var doc traceDoc
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		return fmt.Errorf("parse /trace: %w", err)
+	}
+	procs := map[int]string{}
+	spanPIDs := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.PID] = ev.Args["name"]
+		}
+		if ev.Ph == "X" {
+			spanPIDs[ev.PID]++
+			if id, ok := ev.Args["trace_id"]; ok && id != report.TraceID {
+				return fmt.Errorf("span %q carries trace ID %s, run is %s", ev.Name, id, report.TraceID)
+			}
+		}
+	}
+	names := map[string]bool{}
+	for _, name := range procs {
+		names[name] = true
+	}
+	if !names["coordinator"] {
+		return fmt.Errorf("/trace has no coordinator process row (rows: %v)", procs)
+	}
+	workerRows := 0
+	for _, w := range report.Workers {
+		if names[w.Name] {
+			workerRows++
+		}
+	}
+	if workerRows < minWorkers {
+		return fmt.Errorf("/trace shows %d worker process rows, want >= %d (rows: %v)", workerRows, minWorkers, procs)
+	}
+	fmt.Printf("fleetcheck: OK — %d workers federated under trace %s, %d trace process rows\n",
+		len(report.Workers), report.TraceID, len(procs))
+	return nil
+}
+
+// seriesLine matches one exposition sample: name{labels} value.
+var seriesLine = regexp.MustCompile(`^([a-z0-9_]+)(\{[^}]*\})? ([0-9eE.+-]+)$`)
+
+// workerRE extracts the worker label from a label block.
+var workerRE = regexp.MustCompile(`[{,]worker="([^"]*)"`)
+
+// visitCounts sums, per worker, the visits the coordinator counted
+// (fleet_worker_visits_total) and the visits federated from worker
+// metric deltas: browser_page_loads_total for instrumented crawls plus
+// browser_interactive_visits_total for the interactive (policy) phase,
+// which counts its visits under its own series.
+func visitCounts(metrics []byte) (counted, federated map[string]float64, err error) {
+	counted = map[string]float64{}
+	federated = map[string]float64{}
+	for _, line := range strings.Split(string(metrics), "\n") {
+		m := seriesLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, labels := m[1], m[2]
+		w := workerRE.FindStringSubmatch(labels)
+		if w == nil {
+			continue
+		}
+		v, perr := strconv.ParseFloat(m[3], 64)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("parse sample %q: %w", line, perr)
+		}
+		switch name {
+		case "fleet_worker_visits_total":
+			counted[w[1]] += v
+		case "browser_page_loads_total", "browser_interactive_visits_total":
+			federated[w[1]] += v
+		}
+	}
+	if len(counted) == 0 {
+		return nil, nil, fmt.Errorf("no fleet_worker_visits_total series in /metrics")
+	}
+	return counted, federated, nil
+}
+
+// workerLabelPresent reports whether any exposition series carries
+// worker="name".
+func workerLabelPresent(metrics []byte, name string) bool {
+	needle := `worker="` + name + `"`
+	return strings.Contains(string(metrics), needle)
+}

@@ -13,9 +13,9 @@
 //	          [-store DIR] [-resume] [-store-sync N]
 //	          [-kill-after-appends N] [-kill-torn]
 //	          [-shards N] [-shard-workers N] [-coordinator-addr ADDR]
-//	          [-shard-min-workers N]
+//	          [-shard-min-workers N] [-fleet-telemetry=false]
 //	pornstudy -worker -coordinator ADDR [-worker-listen 127.0.0.1:0]
-//	          [-shard-kill-visits N] ...
+//	          [-metrics-addr 127.0.0.1:0] [-shard-kill-visits N] ...
 //
 // By default the pipeline runs as a dependency graph: independent crawls
 // and analyses overlap, bounded by -stage-workers (0 = NumCPU). -serial
@@ -65,6 +65,17 @@
 // /metrics (Prometheus text format), /spans (recent pipeline-stage spans
 // as JSON), /flight (recent per-visit wide events as NDJSON), /trace
 // (Chrome trace-event export) and /debug/pprof/ while the study runs.
+//
+// On a sharded run those views federate the whole fleet: every shard
+// result carries the worker's metric deltas, sampled spans and flight
+// events back to the coordinator, whose /metrics merges them under
+// worker/shard labels, /fleet reports per-worker health and stage
+// progress as JSON, and /trace exports one merged multi-process trace
+// under the run's trace ID. Workers run their own admin listener too
+// (auto-port by default; pin it with -metrics-addr) and report its
+// bound address at registration. -fleet-telemetry=false turns the
+// return path off; crawl results and the manifest are byte-identical
+// either way — telemetry is a sidecar, never an input.
 //
 // -provenance DIR writes the run's manifest.json (deterministic: two runs
 // of the same seeded config are byte-identical) and runinfo.json
@@ -141,6 +152,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workerListen := fs.String("worker-listen", "127.0.0.1:0", "worker mode: address to serve assignments on")
 	coordinator := fs.String("coordinator", "", "worker mode: coordinator registration address to join")
 	shardKillVisits := fs.Int("shard-kill-visits", 0, "worker mode: crash injection — die (exit 137) at the Nth visit (0 = off)")
+	fleetTelemetry := fs.Bool("fleet-telemetry", true, "with -shards: workers return metric deltas, spans and flight events for the coordinator's federated /metrics, /fleet and /trace views")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -172,6 +184,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ShardWorkers:    *shardWorkers,
 		CoordinatorAddr: *coordAddr,
 		ShardMinWorkers: *shardMinWorkers,
+
+		FleetTelemetryOff: !*fleetTelemetry,
 	}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {
@@ -301,18 +315,28 @@ func runWorker(cfg core.Config, coordinator, listen string, killVisits int, stde
 	cfg.Shards = 0
 	cfg.ShardWorkers = 0
 	cfg.CoordinatorAddr = ""
-	cfg.MetricsAddr = ""
+	// Every worker gets its own admin listener (auto-port unless
+	// -metrics-addr pins one); the bound address is reported to the
+	// coordinator at registration so the fleet view can link to it.
+	if cfg.MetricsAddr == "" {
+		cfg.MetricsAddr = "127.0.0.1:0"
+	}
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "pornstudy:", err)
 		return 1
 	}
 	defer st.Close()
+	fmt.Fprintf(stderr, "worker observability: http://%s/metrics\n", st.AdminAddr())
 
 	srv := &shard.Server{
 		Runner:      st,
 		Fingerprint: st.Fingerprint(),
 		Seed:        int64(cfg.Params.Seed),
+		Registry:    st.Metrics,
+		Tracer:      st.Tracer,
+		Flight:      st.Flight,
+		MetricsAddr: st.AdminAddr(),
 	}
 	if killVisits > 0 {
 		srv.Kill = &shard.KillSwitch{After: killVisits, Exit: os.Exit}
@@ -334,7 +358,8 @@ func runWorker(cfg core.Config, coordinator, listen string, killVisits int, stde
 		BaseDelay:   50 * time.Millisecond,
 		MaxDelay:    2 * time.Second,
 	})
-	if err := shard.Register(ctx, nil, ctrl, coordinator, srv.Label, srv.Addr()); err != nil {
+	if err := shard.Register(ctx, nil, ctrl, coordinator,
+		shard.Registration{Name: srv.Label, Addr: srv.Addr(), MetricsAddr: srv.MetricsAddr}); err != nil {
 		fmt.Fprintln(stderr, "pornstudy:", err)
 		return 1
 	}

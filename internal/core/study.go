@@ -131,6 +131,11 @@ type Config struct {
 	// local worker — the reassignment harness's lever. Nil in
 	// production.
 	ShardKill *shard.KillSwitch
+	// FleetTelemetryOff disables the fleet observability return path:
+	// assignments stop asking workers for metric deltas, spans and
+	// flight events. Purely an observability knob — it is excluded from
+	// the config fingerprint and can never change the manifest.
+	FleetTelemetryOff bool
 }
 
 func (c Config) withDefaults() Config {
@@ -225,7 +230,7 @@ func NewStudy(cfg Config) (*Study, error) {
 		logger = logger.WithSink(userLog)
 	}
 	logger = logger.CountIn(reg)
-	tracer := obs.NewTracer(cfg.SpanBuffer)
+	tracer := obs.NewTracer(cfg.SpanBuffer).CountIn(reg)
 
 	eco := webgen.Generate(cfg.Params)
 	srv, err := webserver.Start(eco,
@@ -251,7 +256,7 @@ func NewStudy(cfg Config) (*Study, error) {
 		clock:    time.Now,
 	}
 	if !cfg.FlightOff {
-		st.Flight = obs.NewFlightRecorder(cfg.FlightBuffer, cfg.FlightSample, cfg.FlightSink)
+		st.Flight = obs.NewFlightRecorder(cfg.FlightBuffer, cfg.FlightSample, cfg.FlightSink).CountIn(reg)
 	}
 	fp, err := st.configFingerprint()
 	if err != nil {
@@ -284,6 +289,15 @@ func NewStudy(cfg Config) (*Study, error) {
 	if cfg.Shards > 1 {
 		coord := shard.NewCoordinator(reg)
 		coord.MinWorkers = cfg.ShardMinWorkers
+		// Fleet observability plane: one run-level trace ID (a pure
+		// function of the fingerprint and seed, so reruns correlate)
+		// threads through every assignment, and the coordinator's tracer,
+		// registry and flight recorder become the fleet-wide merge points.
+		coord.TraceID = obs.MintTraceID(fp, int64(cfg.Params.Seed))
+		tracer.SetTraceID(coord.TraceID)
+		coord.Tracer = tracer
+		coord.Flight = st.Flight
+		coord.TelemetryOff = cfg.FleetTelemetryOff
 		if cfg.CoordinatorAddr != "" {
 			// Remote fleet: workers are separate processes reached over
 			// loopback; every control-plane hop routes through a resilience
@@ -321,7 +335,20 @@ func NewStudy(cfg Config) (*Study, error) {
 		st.coord = coord
 	}
 	if cfg.MetricsAddr != "" {
-		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, tracer, st.Flight)
+		// With a fleet, the admin endpoints become the unified views:
+		// /metrics serves the federated registry (coordinator + merged
+		// worker deltas), /fleet the per-worker health report, /trace one
+		// merged multi-process Perfetto trace. Without one they keep the
+		// single-process defaults.
+		var extra []obs.Route
+		if st.coord != nil {
+			extra = []obs.Route{
+				{Path: "/metrics", Handler: st.coord.MetricsHandler()},
+				{Path: "/fleet", Handler: st.coord.FleetHandler()},
+				{Path: "/trace", Handler: st.coord.TraceHandler(tracer)},
+			}
+		}
+		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, tracer, st.Flight, extra...)
 		if err != nil {
 			srv.Close()
 			return nil, fmt.Errorf("core: admin listener: %w", err)

@@ -87,6 +87,13 @@ type Config struct {
 	// packages must either use constant stage names or carry a written
 	// suppression.
 	PprofStageForwarders []string
+	// FleetMetricPackages are the packages allowed to register metrics
+	// in the fleet_* family (metricnames): those names are the shard
+	// coordinator's federated fleet view, and the /fleet dashboard keys
+	// on them meaning "the coordinator's merge points". A fleet_* name
+	// registered anywhere else would read as fleet state while counting
+	// something local.
+	FleetMetricPackages []string
 }
 
 // DefaultConfig is the repo's invariant map: which packages promise
@@ -160,6 +167,9 @@ func DefaultConfig() *Config {
 		},
 		PprofStageForwarders: []string{
 			"internal/sched",
+		},
+		FleetMetricPackages: []string{
+			"internal/shard",
 		},
 	}
 }

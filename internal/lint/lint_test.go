@@ -26,6 +26,7 @@ var fixtures = []struct {
 	{"rawhttp_crawl", "fixture/rawhttp/internal/crawler"},
 	{"rawhttp_elsewhere", "fixture/rawhttp/internal/tools"},
 	{"metricnames_bad", "fixture/metricnames/internal/crawler"},
+	{"metricnames_fleet", "fixture/fleetmetrics/internal/crawler"},
 	{"pproflabel_bad", "fixture/pproflabel/internal/browser"},
 	{"errdrop_core", "fixture/errdrop/internal/core"},
 	{"errdrop_store", "fixture/errdrop/internal/store"},
@@ -220,6 +221,39 @@ func TestAnalyzerNamesStable(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("analyzers = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFleetMetricPrefixReserved pins the fleet_* reservation from both
+// sides: the identical fixture loaded under internal/shard (the
+// package class holding the reservation) loses every fleet-prefix
+// finding, while any other import path keeps them — and the suffix
+// rules keep firing in shard, so the exemption is surgical.
+func TestFleetMetricPrefixReserved(t *testing.T) {
+	l := sharedLoader(t)
+	asCrawler := runFixture(t, l, "metricnames_fleet", "fixture/fleetmetrics2/internal/crawler")
+	asShard := runFixture(t, l, "metricnames_fleet", "fixture/fleetmetrics2/internal/shard")
+	count := func(findings []Finding, substr string) int {
+		n := 0
+		for _, f := range findings {
+			if strings.Contains(f.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(asCrawler, "reserved for the shard coordinator"); got != 5 {
+		t.Errorf("crawler fixture: %d fleet-prefix findings, want 5: %v", got, asCrawler)
+	}
+	if got := count(asShard, "reserved for the shard coordinator"); got != 0 {
+		t.Errorf("shard fixture: %d fleet-prefix findings, want 0 (reservation holder): %v", got, asShard)
+	}
+	// The reservation does not relax the rest of the contract: the
+	// counter missing _total fires under both import paths.
+	for name, findings := range map[string][]Finding{"crawler": asCrawler, "shard": asShard} {
+		if got := count(findings, `counter "fleet_shards_done" must end in _total`); got != 1 {
+			t.Errorf("%s fixture: %d suffix findings on fleet_shards_done, want 1", name, got)
 		}
 	}
 }

@@ -15,7 +15,11 @@ import (
 // not masquerade as counters with a _total suffix. Dashboards, the
 // Prometheus exposition, and the EXPERIMENTS.md recipes all key on
 // these names; a dynamic or misspelled name is invisible until a
-// dashboard quietly reads zero.
+// dashboard quietly reads zero. The fleet_* family is reserved to the
+// packages in Config.FleetMetricPackages (the shard coordinator):
+// those names mean "federated fleet state merged at the coordinator",
+// and a fleet_* gauge registered elsewhere would wear that meaning
+// while counting something local.
 //
 // The same contract extends to profiling labels: runtime/pprof.Labels
 // calls must pass alternating constant snake_case keys, and a "stage"
@@ -71,7 +75,7 @@ func runMetricNames(cfg *Config, pkg *Package) []Finding {
 					"metric name passed to Registry.%s must be a constant string", kind))
 				return true
 			}
-			out = append(out, checkMetricName(pkg, call, kind, name)...)
+			out = append(out, checkMetricName(cfg, pkg, call, kind, name)...)
 			out = append(out, checkLabelKeys(pkg, call, kind)...)
 			return true
 		})
@@ -91,13 +95,17 @@ func (p *Package) constString(expr ast.Expr) (string, bool) {
 
 // checkMetricName validates one registered metric name against the
 // naming contract.
-func checkMetricName(pkg *Package, call *ast.CallExpr, kind, name string) []Finding {
+func checkMetricName(cfg *Config, pkg *Package, call *ast.CallExpr, kind, name string) []Finding {
 	var out []Finding
 	pos := call.Args[0].Pos()
 	if !snakeCase.MatchString(name) {
 		out = append(out, pkg.finding("metricnames", pos,
 			"metric name %q is not snake_case ([a-z0-9_], starting with a letter)", name))
 		return out // suffix checks on a malformed name just add noise
+	}
+	if strings.HasPrefix(name, "fleet_") && !inClass(pkg.Path, cfg.FleetMetricPackages) {
+		out = append(out, pkg.finding("metricnames", pos,
+			"metric name %q uses the fleet_ prefix reserved for the shard coordinator's federation views", name))
 	}
 	switch kind {
 	case "Counter":

@@ -1,0 +1,28 @@
+// Fixture: the fleet_* metric family is the shard coordinator's
+// federated fleet view; registering one outside the packages in
+// Config.FleetMetricPackages makes a local number wear a fleet-wide
+// meaning. Loaded under internal/crawler every fleet_* registration
+// below is a finding; loaded under internal/shard (the reservation
+// holder) none are — TestFleetMetricPrefixReserved pins both. The
+// non-fleet registrations must stay silent under either path.
+package crawler
+
+import "pornweb/internal/obs"
+
+func registerFleet(reg *obs.Registry) {
+	// A fleet_* gauge outside the coordinator: reads as fleet state,
+	// counts this process.
+	reg.Gauge("fleet_workers_live")
+	// Counter and histogram variants of the same mistake.
+	reg.Counter("fleet_worker_visits_total")
+	reg.Histogram("fleet_worker_heartbeat_age_seconds", nil)
+	// Describe reserves the name just as hard as a registration.
+	reg.Describe("fleet_workers_retired", "workers retired after repeated failures")
+
+	// A fleet_* name that also breaks a suffix rule gets both findings.
+	reg.Counter("fleet_shards_done")
+
+	// Non-fleet registrations with compliant names: silent everywhere.
+	reg.Counter("crawler_requests_total")
+	reg.Gauge("crawler_breakers_open")
+}

@@ -12,6 +12,14 @@ import (
 	"time"
 )
 
+// Route is one extra admin endpoint: AdminHandler registers extras ahead
+// of its defaults, so a route may both add a new path and shadow a
+// built-in one.
+type Route struct {
+	Path    string
+	Handler http.HandlerFunc
+}
+
 // AdminHandler serves the observability surface:
 //
 //	/metrics       Prometheus text exposition of reg
@@ -26,13 +34,32 @@ import (
 //
 // reg, tr and fr may be nil; the corresponding endpoints then serve empty
 // bodies.
-func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder) http.Handler {
+//
+// Extra routes are registered first and shadow the defaults: a shard
+// coordinator overrides /metrics with the federated fleet exposition and
+// /trace with the merged multi-process export, and adds /fleet.
+func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	claimed := make(map[string]bool, len(extra))
+	var extraPaths []string
+	for _, e := range extra {
+		if e.Path == "" || e.Handler == nil || claimed[e.Path] {
+			continue
+		}
+		claimed[e.Path] = true
+		extraPaths = append(extraPaths, e.Path)
+		mux.HandleFunc(e.Path, e.Handler)
+	}
+	handle := func(path string, h http.HandlerFunc) {
+		if !claimed[path] {
+			mux.HandleFunc(path, h)
+		}
+	}
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WriteExposition(w)
 	})
-	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+	handle("/spans", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		spans := tr.Recent()
 		if name := r.URL.Query().Get("name"); name != "" {
@@ -50,12 +77,12 @@ func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder) http.Handler {
 			Spans    []SpanRecord `json:"spans"`
 		}{tr.Capacity(), len(spans), spans})
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="study-trace.json"`)
 		WriteChromeTrace(w, tr.Recent())
 	})
-	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+	handle("/flight", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		seen, kept, dropped := fr.Stats()
 		w.Header().Set("X-Flight-Seen", fmt.Sprint(seen))
@@ -63,7 +90,7 @@ func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder) http.Handler {
 		w.Header().Set("X-Flight-Sampled-Out", fmt.Sprint(dropped))
 		fr.WriteNDJSON(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 		// Runtime health summary, mirroring the study_runtime_* gauges, so
@@ -90,8 +117,15 @@ func AdminHandler(reg *Registry, tr *Tracer, fr *FlightRecorder) http.Handler {
 			`<li><a href="/trace">/trace</a> — span ring as Chrome trace (Perfetto)</li>`+
 			`<li><a href="/flight">/flight</a> — recent visit events (NDJSON)</li>`+
 			`<li><a href="/healthz">/healthz</a> — liveness</li>`+
-			`<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>`+
-			`</ul></body></html>`)
+			`<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>`)
+		for _, p := range extraPaths {
+			switch p {
+			case "/metrics", "/spans", "/trace", "/flight", "/healthz":
+				continue // shadowed defaults are already listed
+			}
+			fmt.Fprintf(w, `<li><a href="%s">%s</a></li>`, p, p)
+		}
+		fmt.Fprint(w, `</ul></body></html>`)
 	})
 	return mux
 }
@@ -107,14 +141,14 @@ type AdminServer struct {
 // the admin handler until Close. When reg is non-nil it also starts a
 // runtime health poller feeding the study_runtime_* metrics, so every
 // binary that exposes /metrics reports process health for free.
-func ServeAdmin(addr string, reg *Registry, tr *Tracer, fr *FlightRecorder) (*AdminServer, error) {
+func ServeAdmin(addr string, reg *Registry, tr *Tracer, fr *FlightRecorder, extra ...Route) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	a := &AdminServer{
 		ln:  ln,
-		srv: &http.Server{Handler: AdminHandler(reg, tr, fr), ReadHeaderTimeout: 10 * time.Second},
+		srv: &http.Server{Handler: AdminHandler(reg, tr, fr, extra...), ReadHeaderTimeout: 10 * time.Second},
 	}
 	if reg != nil {
 		a.poller = StartRuntimePoller(reg, time.Second)

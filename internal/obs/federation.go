@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metric federation: the telemetry return path of a sharded crawl.
+// Workers cannot be scraped reliably mid-run (they are ephemeral
+// loopback processes), so instead of pull-based federation each worker
+// snapshots its registry, diffs it against the snapshot taken at the
+// previous shard boundary, and ships the delta inside the shard Result.
+// The coordinator folds deltas into its own registry under worker/shard
+// labels. Counter and histogram deltas add, so the merge is commutative
+// and idempotent-per-result — the same order-independence the data
+// Merger enforces for entries — and a lost snapshot loses visibility,
+// never correctness.
+
+// SnapshotPoint is one series' state inside a Snapshot. Exactly one
+// value group is meaningful per kind: Count for counters; Value for
+// gauges; Bounds/Buckets/Value(sum)/Count for histograms.
+type SnapshotPoint struct {
+	Name string `json:"name"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Labels is the series' canonical pre-rendered label block
+	// ({k="v",...}) or "" for the unlabeled series.
+	Labels string `json:"labels,omitempty"`
+	// Count is the counter value, or the histogram observation count.
+	Count uint64 `json:"count,omitempty"`
+	// Value is the gauge value, or the histogram sum.
+	Value float64 `json:"value,omitempty"`
+	// Bounds are the histogram's bucket upper bounds; Buckets the
+	// per-bucket (non-cumulative) counts, len(Bounds)+1 with the +Inf
+	// bucket last.
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// Snapshot is a registry's full state at one instant, deterministically
+// ordered by (name, labels) so equal registries snapshot to equal bytes.
+type Snapshot struct {
+	Points []SnapshotPoint `json:"points"`
+}
+
+func kindString(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Snapshot captures every live series in the registry. Nil-safe (a nil
+// registry snapshots to an empty Snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		keys := make([]string, 0, len(f.series))
+		for ls := range f.series {
+			keys = append(keys, ls)
+		}
+		sort.Strings(keys)
+		for _, ls := range keys {
+			se := f.series[ls]
+			p := SnapshotPoint{Name: f.name, Kind: kindString(f.kind), Labels: ls}
+			switch f.kind {
+			case kindCounter:
+				p.Count = se.c.Value()
+			case kindGauge:
+				p.Value = se.g.Value()
+			case kindHistogram:
+				p.Bounds = append([]float64(nil), se.h.bounds...)
+				p.Buckets = make([]uint64, len(se.h.counts))
+				for i := range se.h.counts {
+					p.Buckets[i] = se.h.counts[i].Load()
+				}
+				p.Value = se.h.Sum()
+				p.Count = se.h.Count()
+			}
+			s.Points = append(s.Points, p)
+		}
+	}
+	return s
+}
+
+// DeltaFrom subtracts an earlier snapshot, returning only what changed
+// since: counter and histogram points carry the increment, gauges their
+// current value. Unchanged points are dropped, so the delta a worker
+// ships per shard stays proportional to that shard's activity. A nil or
+// empty prev returns the whole snapshot.
+func (s *Snapshot) DeltaFrom(prev *Snapshot) *Snapshot {
+	if s == nil {
+		return &Snapshot{}
+	}
+	idx := map[string]SnapshotPoint{}
+	if prev != nil {
+		for _, p := range prev.Points {
+			idx[p.Name+"\x00"+p.Labels] = p
+		}
+	}
+	out := &Snapshot{}
+	for _, p := range s.Points {
+		q, seen := idx[p.Name+"\x00"+p.Labels]
+		if seen && q.Kind != p.Kind {
+			seen = false // a name changed kinds between snapshots: treat as new
+		}
+		switch p.Kind {
+		case "counter":
+			if seen {
+				if p.Count <= q.Count {
+					continue // unchanged (or a restarted source; nothing safe to add)
+				}
+				p.Count -= q.Count
+			}
+			if p.Count == 0 {
+				continue
+			}
+		case "gauge":
+			if seen && p.Value == q.Value {
+				continue
+			}
+		case "histogram":
+			if seen {
+				if p.Count <= q.Count {
+					continue
+				}
+				p.Count -= q.Count
+				p.Value -= q.Value
+				buckets := append([]uint64(nil), p.Buckets...)
+				for i := range buckets {
+					if i < len(q.Buckets) && buckets[i] >= q.Buckets[i] {
+						buckets[i] -= q.Buckets[i]
+					}
+				}
+				p.Buckets = buckets
+			}
+			if p.Count == 0 {
+				continue
+			}
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// validPointLabels accepts only canonical label blocks — "" or a
+// {...}-delimited block — so a corrupt wire snapshot cannot smuggle
+// malformed series keys into the exposition.
+func validPointLabels(ls string) bool {
+	return ls == "" || (strings.HasPrefix(ls, "{") && strings.HasSuffix(ls, "}"))
+}
+
+// hasLabelKey reports whether a canonical label block already binds the
+// given key.
+func hasLabelKey(ls, key string) bool {
+	return strings.HasPrefix(ls, "{"+key+`="`) || strings.Contains(ls, ","+key+`="`)
+}
+
+// MergeSnapshot folds a (delta) snapshot into the registry, splicing the
+// given extra label pairs (alternating key, value — e.g. "worker", name,
+// "shard", "3") into every point. Counters and histograms add; gauges
+// set. The merge is commutative across snapshots from distinct sources,
+// so fleet results can arrive in any order. Points that collide with an
+// existing family of a different kind, or carry malformed labels, are
+// skipped — a hostile snapshot degrades, it cannot crash the registry.
+// Nil-safe.
+func (r *Registry) MergeSnapshot(s *Snapshot, extraLabels ...string) {
+	if r == nil || s == nil {
+		return
+	}
+	if len(extraLabels)%2 != 0 {
+		panic("obs: odd label list, want alternating key, value")
+	}
+points:
+	for _, p := range s.Points {
+		if p.Name == "" || !validPointLabels(p.Labels) {
+			continue
+		}
+		ls := p.Labels
+		for i := 0; i < len(extraLabels); i += 2 {
+			// A point already bound to one of the extra keys is this
+			// merger's own output echoed back (a worker sharing the
+			// coordinator's registry snapshots the federated series too);
+			// splicing the key a second time would mint a new series per
+			// round and grow the registry without bound.
+			if hasLabelKey(ls, extraLabels[i]) {
+				continue points
+			}
+			ls = withExtraLabel(ls, extraLabels[i], extraLabels[i+1])
+		}
+		switch p.Kind {
+		case "counter":
+			se, ok := r.lookupRendered(p.Name, kindCounter, nil, ls)
+			if ok {
+				se.c.Add(p.Count)
+			}
+		case "gauge":
+			se, ok := r.lookupRendered(p.Name, kindGauge, nil, ls)
+			if ok {
+				se.g.Set(p.Value)
+			}
+		case "histogram":
+			se, ok := r.lookupRendered(p.Name, kindHistogram, p.Bounds, ls)
+			if ok {
+				se.h.mergeDelta(p.Buckets, p.Value, p.Count)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// crawlishRegistry builds a registry shaped like a worker's: counters,
+// a gauge and a histogram with label variety.
+func crawlishRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("visits_total", "country", "ES").Add(3)
+	r.Counter("visits_total", "country", "US").Add(5)
+	r.Gauge("breakers_open").Set(2)
+	r.Histogram("load_seconds", []float64{0.1, 1}, "country", "ES").Observe(0.05)
+	r.Histogram("load_seconds", []float64{0.1, 1}, "country", "ES").Observe(0.5)
+	return r
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	a := crawlishRegistry().Snapshot()
+	b := crawlishRegistry().Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("equal registries snapshot unequally:\n%+v\n%+v", a, b)
+	}
+	if len(a.Points) != 4 {
+		t.Fatalf("snapshot has %d points, want 4", len(a.Points))
+	}
+	for i := 1; i < len(a.Points); i++ {
+		p, q := a.Points[i-1], a.Points[i]
+		if p.Name > q.Name || (p.Name == q.Name && p.Labels > q.Labels) {
+			t.Errorf("snapshot unsorted at %d: %s%s after %s%s", i, q.Name, q.Labels, p.Name, p.Labels)
+		}
+	}
+	var nilReg *Registry
+	if s := nilReg.Snapshot(); len(s.Points) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestDeltaFrom(t *testing.T) {
+	r := crawlishRegistry()
+	before := r.Snapshot()
+
+	r.Counter("visits_total", "country", "ES").Add(4)
+	r.Gauge("breakers_open").Set(1)
+	r.Histogram("load_seconds", []float64{0.1, 1}, "country", "ES").Observe(2)
+	r.Counter("fresh_total").Inc()
+	after := r.Snapshot()
+
+	d := after.DeltaFrom(before)
+	got := map[string]SnapshotPoint{}
+	for _, p := range d.Points {
+		got[p.Name+p.Labels] = p
+	}
+	// Unchanged series are dropped: US visits stay home.
+	if _, ok := got[`visits_total{country="US"}`]; ok {
+		t.Error("unchanged counter shipped in delta")
+	}
+	if p := got[`visits_total{country="ES"}`]; p.Count != 4 {
+		t.Errorf("counter delta %d, want 4", p.Count)
+	}
+	if p := got["breakers_open"]; p.Value != 1 {
+		t.Errorf("gauge delta carries %v, want current value 1", p.Value)
+	}
+	if p := got[`load_seconds{country="ES"}`]; p.Count != 1 || math.Abs(p.Value-2) > 1e-9 {
+		t.Errorf("histogram delta count=%d sum=%v, want 1 observation of 2", p.Count, p.Value)
+	}
+	// A series born between snapshots ships whole.
+	if p := got["fresh_total"]; p.Count != 1 {
+		t.Errorf("new counter delta %d, want 1", p.Count)
+	}
+
+	// A counter that went backwards (restarted source) ships nothing:
+	// there is no safe increment to add.
+	shrunk := &Snapshot{Points: []SnapshotPoint{
+		{Name: "visits_total", Kind: "counter", Labels: `{country="ES"}`, Count: 1},
+	}}
+	if d := shrunk.DeltaFrom(before); len(d.Points) != 0 {
+		t.Errorf("restarted counter produced a delta: %+v", d.Points)
+	}
+}
+
+func TestMergeSnapshotFederates(t *testing.T) {
+	worker := crawlishRegistry().Snapshot().DeltaFrom(nil)
+	coord := NewRegistry()
+	coord.MergeSnapshot(worker, "shard", "2", "worker", "w1")
+
+	if got := coord.Counter("visits_total", "country", "ES", "shard", "2", "worker", "w1").Value(); got != 3 {
+		t.Errorf("federated ES visits %d, want 3", got)
+	}
+	if got := coord.Gauge("breakers_open", "shard", "2", "worker", "w1").Value(); got != 2 {
+		t.Errorf("federated gauge %v, want 2", got)
+	}
+	h := coord.Histogram("load_seconds", []float64{0.1, 1}, "country", "ES", "shard", "2", "worker", "w1")
+	if h.Count() != 2 {
+		t.Errorf("federated histogram count %d, want 2", h.Count())
+	}
+
+	// Merging two workers' deltas in either order lands the same state.
+	w2 := crawlishRegistry().Snapshot().DeltaFrom(nil)
+	ab, ba := NewRegistry(), NewRegistry()
+	ab.MergeSnapshot(worker, "worker", "w1")
+	ab.MergeSnapshot(w2, "worker", "w2")
+	ba.MergeSnapshot(w2, "worker", "w2")
+	ba.MergeSnapshot(worker, "worker", "w1")
+	var ea, eb bytes.Buffer
+	if err := ab.WriteExposition(&ea); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.WriteExposition(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if ea.String() != eb.String() {
+		t.Error("merge order changed the federated exposition")
+	}
+}
+
+// TestMergeSnapshotSkipsEchoes pins the feedback guard: a snapshot
+// point already carrying one of the extra label keys is the merger's
+// own federated output echoed back (a worker sharing the coordinator's
+// registry), and re-merging it would mint a fresh series every round.
+func TestMergeSnapshotSkipsEchoes(t *testing.T) {
+	coord := NewRegistry()
+	echo := &Snapshot{Points: []SnapshotPoint{
+		{Name: "visits_total", Kind: "counter", Labels: `{country="ES",worker="w1"}`, Count: 9},
+		{Name: "visits_total", Kind: "counter", Labels: `{country="ES"}`, Count: 2},
+	}}
+	coord.MergeSnapshot(echo, "worker", "w2")
+	snap := coord.Snapshot()
+	if len(snap.Points) != 1 {
+		t.Fatalf("registry holds %d series, want only the non-echo one: %+v", len(snap.Points), snap.Points)
+	}
+	if p := snap.Points[0]; p.Labels != `{country="ES",worker="w2"}` || p.Count != 2 {
+		t.Errorf("merged point %+v, want the fresh series at 2", p)
+	}
+}
+
+// TestMergeSnapshotHostile feeds the merge malformed and conflicting
+// points: they must be skipped, never panic or corrupt the exposition.
+func TestMergeSnapshotHostile(t *testing.T) {
+	coord := NewRegistry()
+	coord.Counter("visits_total").Add(1)
+	hostile := &Snapshot{Points: []SnapshotPoint{
+		{Name: "", Kind: "counter", Count: 5},
+		{Name: "visits_total", Kind: "gauge", Value: 99},        // kind conflict
+		{Name: "visits_total", Kind: "counter", Labels: "junk"}, // malformed labels
+		{Name: "visits_total", Kind: "counter", Labels: "{", Count: 1},
+		{Name: "ok_total", Kind: "counter", Count: 2},
+	}}
+	coord.MergeSnapshot(hostile)
+	if got := coord.Counter("visits_total").Value(); got != 1 {
+		t.Errorf("kind-conflicting point mutated the counter: %d", got)
+	}
+	if got := coord.Counter("ok_total").Value(); got != 2 {
+		t.Errorf("well-formed point skipped: %d", got)
+	}
+	var buf bytes.Buffer
+	if err := coord.WriteExposition(&buf); err != nil {
+		t.Fatalf("exposition after hostile merge: %v", err)
+	}
+	// Nil-safety both ways.
+	var nilReg *Registry
+	nilReg.MergeSnapshot(hostile)
+	coord.MergeSnapshot(nil)
+}
+
+// TestSnapshotDeltaMergeRoundTrip is federation's core claim end to
+// end: per-boundary deltas merged at the coordinator reconstruct the
+// worker's full counters, no matter how activity splits across shards.
+func TestSnapshotDeltaMergeRoundTrip(t *testing.T) {
+	worker := NewRegistry()
+	coord := NewRegistry()
+	var last *Snapshot
+	for shard, n := range []int{3, 0, 7} {
+		for i := 0; i < n; i++ {
+			worker.Counter("visits_total", "country", "ES").Inc()
+			worker.Histogram("load_seconds", []float64{1}, "country", "ES").Observe(0.5)
+		}
+		snap := worker.Snapshot()
+		coord.MergeSnapshot(snap.DeltaFrom(last), "worker", "w1")
+		_ = shard
+		last = snap
+	}
+	if got := coord.Counter("visits_total", "country", "ES", "worker", "w1").Value(); got != 10 {
+		t.Errorf("reconstructed counter %d, want 10", got)
+	}
+	if got := coord.Histogram("load_seconds", []float64{1}, "country", "ES", "worker", "w1").Count(); got != 10 {
+		t.Errorf("reconstructed histogram count %d, want 10", got)
+	}
+}

@@ -46,6 +46,12 @@ type VisitEvent struct {
 	// SpanID links the event to the visit's span in the tracer ring (and
 	// the /trace export), 0 when tracing is off.
 	SpanID uint64 `json:"span_id,omitempty"`
+	// Worker and Shard identify which fleet member performed the visit
+	// and under which shard assignment; the coordinator stamps them when
+	// it folds a worker's flight events into its own recorder. Empty/0
+	// for unsharded (in-process) visits.
+	Worker string `json:"worker,omitempty"`
+	Shard  int    `json:"shard,omitempty"`
 }
 
 // FlightRecorder is a bounded wide-event sink: every page visit emits one
@@ -65,6 +71,10 @@ type FlightRecorder struct {
 	seen    atomic.Uint64 // all events offered
 	kept    atomic.Uint64 // events that passed sampling
 	dropped atomic.Uint64 // successful events sampled away
+
+	// droppedCtr, when wired by CountIn, mirrors the dropped count as a
+	// metric so sampling loss shows up on /metrics, not just in runinfo.
+	droppedCtr *Counter
 
 	mu   sync.Mutex
 	w    io.Writer // optional NDJSON stream
@@ -95,6 +105,19 @@ func NewFlightRecorder(capacity, sampleN int, sink io.Writer) *FlightRecorder {
 // event-field gathering entirely when the recorder is nil.
 func (f *FlightRecorder) Enabled() bool { return f != nil }
 
+// CountIn registers the recorder's sampling-loss counter with reg and
+// returns the recorder: flight_events_dropped_total counts successful
+// visits head-sampling discarded, so the gap between visits performed
+// and events kept is a queryable metric. Nil-safe on both sides.
+func (f *FlightRecorder) CountIn(reg *Registry) *FlightRecorder {
+	if f == nil || reg == nil {
+		return f
+	}
+	reg.Describe("flight_events_dropped_total", "successful visit events discarded by flight-recorder head sampling")
+	f.droppedCtr = reg.Counter("flight_events_dropped_total")
+	return f
+}
+
 // RecordVisit offers one event to the recorder. Nil-safe.
 func (f *FlightRecorder) RecordVisit(ev VisitEvent) {
 	if f == nil {
@@ -105,6 +128,7 @@ func (f *FlightRecorder) RecordVisit(ev VisitEvent) {
 	// failures bypass sampling entirely.
 	if ev.OK && f.sampleN > 1 && n%f.sampleN != 1 {
 		f.dropped.Add(1)
+		f.droppedCtr.Inc()
 		return
 	}
 	f.kept.Add(1)

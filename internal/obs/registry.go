@@ -118,6 +118,30 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// mergeDelta folds another histogram's bucket-count, sum and count
+// deltas into this one — the commutative federation merge. Buckets past
+// this histogram's own are clipped (a bounds mismatch between processes
+// loses resolution, never counts: the total still lands via count).
+func (h *Histogram) mergeDelta(buckets []uint64, sum float64, count uint64) {
+	if h == nil {
+		return
+	}
+	for i, n := range buckets {
+		if i >= len(h.counts) {
+			break
+		}
+		h.counts[i].Add(n)
+	}
+	h.count.Add(count)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sum)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -228,7 +252,19 @@ func (r *Registry) Describe(name, help string) {
 // lookup get-or-creates the series for (name, labels) and enforces that a
 // name keeps one kind for its lifetime.
 func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels []string) *series {
-	ls := renderLabels(labels)
+	s, ok := r.lookupRendered(name, kind, bounds, renderLabels(labels))
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q registered as two kinds", name))
+	}
+	return s
+}
+
+// lookupRendered is lookup keyed on a pre-rendered label block — the
+// federation merge path splices worker/shard labels into blocks it
+// already holds in rendered form. Returns ok=false instead of panicking
+// on a kind conflict, so merging an untrusted snapshot can skip the
+// offending point rather than crash the coordinator.
+func (r *Registry) lookupRendered(name string, kind metricKind, bounds []float64, ls string) (*series, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
@@ -240,7 +276,7 @@ func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels
 		f.kind = kind
 		f.bounds = bounds
 	} else if f.kind != kind {
-		panic(fmt.Sprintf("obs: metric %q registered as two kinds", name))
+		return nil, false
 	}
 	s, ok := f.series[ls]
 	if !ok {
@@ -259,7 +295,7 @@ func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels
 		}
 		f.series[ls] = s
 	}
-	return s
+	return s, true
 }
 
 // Counter returns the counter for name and the given label pairs

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,8 +10,13 @@ import (
 
 // SpanRecord is one completed span as stored in the tracer's ring buffer.
 type SpanRecord struct {
-	ID       uint64            `json:"id"`
-	ParentID uint64            `json:"parent_id,omitempty"`
+	ID       uint64 `json:"id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// TraceID groups spans from different processes into one causal tree:
+	// a coordinator stamps its run-level trace ID into every span it
+	// records and propagates it to workers inside shard assignments, so a
+	// merged export can tell one fleet run's spans from another's.
+	TraceID  string            `json:"trace_id,omitempty"`
 	Name     string            `json:"name"`
 	Start    time.Time         `json:"start"`
 	Duration time.Duration     `json:"duration_ns"`
@@ -23,10 +29,16 @@ type SpanRecord struct {
 type Tracer struct {
 	seq atomic.Uint64
 
-	mu   sync.Mutex
-	buf  []SpanRecord
-	next int  // ring cursor
-	full bool // buffer has wrapped
+	// evictedCtr, when wired by CountIn, counts ring overwrites so span
+	// loss is a visible metric instead of a silent property of buffer
+	// sizing.
+	evictedCtr *Counter
+
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int    // ring cursor
+	full    bool   // buffer has wrapped
+	traceID string // stamped into every record; see SetTraceID
 }
 
 // NewTracer returns a tracer keeping the most recent capacity spans
@@ -36,6 +48,55 @@ func NewTracer(capacity int) *Tracer {
 		capacity = 16
 	}
 	return &Tracer{buf: make([]SpanRecord, capacity)}
+}
+
+// SetTraceID sets the run-level trace ID stamped into every span recorded
+// from now on. Spans already in the ring keep whatever ID they were
+// recorded under. Nil-safe.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the current run-level trace ID ("" until SetTraceID).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// CountIn registers the tracer's span-loss counter with reg and returns
+// the tracer: spans_evicted_total counts ring overwrites, so a trace
+// export missing spans can be diagnosed as buffer pressure rather than
+// instrumentation gaps. Nil-safe on both sides.
+func (t *Tracer) CountIn(reg *Registry) *Tracer {
+	if t == nil || reg == nil {
+		return t
+	}
+	reg.Describe("spans_evicted_total", "completed spans overwritten in the tracer ring before export")
+	ctr := reg.Counter("spans_evicted_total")
+	t.mu.Lock()
+	t.evictedCtr = ctr
+	t.mu.Unlock()
+	return t
+}
+
+// MintTraceID derives a run-level trace ID from the study's config
+// fingerprint and seed — a pure function, so the two ends of a fleet
+// (coordinator and equivalence harnesses) agree on it without a wire
+// exchange and deterministic runs keep deterministic telemetry.
+func MintTraceID(fingerprint string, seed int64) string {
+	if len(fingerprint) > 16 {
+		fingerprint = fingerprint[:16]
+	}
+	return fmt.Sprintf("run-%s-%d", fingerprint, seed)
 }
 
 // Span is one in-flight timed operation. End records it.
@@ -104,6 +165,18 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 	return context.WithValue(ctx, ctxKeySpan, s), s
 }
 
+// StartRemote opens a span whose parent lives in another process: the
+// propagated parent span ID wins over whatever span the local context
+// carries, so a worker's spans stitch under the coordinator's dispatch
+// span in a merged trace. Nil-safe.
+func (t *Tracer) StartRemote(ctx context.Context, name string, parentID uint64) (context.Context, *Span) {
+	ctx, s := t.Start(ctx, name)
+	if s != nil && parentID != 0 {
+		s.parent = parentID
+	}
+	return ctx, s
+}
+
 // SetAttr attaches a key/value attribute to the span. After End the call
 // is a no-op: End publishes the attrs map into the tracer's ring buffer,
 // where a concurrent Recent() reader may already be decoding it, so a
@@ -160,13 +233,21 @@ func (s *Span) End() time.Duration {
 
 func (t *Tracer) record(r SpanRecord) {
 	t.mu.Lock()
+	if r.TraceID == "" {
+		r.TraceID = t.traceID
+	}
+	evict := t.full
 	t.buf[t.next] = r
 	t.next++
 	if t.next == len(t.buf) {
 		t.next = 0
 		t.full = true
 	}
+	ctr := t.evictedCtr
 	t.mu.Unlock()
+	if evict {
+		ctr.Inc()
+	}
 }
 
 // Recent returns the buffered spans, oldest first.

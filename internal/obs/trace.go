@@ -9,7 +9,7 @@ import (
 )
 
 // chromeEvent is one entry of the Chrome trace-event format ("X" complete
-// events), loadable by Perfetto and chrome://tracing.
+// events, "M" metadata), loadable by Perfetto and chrome://tracing.
 type chromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
@@ -21,54 +21,99 @@ type chromeEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
+// TraceProcess is one process row of a merged fleet trace: the spans a
+// single process recorded, exported under its own pid so Perfetto
+// renders coordinator and workers side by side.
+type TraceProcess struct {
+	// Name labels the process row ("" emits no process_name metadata).
+	Name string
+	// PID is the trace-local process id (1-based; pick distinct values).
+	PID int
+	// Spans are the process's recorded spans, any order.
+	Spans []SpanRecord
+}
+
 // WriteChromeTrace renders spans as a Chrome trace-event JSON document.
 // Timestamps are relative to the earliest span so the trace opens at t=0.
 // Spans are packed onto "threads" greedily: each span takes the lowest
 // lane whose previous occupant ended before it started, so concurrent
 // stages and visits render side by side instead of overdrawing.
 func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
-	sorted := make([]SpanRecord, len(spans))
-	copy(sorted, spans)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+	return WriteChromeTraceProcesses(w, []TraceProcess{{PID: 1, Spans: spans}})
+}
 
+// WriteChromeTraceProcesses renders a merged multi-process trace: each
+// TraceProcess becomes one process row (named by a process_name metadata
+// event), lanes are packed per process, and every span's trace_id rides
+// along in its args so a viewer can confirm the rows belong to one
+// propagated fleet run. Timestamps share a single epoch — the earliest
+// span across all processes — so cross-process causality reads directly
+// off the timeline.
+func WriteChromeTraceProcesses(w io.Writer, procs []TraceProcess) error {
 	var epoch time.Time
-	if len(sorted) > 0 {
-		epoch = sorted[0].Start
-	}
-	var laneEnds []time.Time
-	events := make([]chromeEvent, 0, len(sorted))
-	for _, s := range sorted {
-		lane := -1
-		for i, end := range laneEnds {
-			if !end.After(s.Start) {
-				lane = i
-				break
+	haveEpoch := false
+	for _, p := range procs {
+		for _, s := range p.Spans {
+			if !haveEpoch || s.Start.Before(epoch) {
+				epoch = s.Start
+				haveEpoch = true
 			}
 		}
-		if lane < 0 {
-			lane = len(laneEnds)
-			laneEnds = append(laneEnds, time.Time{})
+	}
+	var events []chromeEvent
+	for _, p := range procs {
+		if p.Name != "" {
+			events = append(events, chromeEvent{
+				Name: "process_name",
+				Cat:  "__metadata",
+				Ph:   "M",
+				PID:  p.PID,
+				Args: map[string]string{"name": p.Name},
+			})
 		}
-		laneEnds[lane] = s.Start.Add(s.Duration)
+		sorted := make([]SpanRecord, len(p.Spans))
+		copy(sorted, p.Spans)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+		var laneEnds []time.Time
+		for _, s := range sorted {
+			lane := -1
+			for i, end := range laneEnds {
+				if !end.After(s.Start) {
+					lane = i
+					break
+				}
+			}
+			if lane < 0 {
+				lane = len(laneEnds)
+				laneEnds = append(laneEnds, time.Time{})
+			}
+			laneEnds[lane] = s.Start.Add(s.Duration)
 
-		args := make(map[string]string, len(s.Attrs)+2)
-		for k, v := range s.Attrs {
-			args[k] = v
+			args := make(map[string]string, len(s.Attrs)+3)
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			args["span_id"] = strconv.FormatUint(s.ID, 10)
+			if s.ParentID != 0 {
+				args["parent_id"] = strconv.FormatUint(s.ParentID, 10)
+			}
+			if s.TraceID != "" {
+				args["trace_id"] = s.TraceID
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Cat:  "span",
+				Ph:   "X",
+				TS:   s.Start.Sub(epoch).Microseconds(),
+				Dur:  s.Duration.Microseconds(),
+				PID:  p.PID,
+				TID:  lane + 1,
+				Args: args,
+			})
 		}
-		args["span_id"] = strconv.FormatUint(s.ID, 10)
-		if s.ParentID != 0 {
-			args["parent_id"] = strconv.FormatUint(s.ParentID, 10)
-		}
-		events = append(events, chromeEvent{
-			Name: s.Name,
-			Cat:  "span",
-			Ph:   "X",
-			TS:   s.Start.Sub(epoch).Microseconds(),
-			Dur:  s.Duration.Microseconds(),
-			PID:  1,
-			TID:  lane + 1,
-			Args: args,
-		})
+	}
+	if events == nil {
+		events = []chromeEvent{}
 	}
 	doc := struct {
 		TraceEvents     []chromeEvent `json:"traceEvents"`

@@ -4,13 +4,16 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"pornweb/internal/obs"
 )
 
 func testAssignment() *Assignment {
 	return &Assignment{
 		Stage: "crawl/porn-ES", Corpus: "porn", Vantage: "ES",
 		Shard: 2, Shards: 4, Fingerprint: "0011223344556677", Seed: 42,
-		Hosts: []string{"a.example.com", "b.example.org"},
+		Hosts:   []string{"a.example.com", "b.example.org"},
+		TraceID: "run-0011223344556677-42", ParentSpan: 7, Telemetry: true,
 	}
 }
 
@@ -20,6 +23,20 @@ func testResult() *Result {
 		Entries: []Entry{
 			{Site: "b.example.org", Raw: []byte("raw\x00bytes")},
 			{Site: "a.example.com", Raw: []byte(`{"page":{}}`)},
+		},
+		Telemetry: &Telemetry{
+			Worker:      "w1",
+			MetricsAddr: "127.0.0.1:9999",
+			TraceID:     "run-0011223344556677-42",
+			Metrics: &obs.Snapshot{Points: []obs.SnapshotPoint{
+				{Name: "visits_total", Kind: "counter", Count: 2},
+			}},
+			Spans: []obs.SpanRecord{
+				{Name: "shard/run", TraceID: "run-0011223344556677-42"},
+			},
+			Flight: []obs.VisitEvent{
+				{Site: "a.example.com", Worker: "w1", Shard: 2},
+			},
 		},
 	}
 	r.SortEntries()
@@ -113,6 +130,53 @@ func TestCodecRejectsDamage(t *testing.T) {
 	}
 	if _, err := DecodeResult(bad); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("non-object payload: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestCodecBackwardCompatible proves the telemetry fields are a
+// compatible extension of the wire format: frames from a peer that
+// predates them (no trace context, no telemetry sidecar) still decode,
+// and frames that omit telemetry round-trip without growing phantom
+// fields. This is the versioning seam — all new fields are omitempty.
+func TestCodecBackwardCompatible(t *testing.T) {
+	a := testAssignment()
+	a.TraceID, a.ParentSpan, a.Telemetry = "", 0, false
+	frame, err := EncodeAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAssignment(frame)
+	if err != nil {
+		t.Fatalf("v0-style assignment frame rejected: %v", err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Errorf("v0 assignment round-trip: got %+v, want %+v", back, a)
+	}
+
+	r := testResult()
+	r.Telemetry = nil
+	rframe, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rback, err := DecodeResult(rframe)
+	if err != nil {
+		t.Fatalf("v0-style result frame rejected: %v", err)
+	}
+	if rback.Telemetry != nil {
+		t.Errorf("telemetry-free frame decoded with telemetry: %+v", rback.Telemetry)
+	}
+}
+
+// TestDigestIgnoresTelemetry pins the sidecar invariant at the wire
+// layer: the result digest covers data entries only, so shipping (or
+// losing) telemetry can never change what the coordinator verifies.
+func TestDigestIgnoresTelemetry(t *testing.T) {
+	with := testResult()
+	without := testResult()
+	without.Telemetry = nil
+	if with.ComputeDigest() != without.ComputeDigest() {
+		t.Error("digest changed when telemetry sidecar was dropped")
 	}
 }
 

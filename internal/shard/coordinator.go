@@ -39,6 +39,20 @@ type Coordinator struct {
 	Client *http.Client
 	Ctrl   *resilience.Controller
 
+	// Tracer, TraceID and Flight wire the fleet observability plane.
+	// When Tracer is set, Dispatch opens one span per assignment and
+	// propagates (TraceID, span ID) inside it, so worker spans stitch
+	// under the coordinator's causal tree. Flight, when set, receives
+	// the flight events workers return, stamped with worker/shard
+	// identity. TelemetryOff stops asking workers for telemetry — the
+	// knob the byte-identity invariant is tested against. All optional.
+	Tracer       *obs.Tracer
+	TraceID      string
+	Flight       *obs.FlightRecorder
+	TelemetryOff bool
+
+	reg *obs.Registry
+
 	mu      sync.Mutex
 	workers []Worker
 	retired map[string]bool
@@ -47,12 +61,19 @@ type Coordinator struct {
 	ln      net.Listener
 	srv     *http.Server
 
-	metDispatch   *obs.Counter
-	metReassigned *obs.Counter
-	metRetired    *obs.Counter
-	metResults    *obs.Counter
-	metEntries    *obs.Counter
-	metRegistered *obs.Counter
+	// health, stages and failures back the /fleet report; see fleet.go.
+	health   map[string]*workerHealth
+	stages   map[string]*StageProgress
+	failures map[string]int
+
+	metDispatch     *obs.Counter
+	metReassigned   *obs.Counter
+	metRetired      *obs.Counter
+	metResults      *obs.Counter
+	metEntries      *obs.Counter
+	metRegistered   *obs.Counter
+	metFleetLive    *obs.Gauge
+	metFleetRetired *obs.Gauge
 }
 
 // NewCoordinator builds a coordinator registering its metrics with reg
@@ -64,15 +85,22 @@ func NewCoordinator(reg *obs.Registry) *Coordinator {
 	reg.Describe(metricResultsMerged, "per-shard results folded into the merge")
 	reg.Describe(metricEntriesMerged, "serialized visit entries received from workers")
 	reg.Describe(metricRegistered, "workers accepted by the registration listener")
+	reg.Describe(metricFleetLive, "workers currently live in the fleet")
+	reg.Describe(metricFleetRetired, "workers retired from the fleet")
+	reg.Describe(metricFleetVisits, "visit entries merged per worker")
+	reg.Describe(metricFleetHeartbeat, "seconds since each worker's last completed result or registration")
 	return &Coordinator{
-		retired:       map[string]bool{},
-		arrived:       make(chan struct{}),
-		metDispatch:   reg.Counter(metricDispatch),
-		metReassigned: reg.Counter(metricReassigned),
-		metRetired:    reg.Counter(metricRetired),
-		metResults:    reg.Counter(metricResultsMerged),
-		metEntries:    reg.Counter(metricEntriesMerged),
-		metRegistered: reg.Counter(metricRegistered),
+		reg:             reg,
+		retired:         map[string]bool{},
+		arrived:         make(chan struct{}),
+		metDispatch:     reg.Counter(metricDispatch),
+		metReassigned:   reg.Counter(metricReassigned),
+		metRetired:      reg.Counter(metricRetired),
+		metResults:      reg.Counter(metricResultsMerged),
+		metEntries:      reg.Counter(metricEntriesMerged),
+		metRegistered:   reg.Counter(metricRegistered),
+		metFleetLive:    reg.Gauge(metricFleetLive),
+		metFleetRetired: reg.Gauge(metricFleetRetired),
 	}
 }
 
@@ -85,6 +113,11 @@ func (c *Coordinator) AddWorker(w Worker) {
 	c.arrived = make(chan struct{})
 	c.mu.Unlock()
 	c.metRegistered.Inc()
+	kind, addr, metricsAddr := "local", "", ""
+	if rw, ok := w.(*RemoteWorker); ok {
+		kind, addr, metricsAddr = "remote", rw.Addr, rw.MetricsAddr
+	}
+	c.noteWorker(w.Name(), kind, addr, metricsAddr)
 	close(old)
 }
 
@@ -133,7 +166,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var reg registration
+	var reg Registration
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&reg); err != nil {
 		http.Error(w, fmt.Sprintf("bad registration: %v", err), http.StatusBadRequest)
 		return
@@ -142,7 +175,8 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "registration needs name and addr", http.StatusBadRequest)
 		return
 	}
-	c.AddWorker(&RemoteWorker{Label: reg.Name, Addr: reg.Addr, Client: c.Client, Ctrl: c.Ctrl})
+	c.AddWorker(&RemoteWorker{Label: reg.Name, Addr: reg.Addr, MetricsAddr: reg.MetricsAddr,
+		Client: c.Client, Ctrl: c.Ctrl})
 	_, _ = io.WriteString(w, "registered\n")
 }
 
@@ -193,6 +227,7 @@ func (c *Coordinator) retire(w Worker) {
 	if !already {
 		c.metRetired.Inc()
 	}
+	c.updateFleetGauges()
 }
 
 // Workers reports fleet size as (live, retired).
@@ -246,12 +281,27 @@ func (c *Coordinator) Dispatch(ctx context.Context, assignments []Assignment) (*
 		for i, a := range wave {
 			w := fleet[i]
 			c.metDispatch.Inc()
+			// Propagate trace context: the assignment carries the run
+			// trace ID and this dispatch span's ID, so the worker's spans
+			// parent under it in the merged trace. Telemetry asks the
+			// worker to return its observability delta with the result.
+			actx, span := c.Tracer.Start(ctx, "shard/dispatch")
+			span.SetAttr("stage", a.Stage)
+			span.SetAttr("shard", fmt.Sprintf("%d/%d", a.Shard, a.Shards))
+			span.SetAttr("worker", w.Name())
+			a.TraceID = c.TraceID
+			a.ParentSpan = span.ID()
+			a.Telemetry = !c.TelemetryOff
 			wg.Add(1)
-			go func(i int, a Assignment, w Worker) {
+			go func(i int, a Assignment, w Worker, actx context.Context, span *obs.Span) {
 				defer wg.Done()
-				res, err := w.Run(ctx, a)
+				res, err := w.Run(actx, a)
+				if err != nil {
+					span.SetAttr("error", err.Error())
+				}
+				span.End()
 				outcomes[i] = outcome{a: a, w: w, res: res, err: err}
-			}(i, a, w)
+			}(i, a, w, actx, span)
 		}
 		wg.Wait()
 
@@ -264,6 +314,7 @@ func (c *Coordinator) Dispatch(ctx context.Context, assignments []Assignment) (*
 				// The worker failed the shard — or answered with a result
 				// that fails validation, which is just as disqualifying.
 				// Retire it and give the shard to a survivor next round.
+				c.noteFailure(o.w, o.err)
 				c.retire(o.w)
 				c.metReassigned.Inc()
 				requeue = append(requeue, o.a)
@@ -271,13 +322,18 @@ func (c *Coordinator) Dispatch(ctx context.Context, assignments []Assignment) (*
 			}
 			c.metResults.Inc()
 			c.metEntries.Add(uint64(len(o.res.Entries)))
+			c.noteResult(o.w, o.a, o.res)
 		}
 		if _, err := m.Merge(); err != nil {
 			return nil, err
 		}
 		pending = requeue
 	}
-	return m.Finish()
+	merged, err := m.Finish()
+	if err == nil && len(assignments) > 0 {
+		c.noteStage(assignments[0].Stage, len(assignments), len(merged.Shards), merged.Count)
+	}
+	return merged, err
 }
 
 // Close retires the registration listener and asks every live remote

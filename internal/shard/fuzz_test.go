@@ -25,6 +25,18 @@ func FuzzShardCodec(f *testing.F) {
 		f.Add(mutate(frame, 4))
 		f.Add(mutate(frame, len(frame)-1))
 	}
+	// Telemetry-free peers are still on the wire; seed their shapes too.
+	bare := testAssignment()
+	bare.TraceID, bare.ParentSpan, bare.Telemetry = "", 0, false
+	if frame, err := EncodeAssignment(bare); err == nil {
+		f.Add(frame)
+	}
+	bareRes := testResult()
+	bareRes.Telemetry = nil
+	if frame, err := EncodeResult(bareRes); err == nil {
+		f.Add(frame)
+		f.Add(mutate(frame, len(frame)/3))
+	}
 	f.Add([]byte{})
 	f.Add([]byte(frameMagic))
 	f.Add([]byte("PWS1\x01\xff\xff\xff\xff"))

@@ -85,6 +85,16 @@ type Assignment struct {
 	Seed        int64  `json:"seed"`
 	// Hosts is the shard's site list, in the stage's visit order.
 	Hosts []string `json:"hosts"`
+	// TraceID and ParentSpan propagate the coordinator's trace context:
+	// the run-level trace ID and the dispatch span this assignment hangs
+	// under, so the worker's spans stitch into the coordinator's causal
+	// tree. Telemetry asks the worker to return its observability delta
+	// in the Result. All three are omitempty, so a new coordinator's
+	// frames decode cleanly on an old worker and vice versa — the codec's
+	// JSON payload is the versioning seam.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan uint64 `json:"parent_span,omitempty"`
+	Telemetry  bool   `json:"telemetry,omitempty"`
 }
 
 // Entry is one completed visit in its durable serialized form: the
@@ -107,6 +117,12 @@ type Result struct {
 	// deterministic.
 	Entries []Entry `json:"entries"`
 	Digest  string  `json:"digest"`
+	// Telemetry is the worker's observability sidecar for this shard —
+	// metric deltas, sampled spans, flight events. Like Worker it is
+	// volatile and excluded from the digest (ComputeDigest folds entries
+	// only), so a truncated or absent snapshot degrades the fleet view
+	// without touching data equivalence.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 // ComputeDigest folds every entry into an order-independent multiset

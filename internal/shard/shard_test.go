@@ -400,7 +400,8 @@ func TestRemoteLoopback(t *testing.T) {
 			}
 		}(srv)
 		servers = append(servers, srv)
-		if err := Register(context.Background(), client, ctrl, coord.Addr(), srv.Label, srv.Addr()); err != nil {
+		if err := Register(context.Background(), client, ctrl, coord.Addr(),
+			Registration{Name: srv.Label, Addr: srv.Addr()}); err != nil {
 			t.Fatal(err)
 		}
 	}

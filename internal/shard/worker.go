@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"pornweb/internal/obs"
 	"pornweb/internal/resilience"
 )
 
@@ -63,10 +64,14 @@ func (w *LocalWorker) Run(ctx context.Context, a Assignment) (*Result, error) {
 // — per the crawl path's transport contract.
 type RemoteWorker struct {
 	Label string
-	// Addr is the worker server's host:port.
-	Addr   string
-	Client *http.Client
-	Ctrl   *resilience.Controller
+	// Addr is the worker server's host:port; MetricsAddr its admin
+	// listener's, "" when the worker exposes none. MetricsAddr is
+	// surfaced in the /fleet report so each worker stays individually
+	// scrapeable.
+	Addr        string
+	MetricsAddr string
+	Client      *http.Client
+	Ctrl        *resilience.Controller
 }
 
 // Name implements Worker.
@@ -114,28 +119,31 @@ func (w *RemoteWorker) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// registration is the JSON body a worker POSTs to the coordinator's
-// /register endpoint.
-type registration struct {
-	Name string `json:"name"`
-	Addr string `json:"addr"`
+// Registration is the JSON body a worker POSTs to the coordinator's
+// /register endpoint. MetricsAddr, when non-empty, is the worker's own
+// admin listener, reported so the coordinator's /fleet view can link to
+// each worker's scrape endpoint.
+type Registration struct {
+	Name        string `json:"name"`
+	Addr        string `json:"addr"`
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 // Register announces a worker to the coordinator and retries (through
 // the controller's policy) until the coordinator answers — workers and
 // coordinator start concurrently, so the first attempts may land
 // before the registration listener is up.
-func Register(ctx context.Context, client *http.Client, ctrl *resilience.Controller, coordinatorAddr, name, workerAddr string) error {
-	body, err := json.Marshal(registration{Name: name, Addr: workerAddr})
+func Register(ctx context.Context, client *http.Client, ctrl *resilience.Controller, coordinatorAddr string, reg Registration) error {
+	body, err := json.Marshal(reg)
 	if err != nil {
 		return fmt.Errorf("shard: register: %w", err)
 	}
 	status, resp, err := postRouted(ctx, client, ctrl, "http://"+coordinatorAddr+"/register", body)
 	if err != nil {
-		return fmt.Errorf("shard: register %s with %s: %w", name, coordinatorAddr, err)
+		return fmt.Errorf("shard: register %s with %s: %w", reg.Name, coordinatorAddr, err)
 	}
 	if status != http.StatusOK {
-		return fmt.Errorf("shard: register %s with %s: HTTP %d: %s", name, coordinatorAddr,
+		return fmt.Errorf("shard: register %s with %s: HTTP %d: %s", reg.Name, coordinatorAddr,
 			status, strings.TrimSpace(string(resp)))
 	}
 	return nil
@@ -228,11 +236,31 @@ type Server struct {
 	// Kill, when set, injects the seeded worker death into every run.
 	Kill *KillSwitch
 
+	// Registry, Tracer and Flight are the worker's own observability
+	// plane; when set (and the assignment asks for telemetry) each
+	// result carries the registry delta, spans and flight events the
+	// shard produced, and spans parent under the propagated trace
+	// context. All nil leaves telemetry off — the result is then pure
+	// data, which the coordinator tolerates (marked "partial" in
+	// /fleet). MetricsAddr, when non-empty, is echoed in telemetry so
+	// the fleet view can link to this worker's own admin listener.
+	Registry    *obs.Registry
+	Tracer      *obs.Tracer
+	Flight      *obs.FlightRecorder
+	MetricsAddr string
+
 	mu   sync.Mutex
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
 	once sync.Once
+
+	// runMu serializes /run handling: the coordinator deals one shard
+	// per worker per wave, so contention is not expected — the lock
+	// exists so the telemetry delta brackets exactly one shard's
+	// activity even if a client misbehaves.
+	runMu    sync.Mutex
+	lastSnap *obs.Snapshot
 }
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
@@ -301,7 +329,11 @@ func (s *Server) Close() error {
 }
 
 // handleRun executes one framed assignment and answers with the framed
-// result.
+// result. When the assignment carries trace context, the shard runs
+// under a span parented to the coordinator's dispatch span; when it asks
+// for telemetry (and the server has an observability plane), the result
+// carries the registry delta, spans and flight events the shard
+// produced.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -322,12 +354,68 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			a.Fingerprint, a.Seed, s.Fingerprint, s.Seed), http.StatusConflict)
 		return
 	}
-	res, err := s.Runner.RunShard(r.Context(), *a, s.Kill)
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+
+	// Adopt the propagated trace context: stamp the run trace ID into
+	// everything this tracer records from now on and open the shard's
+	// root span under the coordinator's dispatch span.
+	ctx := r.Context()
+	var span *obs.Span
+	if s.Tracer != nil && a.TraceID != "" {
+		s.Tracer.SetTraceID(a.TraceID)
+		ctx, span = s.Tracer.StartRemote(ctx, "shard/run", a.ParentSpan)
+		span.SetAttr("stage", a.Stage)
+		span.SetAttr("shard", fmt.Sprintf("%d/%d", a.Shard, a.Shards))
+		span.SetAttr("worker", s.Label)
+	}
+	capture := a.Telemetry && s.Registry != nil
+	var preSpanID, preKept uint64
+	if capture {
+		if s.lastSnap == nil {
+			// Baseline at the first shard: study construction happened
+			// before any assignment and belongs to no shard's delta.
+			s.lastSnap = s.Registry.Snapshot()
+		}
+		preSpanID = maxSpanID(s.Tracer.Recent())
+		_, preKept, _ = s.Flight.Stats()
+	}
+
+	res, err := s.Runner.RunShard(ctx, *a, s.Kill)
 	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	res.Worker = s.Label
+	span.End() // before span collection, so the shard's root span ships too
+	if capture {
+		snap := s.Registry.Snapshot()
+		tel := &Telemetry{
+			Worker:      s.Label,
+			MetricsAddr: s.MetricsAddr,
+			TraceID:     a.TraceID,
+			Metrics:     snap.DeltaFrom(s.lastSnap),
+		}
+		s.lastSnap = snap
+		for _, sp := range s.Tracer.Recent() {
+			if sp.ID > preSpanID {
+				tel.Spans = append(tel.Spans, sp)
+			}
+		}
+		if s.Flight != nil {
+			_, kept, _ := s.Flight.Stats()
+			evs := s.Flight.Events()
+			if n := int(kept - preKept); n > 0 {
+				if n > len(evs) {
+					n = len(evs)
+				}
+				tel.Flight = append(tel.Flight, evs[len(evs)-n:]...)
+			}
+		}
+		res.Telemetry = tel
+	}
 	frame, err := EncodeResult(res)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -335,4 +423,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(frame)
+}
+
+// maxSpanID returns the highest span ID in spans (0 for none): the
+// telemetry capture's high-water mark for "spans this shard produced".
+func maxSpanID(spans []obs.SpanRecord) uint64 {
+	var max uint64
+	for _, s := range spans {
+		if s.ID > max {
+			max = s.ID
+		}
+	}
+	return max
 }

@@ -8,12 +8,15 @@ package pornweb_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"runtime/pprof"
 	"testing"
 	"time"
 
 	"pornweb/internal/core"
+	"pornweb/internal/resilience"
+	"pornweb/internal/shard"
 	"pornweb/internal/webgen"
 )
 
@@ -77,6 +80,78 @@ func benchShardedStudy(b *testing.B, workers int) {
 func BenchmarkStudyRunSharded1(b *testing.B) { benchShardedStudy(b, 1) }
 func BenchmarkStudyRunSharded2(b *testing.B) { benchShardedStudy(b, 2) }
 func BenchmarkStudyRunSharded4(b *testing.B) { benchShardedStudy(b, 4) }
+
+// benchFleetStudy is the pipeline sharded across a loopback fleet of
+// three worker processes-in-miniature (real shard.Servers behind real
+// HTTP, sharing this study as Runner and observability plane), with
+// the fleet telemetry return path on or off. The on/off pair prices
+// what every shard result pays to carry metric deltas, sampled spans
+// and flight events back to the coordinator (benchjson's
+// fleet_telemetry_on_over_off ratio, BENCH_fleet.json); the crawl
+// results are byte-identical either way, so the ratio is pure
+// observability overhead.
+func benchFleetStudy(b *testing.B, telemetryOff bool) {
+	b.Helper()
+	st, err := core.NewStudy(core.Config{
+		Params:            webgen.Params{Seed: 2019, Scale: pipelineBenchScale},
+		Workers:           8,
+		Timeout:           20 * time.Second,
+		Shards:            8,
+		CoordinatorAddr:   "127.0.0.1:0",
+		ShardMinWorkers:   3,
+		FleetTelemetryOff: telemetryOff,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ctrl := resilience.NewController(resilience.Policy{
+		MaxAttempts: 5, Seed: 2019,
+		BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	for i := 0; i < 3; i++ {
+		// Each worker rebuilds the same deterministic study from (seed,
+		// config) with its own registry, tracer and flight recorder —
+		// exactly what a `pornstudy -worker` process does — so the deltas
+		// it ships are real worker-local telemetry.
+		wst, err := core.NewStudy(core.Config{
+			Params:  webgen.Params{Seed: 2019, Scale: pipelineBenchScale},
+			Workers: 8,
+			Timeout: 20 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wst.Close()
+		srv := &shard.Server{
+			Label:       fmt.Sprintf("bench%d", i),
+			Runner:      wst,
+			Fingerprint: wst.Fingerprint(),
+			Seed:        2019,
+			Registry:    wst.Metrics,
+			Tracer:      wst.Tracer,
+			Flight:      wst.Flight,
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		if err := shard.Register(context.Background(), nil, ctrl,
+			st.Coordinator().Addr(), shard.Registration{Name: srv.Label, Addr: srv.Addr()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyRunFleetTelemetryOn(b *testing.B)  { benchFleetStudy(b, false) }
+func BenchmarkStudyRunFleetTelemetryOff(b *testing.B) { benchFleetStudy(b, true) }
 
 // BenchmarkStudyRunStoreBacked is the scheduled pipeline with the
 // durable visit store attached: every completed visit is serialized,
