@@ -3,7 +3,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-json fuzz lint staticcheck determinism crashsafety shardci profile ci
+.PHONY: all build vet test race bench bench-json lintbudget fuzz lint staticcheck determinism crashsafety shardci profile ci
 
 all: vet lint test
 
@@ -33,9 +33,7 @@ bench-json:
 		-count=3 ./internal/obs/ ./internal/provenance/ \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@cat BENCH_obs.json
-	$(GO) test -run '^$$' -bench 'BenchmarkLintModule$$' -benchtime=1x -count=3 ./internal/lint/ \
-		| $(GO) run ./cmd/benchjson > BENCH_lint.json
-	@cat BENCH_lint.json
+	$(MAKE) lintbudget
 	$(GO) test -run '^$$' -bench 'BenchmarkStudyRun(Scheduled|Profiled)$$' -benchtime=1x -count=3 . \
 		| $(GO) run ./cmd/benchjson > BENCH_prof.json
 	@cat BENCH_prof.json
@@ -55,12 +53,23 @@ bench-json:
 	done | $(GO) run ./cmd/benchjson > BENCH_fleet.json
 	@cat BENCH_fleet.json
 
+# lintbudget times the studylint suite — one full-module pass plus each
+# analyzer solo over the pre-loaded index — writes BENCH_lint.json, and
+# fails if the full pass exceeds its wall-clock budget (2x the PR 5
+# five-analyzer baseline of ~4.92s), so the always-on lint gate cannot
+# quietly eat the CI budget as analyzers accumulate.
+lintbudget:
+	$(GO) test -run '^$$' -bench 'BenchmarkLint' -benchtime=1x -count=3 ./internal/lint/ \
+		| $(GO) run ./cmd/benchjson -assert-max lint_full_module_seconds=9.84 > BENCH_lint.json
+	@cat BENCH_lint.json
+
 # fuzz gives each native fuzz target a short budget; failing inputs land
 # in testdata/fuzz/ and then fail `make test` forever after.
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/blocklist/
 	$(GO) test -run '^$$' -fuzz 'FuzzClassify' -fuzztime $(FUZZTIME) ./internal/domain/
 	$(GO) test -run '^$$' -fuzz 'FuzzSuppression' -fuzztime $(FUZZTIME) ./internal/lint/
+	$(GO) test -run '^$$' -fuzz 'FuzzSchemaParse' -fuzztime $(FUZZTIME) ./internal/lint/
 	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/profparse/
 	$(GO) test -run '^$$' -fuzz 'FuzzReplay' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz 'FuzzShardCodec' -fuzztime $(FUZZTIME) ./internal/shard/
@@ -68,9 +77,11 @@ fuzz:
 # lint runs studylint, the repo's first-party analyzer suite
 # (internal/lint): stdlib-only, no module downloads, so unlike
 # staticcheck it is an always-on gate even in offline CI. Exits
-# nonzero on any unsuppressed finding.
+# nonzero on any unsuppressed finding. -suppressions also audits every
+# //studylint:ignore directive and fails on stale ones (directives that
+# no longer suppress anything), so dead ignores cannot accumulate.
 lint:
-	$(GO) run ./cmd/studylint
+	$(GO) run ./cmd/studylint -suppressions
 
 # staticcheck runs via `go run` so nothing is installed into the module.
 # The probe distinguishes "cannot fetch the tool" (offline CI, no module
@@ -172,9 +183,10 @@ shardci:
 profile:
 	$(GO) run ./cmd/studyprof -scale 0.004 -seed 2019 -top 3 -min-attrib 0.9
 
-# ci is the full gate: vet, studylint (always-on, offline-safe), the
-# test suite, the race detector, a short fuzz pass, the run-manifest
-# determinism gate, the kill/resume crash-safety gate, the
-# coordinator/worker shard-equivalence gate, the profile-attribution
-# gate, and staticcheck when the environment can reach it.
-ci: vet lint test race fuzz determinism crashsafety shardci profile staticcheck
+# ci is the full gate: vet, studylint with the suppression audit
+# (always-on, offline-safe), the test suite, the race detector, a short
+# fuzz pass, the run-manifest determinism gate, the kill/resume
+# crash-safety gate, the coordinator/worker shard-equivalence gate, the
+# profile-attribution gate, the lint wall-clock budget, and staticcheck
+# when the environment can reach it.
+ci: vet lint test race fuzz determinism crashsafety shardci profile lintbudget staticcheck

@@ -9,15 +9,21 @@
 // `make bench-prof` feeds the scheduled-vs-profiled pipeline pair into
 // BENCH_prof.json, whose overhead ratio prices the continuous-profiling
 // harness (profiled ns/op over uninstrumented ns/op; ~1.0 means the
-// 100 Hz sampler is effectively free).
+// 100 Hz sampler is effectively free). `make lintbudget` feeds the
+// studylint benchmarks in and asserts the full-module pass against its
+// wall-clock budget with the repeatable `-assert-max name=value` flag:
+// any derived metric exceeding its bound fails the invocation (exit 1)
+// after the JSON is written, turning a benchmark into a CI gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -67,6 +73,16 @@ type output struct {
 	// (±8% here) would otherwise swamp a percent-level overhead.
 	// Present only when both fleet benchmarks are in the input.
 	FleetTelemetryOnOverOff float64 `json:"fleet_telemetry_on_over_off,omitempty"`
+	// LintFullModuleSeconds is BenchmarkLintModule's mean wall-clock in
+	// seconds — the cost of the always-on `make lint` gate; present only
+	// when that benchmark is in the input. `make lintbudget` asserts it
+	// with -assert-max against 2x the PR 5 baseline.
+	LintFullModuleSeconds float64 `json:"lint_full_module_seconds,omitempty"`
+	// LintAnalyzerSeconds maps analyzer name to its solo mean seconds
+	// over the pre-loaded module (BenchmarkLintAnalyzer sub-benchmarks),
+	// splitting the full-pass budget by analyzer; present only when
+	// those benchmarks are in the input.
+	LintAnalyzerSeconds map[string]float64 `json:"lint_analyzer_seconds,omitempty"`
 	// ShardedOverSerial maps fleet size ("workers_1", "workers_2", ...)
 	// to the sharded pipeline's ns/op divided by the serial pipeline's
 	// at that many workers — the cost (or, below 1, the win) of
@@ -75,7 +91,37 @@ type output struct {
 	ShardedOverSerial map[string]float64 `json:"sharded_over_serial,omitempty"`
 }
 
+// assertMax collects repeated -assert-max name=value flags.
+type assertMax map[string]float64
+
+func (a assertMax) String() string {
+	parts := make([]string, 0, len(a))
+	for k, v := range a {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (a assertMax) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	max, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad bound in %q: %v", s, err)
+	}
+	a[name] = max
+	return nil
+}
+
 func main() {
+	asserts := assertMax{}
+	flag.Var(asserts, "assert-max",
+		"fail (exit 1) when the named derived metric exceeds value; repeatable, e.g. -assert-max lint_full_module_seconds=9.84")
+	flag.Parse()
+
 	out := output{Benchmarks: map[string]bench{}}
 	sums := map[string]float64{}
 	mins := map[string]float64{}
@@ -145,6 +191,19 @@ func main() {
 	if okOn && okOff && telOff.MinNsPerOp > 0 {
 		out.FleetTelemetryOnOverOff = telOn.MinNsPerOp / telOff.MinNsPerOp
 	}
+	if lintFull, ok := out.Benchmarks["LintModule"]; ok {
+		out.LintFullModuleSeconds = lintFull.NsPerOp / 1e9
+	}
+	for name, b := range out.Benchmarks {
+		analyzer, ok := strings.CutPrefix(name, "LintAnalyzer/")
+		if !ok {
+			continue
+		}
+		if out.LintAnalyzerSeconds == nil {
+			out.LintAnalyzerSeconds = map[string]float64{}
+		}
+		out.LintAnalyzerSeconds[analyzer] = b.NsPerOp / 1e9
+	}
 	if okS && serial.NsPerOp > 0 {
 		for name, b := range out.Benchmarks {
 			w, ok := strings.CutPrefix(name, "StudyRunSharded")
@@ -163,5 +222,45 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if len(asserts) > 0 {
+		metrics := map[string]float64{
+			"speedup_serial_over_scheduled":             out.SpeedupSerialOverScheduled,
+			"flight_unsampled_over_sampled":             out.FlightUnsampledOverSampled,
+			"profile_overhead_profiled_over_scheduled":  out.ProfileOverheadProfiledOverScheduled,
+			"store_overhead_storebacked_over_scheduled": out.StoreOverheadStoreBackedOverScheduled,
+			"fleet_telemetry_on_over_off":               out.FleetTelemetryOnOverOff,
+			"lint_full_module_seconds":                  out.LintFullModuleSeconds,
+		}
+		for k, v := range out.LintAnalyzerSeconds {
+			metrics["lint_analyzer_seconds/"+k] = v
+		}
+		for k, v := range out.ShardedOverSerial {
+			metrics["sharded_over_serial/"+k] = v
+		}
+		names := make([]string, 0, len(asserts))
+		for name := range asserts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		failed := false
+		for _, name := range names {
+			got, ok := metrics[name]
+			if !ok || got == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: -assert-max %s: metric absent from input\n", name)
+				failed = true
+				continue
+			}
+			if max := asserts[name]; got > max {
+				fmt.Fprintf(os.Stderr, "benchjson: %s = %.3f exceeds budget %.3f\n", name, got, max)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: %s = %.3f within budget %.3f\n", name, got, asserts[name])
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
 	}
 }

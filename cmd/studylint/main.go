@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	studylint [-root dir] [-json] [-list]
+//	studylint [-root dir] [-json] [-list] [-suppressions]
 //
 // Findings print deterministically sorted by file:line:col, one per
 // line (or as a JSON array with -json). Suppress a finding with a
@@ -15,29 +15,47 @@
 //
 //	//studylint:ignore <analyzer>[,<analyzer>...] <reason>
 //
+// -suppressions audits the suppressions themselves: every directive is
+// listed with its location, analyzers, reason and whether it still
+// suppresses anything; a stale directive (suppressing nothing) is a
+// finding, so dead ignores cannot accumulate.
+//
 // Exit status: 0 clean, 1 findings, 2 load/usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"pornweb/internal/lint"
 )
 
 func main() {
-	root := flag.String("root", "", "module root (default: nearest go.mod upward from cwd)")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	list := flag.Bool("list", false, "list analyzers and the invariants they guard, then exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit status lifted out, so the
+// command is testable end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("studylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root (default: nearest go.mod upward from cwd)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list analyzers and the invariants they guard, then exit")
+	audit := fs.Bool("suppressions", false, "audit //studylint:ignore directives; stale ones are findings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	dir := *root
@@ -45,32 +63,52 @@ func main() {
 		var err error
 		dir, err = findModuleRoot()
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 	}
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	pkgs, err := loader.LoadModule()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	findings := lint.Run(lint.DefaultConfig(), pkgs)
+	findings, recs := lint.RunAudit(lint.DefaultConfig(), pkgs)
+	if *audit {
+		writeSuppressionTable(stdout, recs)
+		findings = append(findings, lint.StaleFindings(recs)...)
+		lint.SortFindings(findings)
+	}
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
-			fatal(err)
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			return fatal(stderr, err)
 		}
 	} else {
-		if err := lint.WriteText(os.Stdout, findings); err != nil {
-			fatal(err)
+		if err := lint.WriteText(stdout, findings); err != nil {
+			return fatal(stderr, err)
 		}
 	}
 	if len(findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "studylint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stderr, "studylint: %d finding(s)\n", len(findings))
 		}
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// writeSuppressionTable lists every valid suppression directive with
+// its usage verdict, deterministically ordered by file:line.
+func writeSuppressionTable(w io.Writer, recs []lint.SuppressionRecord) {
+	fmt.Fprintf(w, "# %d suppression(s)\n", len(recs))
+	for _, r := range recs {
+		verdict := "used"
+		if !r.Used {
+			verdict = "STALE"
+		}
+		fmt.Fprintf(w, "# %s:%d: %s [%s] %s\n",
+			r.File, r.Line, strings.Join(r.Analyzers, ","), verdict, r.Reason)
 	}
 }
 
@@ -93,7 +131,7 @@ func findModuleRoot() (string, error) {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "studylint:", err)
-	os.Exit(2)
+func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "studylint:", err)
+	return 2
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeMiniModule lays down a one-package module whose only blemish is
+// a suppression directive that no longer suppresses anything.
+func writeMiniModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module stalefixture\n\ngo 1.21\n",
+		"stale.go": `package stalefixture
+
+// Add is order-independent arithmetic; nothing here trips any
+// analyzer, which is exactly what makes the directive stale.
+func Add(a, b int) int {
+	//studylint:ignore detrange keys were sorted upstream once; the range is long gone
+	return a + b
+}
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestStaleSuppressionFailsAudit(t *testing.T) {
+	dir := writeMiniModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-suppressions"}, &out, &errb); code != 1 {
+		t.Fatalf("studylint -suppressions on a stale directive: exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "STALE") {
+		t.Errorf("audit table does not mark the directive STALE:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "stale //studylint:ignore") {
+		t.Errorf("missing stale-suppression finding:\n%s", out.String())
+	}
+}
+
+func TestStaleSuppressionPassesWithoutAudit(t *testing.T) {
+	dir := writeMiniModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir}, &out, &errb); code != 0 {
+		t.Fatalf("studylint without -suppressions: exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("studylint -list: exit %d, want 0", code)
+	}
+	for _, name := range []string{"detrange", "detflow", "locksafe", "goroleak", "wirecompat"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -3,9 +3,10 @@ package lint
 import "testing"
 
 // BenchmarkLintModule times one full-module studylint pass — load,
-// parse, type-check (stdlib from GOROOT source), and run all five
-// analyzers — so the cost of the always-on `make lint` CI gate stays
-// visible in BENCH_lint.json.
+// parse, type-check (stdlib from GOROOT source), and run the whole
+// analyzer suite — so the cost of the always-on `make lint` CI gate
+// stays visible in BENCH_lint.json, where `make lintbudget` asserts it
+// against the budget.
 func BenchmarkLintModule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l, err := NewLoader("../..")
@@ -19,5 +20,41 @@ func BenchmarkLintModule(b *testing.B) {
 		if findings := Run(DefaultConfig(), pkgs); len(findings) != 0 {
 			b.Fatalf("tree not clean: %d findings", len(findings))
 		}
+	}
+}
+
+// BenchmarkLintAnalyzer times each analyzer alone over the loaded
+// module: load, type-check and index once outside every timer, then
+// one sub-benchmark per analyzer. The split shows where the full-pass
+// budget goes — the fixpoint analyzers (detflow, goroleak, locksafe)
+// versus the single-walk lexical ones — and benchjson folds the
+// sub-benchmarks into BENCH_lint.json's lint_analyzer_seconds map.
+func BenchmarkLintAnalyzer(b *testing.B) {
+	l, err := NewLoader("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	ix := BuildIndex(pkgs)
+	for _, a := range Analyzers() {
+		a := a
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if a.RunModule != nil {
+					_ = a.RunModule(cfg, ix)
+					continue
+				}
+				for _, pkg := range pkgs {
+					if a.Applies != nil && !a.Applies(cfg, pkg.Path) {
+						continue
+					}
+					_ = a.Run(cfg, pkg)
+				}
+			}
+		})
 	}
 }

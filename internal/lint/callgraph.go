@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The interprocedural analyzers (detflow, locksafe, goroleak) share one
+// module-wide view: every function declaration in every loaded package,
+// resolved to its *types.Func, in a deterministic order. The Index is
+// built once per Run and handed to each Analyzer.RunModule; call edges
+// are resolved on demand through Package.calleeOf, so the "call graph"
+// is the pair (function list, callee resolution) rather than a
+// materialized edge set — the fixpoint loops the analyzers run converge
+// just as fast and nothing is computed for analyzers that never ask.
+
+// IndexedFunc is one function or method declaration in the module,
+// paired with the package that declares it.
+type IndexedFunc struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Index is the module-wide function index shared by the
+// interprocedural analyzers.
+type Index struct {
+	Pkgs  []*Package
+	Funcs []*IndexedFunc // package, file, then declaration order
+
+	byFn map[*types.Func]*IndexedFunc
+}
+
+// BuildIndex indexes every function declaration in the given packages.
+// The package slice order (sorted by import path from LoadModule) fixes
+// the iteration order, so two identical trees index identically.
+func BuildIndex(pkgs []*Package) *Index {
+	ix := &Index{Pkgs: pkgs, byFn: map[*types.Func]*IndexedFunc{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				inf := &IndexedFunc{Fn: fn, Decl: fd, Pkg: pkg}
+				ix.Funcs = append(ix.Funcs, inf)
+				ix.byFn[fn] = inf
+			}
+		}
+	}
+	return ix
+}
+
+// Lookup returns the declaration info for fn, or nil when fn is not
+// declared in the indexed packages (stdlib, interface methods).
+func (ix *Index) Lookup(fn *types.Func) *IndexedFunc {
+	if fn == nil {
+		return nil
+	}
+	return ix.byFn[fn]
+}
+
+// displayName renders a function for diagnostics: "Name" for
+// package-level functions, "(*T).Name" / "T.Name" for methods.
+func displayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return "(*" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if named, ok := recv.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -69,6 +70,53 @@ func FuzzSuppression(f *testing.F) {
 			if !ok2 || m2 != "" || strings.Join(s2.Analyzers, ",") != strings.Join(s.Analyzers, ",") || s2.Reason != s.Reason {
 				t.Fatalf("unstable parse of %q", text)
 			}
+		}
+	})
+}
+
+// FuzzSchemaParse hammers the wirecompat schema parser with arbitrary
+// file content. It must never panic, errors must carry a line number,
+// and a successful parse must round-trip through its canonical form:
+// FormatSchema(ParseSchema(x)) reparses to byte-identical canonical
+// text, so the golden file format has exactly one rendering.
+func FuzzSchemaParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"struct Result\n  field Stage stage string\n",
+		"struct Result\n  field Worker worker string omitempty\n",
+		"struct A\nstruct B\n  field X x int\n",
+		"field Orphan orphan string\n",
+		"struct Result\n  field Stage stage string trailing\n",
+		"struct Result\n  field Stage stage string\n  field Stage stage string\n",
+		"struct Dup\nstruct Dup\n",
+		"struct Telemetry\n  field Metrics metrics *obs.Snapshot omitempty\n",
+		"bogus directive\n",
+		"struct\n",
+		"struct Result extra\n",
+		"\xff\xfe not utf8",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSchema(data)
+		if err != nil {
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error without line number: %v", err)
+			}
+			return
+		}
+		canon := FormatSchema(s)
+		s2, err := ParseSchema(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, canon)
+		}
+		if canon2 := FormatSchema(s2); !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form not a fixpoint:\n--- first ---\n%s--- second ---\n%s", canon, canon2)
+		}
+		if len(s2.Structs) != len(s.Structs) {
+			t.Fatalf("round-trip changed struct count %d -> %d", len(s.Structs), len(s2.Structs))
 		}
 	})
 }

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement in the server-lifetime
+// packages to have a provable cancellation edge: something reachable
+// from the spawned function that an owner can use to stop it. Three
+// edge shapes are accepted, matching the repo's three shutdown idioms:
+//
+//   - a context.Context in scope of the goroutine (ctx.Done selects),
+//   - a channel receive (<-stop, select with a receive case, range
+//     over a channel) — the stop-channel idiom the obs runtime poller
+//     uses,
+//   - a call that takes or targets a net.Listener or *http.Server —
+//     Serve loops exit when the owner closes the listener.
+//
+// The check is transitive through the module call graph: `go p.loop()`
+// is fine when loop's body receives from the poller's stop channel.
+// The coordinator/worker fleet and the future long-running auditd
+// (ROADMAP item 5) must not leak goroutines across runs; a goroutine
+// with no cancellation edge can only be stopped by process exit.
+func GoroLeak() *Analyzer {
+	return &Analyzer{
+		Name:      "goroleak",
+		Doc:       "go statements in server-lifetime packages need a provable cancellation edge",
+		RunModule: runGoroLeak,
+	}
+}
+
+func runGoroLeak(cfg *Config, ix *Index) []Finding {
+	// Fixpoint over the module call graph: edge[fn] means fn's body
+	// contains a cancellation edge, directly or through a callee.
+	edge := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, inf := range ix.Funcs {
+			if edge[inf.Fn] || inf.Decl.Body == nil {
+				continue
+			}
+			if hasCancelEdge(inf.Pkg, inf.Decl.Body, edge) {
+				edge[inf.Fn] = true
+				changed = true
+			}
+		}
+	}
+	var out []Finding
+	for _, inf := range ix.Funcs {
+		if !inClass(inf.Pkg.Path, cfg.GoroutinePkgs) || inf.Decl.Body == nil {
+			continue
+		}
+		decl := inf.Decl
+		pkg := inf.Pkg
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtHasEdge(pkg, decl, gs, edge) {
+				return true
+			}
+			out = append(out, pkg.finding("goroleak", gs.Pos(),
+				"goroutine started in %s has no provable cancellation edge (no context, stop-channel receive, or listener/server close reachable from it); bound its lifetime",
+				displayName(inf.Fn)))
+			return true
+		})
+	}
+	return out
+}
+
+// goStmtHasEdge reports whether one go statement's spawned function
+// has a cancellation edge. The call expression itself counts (a ctx or
+// listener argument is an edge), as does the body of a func literal,
+// the declaration of a named module function, or a local variable the
+// enclosing function bound to a func literal.
+func goStmtHasEdge(pkg *Package, enclosing *ast.FuncDecl, gs *ast.GoStmt, edge map[*types.Func]bool) bool {
+	if hasCancelEdge(pkg, gs.Call, edge) {
+		return true
+	}
+	if id, ok := ast.Unparen(gs.Call.Fun).(*ast.Ident); ok {
+		if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			if lit := localFuncLit(pkg, enclosing, v); lit != nil {
+				return hasCancelEdge(pkg, lit.Body, edge)
+			}
+		}
+	}
+	return false
+}
+
+// hasCancelEdge walks a node for any of the three direct edge shapes,
+// or a call to a module function already known to carry one.
+func hasCancelEdge(pkg *Package, node ast.Node, edge map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := pkg.calleeOf(n); fn != nil && edge[fn] {
+				found = true
+				return false
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := pkg.Info.Types[sel.X]; ok && tv.Type != nil && isShutdownCarrier(tv.Type) {
+					found = true
+					return false
+				}
+			}
+			for _, arg := range n.Args {
+				if tv, ok := pkg.Info.Types[arg]; ok && tv.Type != nil && isShutdownCarrier(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isShutdownCarrier reports whether t is a value whose Close/Shutdown
+// unblocks a serve loop: a net listener or an *http.Server.
+func isShutdownCarrier(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "net":
+		switch obj.Name() {
+		case "Listener", "TCPListener", "UnixListener":
+			return true
+		}
+	case "net/http":
+		return obj.Name() == "Server"
+	}
+	return false
+}
+
+// localFuncLit resolves a local variable to the single func literal
+// the enclosing function binds it to, or nil when the variable is
+// rebound or never directly assigned a literal.
+func localFuncLit(pkg *Package, enclosing *ast.FuncDecl, v *types.Var) *ast.FuncLit {
+	if enclosing.Body == nil {
+		return nil
+	}
+	var lit *ast.FuncLit
+	bindings := 0
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if pkg.Info.Defs[id] != v && pkg.Info.Uses[id] != v {
+					continue
+				}
+				bindings++
+				if fl, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+					lit = fl
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pkg.Info.Defs[name] != v || i >= len(n.Values) {
+					continue
+				}
+				bindings++
+				if fl, ok := ast.Unparen(n.Values[i]).(*ast.FuncLit); ok {
+					lit = fl
+				}
+			}
+		}
+		return true
+	})
+	if bindings != 1 {
+		return nil
+	}
+	return lit
+}

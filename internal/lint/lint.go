@@ -17,13 +17,34 @@
 //   - errdrop: error returns from a configured must-check list are
 //     never silently discarded in core/crawler.
 //
+// Four analyzers see past the single function or package, built on a
+// module-wide function index (BuildIndex) shared per lint pass:
+//
+//   - detflow: detrange's interprocedural sibling — map-iteration-
+//     ordered values tracked through returns, arguments and struct
+//     fields into digest/manifest/report sinks, catching the
+//     certByBase shape even when source and sink live in different
+//     functions.
+//   - locksafe: fields annotated `// guarded by <mu>` are only read or
+//     written with that mutex held on every path; `// guarded by <mu>`
+//     on a method makes it an entry-locked helper whose call sites
+//     must hold the lock.
+//   - goroleak: every `go` statement in the server-lifetime packages
+//     has a provable cancellation edge (context, stop-channel receive,
+//     or listener/server close), transitively through the call graph.
+//   - wirecompat: the shard wire structs are locked append-only
+//     against a golden schema file in testdata; removals, renames,
+//     retypes, and new fields without omitempty are findings.
+//
 // Findings can be suppressed with a written reason:
 //
 //	//studylint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // on the offending line or the line directly above it. A suppression
-// without a reason is itself a finding. Everything here must stay
-// dependency-free so `make lint` runs in offline CI unconditionally.
+// without a reason is itself a finding, and RunAudit reports every
+// directive with a usage bit so `studylint -suppressions` can fail on
+// stale ones. Everything here must stay dependency-free so `make lint`
+// runs in offline CI unconditionally.
 package lint
 
 import (
@@ -49,7 +70,10 @@ func (f Finding) String() string {
 }
 
 // Analyzer is one invariant checker. Run is called once per loaded
-// package for which Applies reports true.
+// package for which Applies reports true. Analyzers that need the
+// module-wide view (call graph, cross-package flows) set RunModule
+// instead: it is called exactly once per lint pass with the shared
+// Index over every loaded package, and Applies/Run are ignored.
 type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the guarded invariant.
@@ -58,6 +82,9 @@ type Analyzer struct {
 	// given import path. Nil means every package.
 	Applies func(cfg *Config, pkgPath string) bool
 	Run     func(cfg *Config, pkg *Package) []Finding
+	// RunModule, when non-nil, makes this a module analyzer: one call
+	// over the shared function index instead of one call per package.
+	RunModule func(cfg *Config, ix *Index) []Finding
 }
 
 // Config names the package classes and must-check functions the
@@ -94,6 +121,19 @@ type Config struct {
 	// registered anywhere else would read as fleet state while counting
 	// something local.
 	FleetMetricPackages []string
+	// GoroutinePkgs are the server-lifetime packages where every `go`
+	// statement must have a provable cancellation edge (goroleak): a
+	// context, a stop-channel receive, or a listener/server whose Close
+	// unblocks the goroutine, reachable from the spawned function.
+	GoroutinePkgs []string
+	// WirePkgs are the packages whose wire structs are locked against a
+	// golden schema file (wirecompat).
+	WirePkgs []string
+	// WireStructs are the locked struct names inside WirePkgs.
+	WireStructs []string
+	// WireSchema is the schema file path relative to each wire
+	// package's directory.
+	WireSchema string
 }
 
 // DefaultConfig is the repo's invariant map: which packages promise
@@ -171,6 +211,24 @@ func DefaultConfig() *Config {
 		FleetMetricPackages: []string{
 			"internal/shard",
 		},
+		GoroutinePkgs: []string{
+			// The long-lived server planes: coordinator/worker fleet, the
+			// obs admin endpoint and runtime poller, and the study's TLS
+			// vhost server. A leaked goroutine here outlives the run.
+			"internal/shard",
+			"internal/obs",
+			"internal/webserver",
+		},
+		WirePkgs: []string{
+			"internal/shard",
+		},
+		WireStructs: []string{
+			"Assignment",
+			"Result",
+			"Entry",
+			"Telemetry",
+		},
+		WireSchema: "testdata/wire_schema.txt",
 	}
 }
 
@@ -184,7 +242,9 @@ func inClass(pkgPath string, class []string) bool {
 	return false
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the package-local
+// lexical analyzers first, then the interprocedural module analyzers
+// built on the shared function index.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRange(),
@@ -192,6 +252,10 @@ func Analyzers() []*Analyzer {
 		RawHTTP(),
 		MetricNames(),
 		ErrDrop(),
+		WireCompat(),
+		DetFlow(),
+		LockSafe(),
+		GoroLeak(),
 	}
 }
 
@@ -210,15 +274,27 @@ func AnalyzerNames() []string {
 // returns the survivors deterministically sorted by file:line:col.
 // Two identical trees produce byte-identical output.
 func Run(cfg *Config, pkgs []*Package) []Finding {
+	findings, _ := RunAudit(cfg, pkgs)
+	return findings
+}
+
+// RunAudit is Run plus the suppression audit: alongside the surviving
+// findings it returns every valid //studylint:ignore directive with
+// its usage bit, so `studylint -suppressions` can list them and flag
+// the stale ones.
+func RunAudit(cfg *Config, pkgs []*Package) ([]Finding, []SuppressionRecord) {
 	known := map[string]bool{}
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	sup := indexSuppressions(pkgs, known)
 	var all []Finding
+	all = append(all, sup.bad...)
 	for _, pkg := range pkgs {
-		sup, bad := pkg.suppressions(known)
-		all = append(all, bad...)
 		for _, a := range Analyzers() {
+			if a.RunModule != nil {
+				continue
+			}
 			if a.Applies != nil && !a.Applies(cfg, pkg.Path) {
 				continue
 			}
@@ -230,8 +306,20 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 			}
 		}
 	}
+	ix := BuildIndex(pkgs)
+	for _, a := range Analyzers() {
+		if a.RunModule == nil {
+			continue
+		}
+		for _, f := range a.RunModule(cfg, ix) {
+			if sup.covers(a.Name, f.Line, f.File) {
+				continue
+			}
+			all = append(all, f)
+		}
+	}
 	SortFindings(all)
-	return all
+	return all, sup.records()
 }
 
 // SortFindings orders findings by file, line, column, analyzer,

@@ -33,6 +33,10 @@ var fixtures = []struct {
 	{"rawhttp_shard", "fixture/rawhttp/internal/shard"},
 	{"errdrop_shard", "fixture/errdrop/internal/shard"},
 	{"suppress_malformed", "fixture/suppress/internal/provenance"},
+	{"detflow_certbybase", "fixture/detflow/internal/attribution"},
+	{"goroleak_bad", "fixture/goroleak/internal/obs"},
+	{"locksafe_bad", "fixture/locksafe/internal/sched"},
+	{"wirecompat_removed", "fixture/wirecompat/internal/shard"},
 }
 
 var (
@@ -210,10 +214,60 @@ func TestOutputDeterministic(t *testing.T) {
 	}
 }
 
+// TestDetFlowCrossFunctionCaught pins the tentpole acceptance
+// criterion: the certByBase flow split across two functions —
+// invisible to the intra-procedural detrange — is flagged by detflow
+// at its sinks, and the sorted variants in ok.go stay clean.
+func TestDetFlowCrossFunctionCaught(t *testing.T) {
+	findings := runFixture(t, sharedLoader(t), "detflow_certbybase", "fixture/detflow2/internal/attribution")
+	var firstWins, fprintSink, callSink bool
+	for _, f := range findings {
+		if f.File == "ok.go" {
+			t.Errorf("flagged the sorted (fixed) variant: %s", f)
+		}
+		if f.Analyzer != "detflow" {
+			continue
+		}
+		switch {
+		case strings.Contains(f.Message, "first-wins store"):
+			firstWins = true
+		case strings.Contains(f.Message, "reaches fmt.Fprintln"):
+			fprintSink = true
+		case strings.Contains(f.Message, "passes map-iteration-ordered value"):
+			callSink = true
+		}
+	}
+	if !firstWins {
+		t.Error("detflow missed the cross-function first-wins store (the certByBase shape)")
+	}
+	if !fprintSink {
+		t.Error("detflow missed the returned-taint-to-Fprintln flow")
+	}
+	if !callSink {
+		t.Error("detflow missed the tainted argument to a parameter-sink function")
+	}
+}
+
+// TestWireFieldRemovalCaught pins the other acceptance criterion:
+// deleting a field from shard.Result in a scratch fixture is flagged
+// by wirecompat as a removal against the golden schema.
+func TestWireFieldRemovalCaught(t *testing.T) {
+	findings := runFixture(t, sharedLoader(t), "wirecompat_removed", "fixture/wirecompat2/internal/shard")
+	for _, f := range findings {
+		if f.Analyzer == "wirecompat" &&
+			strings.Contains(f.Message, "Result.Digest") &&
+			strings.Contains(f.Message, "removed") {
+			return
+		}
+	}
+	t.Errorf("wirecompat did not flag the deleted Result.Digest field; findings: %v", findings)
+}
+
 // TestAnalyzerNamesStable pins the suite roster; new analyzers must
 // update docs and this list together.
 func TestAnalyzerNamesStable(t *testing.T) {
-	want := []string{"detrange", "errdrop", "metricnames", "rawhttp", "wallclock"}
+	want := []string{"detflow", "detrange", "errdrop", "goroleak", "locksafe",
+		"metricnames", "rawhttp", "wallclock", "wirecompat"}
 	got := AnalyzerNames()
 	if len(got) != len(want) {
 		t.Fatalf("analyzers = %v, want %v", got, want)

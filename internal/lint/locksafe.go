@@ -1,0 +1,698 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockSafe enforces annotated lock discipline. A struct field carrying
+// the comment directive
+//
+//	// guarded by mu
+//
+// (as its doc comment or trailing line comment, naming a sync.Mutex or
+// sync.RWMutex field of the same struct) may only be read or written
+// while that mutex is held on every path to the access. A method whose
+// doc comment carries the same directive is an entry-locked helper:
+// its body is checked assuming the caller holds the receiver's mutex,
+// and every call site must actually hold it.
+//
+// The checker is a per-function abstract interpretation of the lock
+// state: Lock/RLock/Unlock/RUnlock update the held set as statements
+// execute, `defer mu.Unlock()` keeps the lock to function end,
+// branches are analyzed separately and merged by intersection (held
+// only if held on every non-terminating path), and func literals that
+// escape (goroutines, deferred or stored closures) restart from an
+// empty state because they run at an unknown time. Accesses through an
+// object built from a composite literal in the same function are
+// exempt — the constructor owns the value before it is published.
+// RLock satisfies reads; writes need the exclusive Lock.
+func LockSafe() *Analyzer {
+	return &Analyzer{
+		Name:      "locksafe",
+		Doc:       "fields annotated `// guarded by <mu>` are only touched with the mutex held",
+		RunModule: runLockSafe,
+	}
+}
+
+// guardedDirective matches one comment line of the annotation grammar.
+var guardedDirective = regexp.MustCompile(`^guarded by ([A-Za-z_][A-Za-z0-9_]*)\.?$`)
+
+// directiveIn scans a comment group for the directive, returning the
+// named mutex field.
+func directiveIn(cg *ast.CommentGroup) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if m := guardedDirective.FindStringSubmatch(text); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// lockGuard describes one guarded field or entry-locked helper.
+type lockGuard struct {
+	mu         string // mutex field name in the same struct
+	rw         bool   // mutex is a sync.RWMutex
+	structName string
+}
+
+// lockSafe is the module-wide annotation table.
+type lockSafe struct {
+	guards  map[*types.Var]*lockGuard  // guarded field -> guard
+	helpers map[*types.Func]*lockGuard // entry-locked method -> guard
+	pkgs    map[string]bool            // packages declaring any annotation
+}
+
+// mutexKind classifies a field type as a mutex: 0 none, 1 Mutex, 2 RWMutex.
+func mutexKind(t types.Type) int {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return 0
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return 1
+	case "RWMutex":
+		return 2
+	}
+	return 0
+}
+
+// collectGuards walks every struct and method declaration for
+// directives, validating that each names a real mutex field of the
+// same struct.
+func collectGuards(ix *Index) (*lockSafe, []Finding) {
+	ls := &lockSafe{
+		guards:  map[*types.Var]*lockGuard{},
+		helpers: map[*types.Func]*lockGuard{},
+		pkgs:    map[string]bool{},
+	}
+	var bad []Finding
+	for _, pkg := range ix.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					bad = append(bad, collectStructGuards(pkg, ts, st, ls)...)
+				}
+			}
+		}
+	}
+	// Helper directives need the struct table first, so methods can be
+	// validated against their receiver's mutexes.
+	for _, inf := range ix.Funcs {
+		mu, ok := directiveIn(inf.Decl.Doc)
+		if !ok {
+			continue
+		}
+		g, f := validateHelper(inf, mu)
+		if g != nil {
+			ls.helpers[inf.Fn] = g
+			ls.pkgs[inf.Pkg.Path] = true
+		} else {
+			bad = append(bad, f)
+		}
+	}
+	return ls, bad
+}
+
+// structMutex finds the mutex field named mu in the struct type, or 0.
+func structMutex(st *types.Struct, mu string) int {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == mu {
+			return mutexKind(st.Field(i).Type())
+		}
+	}
+	return 0
+}
+
+func collectStructGuards(pkg *Package, ts *ast.TypeSpec, st *ast.StructType, ls *lockSafe) []Finding {
+	tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	stType, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var bad []Finding
+	for _, field := range st.Fields.List {
+		mu, ok := directiveIn(field.Doc)
+		if !ok {
+			mu, ok = directiveIn(field.Comment)
+		}
+		if !ok {
+			continue
+		}
+		kind := structMutex(stType, mu)
+		if kind == 0 {
+			bad = append(bad, pkg.finding("locksafe", field.Pos(),
+				"`guarded by %s` on %s names no sync.Mutex/RWMutex field of the struct", mu, ts.Name.Name))
+			continue
+		}
+		g := &lockGuard{mu: mu, rw: kind == 2, structName: ts.Name.Name}
+		for _, name := range field.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				ls.guards[v] = g
+				ls.pkgs[pkg.Path] = true
+			}
+		}
+	}
+	return bad
+}
+
+func validateHelper(inf *IndexedFunc, mu string) (*lockGuard, Finding) {
+	named := recvNamed(inf.Fn)
+	if named == nil {
+		return nil, inf.Pkg.finding("locksafe", inf.Decl.Pos(),
+			"`guarded by %s` on %s: only methods can be entry-locked helpers", mu, inf.Fn.Name())
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || structMutex(st, mu) == 0 {
+		return nil, inf.Pkg.finding("locksafe", inf.Decl.Pos(),
+			"`guarded by %s` on %s names no sync.Mutex/RWMutex field of %s",
+			mu, displayName(inf.Fn), named.Obj().Name())
+	}
+	return &lockGuard{mu: mu, rw: structMutex(st, mu) == 2, structName: named.Obj().Name()}, Finding{}
+}
+
+// lockState is the abstract lock state: rendered mutex paths
+// ("c.mu") currently held for read (Lock or RLock) and for write
+// (Lock only).
+type lockState struct {
+	r, w map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{r: map[string]bool{}, w: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k := range s.r {
+		c.r[k] = true
+	}
+	for k := range s.w {
+		c.w[k] = true
+	}
+	return c
+}
+
+func (s *lockState) set(o *lockState) {
+	s.r, s.w = o.r, o.w
+}
+
+// intersect keeps only locks held in both states.
+func intersect(a, b *lockState) *lockState {
+	out := newLockState()
+	for k := range a.r {
+		if b.r[k] {
+			out.r[k] = true
+		}
+	}
+	for k := range a.w {
+		if b.w[k] {
+			out.w[k] = true
+		}
+	}
+	return out
+}
+
+// mergeBranches folds the end states of a statement's branches:
+// terminated branches (return/panic/break) drop out; the result is
+// the intersection of the rest, or nil when every branch terminated.
+func mergeBranches(states []*lockState, terms []bool) *lockState {
+	var merged *lockState
+	for i, st := range states {
+		if terms[i] {
+			continue
+		}
+		if merged == nil {
+			merged = st
+		} else {
+			merged = intersect(merged, st)
+		}
+	}
+	return merged
+}
+
+func runLockSafe(cfg *Config, ix *Index) []Finding {
+	ls, findings := collectGuards(ix)
+	if len(ls.guards) == 0 && len(ls.helpers) == 0 {
+		return findings
+	}
+	for _, inf := range ix.Funcs {
+		// Guarded fields are unexported: only their declaring package can
+		// touch them, so only those packages need the walk.
+		if inf.Decl.Body == nil || !ls.pkgs[inf.Pkg.Path] {
+			continue
+		}
+		w := &lockWalker{pkg: inf.Pkg, ls: ls, fnName: displayName(inf.Fn)}
+		w.collectCtorLocals(inf.Decl.Body)
+		st := newLockState()
+		if g, ok := ls.helpers[inf.Fn]; ok {
+			if recv := recvIdent(inf.Decl); recv != "" {
+				key := recv + "." + g.mu
+				st.r[key] = true
+				st.w[key] = true
+			}
+		}
+		w.stmt(inf.Decl.Body, st)
+		findings = append(findings, w.findings...)
+	}
+	return findings
+}
+
+// recvIdent returns the receiver's identifier name, or "".
+func recvIdent(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// lockWalker checks one function body against the annotation table.
+type lockWalker struct {
+	pkg      *Package
+	ls       *lockSafe
+	fnName   string
+	ctor     map[types.Object]bool
+	findings []Finding
+}
+
+// collectCtorLocals marks objects bound to a composite literal in this
+// function: the constructor owns them pre-publication, so unguarded
+// initialization is fine.
+func (w *lockWalker) collectCtorLocals(body *ast.BlockStmt) {
+	w.ctor = map[types.Object]bool{}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		e := ast.Unparen(rhs)
+		if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			e = ast.Unparen(ue.X)
+		}
+		if _, ok := e.(*ast.CompositeLit); !ok {
+			return
+		}
+		if obj := w.pkg.Info.Defs[id]; obj != nil {
+			w.ctor[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					mark(lhs, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					mark(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// stmt interprets one statement, mutating st, and reports whether the
+// statement terminates the enclosing path (return, panic, branch).
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if w.stmt(inner, st) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, st, false)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminalCall(w.pkg, call) {
+			return true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, st, false)
+		}
+		for _, lhs := range s.Lhs {
+			w.expr(lhs, st, true)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, st, true)
+	case *ast.SendStmt:
+		w.expr(s.Chan, st, false)
+		w.expr(s.Value, st, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st, false)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Cond, st, false)
+		thenSt, elseSt := st.clone(), st.clone()
+		tTerm := w.stmt(s.Body, thenSt)
+		eTerm := false
+		if s.Else != nil {
+			eTerm = w.stmt(s.Else, elseSt)
+		}
+		merged := mergeBranches([]*lockState{thenSt, elseSt}, []bool{tTerm, eTerm})
+		if merged == nil {
+			return true
+		}
+		st.set(merged)
+	case *ast.ForStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Cond, st, false)
+		bodySt := st.clone()
+		w.stmt(s.Body, bodySt)
+		w.stmt(s.Post, bodySt)
+		st.set(intersect(st, bodySt))
+	case *ast.RangeStmt:
+		w.expr(s.X, st, false)
+		bodySt := st.clone()
+		w.stmt(s.Body, bodySt)
+		st.set(intersect(st, bodySt))
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Tag, st, false)
+		return w.clauses(s.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, st)
+		w.stmt(s.Assign, st)
+		return w.clauses(s.Body, st, false)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, st, true)
+	case *ast.DeferStmt:
+		if isMutexOp(w.pkg, s.Call) != "" {
+			// defer mu.Unlock(): the lock is held to function end, which
+			// is exactly the state we are already tracking.
+			return false
+		}
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// Runs at return time: lock state there is unknown.
+			w.funcLit(fl)
+			return false
+		}
+		w.expr(s.Call, st, false)
+	case *ast.GoStmt:
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.funcLit(fl)
+			for _, arg := range s.Call.Args {
+				w.expr(arg, st, false)
+			}
+			return false
+		}
+		w.expr(s.Call, st, false)
+	}
+	return false
+}
+
+// clauses interprets a switch/select body: each clause starts from the
+// current state; the result is the intersection of non-terminating
+// clause ends. exhaustive is true for select (one case always runs).
+func (w *lockWalker) clauses(body *ast.BlockStmt, st *lockState, exhaustive bool) bool {
+	var states []*lockState
+	var terms []bool
+	hasDefault := false
+	for _, clause := range body.List {
+		cs := st.clone()
+		term := false
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.expr(e, cs, false)
+			}
+			for _, inner := range c.Body {
+				if w.stmt(inner, cs) {
+					term = true
+					break
+				}
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			w.stmt(c.Comm, cs)
+			for _, inner := range c.Body {
+				if w.stmt(inner, cs) {
+					term = true
+					break
+				}
+			}
+		}
+		states = append(states, cs)
+		terms = append(terms, term)
+	}
+	if !exhaustive && !hasDefault {
+		// A switch without default can skip every case.
+		states = append(states, st.clone())
+		terms = append(terms, false)
+	}
+	if len(states) == 0 {
+		// Empty select blocks forever; empty switch falls through.
+		return exhaustive
+	}
+	merged := mergeBranches(states, terms)
+	if merged == nil {
+		return true
+	}
+	st.set(merged)
+	return false
+}
+
+// funcLit analyzes an escaping closure from an empty lock state: it
+// runs at an unknown time, so no caller-held lock can be assumed.
+func (w *lockWalker) funcLit(fl *ast.FuncLit) {
+	w.stmt(fl.Body, newLockState())
+}
+
+// expr interprets one expression for lock effects and guarded
+// accesses. write marks the expression as an assignment target.
+func (w *lockWalker) expr(e ast.Expr, st *lockState, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.SelectorExpr:
+		if sel, ok := w.pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				if g := w.ls.guards[v]; g != nil {
+					w.checkAccess(e, v, g, st, write)
+				}
+			}
+		}
+		w.expr(e.X, st, false)
+	case *ast.CallExpr:
+		if op := isMutexOp(w.pkg, e); op != "" {
+			w.applyMutexOp(e, op, st)
+			return
+		}
+		if fl, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			// Immediately-invoked literal runs inline: current state holds.
+			for _, arg := range e.Args {
+				w.expr(arg, st, false)
+			}
+			w.stmt(fl.Body, st)
+			return
+		}
+		w.checkHelperCall(e, st)
+		w.expr(e.Fun, st, false)
+		for _, arg := range e.Args {
+			w.expr(arg, st, false)
+		}
+	case *ast.FuncLit:
+		w.funcLit(e)
+	case *ast.UnaryExpr:
+		w.expr(e.X, st, e.Op == token.AND || write)
+	case *ast.StarExpr:
+		w.expr(e.X, st, write)
+	case *ast.ParenExpr:
+		w.expr(e.X, st, write)
+	case *ast.IndexExpr:
+		w.expr(e.X, st, write)
+		w.expr(e.Index, st, false)
+	case *ast.SliceExpr:
+		w.expr(e.X, st, false)
+		w.expr(e.Low, st, false)
+		w.expr(e.High, st, false)
+		w.expr(e.Max, st, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, st, false)
+		}
+	case *ast.KeyValueExpr:
+		// Keys in struct literals are field names, not accesses.
+		w.expr(e.Value, st, false)
+	case *ast.BinaryExpr:
+		w.expr(e.X, st, false)
+		w.expr(e.Y, st, false)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st, false)
+	}
+}
+
+// isMutexOp reports the sync mutex method a call invokes ("Lock",
+// "RLock", "Unlock", "RUnlock"), or "".
+func isMutexOp(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return ""
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil || mutexKind(tv.Type) == 0 {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func (w *lockWalker) applyMutexOp(call *ast.CallExpr, op string, st *lockState) {
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	key := types.ExprString(sel.X)
+	switch op {
+	case "Lock":
+		st.r[key] = true
+		st.w[key] = true
+	case "RLock":
+		st.r[key] = true
+	case "Unlock":
+		delete(st.r, key)
+		delete(st.w, key)
+	case "RUnlock":
+		if !st.w[key] {
+			delete(st.r, key)
+		}
+	}
+}
+
+// ctorExempt reports whether the access base is an object this
+// function built from a composite literal.
+func (w *lockWalker) ctorExempt(base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = w.pkg.Info.Defs[id]
+	}
+	return obj != nil && w.ctor[obj]
+}
+
+func (w *lockWalker) checkAccess(e *ast.SelectorExpr, v *types.Var, g *lockGuard, st *lockState, write bool) {
+	if w.ctorExempt(e.X) {
+		return
+	}
+	key := types.ExprString(e.X) + "." + g.mu
+	if st.w[key] || (!write && st.r[key]) {
+		return
+	}
+	verb := "reads"
+	if write {
+		verb = "writes"
+	}
+	if write && st.r[key] {
+		w.findings = append(w.findings, w.pkg.finding("locksafe", e.Pos(),
+			"%s %s.%s (guarded by %s) holding only %s.RLock in %s: writes need the exclusive Lock",
+			verb, g.structName, v.Name(), g.mu, key, w.fnName))
+		return
+	}
+	w.findings = append(w.findings, w.pkg.finding("locksafe", e.Pos(),
+		"%s %s.%s (guarded by %s) without holding %s in %s",
+		verb, g.structName, v.Name(), g.mu, key, w.fnName))
+}
+
+// checkHelperCall enforces the entry-locked helper contract at the
+// call site.
+func (w *lockWalker) checkHelperCall(call *ast.CallExpr, st *lockState) {
+	fn := w.pkg.calleeOf(call)
+	if fn == nil {
+		return
+	}
+	g, ok := w.ls.helpers[fn]
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if w.ctorExempt(sel.X) {
+		return
+	}
+	key := types.ExprString(sel.X) + "." + g.mu
+	if st.w[key] {
+		return
+	}
+	w.findings = append(w.findings, w.pkg.finding("locksafe", call.Pos(),
+		"calls %s.%s (callers must hold %s) without holding %s in %s",
+		g.structName, fn.Name(), g.mu, key, w.fnName))
+}
+
+// isTerminalCall reports calls that never return: panic and os.Exit.
+func isTerminalCall(pkg *Package, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	if fn := pkg.calleeOf(call); fn != nil && isPkgFunc(fn, "os", "Exit") {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The wirecompat golden schema is a line-oriented text file checked
+// into the wire package's testdata directory. It freezes the wire
+// structs field by field:
+//
+//	# comment
+//	struct Result
+//	  field Stage stage string
+//	  field Worker worker string omitempty
+//
+// Each field line is: Go name, JSON name, type (rendered with
+// package-name qualifiers, e.g. *obs.Snapshot), and an optional
+// trailing "omitempty". Field order is the locked wire order; the
+// schema is append-only by construction because wirecompat compares it
+// as an ordered prefix of the live struct.
+
+// SchemaField is one locked wire field.
+type SchemaField struct {
+	GoName    string
+	JSONName  string
+	Type      string
+	Omitempty bool
+	Line      int // 1-based line in the schema file
+}
+
+// SchemaStruct is one locked wire struct.
+type SchemaStruct struct {
+	Name   string
+	Fields []SchemaField
+	Line   int
+}
+
+// Schema is a parsed wire-schema file, structs in file order.
+type Schema struct {
+	Structs []SchemaStruct
+}
+
+// Struct returns the schema entry for name, or nil.
+func (s *Schema) Struct(name string) *SchemaStruct {
+	for i := range s.Structs {
+		if s.Structs[i].Name == name {
+			return &s.Structs[i]
+		}
+	}
+	return nil
+}
+
+// ParseSchema parses a wire-schema file. Blank lines and lines whose
+// first token starts with '#' are ignored. Errors carry the offending
+// line number.
+func ParseSchema(data []byte) (*Schema, error) {
+	s := &Schema{}
+	var cur *SchemaStruct
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := i + 1
+		fields := strings.Fields(raw)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "struct":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: want \"struct <Name>\", got %q", line, strings.TrimSpace(raw))
+			}
+			if s.Struct(fields[1]) != nil {
+				return nil, fmt.Errorf("line %d: duplicate struct %q", line, fields[1])
+			}
+			s.Structs = append(s.Structs, SchemaStruct{Name: fields[1], Line: line})
+			cur = &s.Structs[len(s.Structs)-1]
+		case "field":
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: field before any struct", line)
+			}
+			if len(fields) != 4 && len(fields) != 5 {
+				return nil, fmt.Errorf("line %d: want \"field <GoName> <jsonName> <type> [omitempty]\", got %q",
+					line, strings.TrimSpace(raw))
+			}
+			f := SchemaField{GoName: fields[1], JSONName: fields[2], Type: fields[3], Line: line}
+			if len(fields) == 5 {
+				if fields[4] != "omitempty" {
+					return nil, fmt.Errorf("line %d: trailing token %q, want \"omitempty\"", line, fields[4])
+				}
+				f.Omitempty = true
+			}
+			for _, prev := range cur.Fields {
+				if prev.GoName == f.GoName {
+					return nil, fmt.Errorf("line %d: duplicate field %s.%s", line, cur.Name, f.GoName)
+				}
+			}
+			cur.Fields = append(cur.Fields, f)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	return s, nil
+}
+
+// FormatSchema renders a schema back to its canonical text form.
+// ParseSchema(FormatSchema(s)) round-trips exactly, which the fuzz
+// target leans on.
+func FormatSchema(s *Schema) []byte {
+	var b strings.Builder
+	for i, st := range s.Structs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "struct %s\n", st.Name)
+		for _, f := range st.Fields {
+			fmt.Fprintf(&b, "  field %s %s %s", f.GoName, f.JSONName, f.Type)
+			if f.Omitempty {
+				b.WriteString(" omitempty")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"sort"
 	"strings"
 )
 
@@ -59,66 +60,117 @@ func ParseSuppression(text string) (s Suppression, malformed string, ok bool) {
 	return Suppression{Analyzers: analyzers, Reason: reason}, "", true
 }
 
-// suppressionIndex maps file -> line -> suppressions active there.
-type suppressionIndex map[string]map[int][]Suppression
+// SuppressionRecord is one valid //studylint:ignore directive as the
+// audit mode reports it: where it lives, what it claims to suppress,
+// why, and whether it actually suppressed anything in this run. A
+// record with Used == false is a stale suppression.
+type SuppressionRecord struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	Used      bool     `json:"used"`
+}
+
+// supEntry is one indexed suppression with its usage bit.
+type supEntry struct {
+	sup  Suppression
+	file string
+	used bool
+}
+
+// suppressionIndex maps file -> line -> suppressions active there,
+// across every loaded package, and remembers which entries ever
+// matched a finding so the audit mode can report stale ones.
+type suppressionIndex struct {
+	byFile map[string]map[int][]*supEntry
+	order  []*supEntry // package/file/comment order, for the audit listing
+	bad    []Finding   // malformed or unknown-analyzer directives
+}
 
 // covers reports whether a finding by analyzer at file:line is
 // suppressed: a valid directive sits on the same line or the line
-// directly above.
-func (idx suppressionIndex) covers(analyzer string, line int, file string) bool {
-	byLine := idx[file]
+// directly above. Matching entries are marked used.
+func (idx *suppressionIndex) covers(analyzer string, line int, file string) bool {
+	byLine := idx.byFile[file]
 	if byLine == nil {
 		return false
 	}
+	hit := false
 	for _, l := range []int{line, line - 1} {
-		for _, s := range byLine[l] {
-			for _, a := range s.Analyzers {
+		for _, e := range byLine[l] {
+			for _, a := range e.sup.Analyzers {
 				if a == "*" || a == analyzer {
-					return true
+					e.used = true
+					hit = true
 				}
 			}
 		}
 	}
-	return false
+	return hit
 }
 
-// suppressions walks every comment in the package, indexing valid
-// directives and reporting malformed ones (missing reason, unknown
-// analyzer) as findings — a suppression that cannot say what it
-// suppresses or why is itself an invariant violation.
-func (p *Package) suppressions(known map[string]bool) (suppressionIndex, []Finding) {
-	idx := suppressionIndex{}
-	var bad []Finding
-	for _, file := range p.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				s, malformed, ok := ParseSuppression(c.Text)
-				if !ok {
-					continue
+// records renders the index as audit records sorted by file:line.
+func (idx *suppressionIndex) records() []SuppressionRecord {
+	recs := make([]SuppressionRecord, 0, len(idx.order))
+	for _, e := range idx.order {
+		recs = append(recs, SuppressionRecord{
+			File:      e.file,
+			Line:      e.sup.Line,
+			Analyzers: e.sup.Analyzers,
+			Reason:    e.sup.Reason,
+			Used:      e.used,
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].File != recs[j].File {
+			return recs[i].File < recs[j].File
+		}
+		return recs[i].Line < recs[j].Line
+	})
+	return recs
+}
+
+// indexSuppressions walks every comment of every package, indexing
+// valid directives and reporting malformed ones (missing reason,
+// unknown analyzer) as findings — a suppression that cannot say what
+// it suppresses or why is itself an invariant violation.
+func indexSuppressions(pkgs []*Package, known map[string]bool) *suppressionIndex {
+	idx := &suppressionIndex{byFile: map[string]map[int][]*supEntry{}}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					s, malformed, ok := ParseSuppression(c.Text)
+					if !ok {
+						continue
+					}
+					if malformed != "" {
+						idx.bad = append(idx.bad, p.finding("suppression", c.Pos(),
+							"malformed //studylint:ignore: %s", malformed))
+						continue
+					}
+					unknown := unknownAnalyzers(s.Analyzers, known)
+					if len(unknown) > 0 {
+						idx.bad = append(idx.bad, p.finding("suppression", c.Pos(),
+							"unknown analyzer %q in //studylint:ignore", strings.Join(unknown, ",")))
+						continue
+					}
+					fname, line, _ := p.position(c.Pos())
+					s.Line = line
+					e := &supEntry{sup: s, file: fname}
+					byLine := idx.byFile[fname]
+					if byLine == nil {
+						byLine = map[int][]*supEntry{}
+						idx.byFile[fname] = byLine
+					}
+					byLine[line] = append(byLine[line], e)
+					idx.order = append(idx.order, e)
 				}
-				if malformed != "" {
-					bad = append(bad, p.finding("suppression", c.Pos(),
-						"malformed //studylint:ignore: %s", malformed))
-					continue
-				}
-				unknown := unknownAnalyzers(s.Analyzers, known)
-				if len(unknown) > 0 {
-					bad = append(bad, p.finding("suppression", c.Pos(),
-						"unknown analyzer %q in //studylint:ignore", strings.Join(unknown, ",")))
-					continue
-				}
-				fname, line, _ := p.position(c.Pos())
-				s.Line = line
-				byLine := idx[fname]
-				if byLine == nil {
-					byLine = map[int][]Suppression{}
-					idx[fname] = byLine
-				}
-				byLine[line] = append(byLine[line], s)
 			}
 		}
 	}
-	return idx, bad
+	return idx
 }
 
 func unknownAnalyzers(names []string, known map[string]bool) []string {
@@ -127,6 +179,28 @@ func unknownAnalyzers(names []string, known map[string]bool) []string {
 		if n != "*" && !known[n] {
 			out = append(out, n)
 		}
+	}
+	return out
+}
+
+// StaleFindings converts unused suppression records into findings —
+// the stale-suppression gate behind `studylint -suppressions`: a
+// directive that no longer suppresses anything is dead weight hiding
+// whatever the next real finding on that line will be.
+func StaleFindings(recs []SuppressionRecord) []Finding {
+	var out []Finding
+	for _, r := range recs {
+		if r.Used {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "suppression",
+			File:     r.File,
+			Line:     r.Line,
+			Col:      1,
+			Message: "stale //studylint:ignore " + strings.Join(r.Analyzers, ",") +
+				": no finding left to suppress; remove it",
+		})
 	}
 	return out
 }

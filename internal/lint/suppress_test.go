@@ -47,10 +47,14 @@ func TestParseSuppression(t *testing.T) {
 }
 
 func TestSuppressionCovers(t *testing.T) {
+	det := &supEntry{sup: Suppression{Analyzers: []string{"detrange"}, Reason: "r"}, file: "a.go"}
+	wild := &supEntry{sup: Suppression{Analyzers: []string{"*"}, Reason: "r"}, file: "a.go"}
 	idx := suppressionIndex{
-		"a.go": {
-			10: []Suppression{{Analyzers: []string{"detrange"}, Reason: "r"}},
-			20: []Suppression{{Analyzers: []string{"*"}, Reason: "r"}},
+		byFile: map[string]map[int][]*supEntry{
+			"a.go": {
+				10: {det},
+				20: {wild},
+			},
 		},
 	}
 	for _, c := range []struct {

@@ -1,0 +1,56 @@
+// The PR 3 certByBase bug split across function boundaries: the hosts
+// are collected in map order in one function and consumed by ordered
+// sinks in others, so the intra-procedural detrange can only see the
+// collecting append — detflow must carry the taint through the return
+// value into every sink.
+package attribution
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// collectHosts gathers certificate hosts in map iteration order and
+// never sorts them; its return value is map-iteration-ordered.
+func collectHosts(certs map[string]string) []string {
+	var hosts []string
+	for host := range certs {
+		hosts = append(hosts, host)
+	}
+	return hosts
+}
+
+// firstCertByBase consumes the unsorted hosts first-wins in a second
+// function: whichever host reaches a base first wins, so the winner
+// depends on map iteration order — the exact certByBase shape.
+func firstCertByBase(certs map[string]string) map[string]string {
+	byBase := map[string]string{}
+	for _, host := range collectHosts(certs) {
+		if _, ok := byBase[baseOf(host)]; !ok {
+			byBase[baseOf(host)] = host
+		}
+	}
+	return byBase
+}
+
+// reportHosts writes the unsorted hosts straight into a report buffer.
+func reportHosts(w *bytes.Buffer, certs map[string]string) {
+	for _, host := range collectHosts(certs) {
+		fmt.Fprintln(w, host)
+	}
+}
+
+// emit feeds its hosts parameter to an ordered sink, making it a
+// parameter sink for every caller.
+func emit(w *bytes.Buffer, hosts []string) {
+	for _, h := range hosts {
+		w.WriteString(h)
+	}
+}
+
+// writeAll hands map-ordered data to emit: flagged at the call site.
+func writeAll(w *bytes.Buffer, certs map[string]string) {
+	emit(w, collectHosts(certs))
+}
+
+func baseOf(host string) string { return host }

@@ -1,0 +1,47 @@
+// The sanctioned fixes: sorting in the collecting function clears the
+// taint everywhere downstream, and slices.Sorted is a sanitizer.
+package attribution
+
+import (
+	"bytes"
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// collectHostsSorted collects then sorts — the approved idiom; the
+// return value carries no order taint.
+func collectHostsSorted(certs map[string]string) []string {
+	var hosts []string
+	for host := range certs {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// firstCertByBaseSorted is the fixed consumer: same first-wins store,
+// but over a deterministically ordered slice.
+func firstCertByBaseSorted(certs map[string]string) map[string]string {
+	byBase := map[string]string{}
+	for _, host := range collectHostsSorted(certs) {
+		if _, ok := byBase[baseOf(host)]; !ok {
+			byBase[baseOf(host)] = host
+		}
+	}
+	return byBase
+}
+
+// reportHostsSorted writes hosts in sorted key order.
+func reportHostsSorted(w *bytes.Buffer, certs map[string]string) {
+	for _, host := range slices.Sorted(maps.Keys(certs)) {
+		fmt.Fprintln(w, host)
+	}
+}
+
+// writeAllSorted hands emit clean data; the parameter-sink edge only
+// matters when the argument is actually map-ordered.
+func writeAllSorted(w *bytes.Buffer, certs map[string]string) {
+	emit(w, collectHostsSorted(certs))
+}

@@ -1,0 +1,33 @@
+// Goroutines in server-lifetime packages with no cancellation edge:
+// nothing an owner could cancel, close, or shut down ever reaches the
+// spawned function, so only process exit stops them.
+package obs
+
+import "time"
+
+// Poller is a stand-in for a long-lived sampler.
+type Poller struct {
+	n int
+}
+
+// StartLeaky spawns an unstoppable ticker loop.
+func (p *Poller) StartLeaky() {
+	go func() {
+		for {
+			p.n++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// StartLeakyNamed spawns a named spin loop that is just as unbounded —
+// the transitive check must look through the call.
+func (p *Poller) StartLeakyNamed() {
+	go p.spin()
+}
+
+func (p *Poller) spin() {
+	for {
+		p.n++
+	}
+}

@@ -1,0 +1,56 @@
+// The three accepted cancellation edges — stop channel, context,
+// listener/server close — plus the transitive case through a named
+// helper.
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// Server owns its goroutines and can stop every one of them.
+type Server struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartStop runs a loop bounded by the stop channel.
+func (s *Server) StartStop() {
+	go func() {
+		defer close(s.done)
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// StartCtx bounds the goroutine with a context.
+func (s *Server) StartCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// StartServe is the listener-close idiom: Serve returns when the owner
+// closes ln.
+func (s *Server) StartServe(srv *http.Server, ln net.Listener) {
+	go func() {
+		_ = srv.Serve(ln)
+	}()
+}
+
+// StartHelper spawns a named loop whose body ranges over the stop
+// channel — the edge is found transitively through the call graph.
+func (s *Server) StartHelper() {
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for range s.stop {
+	}
+}

@@ -1,0 +1,56 @@
+// Every way to violate the `guarded by` contract: unlocked read,
+// unlocked write, write under a read lock, and calling an entry-locked
+// helper without the mutex.
+package sched
+
+import "sync"
+
+// Counter guards its count behind mu.
+type Counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	count int
+}
+
+// Inc holds the lock: clean.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+}
+
+// Peek reads count without the lock.
+func (c *Counter) Peek() int {
+	return c.count
+}
+
+// Reset writes count without the lock.
+func (c *Counter) Reset() {
+	c.count = 0
+}
+
+// Stats guards total behind an RWMutex.
+type Stats struct {
+	mu sync.RWMutex
+	// guarded by mu
+	total int
+}
+
+// Bump writes under RLock only: writes need the exclusive Lock.
+func (s *Stats) Bump() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.total++
+}
+
+// addLocked is an entry-locked helper; its body is checked assuming
+// the caller holds mu, and call sites must actually hold it.
+// guarded by mu
+func (s *Stats) addLocked(n int) {
+	s.total += n
+}
+
+// AddUnlocked calls the helper without holding mu.
+func (s *Stats) AddUnlocked(n int) {
+	s.addLocked(n)
+}

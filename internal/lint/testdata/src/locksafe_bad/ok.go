@@ -1,0 +1,40 @@
+// The clean shapes: constructor exemption, RLock reads, exclusive-Lock
+// writes, and an entry-locked helper called with the mutex held.
+package sched
+
+import "sync"
+
+// Gauge guards value behind an RWMutex.
+type Gauge struct {
+	mu sync.RWMutex
+	// guarded by mu
+	value int
+}
+
+// NewGauge initializes the guarded field pre-publication: the
+// constructor owns the value before anyone else can see it.
+func NewGauge(v int) *Gauge {
+	g := &Gauge{}
+	g.value = v
+	return g
+}
+
+// Load reads under RLock.
+func (g *Gauge) Load() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.value
+}
+
+// Store writes under the exclusive lock, through the helper.
+func (g *Gauge) Store(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.setLocked(v)
+}
+
+// setLocked writes the guarded field; callers hold mu.
+// guarded by mu
+func (g *Gauge) setLocked(v int) {
+	g.value = v
+}

@@ -1,0 +1,32 @@
+// Four wire structs, each drifted from the golden schema in testdata
+// in a different append-only-violating way; wirecompat must flag every
+// one against the locked layout.
+package shard
+
+// Assignment renamed Shard to ShardID: renames break the locked wire
+// order even when the JSON name survives.
+type Assignment struct {
+	Stage   string `json:"stage"`
+	ShardID int    `json:"shard"`
+}
+
+// Entry changed Raw from []byte to string: old frames no longer
+// decode.
+type Entry struct {
+	Site string `json:"site"`
+	Raw  string `json:"raw"`
+}
+
+// Result dropped Digest — the acceptance-criterion case: deleting a
+// field from shard.Result is a removal finding.
+type Result struct {
+	Stage string `json:"stage"`
+	Shard int    `json:"shard"`
+}
+
+// Telemetry appended Spans without omitempty: frames from binaries
+// that predate the field change byte-for-byte when re-encoded.
+type Telemetry struct {
+	Worker string   `json:"worker,omitempty"`
+	Spans  []string `json:"spans"`
+}

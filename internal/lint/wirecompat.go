@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+)
+
+// WireCompat locks the shard wire structs against a golden schema file
+// in the wire package's testdata directory. PR 9's compatibility
+// promise — old workers' frames keep decoding — holds exactly as long
+// as the wire structs only ever grow: a removed, renamed, or retyped
+// field silently changes what every deployed worker and coordinator
+// serialize. wirecompat makes that mechanical: the schema lists each
+// struct's fields in wire order, the analyzer compares it as an
+// ordered prefix of the live struct, and any change other than
+// appending a new `omitempty` field is a finding. New fields must
+// carry omitempty so frames from binaries that predate the field stay
+// byte-identical when re-encoded.
+func WireCompat() *Analyzer {
+	return &Analyzer{
+		Name: "wirecompat",
+		Doc:  "wire structs are append-only against the golden schema in testdata",
+		Applies: func(cfg *Config, pkgPath string) bool {
+			return inClass(pkgPath, cfg.WirePkgs)
+		},
+		Run: runWireCompat,
+	}
+}
+
+func runWireCompat(cfg *Config, pkg *Package) []Finding {
+	if cfg.WireSchema == "" || len(cfg.WireStructs) == 0 {
+		return nil
+	}
+	pkgPos := token.NoPos
+	if len(pkg.Files) > 0 {
+		pkgPos = pkg.Files[0].Package
+	}
+	data, err := os.ReadFile(filepath.Join(pkg.Dir, filepath.FromSlash(cfg.WireSchema)))
+	if err != nil {
+		// Only a package that actually declares a locked struct owes a
+		// schema; lint fixtures impersonating the wire package's import
+		// path without its structs stay silent.
+		for _, name := range cfg.WireStructs {
+			if pkg.Types.Scope().Lookup(name) != nil {
+				return []Finding{pkg.finding("wirecompat", pkgPos,
+					"wire schema %s missing: create it to lock the wire format (see internal/lint/schema.go for the grammar)",
+					cfg.WireSchema)}
+			}
+		}
+		return nil
+	}
+	schema, err := ParseSchema(data)
+	if err != nil {
+		return []Finding{pkg.finding("wirecompat", pkgPos,
+			"wire schema %s unparseable: %v", cfg.WireSchema, err)}
+	}
+	var out []Finding
+	for _, name := range cfg.WireStructs {
+		out = append(out, checkWireStruct(cfg, pkg, schema, name, pkgPos)...)
+	}
+	return out
+}
+
+// wireField is one live struct field as it appears on the wire.
+type wireField struct {
+	SchemaField
+	pos token.Pos
+}
+
+// liveWireFields extracts the JSON-visible fields of a struct in
+// declaration order: exported, not json:"-", with the JSON name, the
+// package-name-qualified type, and the omitempty flag.
+func liveWireFields(pkg *Package, st *types.Struct) []wireField {
+	qual := func(other *types.Package) string {
+		if other == pkg.Types {
+			return ""
+		}
+		return other.Name()
+	}
+	var out []wireField
+	for i := 0; i < st.NumFields(); i++ {
+		v := st.Field(i)
+		if !v.Exported() {
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		parts := strings.Split(tag, ",")
+		jsonName := parts[0]
+		if jsonName == "-" {
+			continue
+		}
+		if jsonName == "" {
+			jsonName = v.Name()
+		}
+		f := wireField{pos: v.Pos()}
+		f.GoName = v.Name()
+		f.JSONName = jsonName
+		f.Type = types.TypeString(v.Type(), qual)
+		for _, opt := range parts[1:] {
+			if opt == "omitempty" {
+				f.Omitempty = true
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func checkWireStruct(cfg *Config, pkg *Package, schema *Schema, name string, pkgPos token.Pos) []Finding {
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return []Finding{pkg.finding("wirecompat", pkgPos,
+			"wire struct %s is gone: removing a locked wire struct breaks every deployed peer", name)}
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return []Finding{pkg.finding("wirecompat", obj.Pos(),
+			"wire type %s is no longer a struct", name)}
+	}
+	want := schema.Struct(name)
+	if want == nil {
+		return []Finding{pkg.finding("wirecompat", obj.Pos(),
+			"wire struct %s has no entry in %s: append \"struct %s\" and its fields to lock it",
+			name, cfg.WireSchema, name)}
+	}
+	live := liveWireFields(pkg, st)
+	var out []Finding
+	for i, wf := range want.Fields {
+		if i >= len(live) {
+			out = append(out, pkg.finding("wirecompat", obj.Pos(),
+				"wire field %s.%s (schema line %d) was removed: wire fields are append-only; restore it or keep a deprecated placeholder",
+				name, wf.GoName, wf.Line))
+			continue
+		}
+		got := live[i]
+		if got.GoName != wf.GoName {
+			out = append(out, pkg.finding("wirecompat", got.pos,
+				"wire field %s.%s (schema line %d) is now %q: renames and reorders break the locked wire layout",
+				name, wf.GoName, wf.Line, got.GoName))
+			continue // name mismatch makes the remaining comparisons noise
+		}
+		if got.JSONName != wf.JSONName {
+			out = append(out, pkg.finding("wirecompat", got.pos,
+				"wire field %s.%s changed JSON name %q -> %q (schema line %d): every deployed peer still encodes %q",
+				name, wf.GoName, wf.JSONName, got.JSONName, wf.Line, wf.JSONName))
+		}
+		if got.Type != wf.Type {
+			out = append(out, pkg.finding("wirecompat", got.pos,
+				"wire field %s.%s changed type %s -> %s (schema line %d): old frames no longer decode",
+				name, wf.GoName, wf.Type, got.Type, wf.Line))
+		}
+		if got.Omitempty != wf.Omitempty {
+			verb := "lost"
+			if got.Omitempty {
+				verb = "gained"
+			}
+			out = append(out, pkg.finding("wirecompat", got.pos,
+				"wire field %s.%s %s omitempty (schema line %d): zero-value encoding changes byte-for-byte framing",
+				name, wf.GoName, verb, wf.Line))
+		}
+	}
+	for i := len(want.Fields); i < len(live); i++ {
+		if !live[i].Omitempty {
+			out = append(out, pkg.finding("wirecompat", live[i].pos,
+				"new wire field %s.%s must carry omitempty so frames from binaries that predate it stay identical; then append it to %s",
+				name, live[i].GoName, cfg.WireSchema))
+		}
+	}
+	return out
+}

@@ -61,12 +61,16 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return s
 	}
+	// The walk holds r.mu throughout: each family's series map is
+	// guarded by it and MergeSnapshot/lookupRendered insert new series
+	// concurrently. Only atomics are read per series, so the critical
+	// section stays cheap.
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
-	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		keys := make([]string, 0, len(f.series))

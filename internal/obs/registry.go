@@ -226,7 +226,11 @@ type family struct {
 // the pointer. A nil *Registry hands out nil instruments whose methods
 // no-op.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// families, and every family's series map hanging off it, are
+	// guarded by mu. Instrument structs themselves (Counter, Gauge,
+	// Histogram) are atomic and lock-free once handed out.
+	// guarded by mu
 	families map[string]*family
 }
 
@@ -385,12 +389,15 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// The whole walk holds r.mu: the family list AND each family's
+	// series map are guarded by it, and lookupRendered inserts new
+	// series concurrently. Rendering goes to a local builder so the
+	// caller's writer is never fed under the lock.
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
-	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder
@@ -438,6 +445,7 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 			}
 		}
 	}
+	r.mu.Unlock()
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -34,10 +34,15 @@ type RuntimePoller struct {
 	done chan struct{}
 	once sync.Once
 
-	mu         sync.Mutex // serializes Sample against the poll loop
-	lastGC     uint32
-	lastPauses uint64 // NumGC high-water mark for pause-ring draining
-	lastAlloc  uint64
+	// mu serializes Sample against the poll loop.
+	mu sync.Mutex
+	// guarded by mu
+	lastGC uint32
+	// lastPauses is the NumGC high-water mark for pause-ring draining.
+	// guarded by mu
+	lastPauses uint64
+	// guarded by mu
+	lastAlloc uint64
 }
 
 // StartRuntimePoller registers the runtime health metrics in reg, takes

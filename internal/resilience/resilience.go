@@ -249,11 +249,16 @@ type hostBreaker struct {
 type Controller struct {
 	pol Policy
 
-	mu           sync.Mutex
-	rng          *rand.Rand
-	hosts        map[string]*hostBreaker
+	mu sync.Mutex
+	// guarded by mu
+	rng *rand.Rand
+	// guarded by mu
+	hosts map[string]*hostBreaker
+	// guarded by mu
 	onTransition func(host string, from, to State)
-	now          func() time.Time // test hook
+	// now is the test clock hook.
+	// guarded by mu
+	now func() time.Time
 }
 
 // NewController builds a controller for the policy (nil when the policy
@@ -363,7 +368,8 @@ func (c *Controller) StateOf(host string) State {
 	return Closed
 }
 
-// breaker returns (creating if needed) host's breaker. Callers hold mu.
+// breaker returns (creating if needed) host's breaker.
+// guarded by mu
 func (c *Controller) breaker(host string) *hostBreaker {
 	b, ok := c.hosts[host]
 	if !ok {
@@ -373,9 +379,10 @@ func (c *Controller) breaker(host string) *hostBreaker {
 	return b
 }
 
-// transition flips b to the new state and fires the hook. Callers hold
-// mu; the hook runs inline, so it must not call back into the
+// transition flips b to the new state and fires the hook. The hook
+// runs inline under the lock, so it must not call back into the
 // controller.
+// guarded by mu
 func (c *Controller) transition(host string, b *hostBreaker, to State) {
 	from := b.state
 	b.state = to

@@ -53,17 +53,27 @@ type Coordinator struct {
 
 	reg *obs.Registry
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	workers []Worker
+	// guarded by mu
 	retired map[string]bool
-	closed  bool
-	arrived chan struct{} // recreated on each registration; closed to wake waiters
-	ln      net.Listener
-	srv     *http.Server
+	// guarded by mu
+	closed bool
+	// arrived is recreated on each registration; closed to wake waiters.
+	// guarded by mu
+	arrived chan struct{}
+	// guarded by mu
+	ln net.Listener
+	// guarded by mu
+	srv *http.Server
 
 	// health, stages and failures back the /fleet report; see fleet.go.
-	health   map[string]*workerHealth
-	stages   map[string]*StageProgress
+	// guarded by mu
+	health map[string]*workerHealth
+	// guarded by mu
+	stages map[string]*StageProgress
+	// guarded by mu
 	failures map[string]int
 
 	metDispatch     *obs.Counter

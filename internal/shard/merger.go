@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"pornweb/internal/provenance"
@@ -17,12 +18,19 @@ import (
 // workers may finish in any interleaving and the fold lands on the
 // same bytes.
 type Merger struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	pending []*Result
-	byShard map[int]Assignment // assignment each shard's result must answer
-	merged  map[int]*Result    // folded results by shard index
+	// byShard maps shard index to the assignment its result must answer.
+	// guarded by mu
+	byShard map[int]Assignment
+	// merged holds folded results by shard index.
+	// guarded by mu
+	merged map[int]*Result
+	// guarded by mu
 	entries int
-	digest  provenance.MultisetHash
+	// guarded by mu
+	digest provenance.MultisetHash
 }
 
 // NewMerger builds a merger for one dispatch. expect registers, per
@@ -119,7 +127,7 @@ func (m *Merger) Missing() []int {
 			out = append(out, i)
 		}
 	}
-	sortInts(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -156,7 +164,7 @@ func (m *Merger) Finish() (*Merged, error) {
 	for i := range m.merged {
 		shards = append(shards, i)
 	}
-	sortInts(shards)
+	slices.Sort(shards)
 	for _, i := range shards {
 		r := m.merged[i]
 		for _, e := range r.Entries {
@@ -170,14 +178,4 @@ func (m *Merger) Finish() (*Merged, error) {
 		})
 	}
 	return out, nil
-}
-
-// sortInts is sort.Ints without dragging sort's interface machinery
-// into the hot path; shard counts are tiny.
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

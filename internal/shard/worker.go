@@ -249,9 +249,14 @@ type Server struct {
 	Flight      *obs.FlightRecorder
 	MetricsAddr string
 
-	mu   sync.Mutex
-	ln   net.Listener
-	srv  *http.Server
+	mu sync.Mutex
+	// guarded by mu
+	ln net.Listener
+	// guarded by mu
+	srv *http.Server
+	// done is set once in Start (under mu, before the listener serves)
+	// and closed through once, so readers of the closed channel need no
+	// lock.
 	done chan struct{}
 	once sync.Once
 
@@ -259,7 +264,8 @@ type Server struct {
 	// per worker per wave, so contention is not expected — the lock
 	// exists so the telemetry delta brackets exactly one shard's
 	// activity even if a client misbehaves.
-	runMu    sync.Mutex
+	runMu sync.Mutex
+	// guarded by runMu
 	lastSnap *obs.Snapshot
 }
 
@@ -290,8 +296,11 @@ func (s *Server) Start(addr string) error {
 		_, _ = io.WriteString(w, "shutting down\n")
 		s.once.Do(func() { close(s.done) })
 	})
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	go func() { _ = s.srv.Serve(ln) }() // Serve always errors on Close; nothing to report
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	s.srv = srv
+	// The goroutine serves on locals: reading s.srv there would race
+	// Close, which nils the field under mu.
+	go func() { _ = srv.Serve(ln) }() // Serve always errors on Close; nothing to report
 	return nil
 }
 

@@ -33,7 +33,8 @@ type segstate struct {
 }
 
 // writeCheckpointLocked renders and atomically installs the checkpoint.
-// Caller holds l.mu and has synced the active segment.
+// Callers have synced the active segment.
+// guarded by mu
 func (l *Log) writeCheckpointLocked() error {
 	cp := checkpoint{
 		Version:     segVersion,

@@ -186,16 +186,30 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu        sync.Mutex
-	segments  []*segment
-	index     map[string]entryLoc // encoded key -> location
-	keys      []string            // sorted encoded keys; rebuilt lazily
+	mu sync.Mutex
+	// guarded by mu
+	segments []*segment
+	// index maps encoded key -> location.
+	// guarded by mu
+	index map[string]entryLoc
+	// keys caches the sorted encoded keys; rebuilt lazily.
+	// guarded by mu
+	keys []string
+	// guarded by mu
 	keysDirty bool
-	digest    provenance.MultisetHash
-	unsynced  int // appends since the last fsync
-	appends   int // total appends this process (kill-switch clock)
-	closed    bool
-	poisoned  error // non-nil once a kill or write failure wedges the log
+	// guarded by mu
+	digest provenance.MultisetHash
+	// unsynced counts appends since the last fsync.
+	// guarded by mu
+	unsynced int
+	// appends counts total appends this process (kill-switch clock).
+	// guarded by mu
+	appends int
+	// guarded by mu
+	closed bool
+	// poisoned is non-nil once a kill or write failure wedges the log.
+	// guarded by mu
+	poisoned error
 
 	met storeMetrics
 }
@@ -283,6 +297,7 @@ func Open(dir string, opts Options) (*Log, error) {
 
 // replayAll loads every named segment in order, rebuilding the index
 // and digest, truncating a torn tail in the final segment.
+// guarded by mu
 func (l *Log) replayAll(names []string) error {
 	var span *obs.Span
 	if l.opts.Tracer != nil {
@@ -297,6 +312,7 @@ func (l *Log) replayAll(names []string) error {
 		}
 		last := i == len(names)-1
 		n, truncated, err := seg.replay(last, func(key string, loc valueLoc) {
+			//studylint:ignore locksafe seg.replay invokes this callback synchronously on replayAll's own stack, so the caller-held mu is still held; the closure never escapes
 			l.indexPut(key, entryLoc{seg: i, off: loc.off, size: loc.size}, loc.payload)
 		})
 		if err != nil {
@@ -320,6 +336,7 @@ func (l *Log) replayAll(names []string) error {
 // indexPut records one live entry. A re-appended key replaces the old
 // location; the digest removes the superseded payload so it stays a
 // digest of the live entry set.
+// guarded by mu
 func (l *Log) indexPut(key string, loc entryLoc, payload string) {
 	if _, exists := l.index[key]; exists {
 		// Duplicate keys cannot happen in normal operation (a visit is
@@ -336,6 +353,7 @@ func (l *Log) indexPut(key string, loc entryLoc, payload string) {
 
 // rebuildDigestExcluding recomputes the digest with key's payload
 // replaced by the new one. Slow path; only duplicate keys reach it.
+// guarded by mu
 func (l *Log) rebuildDigestExcluding(key, newPayload string) {
 	// The multiset sum is wrapping addition, so replacing one element is
 	// subtract-old, add-new. We do not retain old payloads, so re-read it.
@@ -392,6 +410,7 @@ func (l *Log) Append(k Key, value []byte) error {
 
 // fireKill plants the configured crash: optionally a synced torn
 // record, then either process death or a poisoned log.
+// guarded by mu
 func (l *Log) fireKill(k Key, value []byte) error {
 	ks := l.opts.Kill
 	seg := l.active()
@@ -409,9 +428,11 @@ func (l *Log) fireKill(k Key, value []byte) error {
 }
 
 // active returns the segment appends go to.
+// guarded by mu
 func (l *Log) active() *segment { return l.segments[len(l.segments)-1] }
 
 // rotate seals the active segment and opens a fresh one.
+// guarded by mu
 func (l *Log) rotate() error {
 	name := fmt.Sprintf("seg-%06d.wal", len(l.segments)+1)
 	seg, err := createSegment(filepath.Join(l.dir, name), l.opts)
@@ -433,6 +454,8 @@ func (l *Log) Get(k Key) ([]byte, bool, error) {
 	return v, ok, err
 }
 
+// getLocked reads one entry by encoded key.
+// guarded by mu
 func (l *Log) getLocked(key string) ([]byte, bool, error) {
 	loc, ok := l.index[key]
 	if !ok {
@@ -461,6 +484,7 @@ func (l *Log) Has(k Key) bool {
 
 // sortedKeys returns the encoded keys in sorted order, rebuilding the
 // cache only after appends changed the key set.
+// guarded by mu
 func (l *Log) sortedKeys() []string {
 	if l.keysDirty {
 		l.keys = l.keys[:0]
@@ -532,6 +556,8 @@ func (l *Log) Sync() error {
 	return l.syncLocked()
 }
 
+// syncLocked flushes and fsyncs the active segment.
+// guarded by mu
 func (l *Log) syncLocked() error {
 	seg := l.active()
 	start := time.Now()
@@ -585,6 +611,8 @@ func (l *Log) Close() error {
 	return err
 }
 
+// closeFiles releases every segment handle.
+// guarded by mu
 func (l *Log) closeFiles() {
 	for _, seg := range l.segments {
 		seg.close()

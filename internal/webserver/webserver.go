@@ -66,9 +66,12 @@ type Server struct {
 	log *obs.Logger
 	met serverMetrics
 
-	mu     sync.Mutex
-	certs  map[string]*tls.Certificate
-	vhosts map[string]*obs.Counter // per-service-host request counters
+	mu sync.Mutex
+	// guarded by mu
+	certs map[string]*tls.Certificate
+	// vhosts holds per-service-host request counters.
+	// guarded by mu
+	vhosts map[string]*obs.Counter
 
 	closed chan struct{}
 }
